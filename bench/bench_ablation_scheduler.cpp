@@ -1,0 +1,51 @@
+// Ablation (beyond the paper's figures): isolates *why* the WORKQUEUE
+// wins by sweeping the scheduler's dispatch window and k.
+//
+//  (a) dispatch window: SORTBYWL depends on the hardware starting warps
+//      in launch order; a wider (more out-of-order) window erodes its
+//      benefit, while the WORKQUEUE's atomic handout is immune — the
+//      paper's §III-D argument.
+//  (b) k sweep: granularity's WEE gain vs scheduling overhead (§III-A).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  gsj::Cli cli(argc, argv);
+  const auto opt = gsj::bench::parse_common(cli);
+  gsj::bench::banner("ablation",
+                     "dispatch-window and k sweeps on Expo2D (WORKQUEUE "
+                     "robustness to scheduler order)",
+                     opt);
+
+  const gsj::Dataset ds = gsj::bench::load_dataset("Expo2D2M", opt);
+  const double eps = gsj::bench::table_epsilon("Expo2D2M", ds.size());
+
+  gsj::Table wt({"dispatch window", "SORTBYWL t(s)", "SORTBYWL WEE(%)",
+                 "WORKQUEUE t(s)", "WORKQUEUE WEE(%)"});
+  wt.set_precision(4);
+  for (const int window : {1, 64, 1024, 16384}) {
+    auto sorted = gsj::SelfJoinConfig::sort_by_wl(eps);
+    sorted.device.dispatch_window = window;
+    auto wq = gsj::SelfJoinConfig::work_queue_cfg(eps);
+    wq.device.dispatch_window = window;
+    const auto rs = gsj::bench::run_gpu(ds, sorted, opt);
+    const auto rq = gsj::bench::run_gpu(ds, wq, opt);
+    wt.add_row({static_cast<std::int64_t>(window), rs.seconds, rs.wee,
+                rq.seconds, rq.wee});
+  }
+  gsj::bench::finish("ablation_window", wt, opt);
+
+  gsj::Table kt({"k", "GPUCALCGLOBAL t(s)", "WEE(%)", "WQ+LID t(s)",
+                 "WQ WEE(%)"});
+  kt.set_precision(4);
+  for (const int k : {1, 2, 4, 8, 16, 32}) {
+    auto base = gsj::SelfJoinConfig::gpu_calc_global(eps);
+    base.k = k;
+    const auto rb = gsj::bench::run_gpu(ds, base, opt);
+    const auto rq = gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::work_queue_cfg(eps, k,
+                                            gsj::CellPattern::LidUnicomp), opt);
+    kt.add_row({static_cast<std::int64_t>(k), rb.seconds, rb.wee, rq.seconds,
+                rq.wee});
+  }
+  gsj::bench::finish("ablation_k", kt, opt);
+  return 0;
+}

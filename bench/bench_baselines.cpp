@@ -1,0 +1,73 @@
+// Extra (beyond the paper's figures): the related-work baseline shoot-
+// out the paper's §II-B surveys — k-d tree (tree indexing), Morton
+// curve (space-filling-curve indexing, LSS-style but exact), parallel
+// CPU grid join, SUPER-EGO, and the simulated-GPU WQ+LID+k8 — on one
+// skewed synthetic and one real-world-like dataset.
+#include <iostream>
+
+#include "baselines/kdtree.hpp"
+#include "baselines/morton.hpp"
+#include "baselines/rtree.hpp"
+#include "common/timer.hpp"
+#include "harness.hpp"
+#include "sj/reference.hpp"
+
+int main(int argc, char** argv) {
+  gsj::Cli cli(argc, argv);
+  const auto opt = gsj::bench::parse_common(cli);
+  gsj::bench::banner("baselines",
+                     "related-work baselines (§II-B): k-d tree, Morton "
+                     "curve, grid CPU, SUPER-EGO vs simulated GPU",
+                     opt);
+
+  gsj::Table t({"dataset", "eps", "method", "time(s)", "dist calcs",
+                "pairs"});
+  t.set_precision(4);
+  for (const char* name : {"Expo2D2M", "SW2DA"}) {
+    const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    const double eps = gsj::bench::table_epsilon(name, ds.size());
+
+    const auto kd = gsj::kdtree_self_join(ds, eps, opt.ego_threads);
+    t.add_row({std::string(name), eps, std::string("k-d tree (CPU)"),
+               kd.stats.build_seconds + kd.stats.join_seconds,
+               static_cast<std::int64_t>(kd.stats.distance_calcs),
+               static_cast<std::int64_t>(kd.stats.result_pairs)});
+
+    const auto rt = gsj::rtree_self_join(ds, eps, opt.ego_threads);
+    t.add_row({std::string(name), eps, std::string("R-tree (CPU)"),
+               rt.stats.build_seconds + rt.stats.join_seconds,
+               static_cast<std::int64_t>(rt.stats.distance_calcs),
+               static_cast<std::int64_t>(rt.stats.result_pairs)});
+
+    const auto mo = gsj::morton_self_join(ds, eps, opt.ego_threads);
+    t.add_row({std::string(name), eps, std::string("Morton curve (CPU)"),
+               mo.stats.sort_seconds + mo.stats.join_seconds,
+               static_cast<std::int64_t>(mo.stats.distance_calcs),
+               static_cast<std::int64_t>(mo.stats.result_pairs)});
+
+    {
+      gsj::Timer timer;
+      const gsj::GridIndex grid(ds, eps);
+      const gsj::ResultSet rs =
+          gsj::cpu_grid_join_parallel(grid, opt.ego_threads, false);
+      t.add_row({std::string(name), eps, std::string("grid join (CPU)"),
+                 timer.seconds(), std::int64_t{-1},
+                 static_cast<std::int64_t>(rs.count())});
+    }
+
+    const auto ego = gsj::bench::run_superego(ds, eps, opt);
+    t.add_row({std::string(name), eps, std::string("SUPER-EGO (CPU)"),
+               ego.seconds, std::int64_t{-1},
+               static_cast<std::int64_t>(ego.pairs)});
+
+    const auto gpu =
+        gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::combined(eps), opt);
+    t.add_row({std::string(name), eps,
+               std::string("WQ+LID+k8 (GPU model)"), gpu.seconds,
+               std::int64_t{-1}, static_cast<std::int64_t>(gpu.pairs)});
+  }
+  gsj::bench::finish("baselines", t, opt);
+  std::cout << "All methods must agree on `pairs` — a cross-implementation "
+               "consistency check run at benchmark time.\n";
+  return 0;
+}

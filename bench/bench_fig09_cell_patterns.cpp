@@ -1,0 +1,33 @@
+// Figure 9: response time vs epsilon of the GPUCALCGLOBAL kernel and
+// the UNICOMP / LID-UNICOMP cell access patterns on the synthetic
+// datasets (Expo/Unif, 2-D and 6-D), k = 1.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  gsj::Cli cli(argc, argv);
+  const auto opt = gsj::bench::parse_common(cli);
+  gsj::bench::banner("fig09",
+                     "response time vs eps: GPUCALCGLOBAL vs UNICOMP vs "
+                     "LID-UNICOMP (synthetic, k=1)",
+                     opt);
+
+  gsj::Table t({"dataset", "eps", "GPUCALCGLOBAL(s)", "UNICOMP(s)",
+                "LID-UNICOMP(s)", "pairs"});
+  t.set_precision(5);
+  for (const char* name :
+       {"Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"}) {
+    const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    for (const double eps : gsj::bench::epsilon_series(name, ds.size())) {
+      const auto base =
+          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::gpu_calc_global(eps), opt);
+      const auto uni =
+          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::unicomp(eps), opt);
+      const auto lid =
+          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::lid_unicomp(eps), opt);
+      t.add_row({std::string(name), eps, base.seconds, uni.seconds,
+                 lid.seconds, static_cast<std::int64_t>(base.pairs)});
+    }
+  }
+  gsj::bench::finish("fig09", t, opt);
+  return 0;
+}

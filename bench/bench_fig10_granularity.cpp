@@ -1,0 +1,28 @@
+// Figure 10: response time vs epsilon of the GPUCALCGLOBAL kernel with
+// k = 1 versus k = 8 threads per query point on the synthetic datasets.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  gsj::Cli cli(argc, argv);
+  const auto opt = gsj::bench::parse_common(cli);
+  gsj::bench::banner(
+      "fig10", "response time vs eps: k=1 vs k=8 (GPUCALCGLOBAL)", opt);
+
+  gsj::Table t({"dataset", "eps", "k=1 (s)", "k=8 (s)", "pairs"});
+  t.set_precision(5);
+  for (const char* name :
+       {"Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"}) {
+    const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    for (const double eps : gsj::bench::epsilon_series(name, ds.size())) {
+      const auto k1 =
+          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::gpu_calc_global(eps), opt);
+      auto cfg8 = gsj::SelfJoinConfig::gpu_calc_global(eps);
+      cfg8.k = 8;
+      const auto k8 = gsj::bench::run_gpu(ds, cfg8, opt);
+      t.add_row({std::string(name), eps, k1.seconds, k8.seconds,
+                 static_cast<std::int64_t>(k1.pairs)});
+    }
+  }
+  gsj::bench::finish("fig10", t, opt);
+  return 0;
+}

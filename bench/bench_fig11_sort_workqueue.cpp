@@ -1,0 +1,31 @@
+// Figure 11: response time vs epsilon of GPUCALCGLOBAL versus the
+// SORTBYWL and WORKQUEUE optimizations on the synthetic datasets.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  gsj::Cli cli(argc, argv);
+  const auto opt = gsj::bench::parse_common(cli);
+  gsj::bench::banner(
+      "fig11",
+      "response time vs eps: GPUCALCGLOBAL vs SORTBYWL vs WORKQUEUE", opt);
+
+  gsj::Table t({"dataset", "eps", "GPUCALCGLOBAL(s)", "SORTBYWL(s)",
+                "WORKQUEUE(s)", "pairs"});
+  t.set_precision(5);
+  for (const char* name :
+       {"Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"}) {
+    const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    for (const double eps : gsj::bench::epsilon_series(name, ds.size())) {
+      const auto base =
+          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::gpu_calc_global(eps), opt);
+      const auto sorted =
+          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::sort_by_wl(eps), opt);
+      const auto wq =
+          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::work_queue_cfg(eps), opt);
+      t.add_row({std::string(name), eps, base.seconds, sorted.seconds,
+                 wq.seconds, static_cast<std::int64_t>(base.pairs)});
+    }
+  }
+  gsj::bench::finish("fig11", t, opt);
+  return 0;
+}

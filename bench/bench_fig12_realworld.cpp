@@ -1,0 +1,38 @@
+// Figure 12: response time vs epsilon on the real-world-like datasets:
+// WORKQUEUE, WORKQUEUE+LID-UNICOMP, WORKQUEUE+k8, and
+// WORKQUEUE+LID-UNICOMP+k8, against GPUCALCGLOBAL and SUPER-EGO.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  gsj::Cli cli(argc, argv);
+  const auto opt = gsj::bench::parse_common(cli);
+  gsj::bench::banner("fig12",
+                     "response time vs eps on real-world-like datasets: "
+                     "WORKQUEUE combinations vs GPUCALCGLOBAL vs SUPER-EGO",
+                     opt);
+
+  gsj::Table t({"dataset", "eps", "GPUCALC(s)", "SUPER-EGO(s)", "WQ(s)",
+                "WQ+LID(s)", "WQ+k8(s)", "WQ+LID+k8(s)", "pairs"});
+  t.set_precision(5);
+  for (const char* name : {"SW2DA", "SW2DB", "SW3DA", "SW3DB", "Gaia"}) {
+    const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    for (const double eps : gsj::bench::epsilon_series(name, ds.size())) {
+      const auto base =
+          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::gpu_calc_global(eps), opt);
+      const auto ego = gsj::bench::run_superego(ds, eps, opt);
+      const auto wq =
+          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::work_queue_cfg(eps), opt);
+      const auto wq_lid = gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::work_queue_cfg(eps, 1,
+                                                  gsj::CellPattern::LidUnicomp), opt);
+      const auto wq_k8 =
+          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::work_queue_cfg(eps, 8), opt);
+      const auto all =
+          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::combined(eps), opt);
+      t.add_row({std::string(name), eps, base.seconds, ego.seconds,
+                 wq.seconds, wq_lid.seconds, wq_k8.seconds, all.seconds,
+                 static_cast<std::int64_t>(base.pairs)});
+    }
+  }
+  gsj::bench::finish("fig12", t, opt);
+  return 0;
+}

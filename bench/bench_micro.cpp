@@ -1,0 +1,75 @@
+// google-benchmark micro benchmarks of the host-side substrates: grid
+// construction, non-empty-cell lookup, workload quantification,
+// EGO-sort, and the distance inner loop.
+#include <benchmark/benchmark.h>
+
+#include "data/generators.hpp"
+#include "grid/grid_index.hpp"
+#include "grid/workload.hpp"
+#include "sj/reference.hpp"
+#include "superego/super_ego.hpp"
+
+namespace {
+
+void BM_GridBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int dims = static_cast<int>(state.range(1));
+  const gsj::Dataset ds = gsj::gen_uniform(n, dims, 7);
+  for (auto _ : state) {
+    gsj::GridIndex g(ds, 2.0);
+    benchmark::DoNotOptimize(g.cells().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GridBuild)->Args({10000, 2})->Args({10000, 6})->Args({100000, 2});
+
+void BM_CellLookup(benchmark::State& state) {
+  const gsj::Dataset ds = gsj::gen_uniform(50000, 3, 8);
+  const gsj::GridIndex g(ds, 2.0);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto& cell = g.cells()[i % g.cells().size()];
+    benchmark::DoNotOptimize(g.find_cell(cell.linear_id));
+    ++i;
+  }
+}
+BENCHMARK(BM_CellLookup);
+
+void BM_WorkloadQuantification(benchmark::State& state) {
+  const gsj::Dataset ds = gsj::gen_exponential(50000, 2, 9);
+  const gsj::GridIndex g(ds, 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gsj::point_workloads(g, gsj::CellPattern::LidUnicomp));
+  }
+}
+BENCHMARK(BM_WorkloadQuantification);
+
+void BM_NeighborCounts(benchmark::State& state) {
+  const gsj::Dataset ds = gsj::gen_uniform(20000, 2, 10);
+  const gsj::GridIndex g(ds, 1.0);
+  std::vector<gsj::PointId> sample;
+  for (gsj::PointId p = 0; p < ds.size(); p += 100) sample.push_back(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gsj::neighbor_counts(g, sample));
+  }
+}
+BENCHMARK(BM_NeighborCounts);
+
+void BM_SuperEgo(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const gsj::Dataset ds = gsj::gen_uniform(n, 2, 11);
+  gsj::SuperEgoConfig cfg;
+  cfg.epsilon = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gsj::super_ego_join(ds, cfg).stats.result_pairs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SuperEgo)->Arg(10000)->Arg(50000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

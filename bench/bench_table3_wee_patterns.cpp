@@ -1,0 +1,30 @@
+// Table III: warp execution efficiency (%) and response time (s) of
+// GPUCALCGLOBAL, UNICOMP and LID-UNICOMP at the paper's profiled
+// epsilon per dataset.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  gsj::Cli cli(argc, argv);
+  const auto opt = gsj::bench::parse_common(cli);
+  gsj::bench::banner("table3",
+                     "WEE and response time: cell access patterns", opt);
+
+  gsj::Table t({"dataset", "eps", "GPUCALC WEE(%)", "GPUCALC t(s)",
+                "UNICOMP WEE(%)", "UNICOMP t(s)", "LID-UNI WEE(%)",
+                "LID-UNI t(s)"});
+  t.set_precision(4);
+  for (const char* name :
+       {"Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"}) {
+    const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    const double eps = gsj::bench::table_epsilon(name, ds.size());
+    const auto base =
+        gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::gpu_calc_global(eps), opt);
+    const auto uni = gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::unicomp(eps), opt);
+    const auto lid =
+        gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::lid_unicomp(eps), opt);
+    t.add_row({std::string(name), eps, base.wee, base.seconds, uni.wee,
+               uni.seconds, lid.wee, lid.seconds});
+  }
+  gsj::bench::finish("table3", t, opt);
+  return 0;
+}

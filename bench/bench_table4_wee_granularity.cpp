@@ -1,0 +1,27 @@
+// Table IV: warp execution efficiency (%) and response time (s) of the
+// GPUCALCGLOBAL kernel with k = 1 versus k = 8.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  gsj::Cli cli(argc, argv);
+  const auto opt = gsj::bench::parse_common(cli);
+  gsj::bench::banner("table4", "WEE and response time: k=1 vs k=8", opt);
+
+  gsj::Table t({"dataset", "eps", "k=1 WEE(%)", "k=1 t(s)", "k=8 WEE(%)",
+                "k=8 t(s)"});
+  t.set_precision(4);
+  for (const char* name :
+       {"Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"}) {
+    const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    const double eps = gsj::bench::table_epsilon(name, ds.size());
+    const auto k1 =
+        gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::gpu_calc_global(eps), opt);
+    auto cfg8 = gsj::SelfJoinConfig::gpu_calc_global(eps);
+    cfg8.k = 8;
+    const auto k8 = gsj::bench::run_gpu(ds, cfg8, opt);
+    t.add_row({std::string(name), eps, k1.wee, k1.seconds, k8.wee,
+               k8.seconds});
+  }
+  gsj::bench::finish("table4", t, opt);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Table V: warp execution efficiency (%) and response time (s) of
+// GPUCALCGLOBAL versus WORKQUEUE with k = 8.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  gsj::Cli cli(argc, argv);
+  const auto opt = gsj::bench::parse_common(cli);
+  gsj::bench::banner(
+      "table5", "WEE and response time: GPUCALCGLOBAL vs WORKQUEUE k=8", opt);
+
+  gsj::Table t({"dataset", "eps", "GPUCALC WEE(%)", "GPUCALC t(s)",
+                "WQ k=8 WEE(%)", "WQ k=8 t(s)"});
+  t.set_precision(4);
+  for (const char* name :
+       {"Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"}) {
+    const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    const double eps = gsj::bench::table_epsilon(name, ds.size());
+    const auto base =
+        gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::gpu_calc_global(eps), opt);
+    const auto wq =
+        gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::work_queue_cfg(eps, 8), opt);
+    t.add_row({std::string(name), eps, base.wee, base.seconds, wq.wee,
+               wq.seconds});
+  }
+  gsj::bench::finish("table5", t, opt);
+  return 0;
+}

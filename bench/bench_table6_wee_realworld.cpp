@@ -1,0 +1,34 @@
+// Table VI: warp execution efficiency (%) and response time (s) on the
+// real-world-like datasets at the paper's profiled epsilons, for
+// GPUCALCGLOBAL, WORKQUEUE, WQ+LID-UNICOMP, WQ+k8 and WQ+LID+k8.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  gsj::Cli cli(argc, argv);
+  const auto opt = gsj::bench::parse_common(cli);
+  gsj::bench::banner("table6",
+                     "WEE and response time on real-world-like datasets", opt);
+
+  gsj::Table t({"dataset", "eps", "variant", "WEE(%)", "t(s)", "batches"});
+  t.set_precision(4);
+  for (const char* name : {"SW2DA", "SW2DB", "SW3DA", "SW3DB", "Gaia"}) {
+    const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    const double eps = gsj::bench::table_epsilon(name, ds.size());
+    const std::pair<const char*, gsj::SelfJoinConfig> variants[] = {
+        {"GPUCALCGLOBAL", gsj::SelfJoinConfig::gpu_calc_global(eps)},
+        {"WORKQUEUE", gsj::SelfJoinConfig::work_queue_cfg(eps)},
+        {"WQ+LID-UNICOMP",
+         gsj::SelfJoinConfig::work_queue_cfg(eps, 1,
+                                             gsj::CellPattern::LidUnicomp)},
+        {"WQ+k8", gsj::SelfJoinConfig::work_queue_cfg(eps, 8)},
+        {"WQ+LID+k8", gsj::SelfJoinConfig::combined(eps)},
+    };
+    for (const auto& [label, cfg] : variants) {
+      const auto r = gsj::bench::run_gpu(ds, cfg, opt);
+      t.add_row({std::string(name), eps, std::string(label), r.wee,
+                 r.seconds, static_cast<std::int64_t>(r.batches)});
+    }
+  }
+  gsj::bench::finish("table6", t, opt);
+  return 0;
+}

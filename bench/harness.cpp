@@ -1,0 +1,161 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/check.hpp"
+#include "data/generators.hpp"
+
+namespace gsj::bench {
+
+BenchOptions parse_common(Cli& cli) {
+  BenchOptions opt;
+  opt.scale = cli.get_double("scale", 0.25,
+                             "dataset size multiplier (1.0 = repo default, "
+                             "paper sizes are ~20x repo default)");
+  opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1, "RNG seed"));
+  opt.csv_dir = cli.get("csv-dir", "", "also write CSV files here");
+  opt.ego_threads = static_cast<std::size_t>(
+      cli.get_int("ego-threads", 0, "SUPER-EGO threads (0 = hardware)"));
+  opt.sms = static_cast<int>(
+      cli.get_int("sms", 8, "modeled SM count (paper GP100: 56)"));
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    std::exit(0);
+  }
+  return opt;
+}
+
+namespace {
+
+/// Coordinate shrink factor preserving the paper's per-cell occupancy:
+/// occupancy ~ n * eps^dims / domain^dims stays fixed when the domain
+/// scales by (n / paper_n)^(1/dims).
+double density_shrink(const DatasetSpec& spec, std::size_t n) {
+  return std::pow(static_cast<double>(n) / static_cast<double>(spec.paper_n),
+                  1.0 / spec.dims);
+}
+
+/// Real-world sets keep their lat/lon domain, so the paper's epsilons
+/// grow by the inverse factor instead.
+double epsilon_compensation(const std::string& dataset, std::size_t n) {
+  if (dataset.rfind("SW", 0) != 0 && dataset != "Gaia") return 1.0;
+  const DatasetSpec* spec = find_spec(dataset);
+  GSJ_CHECK(spec != nullptr);
+  return 1.0 / density_shrink(*spec, n);
+}
+
+/// The paper's figure axes, uncompensated.
+std::vector<double> paper_epsilon_series(const std::string& dataset) {
+  if (dataset == "Expo2D2M") return {0.04, 0.08, 0.12, 0.16, 0.20};
+  if (dataset == "Expo3D2M") return {0.1, 0.2, 0.3, 0.4};
+  if (dataset == "Expo4D2M") return {0.2, 0.4, 0.6, 0.8};
+  if (dataset == "Expo5D2M") return {0.3, 0.6, 0.9, 1.1};
+  if (dataset == "Expo6D2M") return {0.3, 0.6, 0.9, 1.2};
+  if (dataset == "Unif2D2M") return {0.2, 0.4, 0.6, 0.8, 1.0};
+  if (dataset == "Unif3D2M") return {0.5, 1.0, 1.5, 2.0};
+  if (dataset == "Unif4D2M") return {1.0, 2.0, 3.0, 4.0};
+  if (dataset == "Unif5D2M") return {1.5, 3.0, 4.5, 6.0};
+  if (dataset == "Unif6D2M") return {2.0, 4.0, 6.0, 8.0};
+  if (dataset == "SW2DA") return {0.3, 0.6, 0.9, 1.2};
+  if (dataset == "SW2DB") return {0.1, 0.2, 0.3, 0.4};
+  if (dataset == "SW3DA") return {0.6, 1.2, 1.8, 2.4};
+  if (dataset == "SW3DB") return {0.2, 0.4, 0.6, 0.8};
+  if (dataset == "Gaia") return {0.01, 0.02, 0.03, 0.04};
+  GSJ_CHECK_MSG(false, "no epsilon series for " << dataset);
+  return {};
+}
+
+/// Tables III-V profile Expo2D/Expo6D/Unif2D/Unif6D at 0.2/1.2/1.0/8.0;
+/// Table VI: SW2DA 1.2, SW2DB 0.4, SW3DA 2.4, SW3DB 0.8, Gaia 0.04.
+double paper_table_epsilon(const std::string& dataset) {
+  if (dataset == "Expo2D2M") return 0.2;
+  if (dataset == "Expo6D2M") return 1.2;
+  if (dataset == "Unif2D2M") return 1.0;
+  if (dataset == "Unif6D2M") return 8.0;
+  if (dataset == "SW2DA") return 1.2;
+  if (dataset == "SW2DB") return 0.4;
+  if (dataset == "SW3DA") return 2.4;
+  if (dataset == "SW3DB") return 0.8;
+  if (dataset == "Gaia") return 0.04;
+  return paper_epsilon_series(dataset).back();
+}
+
+}  // namespace
+
+Dataset load_dataset(const std::string& name, const BenchOptions& opt) {
+  const DatasetSpec* spec = find_spec(name);
+  GSJ_CHECK_MSG(spec != nullptr, "unknown dataset " << name);
+  const auto n = static_cast<std::size_t>(
+      std::max(1.0, static_cast<double>(spec->default_n) * opt.scale));
+  const double shrink = density_shrink(*spec, n);
+  if (name.rfind("Expo", 0) == 0) {
+    // Exp(rate 0.4) at paper size — the paper's lambda=40 over a
+    // 100-unit domain — with the rate raised by the shrink factor so
+    // the paper's epsilon axes see the paper's occupancies.
+    return gen_exponential(n, spec->dims, opt.seed, /*lambda=*/0.4 / shrink);
+  }
+  if (name.rfind("Unif", 0) == 0) {
+    return gen_uniform(n, spec->dims, opt.seed, 0.0, 100.0 * shrink);
+  }
+  return make_dataset(name, n, opt.seed);
+}
+
+std::vector<double> epsilon_series(const std::string& dataset,
+                                   std::size_t n) {
+  std::vector<double> series = paper_epsilon_series(dataset);
+  const double comp = epsilon_compensation(dataset, n);
+  for (double& e : series) e *= comp;
+  return series;
+}
+
+double table_epsilon(const std::string& dataset, std::size_t n) {
+  return paper_table_epsilon(dataset) * epsilon_compensation(dataset, n);
+}
+
+RunResult run_gpu(const Dataset& ds, SelfJoinConfig cfg,
+                  const BenchOptions& opt) {
+  cfg.store_pairs = false;
+  cfg.device.num_sms = opt.sms;
+  const SelfJoinOutput out = self_join(ds, cfg);
+  RunResult r;
+  r.seconds = out.stats.total_seconds;
+  r.wee = out.stats.wee_percent();
+  r.pairs = out.stats.result_pairs;
+  r.batches = out.stats.num_batches;
+  return r;
+}
+
+RunResult run_superego(const Dataset& ds, double eps,
+                       const BenchOptions& opt) {
+  SuperEgoConfig cfg;
+  cfg.epsilon = eps;
+  cfg.nthreads = opt.ego_threads;
+  const SuperEgoOutput out = super_ego_join(ds, cfg);
+  RunResult r;
+  r.seconds = out.stats.sort_seconds + out.stats.seconds;
+  r.pairs = out.stats.result_pairs;
+  r.batches = 1;
+  return r;
+}
+
+void banner(const std::string& id, const std::string& what,
+            const BenchOptions& opt) {
+  std::cout << "== " << id << " — " << what << "\n"
+            << "   (scale " << opt.scale << ", seed " << opt.seed
+            << "; modeled GPU = SIMT simulator, see DESIGN.md)\n\n";
+}
+
+void finish(const std::string& id, Table& t, const BenchOptions& opt) {
+  t.print(std::cout);
+  std::cout << '\n';
+  if (!opt.csv_dir.empty()) {
+    const std::string path = opt.csv_dir + "/" + id + ".csv";
+    t.write_csv(path);
+    std::cout << "csv: " << path << "\n\n";
+  }
+}
+
+}  // namespace gsj::bench

@@ -1,0 +1,193 @@
+#include "baselines/morton.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace gsj {
+
+std::uint64_t morton_encode(std::span<const std::uint32_t> cells, int bits) {
+  const int dims = static_cast<int>(cells.size());
+  GSJ_CHECK(dims >= 1 && bits >= 1 && dims * bits <= 64);
+  std::uint64_t code = 0;
+  for (int b = 0; b < bits; ++b) {
+    for (int d = 0; d < dims; ++d) {
+      const std::uint64_t bit = (cells[static_cast<std::size_t>(d)] >> b) & 1u;
+      code |= bit << (b * dims + d);
+    }
+  }
+  return code;
+}
+
+std::vector<std::uint32_t> morton_decode(std::uint64_t code, int dims,
+                                         int bits) {
+  GSJ_CHECK(dims >= 1 && bits >= 1 && dims * bits <= 64);
+  std::vector<std::uint32_t> cells(static_cast<std::size_t>(dims), 0);
+  for (int b = 0; b < bits; ++b) {
+    for (int d = 0; d < dims; ++d) {
+      const std::uint64_t bit = (code >> (b * dims + d)) & 1u;
+      cells[static_cast<std::size_t>(d)] |=
+          static_cast<std::uint32_t>(bit << b);
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+struct CellEntry {
+  std::uint64_t code;
+  std::uint32_t begin;
+  std::uint32_t end;
+};
+
+}  // namespace
+
+MortonJoinOutput morton_self_join(const Dataset& ds, double epsilon,
+                                  std::size_t nthreads, bool store_pairs) {
+  GSJ_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
+  GSJ_CHECK_MSG(!ds.empty(), "empty dataset");
+
+  MortonJoinOutput out;
+  out.results = ResultSet(store_pairs);
+  const int dims = ds.dims();
+  const std::size_t n = ds.size();
+
+  Timer sort_timer;
+  // Epsilon cells per dimension; bits sized to the largest coordinate.
+  const auto lo = ds.min_corner();
+  const auto hi = ds.max_corner();
+  std::uint32_t max_cell = 0;
+  std::vector<std::vector<std::uint32_t>> cell_of(
+      static_cast<std::size_t>(dims), std::vector<std::uint32_t>(n));
+  for (int d = 0; d < dims; ++d) {
+    const double base = lo[static_cast<std::size_t>(d)];
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::uint32_t>(
+          std::floor((ds.coord(i, d) - base) / epsilon));
+      cell_of[static_cast<std::size_t>(d)][i] = c;
+      max_cell = std::max(max_cell, c);
+    }
+    (void)hi;
+  }
+  int bits = 1;
+  while ((std::uint64_t{1} << bits) <= static_cast<std::uint64_t>(max_cell) + 1) {
+    ++bits;
+  }
+  GSJ_CHECK_MSG(dims * bits <= 64,
+                "epsilon too small for the Morton code width");
+
+  // Morton code per point, then sort points along the curve.
+  std::vector<std::uint64_t> codes(n);
+  std::vector<std::uint32_t> tmp(static_cast<std::size_t>(dims));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < dims; ++d) {
+      tmp[static_cast<std::size_t>(d)] = cell_of[static_cast<std::size_t>(d)][i];
+    }
+    codes[i] = morton_encode(tmp, bits);
+  }
+  std::vector<PointId> order(n);
+  std::iota(order.begin(), order.end(), PointId{0});
+  std::sort(order.begin(), order.end(), [&codes](PointId a, PointId b) {
+    return codes[a] != codes[b] ? codes[a] < codes[b] : a < b;
+  });
+
+  // Non-empty cell directory, sorted by code (binary searchable).
+  std::vector<CellEntry> cells;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::uint64_t code = codes[order[pos]];
+    if (cells.empty() || cells.back().code != code) {
+      cells.push_back({code, static_cast<std::uint32_t>(pos),
+                       static_cast<std::uint32_t>(pos)});
+    }
+    cells.back().end = static_cast<std::uint32_t>(pos + 1);
+  }
+  out.stats.nonempty_cells = cells.size();
+  out.stats.sort_seconds = sort_timer.seconds();
+
+  Timer join_timer;
+  const double eps2 = epsilon * epsilon;
+  ThreadPool pool(nthreads);
+  struct Local {
+    std::vector<ResultPair> pairs;
+    std::uint64_t count = 0;
+    std::uint64_t dist_calcs = 0;
+  };
+  const std::size_t nchunks = std::max<std::size_t>(1, pool.size() * 8);
+  std::vector<Local> locals(nchunks);
+  const std::size_t chunk = (cells.size() + nchunks - 1) / nchunks;
+
+  pool.parallel_for(nchunks, [&](std::size_t t) {
+    Local& loc = locals[t];
+    std::vector<std::uint32_t> oc(static_cast<std::size_t>(dims));
+    std::vector<std::uint32_t> nc(static_cast<std::size_t>(dims));
+    std::vector<std::int32_t> off(static_cast<std::size_t>(dims), -1);
+    const std::size_t begin_cell = t * chunk;
+    const std::size_t end_cell = std::min(begin_cell + chunk, cells.size());
+    for (std::size_t ci = begin_cell; ci < end_cell; ++ci) {
+      const auto ocv = morton_decode(cells[ci].code, dims, bits);
+      std::copy(ocv.begin(), ocv.end(), oc.begin());
+      // Odometer over the 3^dims adjacent cells.
+      std::fill(off.begin(), off.end(), -1);
+      for (;;) {
+        bool inb = true;
+        for (int d = 0; d < dims; ++d) {
+          const std::int64_t v = static_cast<std::int64_t>(oc[static_cast<std::size_t>(d)]) +
+                                 off[static_cast<std::size_t>(d)];
+          if (v < 0 || v > max_cell) {
+            inb = false;
+            break;
+          }
+          nc[static_cast<std::size_t>(d)] = static_cast<std::uint32_t>(v);
+        }
+        if (inb) {
+          const std::uint64_t ncode = morton_encode(nc, bits);
+          const auto it = std::lower_bound(
+              cells.begin(), cells.end(), ncode,
+              [](const CellEntry& e, std::uint64_t c) { return e.code < c; });
+          if (it != cells.end() && it->code == ncode) {
+            for (std::uint32_t i = cells[ci].begin; i < cells[ci].end; ++i) {
+              const PointId q = order[i];
+              for (std::uint32_t j = it->begin; j < it->end; ++j) {
+                const PointId c = order[j];
+                ++loc.dist_calcs;
+                if (ds.dist2(q, c) <= eps2) {
+                  ++loc.count;
+                  if (store_pairs) loc.pairs.emplace_back(q, c);
+                }
+              }
+            }
+          }
+        }
+        int d = dims - 1;
+        while (d >= 0) {
+          auto& o = off[static_cast<std::size_t>(d)];
+          if (++o <= 1) break;
+          o = -1;
+          --d;
+        }
+        if (d < 0) break;
+      }
+    }
+  });
+
+  for (auto& loc : locals) {
+    out.stats.distance_calcs += loc.dist_calcs;
+    if (store_pairs) {
+      for (const auto& p : loc.pairs) out.results.emit(p.first, p.second);
+    } else {
+      out.results.add_count(loc.count);
+    }
+  }
+  out.stats.join_seconds = join_timer.seconds();
+  out.stats.result_pairs = out.results.count();
+  if (store_pairs) out.results.canonicalize();
+  return out;
+}
+
+}  // namespace gsj

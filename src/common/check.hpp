@@ -1,0 +1,50 @@
+// Lightweight invariant checking.
+//
+// GSJ_CHECK is always on (used for argument validation in the public API);
+// GSJ_DCHECK compiles out in release builds and guards internal invariants
+// on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gsj {
+
+/// Thrown when a GSJ_CHECK-validated precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace gsj
+
+#define GSJ_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::gsj::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GSJ_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream gsj_os_;                                    \
+      gsj_os_ << msg;                                                \
+      ::gsj::detail::check_failed(#expr, __FILE__, __LINE__, gsj_os_.str()); \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define GSJ_DCHECK(expr) ((void)0)
+#else
+#define GSJ_DCHECK(expr) GSJ_CHECK(expr)
+#endif

@@ -1,0 +1,79 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gsj {
+
+Cli::Cli(int argc, const char* const* argv) {
+  prog_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::string body = arg.substr(2);
+      auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        values_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[body] = argv[++i];
+      } else {
+        values_[body] = "true";  // bare flag == boolean true
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+void Cli::note(const std::string& name, const std::string& def,
+               const std::string& help) {
+  for (const auto& [n, _] : registered_) {
+    if (n == name) return;
+  }
+  registered_.emplace_back(name, std::make_pair(def, help));
+}
+
+std::string Cli::get(const std::string& name, const std::string& def,
+                     const std::string& help) {
+  note(name, def, help);
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def,
+                          const std::string& help) {
+  const std::string v = get(name, std::to_string(def), help);
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def,
+                       const std::string& help) {
+  std::ostringstream d;
+  d << def;
+  const std::string v = get(name, d.str(), help);
+  return std::strtod(v.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def, const std::string& help) {
+  const std::string v = get(name, def ? "true" : "false", help);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string Cli::help_text() const {
+  std::ostringstream os;
+  os << "usage: " << prog_ << " [--flag value]...\n\nflags:\n";
+  for (const auto& [name, dh] : registered_) {
+    os << "  --" << name << " (default: " << dh.first << ")";
+    if (!dh.second.empty()) os << "  " << dh.second;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gsj

@@ -1,0 +1,52 @@
+// Minimal command-line flag parser for the benchmark and example
+// binaries: `--name value` and `--name=value` forms, typed getters with
+// defaults, and an auto-generated --help.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gsj {
+
+class Cli {
+ public:
+  /// Parses argv. Unknown flags are collected and reported by `unknown()`;
+  /// flags registered after parsing still resolve (registration only
+  /// feeds --help and default values).
+  Cli(int argc, const char* const* argv);
+
+  /// Registers a flag for --help output and returns its value (or
+  /// `def` when absent). Safe to call multiple times.
+  [[nodiscard]] std::string get(const std::string& name, const std::string& def,
+                                const std::string& help = "");
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def,
+                                     const std::string& help = "");
+  [[nodiscard]] double get_double(const std::string& name, double def,
+                                  const std::string& help = "");
+  [[nodiscard]] bool get_bool(const std::string& name, bool def,
+                              const std::string& help = "");
+
+  /// True when --help/-h was passed; callers should print `help_text()`
+  /// and exit 0.
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+  [[nodiscard]] std::string help_text() const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  void note(const std::string& name, const std::string& def,
+            const std::string& help);
+
+  std::string prog_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  // name -> (default, help), in registration order for --help.
+  std::vector<std::pair<std::string, std::pair<std::string, std::string>>> registered_;
+  bool help_ = false;
+};
+
+}  // namespace gsj

@@ -1,0 +1,109 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gsj {
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  GSJ_CHECK(q >= 0.0 && q <= 100.0);
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+
+  double sum = 0.0;
+  for (double x : sorted) sum += x;
+  s.sum = sum;
+  s.mean = sum / static_cast<double>(s.count);
+
+  double var = 0.0;
+  for (double x : sorted) {
+    const double d = x - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+
+  s.p25 = percentile_sorted(sorted, 25.0);
+  s.median = percentile_sorted(sorted, 50.0);
+  s.p75 = percentile_sorted(sorted, 75.0);
+  s.p99 = percentile_sorted(sorted, 99.0);
+  return s;
+}
+
+Summary summarize(std::span<const std::uint64_t> xs) {
+  std::vector<double> d(xs.size());
+  std::transform(xs.begin(), xs.end(), d.begin(),
+                 [](std::uint64_t v) { return static_cast<double>(v); });
+  return summarize(std::span<const double>(d));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t nbuckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(nbuckets)),
+      counts_(nbuckets, 0) {
+  GSJ_CHECK(hi > lo);
+  GSJ_CHECK(nbuckets > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto b = static_cast<std::size_t>((x - lo_) / width_);
+    if (b >= counts_.size()) b = counts_.size() - 1;  // FP edge at hi_
+    ++counts_[b];
+  }
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  GSJ_CHECK(bucket < counts_.size());
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    os << "[" << bucket_lo(b) << ", " << bucket_lo(b) + width_ << ") "
+       << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+double imbalance_factor(std::span<const std::uint64_t> work) {
+  if (work.empty()) return 0.0;
+  std::uint64_t mx = 0, sum = 0;
+  for (auto w : work) {
+    mx = std::max(mx, w);
+    sum += w;
+  }
+  if (sum == 0) return 0.0;
+  const double mean = static_cast<double>(sum) / static_cast<double>(work.size());
+  return static_cast<double>(mx) / mean;
+}
+
+}  // namespace gsj

@@ -1,0 +1,100 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gsj {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  GSJ_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  GSJ_CHECK_MSG(row.size() == headers_.size(),
+                "row width " << row.size() << " != header width "
+                             << headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::format(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(format(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    cells.push_back(std::move(r));
+  }
+  auto line = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& r) {
+    os << '|';
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << r[c]
+         << " |";
+    }
+    os << '\n';
+  };
+  line();
+  emit(headers_);
+  line();
+  for (const auto& r : cells) emit(r);
+  line();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(format(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  GSJ_CHECK_MSG(f.good(), "cannot open " << path);
+  print_csv(f);
+}
+
+}  // namespace gsj

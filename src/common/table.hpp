@@ -1,0 +1,45 @@
+// Console table / CSV emitters used by the benchmark harness to print
+// paper-style rows (Tables III–VI) and figure series (Figures 9–13).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gsj {
+
+/// A cell is a string, an integer, or a double (formatted with
+/// per-column precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// Accumulates rows and renders either an aligned ASCII table or CSV.
+/// Intended usage: one Table per paper table / figure series.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Number of cells must equal the header count.
+  void add_row(std::vector<Cell> row);
+
+  /// Digits after the decimal point for double cells (default 4).
+  void set_precision(int digits) noexcept { precision_ = digits; }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& os) const;      ///< aligned ASCII
+  void print_csv(std::ostream& os) const;  ///< RFC-4180-ish CSV
+
+  /// Writes CSV to `path`, creating parent-less files only.
+  void write_csv(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::string format(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace gsj

@@ -1,0 +1,65 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace gsj {
+
+ThreadPool::ThreadPool(std::size_t nthreads) {
+  if (nthreads == 0) {
+    nthreads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(nthreads);
+  for (std::size_t i = 0; i < nthreads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunks(n, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  // Over-decompose 4x for dynamic balance; each chunk at least 1 element.
+  const std::size_t nchunks = std::min(n, size() * 4);
+  const std::size_t chunk = (n + nchunks - 1) / nchunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(nchunks);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, n);
+    futs.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  for (auto& f : futs) f.get();  // propagate exceptions
+}
+
+}  // namespace gsj

@@ -1,0 +1,67 @@
+// Fixed-size work-stealing-free thread pool with a blocking task queue.
+//
+// Used by the SUPER-EGO CPU baseline and by host-side preprocessing
+// (grid build, workload quantification). Follows the CppCoreGuidelines
+// concurrency rules: RAII lifetime (join on destruction), no detached
+// threads, exceptions propagated to the waiter via futures.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace gsj {
+
+class ThreadPool {
+ public:
+  /// Spawns `nthreads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t nthreads = 0);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lk(mu_);
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs `fn(i)` for i in [0, n), chunked across the pool, and blocks
+  /// until all chunks finish. `fn` must be safe to call concurrently.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Runs `fn(begin, end)` over contiguous chunks of [0, n). Lower
+  /// dispatch overhead than the per-index overload.
+  void parallel_for_chunks(
+      std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gsj

@@ -1,0 +1,82 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gsj {
+
+Dataset::Dataset(int dims) : dims_(dims), coords_(static_cast<std::size_t>(dims)) {
+  GSJ_CHECK_MSG(dims >= 1 && dims <= 16, "dims=" << dims);
+}
+
+Dataset::Dataset(int dims, std::size_t n) : Dataset(dims) {
+  n_ = n;
+  for (auto& c : coords_) c.assign(n, 0.0);
+}
+
+void Dataset::push_back(std::span<const double> p) {
+  GSJ_CHECK(static_cast<int>(p.size()) == dims_);
+  for (int d = 0; d < dims_; ++d) {
+    coords_[static_cast<std::size_t>(d)].push_back(p[static_cast<std::size_t>(d)]);
+  }
+  ++n_;
+}
+
+void Dataset::reserve(std::size_t n) {
+  for (auto& c : coords_) c.reserve(n);
+}
+
+std::vector<double> Dataset::min_corner() const {
+  GSJ_CHECK(!empty());
+  std::vector<double> out(static_cast<std::size_t>(dims_));
+  for (int d = 0; d < dims_; ++d) {
+    out[static_cast<std::size_t>(d)] =
+        *std::min_element(coords_[static_cast<std::size_t>(d)].begin(),
+                          coords_[static_cast<std::size_t>(d)].end());
+  }
+  return out;
+}
+
+std::vector<double> Dataset::max_corner() const {
+  GSJ_CHECK(!empty());
+  std::vector<double> out(static_cast<std::size_t>(dims_));
+  for (int d = 0; d < dims_; ++d) {
+    out[static_cast<std::size_t>(d)] =
+        *std::max_element(coords_[static_cast<std::size_t>(d)].begin(),
+                          coords_[static_cast<std::size_t>(d)].end());
+  }
+  return out;
+}
+
+Dataset Dataset::permuted(std::span<const PointId> perm) const {
+  GSJ_CHECK(perm.size() == n_);
+  Dataset out(dims_, n_);
+  for (int d = 0; d < dims_; ++d) {
+    const auto& src = coords_[static_cast<std::size_t>(d)];
+    auto& dst = out.coords_[static_cast<std::size_t>(d)];
+    for (std::size_t i = 0; i < n_; ++i) dst[i] = src[perm[i]];
+  }
+  return out;
+}
+
+std::string Dataset::describe() const {
+  std::ostringstream os;
+  os << "Dataset{n=" << n_ << ", dims=" << dims_;
+  if (!empty()) {
+    const auto lo = min_corner();
+    const auto hi = max_corner();
+    os << ", bbox=[";
+    for (int d = 0; d < dims_; ++d) {
+      if (d) os << " x ";
+      os << '[' << lo[static_cast<std::size_t>(d)] << ','
+         << hi[static_cast<std::size_t>(d)] << ']';
+    }
+    os << ']';
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace gsj

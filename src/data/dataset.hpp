@@ -1,0 +1,80 @@
+// n-dimensional point dataset in structure-of-arrays layout.
+//
+// Coordinates are stored as one contiguous array per dimension so the
+// join kernels stream a single dimension at a time (the layout the GPU
+// implementation in Gowanlock & Karsin [18] uses for coalesced access).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gsj {
+
+/// Index of a point within a Dataset.
+using PointId = std::uint32_t;
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates an empty dataset of `dims` dimensions (1..16 supported).
+  explicit Dataset(int dims);
+
+  /// Creates a dataset of `n` zero points in `dims` dimensions.
+  Dataset(int dims, std::size_t n);
+
+  [[nodiscard]] int dims() const noexcept { return dims_; }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  /// Coordinate of point `i` in dimension `d` (0-based).
+  [[nodiscard]] double coord(std::size_t i, int d) const noexcept {
+    return coords_[static_cast<std::size_t>(d)][i];
+  }
+  double& coord(std::size_t i, int d) noexcept {
+    return coords_[static_cast<std::size_t>(d)][i];
+  }
+
+  /// Whole coordinate column for dimension `d`.
+  [[nodiscard]] std::span<const double> dim(int d) const noexcept {
+    return coords_[static_cast<std::size_t>(d)];
+  }
+
+  /// Appends one point; `p.size()` must equal dims().
+  void push_back(std::span<const double> p);
+
+  /// Reserves capacity for `n` points.
+  void reserve(std::size_t n);
+
+  /// Squared Euclidean distance between points `a` and `b`.
+  [[nodiscard]] double dist2(std::size_t a, std::size_t b) const noexcept {
+    double s = 0.0;
+    for (int d = 0; d < dims_; ++d) {
+      const double diff = coord(a, d) - coord(b, d);
+      s += diff * diff;
+    }
+    return s;
+  }
+
+  /// Per-dimension minimum/maximum over all points. Dataset must be
+  /// non-empty.
+  [[nodiscard]] std::vector<double> min_corner() const;
+  [[nodiscard]] std::vector<double> max_corner() const;
+
+  /// Returns a dataset containing this dataset's points in the order
+  /// given by `perm` (a permutation of [0, size())).
+  [[nodiscard]] Dataset permuted(std::span<const PointId> perm) const;
+
+  /// Human-readable one-line description (size / dims / bounding box).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  int dims_ = 0;
+  std::size_t n_ = 0;
+  std::vector<std::vector<double>> coords_;  // [dim][point]
+};
+
+}  // namespace gsj

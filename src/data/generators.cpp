@@ -1,0 +1,189 @@
+#include "data/generators.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace gsj {
+
+Dataset gen_uniform(std::size_t n, int dims, std::uint64_t seed, double lo,
+                    double hi) {
+  GSJ_CHECK(hi > lo);
+  Xoshiro256 rng(seed);
+  Dataset ds(dims, n);
+  for (int d = 0; d < dims; ++d) {
+    for (std::size_t i = 0; i < n; ++i) ds.coord(i, d) = rng.uniform(lo, hi);
+  }
+  return ds;
+}
+
+Dataset gen_exponential(std::size_t n, int dims, std::uint64_t seed,
+                        double lambda, double clip) {
+  GSJ_CHECK(lambda > 0.0 && clip > 0.0);
+  Xoshiro256 rng(seed);
+  Dataset ds(dims, n);
+  for (int d = 0; d < dims; ++d) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // Inverse-CDF sampling with rejection of the (vanishing) tail
+      // beyond `clip`, so the domain stays bounded like the paper's.
+      double x;
+      do {
+        x = -std::log1p(-rng.uniform()) / lambda;
+      } while (x >= clip);
+      ds.coord(i, d) = x;
+    }
+  }
+  return ds;
+}
+
+namespace {
+
+/// Standard normal via Box-Muller (we only need one of the pair).
+double gaussian(Xoshiro256& rng) {
+  const double u1 = 1.0 - rng.uniform();  // (0, 1]
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace
+
+Dataset gen_sw_like(std::size_t n, bool with_tec, std::uint64_t seed) {
+  // Hotspot mixture over a lat/lon box. Parameters chosen so that the
+  // neighbor-count distribution is heavy-tailed (dense urban-like
+  // clusters over sparse background), the property that drives the SW
+  // results in the paper.
+  constexpr double kLonLo = -180.0, kLonHi = 180.0;
+  constexpr double kLatLo = -90.0, kLatHi = 90.0;
+  constexpr int kClusters = 192;
+  constexpr double kBackgroundFrac = 0.25;
+
+  Xoshiro256 rng(seed);
+  struct Cluster {
+    double lon, lat, sigma;
+    double weight;
+  };
+  std::vector<Cluster> clusters(kClusters);
+  double wsum = 0.0;
+  for (auto& c : clusters) {
+    c.lon = rng.uniform(kLonLo, kLonHi);
+    c.lat = rng.uniform(kLatLo, kLatHi);
+    c.sigma = std::exp(rng.uniform(std::log(0.2), std::log(4.0)));
+    // Pareto-ish weights: a few clusters dominate.
+    c.weight = std::pow(rng.uniform(), -0.7);
+    wsum += c.weight;
+  }
+  // Cumulative weights for sampling.
+  std::vector<double> cdf(kClusters);
+  double acc = 0.0;
+  for (int i = 0; i < kClusters; ++i) {
+    acc += clusters[static_cast<std::size_t>(i)].weight / wsum;
+    cdf[static_cast<std::size_t>(i)] = acc;
+  }
+
+  const int dims = with_tec ? 3 : 2;
+  Dataset ds(dims, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double lon, lat;
+    if (rng.uniform() < kBackgroundFrac) {
+      lon = rng.uniform(kLonLo, kLonHi);
+      lat = rng.uniform(kLatLo, kLatHi);
+    } else {
+      const double u = rng.uniform();
+      std::size_t c = 0;
+      while (c + 1 < cdf.size() && cdf[c] < u) ++c;
+      const auto& cl = clusters[c];
+      lon = clamp(cl.lon + gaussian(rng) * cl.sigma, kLonLo, kLonHi);
+      lat = clamp(cl.lat + gaussian(rng) * cl.sigma, kLatLo, kLatHi);
+    }
+    ds.coord(i, 0) = lon;
+    ds.coord(i, 1) = lat;
+    if (with_tec) {
+      // Total electron content peaks near the (geomagnetic) equator;
+      // model as latitude-dependent mean plus noise, scaled to ~[0,100].
+      const double tec = 60.0 * std::exp(-(lat * lat) / (2.0 * 30.0 * 30.0)) +
+                         10.0 + 8.0 * gaussian(rng);
+      ds.coord(i, 2) = clamp(tec, 0.0, 100.0);
+    }
+  }
+  return ds;
+}
+
+Dataset gen_gaia_like(std::size_t n, std::uint64_t seed) {
+  // Galactic coordinates: l uniform, b Laplace(scale 15 deg) truncated
+  // to [-90, 90] — reproduces the dominant plane over-density of Gaia.
+  constexpr double kScale = 15.0;
+  Xoshiro256 rng(seed);
+  Dataset ds(2, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.coord(i, 0) = rng.uniform(0.0, 360.0);
+    double b;
+    do {
+      const double u = rng.uniform() - 0.5;
+      b = -kScale * std::copysign(std::log1p(-2.0 * std::abs(u)), u);
+    } while (b < -90.0 || b > 90.0);
+    ds.coord(i, 1) = b;
+  }
+  return ds;
+}
+
+const std::vector<DatasetSpec>& dataset_specs() {
+  static const std::vector<DatasetSpec> kSpecs = [] {
+    std::vector<DatasetSpec> s;
+    for (int d = 2; d <= 6; ++d) {
+      s.push_back({"Unif" + std::to_string(d) + "D2M", d, 2'000'000, 100'000,
+                   "uniform synthetic, " + std::to_string(d) + "-D"});
+      s.push_back({"Expo" + std::to_string(d) + "D2M", d, 2'000'000, 100'000,
+                   "exponential(lambda=40) synthetic, " + std::to_string(d) +
+                       "-D"});
+    }
+    s.push_back({"SW2DA", 2, 1'860'000, 93'000,
+                 "SW-like geospatial hotspot mixture (A), 2-D"});
+    s.push_back({"SW2DB", 2, 5'160'000, 258'000,
+                 "SW-like geospatial hotspot mixture (B), 2-D"});
+    s.push_back({"SW3DA", 3, 1'860'000, 93'000,
+                 "SW-like hotspot mixture with TEC dimension (A), 3-D"});
+    s.push_back({"SW3DB", 3, 5'160'000, 258'000,
+                 "SW-like hotspot mixture with TEC dimension (B), 3-D"});
+    s.push_back({"Gaia", 2, 50'000'000, 500'000,
+                 "Gaia-like sky catalog, galactic-plane concentrated, 2-D"});
+    return s;
+  }();
+  return kSpecs;
+}
+
+const DatasetSpec* find_spec(const std::string& name) {
+  for (const auto& s : dataset_specs()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Dataset make_dataset(const std::string& name, std::size_t n,
+                     std::uint64_t seed) {
+  const DatasetSpec* spec = find_spec(name);
+  GSJ_CHECK_MSG(spec != nullptr, "unknown dataset: " << name);
+  const std::size_t count = n == 0 ? spec->default_n : n;
+  if (name.rfind("Unif", 0) == 0) {
+    return gen_uniform(count, spec->dims, seed);
+  }
+  if (name.rfind("Expo", 0) == 0) {
+    return gen_exponential(count, spec->dims, seed);
+  }
+  if (name.rfind("SW", 0) == 0) {
+    return gen_sw_like(count, spec->dims == 3, seed);
+  }
+  if (name == "Gaia") {
+    return gen_gaia_like(count, seed);
+  }
+  GSJ_CHECK_MSG(false, "unhandled dataset: " << name);
+  return Dataset{};
+}
+
+}  // namespace gsj

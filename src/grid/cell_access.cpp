@@ -1,0 +1,75 @@
+#include "grid/cell_access.hpp"
+
+#include "common/check.hpp"
+
+namespace gsj {
+
+std::string to_string(CellPattern p) {
+  switch (p) {
+    case CellPattern::Full: return "FULL";
+    case CellPattern::Unicomp: return "UNICOMP";
+    case CellPattern::LidUnicomp: return "LID-UNICOMP";
+  }
+  return "?";
+}
+
+bool pattern_accepts(CellPattern p, int dims, const CellCoords& oc,
+                     const CellCoords& nc, std::uint64_t oid,
+                     std::uint64_t nid) noexcept {
+  switch (p) {
+    case CellPattern::Full:
+      return true;
+    case CellPattern::LidUnicomp:
+      // §III-B: only neighbors with a larger linear id. Linear ids are
+      // lexicographic in coordinates, so exactly one direction of every
+      // unordered adjacent pair is accepted.
+      return nid > oid;
+    case CellPattern::Unicomp: {
+      // Generalized Algorithm 2 of [18]: let d* be the highest
+      // dimension where the cells differ (they are adjacent, so the
+      // difference there is +/-1 and exactly one of the two coordinates
+      // is odd). Pass d* is executed by the cell whose d*-coordinate is
+      // odd; that pass fixes dimensions > d* and sweeps dimensions < d*,
+      // so it reaches exactly the neighbors whose highest differing
+      // dimension is d*. In 2-D this reduces verbatim to the paper's
+      // green arrows (d*=0: x differs, y fixed, run when x odd) and red
+      // arrows (d*=1: y differs, x sweeps, run when y odd).
+      int dstar = -1;
+      for (int d = dims - 1; d >= 0; --d) {
+        if (oc[d] != nc[d]) {
+          dstar = d;
+          break;
+        }
+      }
+      if (dstar < 0) return false;  // same cell: handled by the kernel
+      return (oc[dstar] & 1) != 0;
+    }
+  }
+  return false;
+}
+
+std::uint64_t pattern_fanout(CellPattern p, int dims, const CellCoords& oc) {
+  GSJ_CHECK(dims >= 1 && dims <= kMaxDims);
+  std::uint64_t pow3 = 1;
+  for (int d = 0; d < dims; ++d) pow3 *= 3;
+  switch (p) {
+    case CellPattern::Full:
+      return pow3 - 1;
+    case CellPattern::LidUnicomp:
+      return (pow3 - 1) / 2;
+    case CellPattern::Unicomp: {
+      // Pass d contributes 2 * 3^d cells (neighbor coordinate in d takes
+      // two values, dimensions below d sweep freely) when oc[d] is odd.
+      std::uint64_t total = 0;
+      std::uint64_t p3 = 1;
+      for (int d = 0; d < dims; ++d) {
+        if ((oc[d] & 1) != 0) total += 2 * p3;
+        p3 *= 3;
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+}  // namespace gsj

@@ -1,0 +1,66 @@
+// Cell access patterns: which adjacent cells a query point's thread
+// evaluates, and whether one evaluation yields one or both ordered
+// result pairs.
+//
+//  * FULL        — evaluate every adjacent cell (the GPUCALCGLOBAL
+//                  baseline [18]); each unordered pair of points is
+//                  computed twice, once from each side, and each
+//                  evaluation emits one ordered pair.
+//  * UNICOMP     — the unidirectional pattern of [18] (Algorithm 2,
+//                  generalized to n dims): for each dimension d whose
+//                  origin coordinate is odd, evaluate the adjacent cells
+//                  whose *highest differing dimension* is d. Each
+//                  unordered adjacent-cell pair is evaluated exactly
+//                  once, and each point-pair evaluation emits both
+//                  ordered pairs. Inner cells evaluate between 0 and
+//                  3^n - 1 neighbors depending on coordinate parity —
+//                  the imbalance this paper's LID-UNICOMP removes.
+//  * LID_UNICOMP — this paper's pattern (§III-B): evaluate exactly the
+//                  adjacent cells with a *larger linear id* than the
+//                  origin. Every inner cell evaluates (3^n - 1)/2
+//                  neighbors, balancing per-cell work.
+//
+// For all three patterns, the origin cell itself is handled by the
+// kernels directly: FULL compares a query point against every point of
+// its own cell (itself included); the unidirectional patterns compare
+// only against own-cell points with a larger grid rank and emit both
+// ordered pairs (plus the (q,q) self pair), so all patterns produce the
+// identical ordered result set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "grid/grid_index.hpp"
+
+namespace gsj {
+
+enum class CellPattern {
+  Full,
+  Unicomp,
+  LidUnicomp,
+};
+
+[[nodiscard]] std::string to_string(CellPattern p);
+
+/// True when one point-pair evaluation under `p` emits both ordered
+/// pairs (the pattern visits each unordered cell pair once).
+[[nodiscard]] constexpr bool is_unidirectional(CellPattern p) noexcept {
+  return p != CellPattern::Full;
+}
+
+/// Decides whether the origin cell evaluates the adjacent cell
+/// (origin != neighbor; both must be adjacent). `oc`/`nc` are the cell
+/// coordinate vectors, `oid`/`nid` the linear ids.
+[[nodiscard]] bool pattern_accepts(CellPattern p, int dims,
+                                   const CellCoords& oc, const CellCoords& nc,
+                                   std::uint64_t oid,
+                                   std::uint64_t nid) noexcept;
+
+/// Number of adjacent (non-origin) cell slots the pattern would accept
+/// for an inner cell at coordinates `oc` — grid-boundary and emptiness
+/// ignored. Used by tests and by workload analysis.
+[[nodiscard]] std::uint64_t pattern_fanout(CellPattern p, int dims,
+                                           const CellCoords& oc);
+
+}  // namespace gsj

@@ -1,0 +1,136 @@
+#include "grid/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace gsj {
+
+GridIndex::GridIndex(const Dataset& ds, double epsilon)
+    : ds_(&ds), epsilon_(epsilon) {
+  GSJ_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
+  GSJ_CHECK_MSG(!ds.empty(), "cannot index an empty dataset");
+  GSJ_CHECK_MSG(ds.dims() <= kMaxDims, "dims " << ds.dims() << " > " << kMaxDims);
+
+  const int n = ds.dims();
+  const auto lo = ds.min_corner();
+  const auto hi = ds.max_corner();
+  std::uint64_t total_cells = 1;
+  for (int d = 0; d < n; ++d) {
+    min_[static_cast<std::size_t>(d)] = lo[static_cast<std::size_t>(d)];
+    const double extent =
+        hi[static_cast<std::size_t>(d)] - lo[static_cast<std::size_t>(d)];
+    const auto cnt =
+        static_cast<std::int32_t>(std::floor(extent / epsilon)) + 1;
+    cells_per_dim_[static_cast<std::size_t>(d)] = cnt;
+    GSJ_CHECK_MSG(total_cells <= (std::uint64_t{1} << 62) / static_cast<std::uint64_t>(cnt),
+                  "grid too fine: linear ids would overflow (epsilon too small)");
+    total_cells *= static_cast<std::uint64_t>(cnt);
+  }
+  // Row-major strides: last dimension is contiguous, so linear ids are
+  // lexicographic in coordinate order (required by LID-UNICOMP's
+  // monotonicity argument).
+  std::uint64_t s = 1;
+  for (int d = n - 1; d >= 0; --d) {
+    stride_[static_cast<std::size_t>(d)] = s;
+    s *= static_cast<std::uint64_t>(cells_per_dim_[static_cast<std::size_t>(d)]);
+  }
+
+  // Compute each point's linear cell id, then counting-sort points by id.
+  const std::size_t npts = ds.size();
+  std::vector<std::uint64_t> ids(npts);
+  for (std::size_t i = 0; i < npts; ++i) {
+    std::uint64_t id = 0;
+    for (int d = 0; d < n; ++d) {
+      auto c = static_cast<std::int32_t>(
+          std::floor((ds.coord(i, d) - min_[static_cast<std::size_t>(d)]) /
+                     epsilon));
+      // Points exactly on the max boundary fold into the last cell.
+      c = std::clamp(c, std::int32_t{0},
+                     cells_per_dim_[static_cast<std::size_t>(d)] - 1);
+      id += static_cast<std::uint64_t>(c) * stride_[static_cast<std::size_t>(d)];
+    }
+    ids[i] = id;
+  }
+
+  point_ids_.resize(npts);
+  std::iota(point_ids_.begin(), point_ids_.end(), PointId{0});
+  std::sort(point_ids_.begin(), point_ids_.end(),
+            [&ids](PointId a, PointId b) {
+              return ids[a] != ids[b] ? ids[a] < ids[b] : a < b;
+            });
+
+  // Materialize non-empty cells over the sorted order.
+  point_cell_.resize(npts);
+  point_rank_.resize(npts);
+  for (std::size_t pos = 0; pos < npts; ++pos) {
+    const PointId p = point_ids_[pos];
+    point_rank_[p] = static_cast<std::uint32_t>(pos);
+    const std::uint64_t id = ids[p];
+    if (cells_.empty() || cells_.back().linear_id != id) {
+      cells_.push_back({id, static_cast<std::uint32_t>(pos),
+                        static_cast<std::uint32_t>(pos)});
+    }
+    cells_.back().end = static_cast<std::uint32_t>(pos + 1);
+    point_cell_[p] = static_cast<std::uint32_t>(cells_.size() - 1);
+  }
+}
+
+std::span<const PointId> GridIndex::cell_points(std::size_t cell_idx) const {
+  GSJ_CHECK(cell_idx < cells_.size());
+  const GridCell& c = cells_[cell_idx];
+  return {point_ids_.data() + c.begin, c.size()};
+}
+
+std::size_t GridIndex::find_cell(std::uint64_t linear_id) const noexcept {
+  auto it = std::lower_bound(
+      cells_.begin(), cells_.end(), linear_id,
+      [](const GridCell& c, std::uint64_t id) { return c.linear_id < id; });
+  if (it == cells_.end() || it->linear_id != linear_id) return npos;
+  return static_cast<std::size_t>(it - cells_.begin());
+}
+
+CellCoords GridIndex::coords_of_point(PointId p) const {
+  return decode(cells_[point_cell_[p]].linear_id);
+}
+
+CellCoords GridIndex::decode(std::uint64_t linear_id) const noexcept {
+  CellCoords cc;
+  for (int d = 0; d < dims(); ++d) {
+    const std::uint64_t s = stride_[static_cast<std::size_t>(d)];
+    cc[d] = static_cast<std::int32_t>(linear_id / s);
+    linear_id %= s;
+  }
+  return cc;
+}
+
+std::uint64_t GridIndex::encode(const CellCoords& cc) const noexcept {
+  std::uint64_t id = 0;
+  for (int d = 0; d < dims(); ++d) {
+    id += static_cast<std::uint64_t>(cc[d]) * stride_[static_cast<std::size_t>(d)];
+  }
+  return id;
+}
+
+CellCoords GridIndex::cell_coords_of(std::span<const double> coords) const {
+  GSJ_CHECK(static_cast<int>(coords.size()) == dims());
+  CellCoords cc;
+  for (int d = 0; d < dims(); ++d) {
+    const auto c = static_cast<std::int32_t>(std::floor(
+        (coords[static_cast<std::size_t>(d)] - min_[static_cast<std::size_t>(d)]) /
+        epsilon_));
+    cc[d] = std::clamp(c, std::int32_t{0}, cells_per_dim(d) - 1);
+  }
+  return cc;
+}
+
+bool GridIndex::in_bounds(const CellCoords& cc) const noexcept {
+  for (int d = 0; d < dims(); ++d) {
+    if (cc[d] < 0 || cc[d] >= cells_per_dim(d)) return false;
+  }
+  return true;
+}
+
+}  // namespace gsj

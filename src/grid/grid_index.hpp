@@ -1,0 +1,197 @@
+// Epsilon grid index over non-empty cells only, after Gowanlock &
+// Karsin [18].
+//
+// Space is partitioned into cells of side `epsilon` per dimension, so a
+// range query around a point only needs the 3^n adjacent cells. Only
+// non-empty cells are materialized: the index is
+//   * `cells()`      — non-empty cells sorted by linear id (binary
+//                      searchable, this is the paper's array B),
+//   * `point_ids()`  — all point ids grouped by cell (each cell owns a
+//                      contiguous range), giving O(|D|) space,
+//   * per-point back-references (owning cell, rank within grid order).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace gsj {
+
+/// Maximum indexable dimensionality (paper evaluates 2..6).
+inline constexpr int kMaxDims = 8;
+
+/// Multidimensional cell coordinates (only the first dims() entries of
+/// `c` are meaningful).
+struct CellCoords {
+  std::array<std::int32_t, kMaxDims> c{};
+
+  [[nodiscard]] std::int32_t operator[](int d) const noexcept {
+    return c[static_cast<std::size_t>(d)];
+  }
+  std::int32_t& operator[](int d) noexcept {
+    return c[static_cast<std::size_t>(d)];
+  }
+};
+
+/// One non-empty grid cell: its linear id and the contiguous range of
+/// grid-ordered point ids it owns.
+struct GridCell {
+  std::uint64_t linear_id = 0;
+  std::uint32_t begin = 0;  ///< range [begin, end) into point_ids()
+  std::uint32_t end = 0;
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return end - begin; }
+};
+
+class GridIndex {
+ public:
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+  /// Builds the index for `ds` with cell side `epsilon`. The dataset
+  /// must outlive the index (the index stores a reference).
+  GridIndex(const Dataset& ds, double epsilon);
+
+  [[nodiscard]] const Dataset& dataset() const noexcept { return *ds_; }
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+  [[nodiscard]] int dims() const noexcept { return ds_->dims(); }
+
+  /// Number of cells along dimension `d`.
+  [[nodiscard]] std::int32_t cells_per_dim(int d) const noexcept {
+    return cells_per_dim_[static_cast<std::size_t>(d)];
+  }
+
+  /// All non-empty cells, ascending by linear id.
+  [[nodiscard]] std::span<const GridCell> cells() const noexcept {
+    return cells_;
+  }
+
+  /// Point ids grouped by cell (the paper's point-lookup array).
+  [[nodiscard]] std::span<const PointId> point_ids() const noexcept {
+    return point_ids_;
+  }
+
+  /// Points of cell `cell_idx` (an index into cells()).
+  [[nodiscard]] std::span<const PointId> cell_points(std::size_t cell_idx) const;
+
+  /// Binary-searches the non-empty cell array; npos when the linear id
+  /// maps to an empty cell.
+  [[nodiscard]] std::size_t find_cell(std::uint64_t linear_id) const noexcept;
+
+  /// Index (into cells()) of the cell owning point `p`.
+  [[nodiscard]] std::size_t cell_of_point(PointId p) const noexcept {
+    return point_cell_[p];
+  }
+
+  /// Position of point `p` within the grid-ordered point_ids() array.
+  /// Within a cell this rank breaks ties for the "compare only to later
+  /// points in my own cell" rule used by the unidirectional patterns.
+  [[nodiscard]] std::uint32_t grid_rank(PointId p) const noexcept {
+    return point_rank_[p];
+  }
+
+  /// Cell coordinates of the cell containing point `p`.
+  [[nodiscard]] CellCoords coords_of_point(PointId p) const;
+
+  /// Decodes a linear id into cell coordinates.
+  [[nodiscard]] CellCoords decode(std::uint64_t linear_id) const noexcept;
+
+  /// Encodes cell coordinates into a linear id. Coordinates must lie in
+  /// [0, cells_per_dim(d)).
+  [[nodiscard]] std::uint64_t encode(const CellCoords& cc) const noexcept;
+
+  /// Cell coordinates an arbitrary location falls into, clamped to the
+  /// grid bounds (locations outside the indexed bounding box map to the
+  /// border cells). `coords` must have dims() entries.
+  [[nodiscard]] CellCoords cell_coords_of(std::span<const double> coords) const;
+
+  /// True when `cc` lies inside the grid bounds.
+  [[nodiscard]] bool in_bounds(const CellCoords& cc) const noexcept;
+
+  /// Invokes `fn(neighbor_cell_index, neighbor_coords, neighbor_linear_id)`
+  /// for every *non-empty* cell adjacent to `origin` (all offsets in
+  /// {-1,0,+1}^dims), including the origin cell itself when
+  /// `include_origin`. Enumeration order is lexicographic in the offset
+  /// vector, matching the nested-loop order of the CUDA kernels.
+  template <typename Fn>
+  void for_each_adjacent(std::size_t origin_cell, bool include_origin,
+                         Fn&& fn) const;
+
+  /// Same enumeration around arbitrary cell coordinates (which need not
+  /// name a non-empty cell). "include_origin" has no meaning here: the
+  /// origin coordinates' own cell is always visited when non-empty.
+  template <typename Fn>
+  void for_each_adjacent_to(const CellCoords& oc, Fn&& fn) const;
+
+  /// Total number of adjacent-cell slots probed (3^dims).
+  [[nodiscard]] std::uint64_t adjacency_volume() const noexcept {
+    std::uint64_t v = 1;
+    for (int d = 0; d < dims(); ++d) v *= 3;
+    return v;
+  }
+
+ private:
+  const Dataset* ds_;
+  double epsilon_;
+  std::array<double, kMaxDims> min_{};
+  std::array<std::int32_t, kMaxDims> cells_per_dim_{};
+  std::array<std::uint64_t, kMaxDims> stride_{};
+  std::vector<GridCell> cells_;
+  std::vector<PointId> point_ids_;
+  std::vector<std::uint32_t> point_cell_;  ///< point id -> cells_ index
+  std::vector<std::uint32_t> point_rank_;  ///< point id -> point_ids_ position
+};
+
+template <typename Fn>
+void GridIndex::for_each_adjacent(std::size_t origin_cell, bool include_origin,
+                                  Fn&& fn) const {
+  const CellCoords oc = decode(cells_[origin_cell].linear_id);
+  if (include_origin) {
+    for_each_adjacent_to(oc, std::forward<Fn>(fn));
+    return;
+  }
+  const std::uint64_t origin_id = cells_[origin_cell].linear_id;
+  for_each_adjacent_to(oc, [&](std::size_t nidx, const CellCoords& nc,
+                               std::uint64_t nid) {
+    if (nid != origin_id) fn(nidx, nc, nid);
+  });
+}
+
+template <typename Fn>
+void GridIndex::for_each_adjacent_to(const CellCoords& oc, Fn&& fn) const {
+  const int n = dims();
+  // Odometer over offsets in {-1,0,1}^n, lexicographic.
+  std::array<std::int32_t, kMaxDims> off{};
+  for (int d = 0; d < n; ++d) off[static_cast<std::size_t>(d)] = -1;
+  for (;;) {
+    CellCoords nc;
+    bool inb = true;
+    for (int d = 0; d < n; ++d) {
+      const std::int32_t v = oc[d] + off[static_cast<std::size_t>(d)];
+      if (v < 0 || v >= cells_per_dim(d)) {
+        inb = false;
+        break;
+      }
+      nc[d] = v;
+    }
+    if (inb) {
+      const std::uint64_t nid = encode(nc);
+      const std::size_t nidx = find_cell(nid);
+      if (nidx != npos) fn(nidx, nc, nid);
+    }
+    // Advance odometer.
+    int d = n - 1;
+    while (d >= 0) {
+      auto& o = off[static_cast<std::size_t>(d)];
+      if (++o <= 1) break;
+      o = -1;
+      --d;
+    }
+    if (d < 0) break;
+  }
+}
+
+}  // namespace gsj

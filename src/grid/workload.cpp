@@ -1,0 +1,70 @@
+#include "grid/workload.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gsj {
+
+std::vector<std::uint64_t> cell_workloads(const GridIndex& grid,
+                                          CellPattern pattern) {
+  const auto cells = grid.cells();
+  std::vector<std::uint64_t> wl(cells.size(), 0);
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    const CellCoords oc = grid.decode(cells[ci].linear_id);
+    const std::uint64_t oid = cells[ci].linear_id;
+    std::uint64_t w = cells[ci].size();  // own cell candidates
+    grid.for_each_adjacent(
+        ci, /*include_origin=*/false,
+        [&](std::size_t nidx, const CellCoords& nc, std::uint64_t nid) {
+          if (pattern_accepts(pattern, grid.dims(), oc, nc, oid, nid)) {
+            w += grid.cells()[nidx].size();
+          }
+        });
+    wl[ci] = w;
+  }
+  return wl;
+}
+
+std::vector<std::uint64_t> point_workloads(const GridIndex& grid,
+                                           CellPattern pattern) {
+  const auto cw = cell_workloads(grid, pattern);
+  std::vector<std::uint64_t> pw(grid.dataset().size());
+  for (PointId p = 0; p < pw.size(); ++p) pw[p] = cw[grid.cell_of_point(p)];
+  return pw;
+}
+
+std::vector<PointId> sort_by_workload(const GridIndex& grid,
+                                      CellPattern pattern) {
+  const auto pw = point_workloads(grid, pattern);
+  std::vector<PointId> order(pw.size());
+  std::iota(order.begin(), order.end(), PointId{0});
+  std::stable_sort(order.begin(), order.end(), [&pw](PointId a, PointId b) {
+    return pw[a] > pw[b];
+  });
+  return order;
+}
+
+std::uint64_t total_candidate_evaluations(const GridIndex& grid,
+                                          CellPattern pattern) {
+  const auto cells = grid.cells();
+  std::uint64_t total = 0;
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    const CellCoords oc = grid.decode(cells[ci].linear_id);
+    const std::uint64_t oid = cells[ci].linear_id;
+    const std::uint64_t sz = cells[ci].size();
+    // Own cell: FULL compares every point to every point (self
+    // included); unidirectional patterns compare each unordered pair
+    // once.
+    total += pattern == CellPattern::Full ? sz * sz : sz * (sz - 1) / 2;
+    grid.for_each_adjacent(
+        ci, /*include_origin=*/false,
+        [&](std::size_t nidx, const CellCoords& nc, std::uint64_t nid) {
+          if (pattern_accepts(pattern, grid.dims(), oc, nc, oid, nid)) {
+            total += sz * grid.cells()[nidx].size();
+          }
+        });
+  }
+  return total;
+}
+
+}  // namespace gsj

@@ -1,0 +1,40 @@
+// Workload quantification (§III-C): the number of candidate-distance
+// calculations a query point will perform under a given cell access
+// pattern. The paper quantifies per *cell* (every point of a cell has
+// the same candidate set) and sorts points by that quantity to pack
+// similar-work threads into the same warp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "grid/cell_access.hpp"
+#include "grid/grid_index.hpp"
+
+namespace gsj {
+
+/// Per-cell workload: for each cell in grid.cells(), the number of
+/// candidate points a query point of that cell evaluates — the sizes of
+/// all pattern-accepted adjacent cells plus the origin cell's own size
+/// (the paper's "number of neighbors" of the cell).
+[[nodiscard]] std::vector<std::uint64_t> cell_workloads(const GridIndex& grid,
+                                                        CellPattern pattern);
+
+/// Per-point workload: point_workloads(grid)[p] is the workload of p's
+/// owning cell.
+[[nodiscard]] std::vector<std::uint64_t> point_workloads(
+    const GridIndex& grid, CellPattern pattern);
+
+/// Point ids ordered by non-increasing workload (the paper's D').
+/// Stable on ties (grid order) so runs are deterministic.
+[[nodiscard]] std::vector<PointId> sort_by_workload(
+    const GridIndex& grid, CellPattern pattern);
+
+/// Exact total number of candidate evaluations the whole self-join will
+/// perform under `pattern` (own-cell pair counting uses the precise
+/// rank-dependent count, not the per-cell upper bound).
+[[nodiscard]] std::uint64_t total_candidate_evaluations(const GridIndex& grid,
+                                                        CellPattern pattern);
+
+}  // namespace gsj

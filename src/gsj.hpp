@@ -1,0 +1,34 @@
+// Umbrella header for the gpu-selfjoin-loadbalance library.
+//
+// Pulls in the full public API: datasets and generators, the epsilon
+// grid index and cell-access patterns, the SIMT device model, the
+// batched self-join with the paper's load-balance optimizations, the
+// SUPER-EGO CPU baseline, and the DBSCAN / neighbor-table applications.
+#pragma once
+
+#include "baselines/kdtree.hpp"
+#include "baselines/morton.hpp"
+#include "baselines/rtree.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "data/dataset.hpp"
+#include "data/generators.hpp"
+#include "data/io.hpp"
+#include "grid/cell_access.hpp"
+#include "grid/grid_index.hpp"
+#include "grid/workload.hpp"
+#include "simt/counter.hpp"
+#include "simt/device.hpp"
+#include "simt/launch.hpp"
+#include "sj/batching.hpp"
+#include "sj/dbscan.hpp"
+#include "sj/kernels.hpp"
+#include "sj/neighbor_table.hpp"
+#include "sj/reference.hpp"
+#include "sj/result_set.hpp"
+#include "sj/selfjoin.hpp"
+#include "superego/super_ego.hpp"

@@ -1,0 +1,31 @@
+// Simulated device-global atomic counter — the head pointer of the
+// paper's WORKQUEUE (§III-D). Warps call fetch_add when the scheduler
+// starts them, so indices are handed out in warp *execution* order, not
+// launch order: exactly the property the paper exploits to force
+// most-work-first consumption of the workload-sorted dataset.
+#pragma once
+
+#include <cstdint>
+
+namespace gsj::simt {
+
+class DeviceCounter {
+ public:
+  constexpr DeviceCounter() = default;
+
+  /// Atomically (in model semantics: warps execute one at a time in the
+  /// simulator) reserves `n` consecutive values, returning the first.
+  constexpr std::uint64_t fetch_add(std::uint64_t n) noexcept {
+    const std::uint64_t v = value_;
+    value_ += n;
+    return v;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return value_; }
+  constexpr void reset(std::uint64_t v = 0) noexcept { value_ = v; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace gsj::simt

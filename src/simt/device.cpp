@@ -1,0 +1,30 @@
+#include "simt/device.hpp"
+
+#include <sstream>
+
+namespace gsj::simt {
+
+void KernelStats::merge(const KernelStats& other) noexcept {
+  launches += other.launches;
+  warps_launched += other.warps_launched;
+  warp_steps += other.warp_steps;
+  active_lane_steps += other.active_lane_steps;
+  busy_cycles += other.busy_cycles;
+  makespan_cycles += other.makespan_cycles;
+  tail_idle_cycles += other.tail_idle_cycles;
+  atomics_executed += other.atomics_executed;
+  results_emitted += other.results_emitted;
+}
+
+std::string KernelStats::summary(const DeviceConfig& cfg) const {
+  std::ostringstream os;
+  os << "KernelStats{launches=" << launches << ", warps=" << warps_launched
+     << ", WEE=" << warp_execution_efficiency(cfg.warp_size) * 100.0 << "%"
+     << ", occupancy=" << slot_occupancy(cfg) * 100.0 << "%"
+     << ", makespan=" << makespan_cycles << " cyc"
+     << " (" << seconds(cfg) << " s)"
+     << ", results=" << results_emitted << "}";
+  return os.str();
+}
+
+}  // namespace gsj::simt

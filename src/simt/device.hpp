@@ -1,0 +1,119 @@
+// SIMT device model.
+//
+// This project runs the paper's CUDA kernels on a deterministic warp
+// simulator instead of real silicon (see DESIGN.md §2). The model keeps
+// exactly the phenomena the paper measures:
+//
+//  * lockstep warps — a warp advances in steps; in each step every
+//    still-active lane executes one work unit, finished lanes are
+//    masked. Warp time = sum over steps of the max lane cost, so one
+//    heavy lane stalls its 31 siblings (intra-warp imbalance).
+//  * warp execution efficiency — active lane-steps divided by
+//    (steps x warp_size), the same definition nvprof reports.
+//  * resident-warp scheduling — the device offers
+//    num_sms x resident_warps_per_sm concurrent warp slots; pending
+//    warps are dispatched to the first free slot. Device time is the
+//    makespan over slots, which exposes the kernel-tail imbalance the
+//    WORKQUEUE optimization removes.
+//  * dispatch-order uncertainty — the hardware scheduler is not
+//    guaranteed to start warps in launch order; the model dispatches
+//    uniformly at random from a bounded window at the head of the
+//    pending queue (window 1 = strict launch order).
+//
+// Costs are charged in model cycles via an explicit cost table; seconds
+// are derived from a nominal clock only for readability.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gsj::simt {
+
+struct DeviceConfig {
+  int warp_size = 32;
+  int num_sms = 56;               ///< GP100 (paper's Quadro GP100)
+  int resident_warps_per_sm = 8;  ///< occupancy-limited concurrent warps
+  double clock_ghz = 1.33;
+
+  /// Warp instructions one SM can issue per cycle, shared by its
+  /// resident warps. With resident_warps_per_sm = 8 and issue_width = 1
+  /// each resident warp progresses at 1/8 of the cost-table rate —
+  /// the throughput of a memory-bound kernel whose latency the extra
+  /// resident warps exist to hide.
+  int issue_width = 1;
+
+  /// Hardware dispatch window: a pending warp is started uniformly at
+  /// random among the first `dispatch_window` queued warps. 1 = strict
+  /// launch order (what the paper's WORKQUEUE forces *logically* via
+  /// the atomic counter; here it models an in-order scheduler). Real
+  /// hardware roughly follows launch order with local reordering, so
+  /// the default is a moderate window — the paper's point is precisely
+  /// that SORTBYWL is at the mercy of this window while the WORKQUEUE
+  /// is not (see bench_ablation_scheduler).
+  int dispatch_window = 64;
+  std::uint64_t scheduler_seed = 0x5eedULL;
+
+  // --- cost table (model cycles per warp instruction) ---
+  // Calibrated so a 56-SM device sustains ~7e10 2-D candidate
+  // evaluations/s — the order of a tuned memory-friendly GP100 kernel.
+  std::uint32_t cost_dist_base = 20;    ///< per distance calc, fixed part
+  std::uint32_t cost_dist_per_dim = 6;  ///< per distance calc, per dimension
+  std::uint32_t cost_cell_probe = 40;   ///< binary search for one adjacent cell
+  std::uint32_t cost_pattern_check = 4; ///< cell access pattern conditional
+  std::uint32_t cost_atomic = 32;       ///< global atomic fetch-add
+  std::uint32_t cost_emit = 4;          ///< appending one result pair
+  std::uint32_t cost_warp_launch = 40;  ///< fixed per-warp scheduling overhead
+
+  [[nodiscard]] int total_slots() const noexcept {
+    return num_sms * resident_warps_per_sm;
+  }
+  [[nodiscard]] std::uint32_t cost_dist(int dims) const noexcept {
+    return cost_dist_base + cost_dist_per_dim * static_cast<std::uint32_t>(dims);
+  }
+};
+
+/// Execution metrics of one kernel launch (merged across batches for a
+/// whole self-join).
+struct KernelStats {
+  std::uint64_t launches = 0;            ///< kernel invocations merged in
+  std::uint64_t warps_launched = 0;
+  std::uint64_t warp_steps = 0;          ///< lockstep steps over all warps
+  std::uint64_t active_lane_steps = 0;   ///< lane-steps actually executing
+  std::uint64_t busy_cycles = 0;         ///< sum over warps of warp cycles
+  std::uint64_t makespan_cycles = 0;     ///< device completion time (summed over launches)
+  std::uint64_t tail_idle_cycles = 0;    ///< slot idle time before kernel end
+  std::uint64_t atomics_executed = 0;
+  std::uint64_t results_emitted = 0;
+
+  /// nvprof-style warp execution efficiency in [0, 1].
+  [[nodiscard]] double warp_execution_efficiency(int warp_size = 32) const noexcept {
+    if (warp_steps == 0) return 0.0;
+    return static_cast<double>(active_lane_steps) /
+           (static_cast<double>(warp_steps) * warp_size);
+  }
+
+  /// Fraction of slot-cycles doing work (1 - tail/backfill idleness).
+  [[nodiscard]] double slot_occupancy(const DeviceConfig& cfg) const noexcept {
+    const double denom = static_cast<double>(makespan_cycles) *
+                         static_cast<double>(cfg.total_slots());
+    return denom == 0.0 ? 0.0 : static_cast<double>(busy_cycles) / denom;
+  }
+
+  /// Modeled kernel time in seconds. Resident warps share their SM's
+  /// issue pipeline, so each slot's effective clock is scaled by
+  /// issue_width / resident_warps_per_sm (issue contention).
+  [[nodiscard]] double seconds(const DeviceConfig& cfg) const noexcept {
+    const double contention = static_cast<double>(cfg.resident_warps_per_sm) /
+                              static_cast<double>(cfg.issue_width);
+    return static_cast<double>(makespan_cycles) * contention /
+           (cfg.clock_ghz * 1e9);
+  }
+
+  /// Accumulates another launch's stats (batches execute sequentially,
+  /// so makespans add).
+  void merge(const KernelStats& other) noexcept;
+
+  [[nodiscard]] std::string summary(const DeviceConfig& cfg) const;
+};
+
+}  // namespace gsj::simt

@@ -1,0 +1,183 @@
+// Kernel launch: lockstep warp execution plus greedy resident-slot
+// scheduling. See device.hpp for the model description.
+//
+// A kernel is any type K providing:
+//
+//   struct K::LaneState;                       // default-constructible
+//   simt::InitResult K::init_lane(LaneState&, const LaneCtx&, WarpScratch&);
+//   simt::StepResult K::step(LaneState&);
+//
+// init_lane runs for every lane of a warp, in lane order, when the warp
+// is dispatched — this is where CUDA-side thread-id math, cooperative-
+// group leader elections and work-queue atomics live (lane order makes
+// leader-to-group broadcast through WarpScratch natural, modeling
+// __shfl_sync). step executes one lockstep work unit and reports its
+// cycle cost; a warp step costs the maximum over its active lanes, and
+// a warp retires when every lane reports inactive.
+//
+// Init costs are *summed* across lanes (atomics to one address
+// serialize within a warp; the slight overcharge for the non-atomic
+// part of init is a documented simplification).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "simt/device.hpp"
+
+namespace gsj::simt {
+
+/// Identity of a lane within a launch.
+struct LaneCtx {
+  std::uint64_t global_thread_id = 0;
+  int lane_id = 0;          ///< 0..warp_size-1
+  std::uint64_t warp_id = 0;  ///< launch-order warp index
+};
+
+struct InitResult {
+  bool active = false;
+  std::uint32_t cost = 0;
+};
+
+struct StepResult {
+  bool active = false;  ///< false once the lane has retired
+  std::uint32_t cost = 1;
+};
+
+/// Per-warp shared scratch, the model of shared memory/__shfl_sync used
+/// by cooperative groups to broadcast a work-queue grab to the group.
+using WarpScratch = std::array<std::uint64_t, 32>;
+
+/// Per-warp metrics handed to the optional observer.
+struct WarpRecord {
+  std::uint64_t warp_id = 0;       ///< launch-order id
+  std::uint64_t dispatch_seq = 0;  ///< execution order
+  std::uint64_t start_cycle = 0;
+  std::uint64_t cycles = 0;  ///< init + steps
+  std::uint64_t steps = 0;
+  std::uint64_t active_lane_steps = 0;
+};
+
+using WarpObserver = std::function<void(const WarpRecord&)>;
+
+/// Executes `num_threads` logical threads of kernel `k` on the modeled
+/// device. Deterministic for fixed config (including scheduler_seed).
+template <typename K>
+KernelStats launch(const DeviceConfig& cfg, std::uint64_t num_threads, K& k,
+                   const WarpObserver& observer = {}) {
+  GSJ_CHECK(cfg.warp_size >= 1 && cfg.warp_size <= 32);
+  GSJ_CHECK(cfg.total_slots() >= 1);
+  GSJ_CHECK(cfg.dispatch_window >= 1);
+
+  KernelStats stats;
+  stats.launches = 1;
+  if (num_threads == 0) return stats;
+
+  const auto ws = static_cast<std::uint64_t>(cfg.warp_size);
+  const std::uint64_t num_warps = (num_threads + ws - 1) / ws;
+  stats.warps_launched = num_warps;
+
+  // Dispatch window over the pending queue: pick uniformly among the
+  // first `window` undispatched warps (window 1 = launch order).
+  Xoshiro256 rng(cfg.scheduler_seed);
+  std::vector<std::uint64_t> window;
+  window.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(num_warps, static_cast<std::uint64_t>(cfg.dispatch_window))));
+  std::uint64_t next_unqueued = 0;
+  auto refill = [&] {
+    while (window.size() < static_cast<std::size_t>(cfg.dispatch_window) &&
+           next_unqueued < num_warps) {
+      window.push_back(next_unqueued++);
+    }
+  };
+  refill();
+
+  // Min-heap of (free_cycle, slot); lowest slot id breaks ties so runs
+  // are deterministic.
+  using Slot = std::pair<std::uint64_t, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> slots;
+  const int nslots = cfg.total_slots();
+  for (int s = 0; s < nslots; ++s) slots.emplace(0, s);
+  std::vector<std::uint64_t> slot_finish(static_cast<std::size_t>(nslots), 0);
+
+  std::vector<typename K::LaneState> lanes(static_cast<std::size_t>(cfg.warp_size));
+  std::array<bool, 32> active{};
+  WarpScratch scratch{};
+
+  std::uint64_t dispatch_seq = 0;
+  while (!window.empty()) {
+    // Choose the next warp from the head window.
+    const std::size_t pick =
+        window.size() == 1 ? 0
+                           : static_cast<std::size_t>(rng.uniform_index(window.size()));
+    const std::uint64_t w = window[pick];
+    window.erase(window.begin() + static_cast<std::ptrdiff_t>(pick));
+    refill();
+
+    auto [free_at, slot] = slots.top();
+    slots.pop();
+
+    // --- execute warp w ---
+    WarpRecord rec;
+    rec.warp_id = w;
+    rec.dispatch_seq = dispatch_seq++;
+    rec.start_cycle = free_at;
+
+    std::uint64_t init_cost = cfg.cost_warp_launch;
+    scratch.fill(0);
+    for (int l = 0; l < cfg.warp_size; ++l) {
+      const std::uint64_t tid = w * ws + static_cast<std::uint64_t>(l);
+      lanes[static_cast<std::size_t>(l)] = typename K::LaneState{};
+      if (tid >= num_threads) {
+        active[static_cast<std::size_t>(l)] = false;
+        continue;
+      }
+      LaneCtx ctx{tid, l, w};
+      const InitResult r =
+          k.init_lane(lanes[static_cast<std::size_t>(l)], ctx, scratch);
+      active[static_cast<std::size_t>(l)] = r.active;
+      init_cost += r.cost;
+    }
+
+    std::uint64_t warp_cycles = init_cost;
+    for (;;) {
+      std::uint32_t step_cost = 0;
+      std::uint32_t nactive = 0;
+      for (int l = 0; l < cfg.warp_size; ++l) {
+        if (!active[static_cast<std::size_t>(l)]) continue;
+        const StepResult r = k.step(lanes[static_cast<std::size_t>(l)]);
+        active[static_cast<std::size_t>(l)] = r.active;
+        step_cost = std::max(step_cost, r.cost);
+        ++nactive;
+      }
+      if (nactive == 0) break;
+      ++rec.steps;
+      rec.active_lane_steps += nactive;
+      warp_cycles += step_cost;
+    }
+    rec.cycles = warp_cycles;
+
+    stats.warp_steps += rec.steps;
+    stats.active_lane_steps += rec.active_lane_steps;
+    stats.busy_cycles += warp_cycles;
+
+    const std::uint64_t finish = free_at + warp_cycles;
+    slot_finish[static_cast<std::size_t>(slot)] = finish;
+    slots.emplace(finish, slot);
+    if (observer) observer(rec);
+  }
+
+  std::uint64_t makespan = 0;
+  for (auto f : slot_finish) makespan = std::max(makespan, f);
+  stats.makespan_cycles = makespan;
+  for (auto f : slot_finish) stats.tail_idle_cycles += makespan - f;
+  return stats;
+}
+
+}  // namespace gsj::simt

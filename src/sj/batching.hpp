@@ -1,0 +1,90 @@
+// Batching scheme (§II-C2, modified for WORKQUEUE in §III-D).
+//
+// The join result can exceed GPU global memory, so the join runs as a
+// sequence of kernel launches ("batches"), each bounded to `buffer_pairs`
+// result pairs per pinned buffer, with `nstreams` streams overlapping
+// result transfers with later kernels.
+//
+// Two planners:
+//  * plan_strided — the scheme of [18]: the total result size is
+//    estimated from a strided 1% sample, and point i is assigned to
+//    batch (i mod nbBatches); striding makes per-batch result sizes
+//    nearly equal. With SORTBYWL, each batch's point list is then
+//    sorted by non-increasing workload.
+//  * plan_queue — the WORKQUEUE variant: the dataset is consumed in
+//    workload-sorted order D' via a global counter, so batches are
+//    *contiguous chunks* of D'. The estimate samples the FIRST 1% of D'
+//    (the heaviest points), deliberately over-estimating so the first
+//    (heaviest) chunk cannot overflow; more, smaller batches result.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grid/grid_index.hpp"
+#include "grid/workload.hpp"
+
+namespace gsj {
+
+struct BatchingConfig {
+  /// Result-pair capacity of one batch buffer — the paper's b_s = 1e8.
+  /// Keeping the paper's value even at scaled dataset sizes preserves
+  /// its batching behaviour (batches of thousands of points, far more
+  /// warps than device slots).
+  std::uint64_t buffer_pairs = 100'000'000;
+  int nstreams = 3;
+  double sample_fraction = 0.01;
+  /// Safety factor applied to the estimate when sizing batch counts
+  /// (absorbs sampling variance of the 1% estimate).
+  double safety = 1.5;
+  /// Modeled host-device link for the transfer-overlap timeline (GB/s).
+  /// The paper's Quadro GP100 is an NVLink-class card; 40 GB/s is a
+  /// realistic sustained pinned-memory rate for it.
+  double pcie_gbps = 40.0;
+  /// When false, everything runs as one unbounded batch.
+  bool enabled = true;
+};
+
+struct BatchPlan {
+  std::uint64_t estimated_total_pairs = 0;
+  std::size_t num_batches = 1;
+  /// Static assignment: per-batch query-point lists.
+  std::vector<std::vector<PointId>> batches;
+  /// Queue assignment: [begin, end) chunks over the queue order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> queue_ranges;
+};
+
+/// Plans strided batches over natural point order. When
+/// `sort_batches_by_workload`, each batch list is ordered by
+/// non-increasing workload under `pattern` (SORTBYWL).
+[[nodiscard]] BatchPlan plan_strided(const GridIndex& grid,
+                                     const BatchingConfig& cfg,
+                                     bool sort_batches_by_workload,
+                                     CellPattern pattern);
+
+/// Plans contiguous chunks over `queue_order` (D', workload-sorted).
+/// `workloads` are the per-point candidate counts (point_workloads);
+/// since a point emits at most 2*workload+1 pairs, chunks are cut so
+/// their summed bound never exceeds the buffer — a hard no-overflow
+/// guarantee (this realizes the paper's future-work item of dynamically
+/// grouping query batches by result size). Chunks are additionally cut
+/// by the statistical estimate so sizes stay near the paper's scheme.
+[[nodiscard]] BatchPlan plan_queue(const GridIndex& grid,
+                                   const BatchingConfig& cfg,
+                                   std::span<const PointId> queue_order,
+                                   std::span<const std::uint64_t> workloads);
+
+/// Completion time of the batched pipeline: kernels serialize on the
+/// device; each batch's result transfer serializes on the PCIe engine
+/// and on its stream (batch b runs on stream b % nstreams, and a
+/// stream's next kernel waits for its previous transfer). Seconds.
+[[nodiscard]] double pipeline_seconds(std::span<const double> kernel_secs,
+                                      std::span<const double> transfer_secs,
+                                      int nstreams);
+
+/// Transfer time of one batch of `pairs` results over the modeled link.
+[[nodiscard]] double transfer_seconds(std::uint64_t pairs,
+                                      const BatchingConfig& cfg);
+
+}  // namespace gsj

@@ -1,0 +1,56 @@
+#include "sj/dbscan.hpp"
+
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace gsj {
+
+DbscanResult dbscan(const Dataset& ds, const DbscanConfig& cfg) {
+  GSJ_CHECK_MSG(cfg.min_pts >= 1, "min_pts must be >= 1");
+
+  SelfJoinConfig join = cfg.join;
+  join.epsilon = cfg.epsilon;
+  join.store_pairs = true;
+  const SelfJoinOutput out = self_join(ds, join);
+
+  const std::size_t n = ds.size();
+  const NeighborTable nt(out.results, n);
+
+  DbscanResult res;
+  res.join_stats = out.stats;
+  res.labels.assign(n, DbscanResult::kNoise);
+
+  std::vector<bool> core(n, false);
+  for (PointId p = 0; p < n; ++p) {
+    core[p] = nt.degree(p) >= cfg.min_pts;
+    res.num_core += core[p];
+  }
+
+  // BFS over core points; border points take the first adjacent core's
+  // cluster (standard DBSCAN tie-breaking).
+  std::int32_t next_cluster = 0;
+  std::queue<PointId> frontier;
+  for (PointId seed = 0; seed < n; ++seed) {
+    if (!core[seed] || res.labels[seed] != DbscanResult::kNoise) continue;
+    const std::int32_t cid = next_cluster++;
+    res.labels[seed] = cid;
+    frontier.push(seed);
+    while (!frontier.empty()) {
+      const PointId p = frontier.front();
+      frontier.pop();
+      for (const PointId q : nt.neighbors(p)) {
+        if (res.labels[q] != DbscanResult::kNoise) continue;
+        res.labels[q] = cid;
+        if (core[q]) frontier.push(q);
+      }
+    }
+  }
+  res.num_clusters = static_cast<std::size_t>(next_cluster);
+  for (PointId p = 0; p < n; ++p) {
+    res.num_noise += res.labels[p] == DbscanResult::kNoise;
+  }
+  return res;
+}
+
+}  // namespace gsj

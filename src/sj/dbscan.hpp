@@ -1,0 +1,41 @@
+// DBSCAN density-based clustering built on the self-join — the paper's
+// headline motivating application (§I cites clustering algorithms as
+// consumers of the similarity self-join).
+//
+// The expensive phase of DBSCAN is exactly one epsilon-self-join: the
+// neighbor table gives every point's |N(p)|, core points are those with
+// |N(p)| >= minPts, and clusters are the connected components of core
+// points (border points attach to any adjacent core's cluster).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "sj/neighbor_table.hpp"
+#include "sj/selfjoin.hpp"
+
+namespace gsj {
+
+struct DbscanConfig {
+  double epsilon = 1.0;
+  std::uint32_t min_pts = 4;  ///< |N(p)| threshold, p itself counted
+  /// Self-join engine configuration (the pattern/queue/k knobs apply).
+  SelfJoinConfig join = SelfJoinConfig::combined(1.0);
+};
+
+struct DbscanResult {
+  /// Cluster id per point; kNoise for noise points.
+  static constexpr std::int32_t kNoise = -1;
+  std::vector<std::int32_t> labels;
+  std::size_t num_clusters = 0;
+  std::size_t num_core = 0;
+  std::size_t num_noise = 0;
+  SelfJoinStats join_stats;
+};
+
+/// Runs DBSCAN over `ds` using the simulated-GPU self-join for the
+/// neighborhood phase and a host-side BFS for cluster expansion.
+[[nodiscard]] DbscanResult dbscan(const Dataset& ds, const DbscanConfig& cfg);
+
+}  // namespace gsj

@@ -1,0 +1,157 @@
+#include "sj/kernels.hpp"
+
+#include "common/check.hpp"
+
+namespace gsj {
+
+std::string to_string(Assignment a) {
+  return a == Assignment::Static ? "STATIC" : "WORKQUEUE";
+}
+
+SelfJoinKernel::SelfJoinKernel(const KernelParams& p) : p_(p) {
+  GSJ_CHECK(p.grid != nullptr && p.device != nullptr && p.results != nullptr);
+  GSJ_CHECK_MSG(p.k >= 1 && p.device->warp_size % p.k == 0,
+                "k=" << p.k << " must divide warp_size="
+                     << p.device->warp_size);
+  if (p.assignment == Assignment::WorkQueue) {
+    GSJ_CHECK(p.counter != nullptr && !p.queue.empty());
+  }
+
+  const GridIndex& grid = *p.grid;
+  cells_ = grid.cells().data();
+  point_ids_ = grid.point_ids().data();
+  dims_ = grid.dims();
+  for (int d = 0; d < dims_; ++d) {
+    coords_[static_cast<std::size_t>(d)] = grid.dataset().dim(d).data();
+  }
+  eps2_ = grid.epsilon() * grid.epsilon();
+  adj_total_ = grid.adjacency_volume();
+  adj_center_ = (adj_total_ - 1) / 2;  // all offsets zero
+  unidirectional_ = is_unidirectional(p.pattern);
+  cost_dist_ = p.device->cost_dist(dims_);
+}
+
+simt::InitResult SelfJoinKernel::init_lane(LaneState& s,
+                                           const simt::LaneCtx& ctx,
+                                           simt::WarpScratch& scratch) {
+  const auto k = static_cast<std::uint64_t>(p_.k);
+  const std::uint64_t group_global = ctx.global_thread_id / k;
+  s.group_rank = static_cast<std::uint32_t>(ctx.global_thread_id % k);
+
+  std::uint32_t cost = 2;  // thread-id math / guard
+  if (p_.assignment == Assignment::Static) {
+    GSJ_DCHECK(group_global < p_.points.size());
+    s.q = p_.points[group_global];
+  } else {
+    // Cooperative group: the leader lane pops the queue head and
+    // broadcasts through warp scratch (lanes initialize in order, so
+    // the leader has always run first).
+    const std::size_t group_in_warp = static_cast<std::size_t>(ctx.lane_id) / k;
+    if (static_cast<std::uint64_t>(ctx.lane_id) % k == 0) {
+      scratch[group_in_warp] = p_.counter->fetch_add(1);
+      ++atomics_;
+      cost += p_.device->cost_atomic;
+    }
+    const std::uint64_t idx = scratch[group_in_warp];
+    GSJ_DCHECK(idx < p_.queue.size());
+    s.q = p_.queue[idx];
+  }
+
+  const GridIndex& grid = *p_.grid;
+  s.rank = grid.grid_rank(s.q);
+  s.origin_cell = grid.cell_of_point(s.q);
+  s.origin_id = cells_[s.origin_cell].linear_id;
+  s.oc = grid.decode(s.origin_id);
+  s.adj_cursor = 0;
+  s.scanning = false;
+  cost += 4;  // point load + cell decode
+  return {true, cost};
+}
+
+simt::StepResult SelfJoinKernel::step(LaneState& s) {
+  return s.scanning ? scan(s) : next_cell(s);
+}
+
+simt::StepResult SelfJoinKernel::scan(LaneState& s) {
+  const PointId c = point_ids_[s.cand_pos];
+  std::uint32_t cost = cost_dist_;
+  if (dist2(s.q, c) <= eps2_) {
+    p_.results->emit(s.q, c);
+    ++emitted_;
+    if (unidirectional_) {
+      // This evaluation is the only one for the unordered pair {q, c}:
+      // mirror it (the CUDA code writes both pairs to the buffer).
+      p_.results->emit(c, s.q);
+      ++emitted_;
+    }
+    cost += p_.device->cost_emit;
+  }
+  s.cand_pos += static_cast<std::uint32_t>(p_.k);
+  if (s.cand_pos >= s.cand_end) s.scanning = false;
+  return {true, cost};
+}
+
+simt::StepResult SelfJoinKernel::next_cell(LaneState& s) {
+  if (s.adj_cursor >= adj_total_) return {false, 1};
+  const std::uint64_t cur = s.adj_cursor++;
+  std::uint32_t cost = p_.device->cost_pattern_check;
+
+  const GridIndex& grid = *p_.grid;
+
+  if (cur == adj_center_) {
+    // The origin cell itself.
+    const GridCell& cell = cells_[s.origin_cell];
+    std::uint32_t begin, end = cell.end;
+    if (p_.pattern == CellPattern::Full) {
+      begin = cell.begin;  // every own-cell point, q included (self pair)
+    } else {
+      // Rank rule: only own-cell points after q in grid order; each
+      // evaluation emits both pairs. The (q,q) self pair is written
+      // directly, once per group.
+      if (s.group_rank == 0) {
+        p_.results->emit(s.q, s.q);
+        ++emitted_;
+        cost += p_.device->cost_emit;
+      }
+      begin = s.rank + 1;
+    }
+    begin += s.group_rank;  // k-way split of the candidate range
+    if (begin < end) {
+      s.cand_pos = begin;
+      s.cand_end = end;
+      s.scanning = true;
+    }
+    return {true, cost};
+  }
+
+  // Decode the odometer slot into a {-1,0,1}^dims offset (mixed radix,
+  // last dimension fastest — matching linear-id order).
+  CellCoords nc;
+  std::uint64_t rem = cur;
+  for (int d = dims_ - 1; d >= 0; --d) {
+    const auto off = static_cast<std::int32_t>(rem % 3) - 1;
+    rem /= 3;
+    const std::int32_t v = s.oc[d] + off;
+    if (v < 0 || v >= grid.cells_per_dim(d)) return {true, cost};
+    nc[d] = v;
+  }
+
+  const std::uint64_t nid = grid.encode(nc);
+  if (!pattern_accepts(p_.pattern, dims_, s.oc, nc, s.origin_id, nid)) {
+    return {true, cost};
+  }
+  const std::size_t nidx = grid.find_cell(nid);
+  cost += p_.device->cost_cell_probe;
+  if (nidx == GridIndex::npos) return {true, cost};
+
+  const GridCell& cell = cells_[nidx];
+  const std::uint32_t begin = cell.begin + s.group_rank;
+  if (begin < cell.end) {
+    s.cand_pos = begin;
+    s.cand_end = cell.end;
+    s.scanning = true;
+  }
+  return {true, cost};
+}
+
+}  // namespace gsj

@@ -1,0 +1,131 @@
+// The self-join GPU kernel, expressed for the SIMT simulator.
+//
+// One kernel type covers all of the paper's variants; the configuration
+// selects behaviour exactly the way the CUDA implementations differ:
+//
+//  * GPUCALCGLOBAL [18]        — pattern FULL, Static assignment, k=1
+//  * UNICOMP [18]              — pattern UNICOMP
+//  * LID-UNICOMP (§III-B)      — pattern LID-UNICOMP
+//  * k-granularity (§III-A)    — k>1 lanes per query point; candidate
+//                                ranges are strided across the k lanes
+//                                of a cooperative group
+//  * WORKQUEUE (§III-D)        — points taken from a device-global
+//                                atomic counter over the workload-sorted
+//                                order D'; with k>1 only the group
+//                                leader increments and broadcasts the
+//                                grabbed index (cooperative groups /
+//                                __shfl_sync)
+//
+// A lane's program is the CUDA kernel's loop nest unrolled into lockstep
+// work units:
+//   NextCell step — advance the 3^n adjacency odometer by one slot:
+//       bounds check + pattern predicate (cost_pattern_check), plus a
+//       binary search into the non-empty cell array when the slot
+//       survives (cost_cell_probe);
+//   Scan step     — one candidate distance calculation (cost_dist) and,
+//       within epsilon, result emission (cost_emit).
+//
+// Result-pair semantics match reference.hpp: all ordered pairs with
+// self pairs. FULL evaluates both directions and emits one pair per
+// evaluation; the unidirectional patterns evaluate each unordered pair
+// once (adjacent cells via the pattern predicate, the own cell via the
+// grid-rank rule) and emit both ordered pairs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "grid/cell_access.hpp"
+#include "grid/grid_index.hpp"
+#include "simt/counter.hpp"
+#include "simt/device.hpp"
+#include "simt/launch.hpp"
+#include "sj/result_set.hpp"
+
+namespace gsj {
+
+/// How query points are bound to thread groups.
+enum class Assignment {
+  Static,     ///< group g processes points[g] (strided batch lists)
+  WorkQueue,  ///< group leader atomically pops the next index of `queue`
+};
+
+[[nodiscard]] std::string to_string(Assignment a);
+
+struct KernelParams {
+  const GridIndex* grid = nullptr;
+  CellPattern pattern = CellPattern::Full;
+  Assignment assignment = Assignment::Static;
+  int k = 1;  ///< lanes per query point; must divide warp_size
+  /// Static: this batch's query list. The launch must use
+  /// points.size() * k threads.
+  std::span<const PointId> points;
+  /// WorkQueue: the full workload-sorted order D' and the shared head
+  /// counter (pre-positioned at this batch's first index). The launch
+  /// must use (range size) * k threads.
+  std::span<const PointId> queue;
+  simt::DeviceCounter* counter = nullptr;
+  const simt::DeviceConfig* device = nullptr;
+  ResultSet* results = nullptr;
+};
+
+class SelfJoinKernel {
+ public:
+  explicit SelfJoinKernel(const KernelParams& p);
+
+  struct LaneState {
+    PointId q = 0;
+    std::uint32_t rank = 0;        ///< grid rank of q (own-cell rule)
+    std::uint32_t group_rank = 0;  ///< 0..k-1 within the cooperative group
+    std::uint64_t origin_id = 0;   ///< linear id of q's cell
+    std::size_t origin_cell = 0;   ///< index into grid.cells()
+    CellCoords oc{};               ///< q's cell coordinates
+    std::uint64_t adj_cursor = 0;  ///< odometer over the 3^n slots
+    std::uint32_t cand_pos = 0;    ///< current candidate (into point_ids)
+    std::uint32_t cand_end = 0;
+    bool scanning = false;
+  };
+
+  simt::InitResult init_lane(LaneState& s, const simt::LaneCtx& ctx,
+                             simt::WarpScratch& scratch);
+  simt::StepResult step(LaneState& s);
+
+  [[nodiscard]] std::uint64_t atomics_executed() const noexcept {
+    return atomics_;
+  }
+  [[nodiscard]] std::uint64_t results_emitted() const noexcept {
+    return emitted_;
+  }
+
+ private:
+  simt::StepResult next_cell(LaneState& s);
+  simt::StepResult scan(LaneState& s);
+
+  [[nodiscard]] double dist2(PointId a, PointId b) const noexcept {
+    double sum = 0.0;
+    for (int d = 0; d < dims_; ++d) {
+      const double diff = coords_[static_cast<std::size_t>(d)][a] -
+                          coords_[static_cast<std::size_t>(d)][b];
+      sum += diff * diff;
+    }
+    return sum;
+  }
+
+  KernelParams p_;
+  // Cached hot fields.
+  const GridCell* cells_ = nullptr;
+  const PointId* point_ids_ = nullptr;
+  std::array<const double*, kMaxDims> coords_{};
+  int dims_ = 0;
+  double eps2_ = 0.0;
+  std::uint64_t adj_total_ = 0;   ///< 3^dims
+  std::uint64_t adj_center_ = 0;  ///< odometer slot of the origin cell
+  bool unidirectional_ = false;
+  std::uint32_t cost_dist_ = 0;
+  std::uint64_t atomics_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace gsj

@@ -1,0 +1,59 @@
+// CSR epsilon-neighborhood table built from a self-join result, and a
+// single-point range-query helper — the building blocks the paper's
+// motivating applications (clustering, near-duplicate detection)
+// consume.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "grid/grid_index.hpp"
+#include "sj/result_set.hpp"
+
+namespace gsj {
+
+/// Compressed-sparse-row neighbor table: neighbors of point p are
+/// neighbors(p), sorted ascending, including p itself (the self-join's
+/// self pair).
+class NeighborTable {
+ public:
+  /// Builds from stored self-join pairs. `n` is the dataset size.
+  NeighborTable(const ResultSet& results, std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return offsets_.size() - 1;
+  }
+
+  [[nodiscard]] std::span<const PointId> neighbors(PointId p) const noexcept {
+    return {flat_.data() + offsets_[p],
+            static_cast<std::size_t>(offsets_[p + 1] - offsets_[p])};
+  }
+
+  /// Neighborhood size |N(p)| (p itself included).
+  [[nodiscard]] std::uint64_t degree(PointId p) const noexcept {
+    return offsets_[p + 1] - offsets_[p];
+  }
+
+  [[nodiscard]] std::uint64_t total_pairs() const noexcept {
+    return flat_.size();
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<PointId> flat_;
+};
+
+/// Exact epsilon-range query around a single point through the grid
+/// index (the paper's "range query" primitive). Returns ids of all
+/// points within epsilon of `q`, q itself included, ascending.
+[[nodiscard]] std::vector<PointId> range_query(const GridIndex& grid,
+                                               PointId q);
+
+/// Range query around an arbitrary location (not necessarily a dataset
+/// point).
+[[nodiscard]] std::vector<PointId> range_query(const GridIndex& grid,
+                                               std::span<const double> center);
+
+}  // namespace gsj

@@ -1,0 +1,69 @@
+// Self-join result collection.
+//
+// The full result of a similarity self-join is the set of *ordered*
+// pairs (a, b) with dist(a, b) <= epsilon, including the (a, a) self
+// pairs — the convention of Gowanlock & Karsin [18], which makes the
+// result directly usable as epsilon-neighborhood lists (|N(p)| counts p
+// itself, as DBSCAN expects).
+//
+// Large joins produce result sets far beyond memory, so the collector
+// supports a count-only mode; pair storage is reserved for tests,
+// examples and small workloads.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace gsj {
+
+using ResultPair = std::pair<PointId, PointId>;
+
+class ResultSet {
+ public:
+  /// `store_pairs == false` keeps only the count (benchmark mode).
+  explicit ResultSet(bool store_pairs = true) : store_(store_pairs) {}
+
+  void emit(PointId a, PointId b) {
+    ++count_;
+    if (store_) pairs_.emplace_back(a, b);
+  }
+
+  /// Folds in pairs that were counted elsewhere (thread-local merge in
+  /// count-only mode).
+  void add_count(std::uint64_t n) noexcept { count_ += n; }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool stores_pairs() const noexcept { return store_; }
+  [[nodiscard]] const std::vector<ResultPair>& pairs() const noexcept {
+    return pairs_;
+  }
+
+  /// Sorts stored pairs lexicographically — the canonical form used to
+  /// compare results across kernel variants (which emit in different
+  /// orders but must produce the same set).
+  void canonicalize();
+
+  /// Converts stored ordered pairs into per-point neighbor lists
+  /// (CSR-style offsets + flattened neighbor ids). Requires stored
+  /// pairs; `n` is the dataset size.
+  struct NeighborLists {
+    std::vector<std::uint64_t> offsets;  ///< size n+1
+    std::vector<PointId> neighbors;
+  };
+  [[nodiscard]] NeighborLists neighbor_lists(std::size_t n) const;
+
+  void clear() noexcept {
+    count_ = 0;
+    pairs_.clear();
+  }
+
+ private:
+  bool store_;
+  std::uint64_t count_ = 0;
+  std::vector<ResultPair> pairs_;
+};
+
+}  // namespace gsj

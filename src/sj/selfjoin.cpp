@@ -1,0 +1,164 @@
+#include "sj/selfjoin.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "grid/workload.hpp"
+#include "simt/counter.hpp"
+#include "simt/launch.hpp"
+
+namespace gsj {
+
+std::string SelfJoinConfig::name() const {
+  std::ostringstream os;
+  if (work_queue) {
+    os << "WORKQUEUE";
+  } else if (sort_by_workload) {
+    os << "SORTBYWL";
+  } else {
+    os << "GPUCALCGLOBAL";
+  }
+  if (pattern != CellPattern::Full) os << '+' << to_string(pattern);
+  if (k != 1) os << "+k" << k;
+  return os.str();
+}
+
+SelfJoinConfig SelfJoinConfig::gpu_calc_global(double eps) {
+  SelfJoinConfig c;
+  c.epsilon = eps;
+  return c;
+}
+
+SelfJoinConfig SelfJoinConfig::unicomp(double eps) {
+  SelfJoinConfig c = gpu_calc_global(eps);
+  c.pattern = CellPattern::Unicomp;
+  return c;
+}
+
+SelfJoinConfig SelfJoinConfig::lid_unicomp(double eps) {
+  SelfJoinConfig c = gpu_calc_global(eps);
+  c.pattern = CellPattern::LidUnicomp;
+  return c;
+}
+
+SelfJoinConfig SelfJoinConfig::sort_by_wl(double eps) {
+  SelfJoinConfig c = gpu_calc_global(eps);
+  c.sort_by_workload = true;
+  return c;
+}
+
+SelfJoinConfig SelfJoinConfig::work_queue_cfg(double eps, int k,
+                                              CellPattern pattern) {
+  SelfJoinConfig c = gpu_calc_global(eps);
+  c.work_queue = true;
+  c.k = k;
+  c.pattern = pattern;
+  return c;
+}
+
+SelfJoinConfig SelfJoinConfig::combined(double eps) {
+  return work_queue_cfg(eps, /*k=*/8, CellPattern::LidUnicomp);
+}
+
+SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
+  GSJ_CHECK_MSG(cfg.epsilon > 0.0, "epsilon must be positive");
+  GSJ_CHECK_MSG(!ds.empty(), "empty dataset");
+  GSJ_CHECK_MSG(cfg.k >= 1 && cfg.device.warp_size % cfg.k == 0,
+                "k=" << cfg.k << " must divide warp_size="
+                     << cfg.device.warp_size);
+
+  SelfJoinOutput out;
+  out.results = ResultSet(cfg.store_pairs);
+  Timer host;
+
+  const GridIndex grid(ds, cfg.epsilon);
+
+  // Workload-sorted order D' (only materialized when needed).
+  std::vector<PointId> queue_order;
+  BatchPlan plan;
+  if (cfg.work_queue) {
+    const std::vector<std::uint64_t> pw = point_workloads(grid, cfg.pattern);
+    queue_order.resize(ds.size());
+    std::iota(queue_order.begin(), queue_order.end(), PointId{0});
+    std::stable_sort(queue_order.begin(), queue_order.end(),
+                     [&pw](PointId a, PointId b) { return pw[a] > pw[b]; });
+    plan = plan_queue(grid, cfg.batching, queue_order, pw);
+  } else {
+    plan = plan_strided(grid, cfg.batching, cfg.sort_by_workload, cfg.pattern);
+  }
+  out.stats.num_batches = plan.num_batches;
+  out.stats.estimated_total_pairs = plan.estimated_total_pairs;
+  out.stats.host_prep_seconds = host.seconds();
+
+  simt::DeviceCounter counter;
+  std::vector<double> kernel_secs, xfer_secs;
+  kernel_secs.reserve(plan.num_batches);
+  xfer_secs.reserve(plan.num_batches);
+
+  auto run_batch = [&](std::span<const PointId> points,
+                       std::uint64_t queue_len) {
+    KernelParams params;
+    params.grid = &grid;
+    params.pattern = cfg.pattern;
+    params.assignment =
+        cfg.work_queue ? Assignment::WorkQueue : Assignment::Static;
+    params.k = cfg.k;
+    params.points = points;
+    params.queue = queue_order;
+    params.counter = &counter;
+    params.device = &cfg.device;
+    params.results = &out.results;
+
+    const std::uint64_t groups =
+        cfg.work_queue ? queue_len : points.size();
+    const std::uint64_t nthreads = groups * static_cast<std::uint64_t>(cfg.k);
+
+    const std::uint64_t pairs_before = out.results.count();
+    SelfJoinKernel kernel(params);
+    simt::KernelStats ks = simt::launch(cfg.device, nthreads, kernel);
+    ks.atomics_executed = kernel.atomics_executed();
+    ks.results_emitted = kernel.results_emitted();
+    out.stats.kernel.merge(ks);
+
+    const std::uint64_t batch_pairs = out.results.count() - pairs_before;
+    out.stats.max_batch_pairs =
+        std::max(out.stats.max_batch_pairs, batch_pairs);
+    if (cfg.batching.enabled && batch_pairs > cfg.batching.buffer_pairs) {
+      out.stats.buffer_overflowed = true;
+    }
+    kernel_secs.push_back(ks.seconds(cfg.device));
+    xfer_secs.push_back(transfer_seconds(batch_pairs, cfg.batching));
+
+    BatchStats bs;
+    bs.query_points = groups;
+    bs.result_pairs = batch_pairs;
+    bs.kernel_seconds = kernel_secs.back();
+    bs.transfer_seconds = xfer_secs.back();
+    bs.wee_percent = ks.warp_execution_efficiency(cfg.device.warp_size) * 100.0;
+    out.stats.batches.push_back(bs);
+  };
+
+  if (cfg.work_queue) {
+    for (const auto& [begin, end] : plan.queue_ranges) {
+      counter.reset(begin);
+      run_batch({}, end - begin);
+    }
+  } else {
+    for (const auto& batch : plan.batches) {
+      if (!batch.empty()) run_batch(batch, 0);
+    }
+  }
+
+  out.stats.result_pairs = out.results.count();
+  out.stats.kernel_seconds = 0.0;
+  for (double s : kernel_secs) out.stats.kernel_seconds += s;
+  out.stats.total_seconds =
+      pipeline_seconds(kernel_secs, xfer_secs, cfg.batching.nstreams);
+  if (cfg.store_pairs) out.results.canonicalize();
+  return out;
+}
+
+}  // namespace gsj

@@ -1,0 +1,104 @@
+// Public API: the batched, load-balance-optimized GPU similarity
+// self-join of Gallet & Gowanlock (2019), executed on the SIMT device
+// model.
+//
+// Quickstart:
+//
+//   gsj::Dataset ds = gsj::gen_exponential(100'000, 2, /*seed=*/1);
+//   gsj::SelfJoinConfig cfg = gsj::SelfJoinConfig::combined(0.2);
+//   gsj::SelfJoinOutput out = gsj::self_join(ds, cfg);
+//   // out.results holds the ordered epsilon-neighbor pairs,
+//   // out.stats the modeled kernel time and warp execution efficiency.
+//
+// Variant map (paper name -> configuration):
+//   GPUCALCGLOBAL   SelfJoinConfig::gpu_calc_global(eps)
+//   UNICOMP         SelfJoinConfig::unicomp(eps)
+//   LID-UNICOMP     SelfJoinConfig::lid_unicomp(eps)
+//   SORTBYWL        SelfJoinConfig::sort_by_wl(eps)
+//   WORKQUEUE       SelfJoinConfig::work_queue(eps)
+//   WQ+LID+k=8      SelfJoinConfig::combined(eps)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "grid/cell_access.hpp"
+#include "simt/device.hpp"
+#include "sj/batching.hpp"
+#include "sj/kernels.hpp"
+#include "sj/result_set.hpp"
+
+namespace gsj {
+
+struct SelfJoinConfig {
+  double epsilon = 1.0;
+  CellPattern pattern = CellPattern::Full;
+  /// SORTBYWL (§III-C): sort each strided batch's query list by
+  /// non-increasing workload. Ignored when `work_queue` is set (the
+  /// queue order is always workload-sorted).
+  bool sort_by_workload = false;
+  /// WORKQUEUE (§III-D): consume the workload-sorted order D' through a
+  /// device-global atomic counter (contiguous-chunk batches, first-1%
+  /// estimation).
+  bool work_queue = false;
+  /// Threads per query point (§III-A); must divide device.warp_size.
+  int k = 1;
+  BatchingConfig batching;
+  simt::DeviceConfig device;
+  /// Store result pairs (tests/examples) or count only (benchmarks).
+  bool store_pairs = false;
+
+  [[nodiscard]] std::string name() const;
+
+  // --- the paper's named configurations ---
+  static SelfJoinConfig gpu_calc_global(double eps);
+  static SelfJoinConfig unicomp(double eps);
+  static SelfJoinConfig lid_unicomp(double eps);
+  static SelfJoinConfig sort_by_wl(double eps);
+  static SelfJoinConfig work_queue_cfg(double eps, int k = 1,
+                                       CellPattern pattern = CellPattern::Full);
+  /// WORKQUEUE + LID-UNICOMP + k=8: the paper's headline combination.
+  static SelfJoinConfig combined(double eps);
+};
+
+/// Per-batch execution record (§II-C2's batching made observable).
+struct BatchStats {
+  std::uint64_t query_points = 0;
+  std::uint64_t result_pairs = 0;
+  double kernel_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  double wee_percent = 0.0;
+};
+
+struct SelfJoinStats {
+  simt::KernelStats kernel;  ///< merged over all batches
+  std::vector<BatchStats> batches;
+  std::size_t num_batches = 0;
+  std::uint64_t estimated_total_pairs = 0;
+  std::uint64_t result_pairs = 0;
+  std::uint64_t max_batch_pairs = 0;  ///< buffer-overflow audit
+  bool buffer_overflowed = false;
+  double kernel_seconds = 0.0;     ///< modeled device time (sum of batches)
+  double total_seconds = 0.0;      ///< modeled pipeline incl. transfers
+  double host_prep_seconds = 0.0;  ///< wall time: grid build, sorting, planning
+
+  /// Warp execution efficiency in percent (the paper's WEE metric).
+  [[nodiscard]] double wee_percent() const noexcept {
+    return kernel.warp_execution_efficiency() * 100.0;
+  }
+};
+
+struct SelfJoinOutput {
+  ResultSet results;
+  SelfJoinStats stats;
+
+  SelfJoinOutput() : results(false) {}
+};
+
+/// Runs the batched self-join. Throws CheckError on invalid
+/// configuration (epsilon <= 0, k not dividing warp size, ...).
+[[nodiscard]] SelfJoinOutput self_join(const Dataset& ds,
+                                       const SelfJoinConfig& cfg);
+
+}  // namespace gsj

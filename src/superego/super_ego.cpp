@@ -1,0 +1,267 @@
+#include "superego/super_ego.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace gsj {
+
+namespace {
+
+/// Contiguous range [begin, end) over the EGO-sorted point array.
+struct Range {
+  std::size_t begin, end;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool operator==(const Range&) const = default;
+};
+
+/// Sorted working copy of the dataset (dimension-reordered, SoA) plus
+/// the mapping back to original point ids.
+struct EgoSorted {
+  int dims = 0;
+  double epsilon = 0.0;
+  std::vector<std::vector<double>> coords;  // [dim][pos]
+  std::vector<PointId> ids;                 // pos -> original id
+};
+
+/// Thread-local accumulation, merged after the parallel phase.
+struct LocalResult {
+  std::vector<ResultPair> pairs;
+  std::uint64_t count = 0;
+  std::uint64_t dist_calcs = 0;
+  std::uint64_t pruned = 0;
+};
+
+class EgoJoiner {
+ public:
+  EgoJoiner(const EgoSorted& s, const SuperEgoConfig& cfg)
+      : s_(s), cfg_(cfg), eps2_(cfg.epsilon * cfg.epsilon) {}
+
+  /// Collects the independent range-pair tasks for the parallel phase.
+  void collect_tasks(Range a, Range b, std::vector<std::pair<Range, Range>>& out) const {
+    if (a.size() == 0 || b.size() == 0) return;
+    if (std::max(a.size(), b.size()) <= cfg_.parallel_grain) {
+      out.emplace_back(a, b);
+      return;
+    }
+    if (a == b) {
+      const std::size_t mid = a.begin + a.size() / 2;
+      const Range a1{a.begin, mid}, a2{mid, a.end};
+      collect_tasks(a1, a1, out);
+      collect_tasks(a2, a2, out);
+      collect_tasks(a1, a2, out);
+      return;
+    }
+    // Split the larger side.
+    if (a.size() >= b.size()) {
+      const std::size_t mid = a.begin + a.size() / 2;
+      collect_tasks({a.begin, mid}, b, out);
+      collect_tasks({mid, a.end}, b, out);
+    } else {
+      const std::size_t mid = b.begin + b.size() / 2;
+      collect_tasks(a, {b.begin, mid}, out);
+      collect_tasks(a, {mid, b.end}, out);
+    }
+  }
+
+  void join(Range a, Range b, LocalResult& r) const {
+    if (a.size() == 0 || b.size() == 0) return;
+    if (a != b && too_far(a, b)) {
+      ++r.pruned;
+      return;
+    }
+    if (a.size() <= cfg_.base_case && b.size() <= cfg_.base_case) {
+      a == b ? base_self(a, r) : base_cross(a, b, r);
+      return;
+    }
+    if (a == b) {
+      const std::size_t mid = a.begin + a.size() / 2;
+      const Range a1{a.begin, mid}, a2{mid, a.end};
+      join(a1, a1, r);
+      join(a2, a2, r);
+      join(a1, a2, r);
+      return;
+    }
+    if (a.size() >= b.size()) {
+      const std::size_t mid = a.begin + a.size() / 2;
+      join({a.begin, mid}, b, r);
+      join({mid, a.end}, b, r);
+    } else {
+      const std::size_t mid = b.begin + b.size() / 2;
+      join(a, {b.begin, mid}, r);
+      join(a, {mid, b.end}, r);
+    }
+  }
+
+ private:
+  /// Epsilon-separation test on the ranges' bounding boxes. Computing
+  /// the boxes is O(range), which the EGO recursion amortizes: a
+  /// successful prune removes a quadratic amount of work.
+  [[nodiscard]] bool too_far(Range a, Range b) const {
+    for (int d = 0; d < s_.dims; ++d) {
+      const auto& col = s_.coords[static_cast<std::size_t>(d)];
+      double alo = col[a.begin], ahi = col[a.begin];
+      for (std::size_t i = a.begin + 1; i < a.end; ++i) {
+        alo = std::min(alo, col[i]);
+        ahi = std::max(ahi, col[i]);
+      }
+      double blo = col[b.begin], bhi = col[b.begin];
+      for (std::size_t i = b.begin + 1; i < b.end; ++i) {
+        blo = std::min(blo, col[i]);
+        bhi = std::max(bhi, col[i]);
+      }
+      if (blo - ahi > cfg_.epsilon || alo - bhi > cfg_.epsilon) return true;
+    }
+    return false;
+  }
+
+  /// Distance test with per-dimension early termination — SUPER-EGO's
+  /// inner-loop optimization.
+  [[nodiscard]] bool within(std::size_t i, std::size_t j) const noexcept {
+    double acc = 0.0;
+    for (int d = 0; d < s_.dims; ++d) {
+      const double diff = s_.coords[static_cast<std::size_t>(d)][i] -
+                          s_.coords[static_cast<std::size_t>(d)][j];
+      acc += diff * diff;
+      if (acc > eps2_) return false;
+    }
+    return true;
+  }
+
+  void emit(std::size_t i, std::size_t j, LocalResult& r) const {
+    ++r.count;
+    if (cfg_.store_pairs) r.pairs.emplace_back(s_.ids[i], s_.ids[j]);
+  }
+
+  void base_self(Range a, LocalResult& r) const {
+    for (std::size_t i = a.begin; i < a.end; ++i) {
+      emit(i, i, r);  // self pair
+      for (std::size_t j = i + 1; j < a.end; ++j) {
+        ++r.dist_calcs;
+        if (within(i, j)) {
+          emit(i, j, r);
+          emit(j, i, r);
+        }
+      }
+    }
+  }
+
+  void base_cross(Range a, Range b, LocalResult& r) const {
+    for (std::size_t i = a.begin; i < a.end; ++i) {
+      for (std::size_t j = b.begin; j < b.end; ++j) {
+        ++r.dist_calcs;
+        if (within(i, j)) {
+          emit(i, j, r);
+          emit(j, i, r);
+        }
+      }
+    }
+  }
+
+  const EgoSorted& s_;
+  const SuperEgoConfig& cfg_;
+  double eps2_;
+};
+
+EgoSorted ego_sort(const Dataset& ds, const SuperEgoConfig& cfg) {
+  const int dims = ds.dims();
+  const std::size_t n = ds.size();
+  const auto lo = ds.min_corner();
+  const auto hi = ds.max_corner();
+
+  // Dimension reordering: most epsilon-cells first (most selective).
+  std::vector<int> dim_order(static_cast<std::size_t>(dims));
+  std::iota(dim_order.begin(), dim_order.end(), 0);
+  if (cfg.reorder_dims) {
+    std::stable_sort(dim_order.begin(), dim_order.end(), [&](int a, int b) {
+      const auto ea = hi[static_cast<std::size_t>(a)] - lo[static_cast<std::size_t>(a)];
+      const auto eb = hi[static_cast<std::size_t>(b)] - lo[static_cast<std::size_t>(b)];
+      return ea > eb;
+    });
+  }
+
+  // Cell coordinates in the reordered dimension sequence.
+  std::vector<std::vector<std::int32_t>> cells(
+      static_cast<std::size_t>(dims), std::vector<std::int32_t>(n));
+  for (int dd = 0; dd < dims; ++dd) {
+    const int d = dim_order[static_cast<std::size_t>(dd)];
+    const double base = lo[static_cast<std::size_t>(d)];
+    for (std::size_t i = 0; i < n; ++i) {
+      cells[static_cast<std::size_t>(dd)][i] = static_cast<std::int32_t>(
+          std::floor((ds.coord(i, d) - base) / cfg.epsilon));
+    }
+  }
+
+  EgoSorted s;
+  s.dims = dims;
+  s.epsilon = cfg.epsilon;
+  s.ids.resize(n);
+  std::iota(s.ids.begin(), s.ids.end(), PointId{0});
+  std::sort(s.ids.begin(), s.ids.end(), [&](PointId a, PointId b) {
+    for (int d = 0; d < dims; ++d) {
+      const auto ca = cells[static_cast<std::size_t>(d)][a];
+      const auto cb = cells[static_cast<std::size_t>(d)][b];
+      if (ca != cb) return ca < cb;
+    }
+    return a < b;
+  });
+
+  s.coords.assign(static_cast<std::size_t>(dims), std::vector<double>(n));
+  for (int dd = 0; dd < dims; ++dd) {
+    const int d = dim_order[static_cast<std::size_t>(dd)];
+    auto& col = s.coords[static_cast<std::size_t>(dd)];
+    for (std::size_t i = 0; i < n; ++i) col[i] = ds.coord(s.ids[i], d);
+  }
+  return s;
+}
+
+}  // namespace
+
+SuperEgoOutput super_ego_join(const Dataset& ds, const SuperEgoConfig& cfg) {
+  GSJ_CHECK_MSG(cfg.epsilon > 0.0, "epsilon must be positive");
+  GSJ_CHECK_MSG(!ds.empty(), "empty dataset");
+  GSJ_CHECK(cfg.base_case >= 1 && cfg.parallel_grain >= cfg.base_case);
+
+  SuperEgoOutput out;
+  out.results = ResultSet(cfg.store_pairs);
+
+  Timer sort_timer;
+  const EgoSorted sorted = ego_sort(ds, cfg);
+  out.stats.sort_seconds = sort_timer.seconds();
+
+  Timer join_timer;
+  const EgoJoiner joiner(sorted, cfg);
+  const Range whole{0, ds.size()};
+
+  std::vector<std::pair<Range, Range>> tasks;
+  joiner.collect_tasks(whole, whole, tasks);
+
+  ThreadPool pool(cfg.nthreads);
+  std::vector<LocalResult> locals(tasks.size());
+  pool.parallel_for(tasks.size(), [&](std::size_t t) {
+    joiner.join(tasks[t].first, tasks[t].second, locals[t]);
+  });
+
+  for (auto& l : locals) {
+    out.stats.distance_calcs += l.dist_calcs;
+    out.stats.pruned_pairs += l.pruned;
+    if (cfg.store_pairs) {
+      for (const auto& [a, b] : l.pairs) out.results.emit(a, b);
+    } else {
+      out.results.add_count(l.count);
+    }
+  }
+  out.stats.result_pairs = out.results.count();
+  out.stats.seconds = join_timer.seconds();
+  if (cfg.store_pairs) out.results.canonicalize();
+  return out;
+}
+
+}  // namespace gsj

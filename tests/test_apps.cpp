@@ -1,0 +1,176 @@
+// Unit/integration tests: NeighborTable, range queries, and DBSCAN
+// built on the self-join.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "data/generators.hpp"
+#include "sj/dbscan.hpp"
+#include "sj/neighbor_table.hpp"
+#include "sj/reference.hpp"
+
+namespace gsj {
+namespace {
+
+TEST(NeighborTable, MatchesBruteForceDegrees) {
+  const Dataset ds = gen_uniform(500, 2, 21, 0.0, 10.0);
+  const double eps = 0.7;
+  const ResultSet truth = brute_force_join(ds, eps);
+  const NeighborTable nt(truth, ds.size());
+  EXPECT_EQ(nt.total_pairs(), truth.count());
+  std::vector<std::uint64_t> deg(ds.size(), 0);
+  for (const auto& [a, b] : truth.pairs()) deg[a]++;
+  for (PointId p = 0; p < ds.size(); ++p) {
+    EXPECT_EQ(nt.degree(p), deg[p]);
+    const auto nb = nt.neighbors(p);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    // Self pair present.
+    EXPECT_TRUE(std::binary_search(nb.begin(), nb.end(), p));
+  }
+}
+
+TEST(NeighborTable, RequiresStoredPairs) {
+  ResultSet counted(false);
+  counted.emit(0, 0);
+  EXPECT_THROW(NeighborTable(counted, 1), CheckError);
+}
+
+TEST(RangeQuery, PointQueryMatchesBruteForce) {
+  const Dataset ds = gen_exponential(800, 3, 22);
+  const double eps = 0.04;
+  const GridIndex grid(ds, eps);
+  const ResultSet truth = brute_force_join(ds, eps);
+  const NeighborTable nt(truth, ds.size());
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto q = static_cast<PointId>(rng.uniform_index(ds.size()));
+    const auto got = range_query(grid, q);
+    const auto want = nt.neighbors(q);
+    ASSERT_EQ(got.size(), want.size()) << "q=" << q;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+  }
+}
+
+TEST(RangeQuery, ArbitraryCenterMatchesScan) {
+  const Dataset ds = gen_uniform(1000, 2, 23, 0.0, 10.0);
+  const double eps = 0.9;
+  const GridIndex grid(ds, eps);
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 30; ++i) {
+    const double center[] = {rng.uniform(-1.0, 11.0), rng.uniform(-1.0, 11.0)};
+    const auto got = range_query(grid, center);
+    std::vector<PointId> want;
+    for (PointId p = 0; p < ds.size(); ++p) {
+      const double dx = ds.coord(p, 0) - center[0];
+      const double dy = ds.coord(p, 1) - center[1];
+      if (dx * dx + dy * dy <= eps * eps) want.push_back(p);
+    }
+    EXPECT_EQ(got, want) << "center (" << center[0] << ", " << center[1] << ")";
+  }
+}
+
+TEST(RangeQuery, EmptyResultFarOutside) {
+  const Dataset ds = gen_uniform(200, 2, 24, 0.0, 10.0);
+  const GridIndex grid(ds, 0.5);
+  const double far_away[] = {100.0, 100.0};
+  EXPECT_TRUE(range_query(grid, far_away).empty());
+}
+
+/// Three well-separated Gaussian blobs plus uniform noise.
+Dataset blobs_dataset(std::size_t per_blob, std::size_t noise,
+                      std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  auto gaussian = [&rng] {
+    const double u1 = 1.0 - rng.uniform();
+    const double u2 = rng.uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530718 * u2);
+  };
+  Dataset ds(2);
+  const double centers[3][2] = {{10, 10}, {30, 10}, {20, 30}};
+  for (const auto& c : centers) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const double p[] = {c[0] + gaussian() * 0.5, c[1] + gaussian() * 0.5};
+      ds.push_back(p);
+    }
+  }
+  for (std::size_t i = 0; i < noise; ++i) {
+    const double p[] = {rng.uniform(0.0, 40.0), rng.uniform(0.0, 40.0)};
+    ds.push_back(p);
+  }
+  return ds;
+}
+
+TEST(Dbscan, RecoversWellSeparatedBlobs) {
+  const Dataset ds = blobs_dataset(300, 30, 25);
+  DbscanConfig cfg;
+  cfg.epsilon = 0.5;
+  cfg.min_pts = 8;
+  const DbscanResult res = dbscan(ds, cfg);
+  EXPECT_EQ(res.num_clusters, 3u);
+  // Each blob maps to exactly one label.
+  for (int blob = 0; blob < 3; ++blob) {
+    std::set<std::int32_t> labels;
+    for (std::size_t i = 0; i < 300; ++i) {
+      const auto l = res.labels[static_cast<std::size_t>(blob) * 300 + i];
+      if (l != DbscanResult::kNoise) labels.insert(l);
+    }
+    EXPECT_EQ(labels.size(), 1u) << "blob " << blob;
+  }
+  EXPECT_GT(res.num_noise, 0u);
+  EXPECT_LT(res.num_noise, 60u);  // noise points far from blobs
+}
+
+TEST(Dbscan, AllNoiseWhenMinPtsTooHigh) {
+  const Dataset ds = gen_uniform(300, 2, 26, 0.0, 100.0);
+  DbscanConfig cfg;
+  cfg.epsilon = 0.5;
+  cfg.min_pts = 50;
+  const DbscanResult res = dbscan(ds, cfg);
+  EXPECT_EQ(res.num_clusters, 0u);
+  EXPECT_EQ(res.num_noise, ds.size());
+}
+
+TEST(Dbscan, SingleClusterWhenDense) {
+  const Dataset ds = gen_uniform(500, 2, 27, 0.0, 1.0);
+  DbscanConfig cfg;
+  cfg.epsilon = 0.3;
+  cfg.min_pts = 4;
+  const DbscanResult res = dbscan(ds, cfg);
+  EXPECT_EQ(res.num_clusters, 1u);
+  EXPECT_EQ(res.num_noise, 0u);
+}
+
+TEST(Dbscan, LabelsAreConsistentAcrossJoinVariants) {
+  const Dataset ds = blobs_dataset(200, 20, 28);
+  DbscanConfig a;
+  a.epsilon = 0.5;
+  a.min_pts = 6;
+  a.join = SelfJoinConfig::gpu_calc_global(1.0);
+  DbscanConfig b = a;
+  b.join = SelfJoinConfig::combined(1.0);
+  const auto ra = dbscan(ds, a);
+  const auto rb = dbscan(ds, b);
+  EXPECT_EQ(ra.num_clusters, rb.num_clusters);
+  EXPECT_EQ(ra.num_noise, rb.num_noise);
+  // Labels may permute; compare partitions via co-membership on a sample.
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 200; ++i) {
+    const auto x = static_cast<std::size_t>(rng.uniform_index(ds.size()));
+    const auto y = static_cast<std::size_t>(rng.uniform_index(ds.size()));
+    EXPECT_EQ(ra.labels[x] == ra.labels[y], rb.labels[x] == rb.labels[y]);
+  }
+}
+
+TEST(Dbscan, ValidatesConfig) {
+  const Dataset ds = gen_uniform(10, 2, 30);
+  DbscanConfig cfg;
+  cfg.min_pts = 0;
+  EXPECT_THROW(dbscan(ds, cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace gsj

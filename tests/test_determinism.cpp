@@ -1,0 +1,99 @@
+// Determinism and device-variation tests: identical configurations must
+// produce bit-identical results AND stats; exactness must hold across
+// exotic device shapes (narrow warps, tiny windows, different issue
+// widths).
+#include <gtest/gtest.h>
+
+#include "data/generators.hpp"
+#include "sj/reference.hpp"
+#include "sj/selfjoin.hpp"
+
+namespace gsj {
+namespace {
+
+TEST(Determinism, RepeatedRunsIdenticalStats) {
+  const Dataset ds = gen_exponential(4000, 2, 90);
+  const SelfJoinConfig cfg = SelfJoinConfig::combined(0.02);
+  const auto a = self_join(ds, cfg);
+  const auto b = self_join(ds, cfg);
+  EXPECT_EQ(a.stats.result_pairs, b.stats.result_pairs);
+  EXPECT_EQ(a.stats.kernel.makespan_cycles, b.stats.kernel.makespan_cycles);
+  EXPECT_EQ(a.stats.kernel.warp_steps, b.stats.kernel.warp_steps);
+  EXPECT_EQ(a.stats.kernel.busy_cycles, b.stats.kernel.busy_cycles);
+  EXPECT_EQ(a.stats.num_batches, b.stats.num_batches);
+  EXPECT_DOUBLE_EQ(a.stats.kernel_seconds, b.stats.kernel_seconds);
+}
+
+TEST(Determinism, SchedulerSeedChangesTimingNotResults) {
+  const Dataset ds = gen_exponential(4000, 2, 91);
+  SelfJoinConfig a = SelfJoinConfig::sort_by_wl(0.02);
+  a.device.dispatch_window = 64;
+  SelfJoinConfig b = a;
+  b.device.scheduler_seed = 0x1234;
+  const auto ra = self_join(ds, a);
+  const auto rb = self_join(ds, b);
+  EXPECT_EQ(ra.stats.result_pairs, rb.stats.result_pairs);
+  // Busy work identical; only the dispatch interleaving may differ.
+  EXPECT_EQ(ra.stats.kernel.active_lane_steps,
+            rb.stats.kernel.active_lane_steps);
+}
+
+class DeviceShapes : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeviceShapes, ExactAcrossWarpSizes) {
+  const int warp_size = GetParam();
+  const Dataset ds = gen_uniform(800, 2, 92, 0.0, 10.0);
+  SelfJoinConfig cfg = SelfJoinConfig::work_queue_cfg(0.6, /*k=*/1,
+                                                      CellPattern::LidUnicomp);
+  cfg.device.warp_size = warp_size;
+  cfg.k = warp_size >= 8 ? 8 : warp_size;  // k must divide warp size
+  cfg.store_pairs = true;
+  const auto out = self_join(ds, cfg);
+  const ResultSet truth = brute_force_join(ds, 0.6);
+  EXPECT_EQ(out.results.pairs(), truth.pairs());
+  EXPECT_GT(out.stats.wee_percent(), 0.0);
+  EXPECT_LE(out.stats.wee_percent(), 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(WarpSizes, DeviceShapes,
+                         ::testing::Values(1, 2, 8, 16, 32));
+
+TEST(DeviceShapes, NarrowerWarpsRaiseWee) {
+  // Divergence penalty shrinks with warp width: WEE(warp=4) >= WEE(32)
+  // on skewed data (fewer lanes share one critical path).
+  const Dataset ds = gen_exponential(8000, 2, 93);
+  SelfJoinConfig wide = SelfJoinConfig::gpu_calc_global(0.02);
+  SelfJoinConfig narrow = wide;
+  narrow.device.warp_size = 4;
+  const auto rw = self_join(ds, wide);
+  const auto rn = self_join(ds, narrow);
+  EXPECT_GT(rn.stats.kernel.warp_execution_efficiency(4),
+            rw.stats.kernel.warp_execution_efficiency(32));
+}
+
+TEST(DeviceShapes, MoreSmsNeverSlower) {
+  const Dataset ds = gen_exponential(8000, 2, 94);
+  double prev = 1e100;
+  for (const int sms : {1, 4, 16, 64}) {
+    SelfJoinConfig cfg = SelfJoinConfig::combined(0.02);
+    cfg.device.num_sms = sms;
+    const auto out = self_join(ds, cfg);
+    EXPECT_LE(out.stats.kernel_seconds, prev * 1.001) << "sms=" << sms;
+    prev = out.stats.kernel_seconds;
+  }
+}
+
+TEST(DeviceShapes, IssueWidthScalesModeledTime) {
+  const Dataset ds = gen_uniform(3000, 2, 95, 0.0, 10.0);
+  SelfJoinConfig one = SelfJoinConfig::gpu_calc_global(0.5);
+  SelfJoinConfig two = one;
+  two.device.issue_width = 2;
+  const auto r1 = self_join(ds, one);
+  const auto r2 = self_join(ds, two);
+  // Same cycle counts, half the contention -> half the modeled time.
+  EXPECT_EQ(r1.stats.kernel.makespan_cycles, r2.stats.kernel.makespan_cycles);
+  EXPECT_NEAR(r1.stats.kernel_seconds / r2.stats.kernel_seconds, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gsj

@@ -1,0 +1,160 @@
+// Unit tests: epsilon grid index — cell assignment, linear id
+// encode/decode, non-empty-cell lookup, adjacency enumeration, point
+// ranks.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "data/generators.hpp"
+#include "grid/grid_index.hpp"
+
+namespace gsj {
+namespace {
+
+Dataset grid_2d_fixture() {
+  // 6 points with epsilon 1. The grid origin is the data min corner
+  // (0.5, 0.4), so cell coords below are relative to that corner.
+  Dataset ds(2);
+  ds.push_back({{0.5, 0.5}});   // cell (0,0)
+  ds.push_back({{0.6, 0.4}});   // cell (0,0)
+  ds.push_back({{1.5, 0.5}});   // cell (1,0)
+  ds.push_back({{0.5, 1.5}});   // cell (0,1)
+  ds.push_back({{2.5, 2.5}});   // cell (2,2)
+  ds.push_back({{2.7, 2.7}});   // cell (2,2)
+  return ds;
+}
+
+TEST(GridIndex, NonEmptyCellsOnly) {
+  const Dataset ds = grid_2d_fixture();
+  const GridIndex g(ds, 1.0);
+  EXPECT_EQ(g.cells().size(), 4u);  // (0,0), (1,0), (0,1), (2,2)
+  // Space complexity O(|D|): every point appears exactly once.
+  EXPECT_EQ(g.point_ids().size(), ds.size());
+  std::set<PointId> seen(g.point_ids().begin(), g.point_ids().end());
+  EXPECT_EQ(seen.size(), ds.size());
+}
+
+TEST(GridIndex, CellsSortedByLinearId) {
+  const Dataset ds = grid_2d_fixture();
+  const GridIndex g(ds, 1.0);
+  for (std::size_t i = 1; i < g.cells().size(); ++i) {
+    EXPECT_LT(g.cells()[i - 1].linear_id, g.cells()[i].linear_id);
+  }
+}
+
+TEST(GridIndex, EncodeDecodeRoundTrip) {
+  const Dataset ds = gen_uniform(2000, 4, 3);
+  const GridIndex g(ds, 7.0);
+  for (const auto& cell : g.cells()) {
+    const CellCoords cc = g.decode(cell.linear_id);
+    EXPECT_EQ(g.encode(cc), cell.linear_id);
+    EXPECT_TRUE(g.in_bounds(cc));
+  }
+}
+
+TEST(GridIndex, FindCellHitsAndMisses) {
+  const Dataset ds = grid_2d_fixture();
+  const GridIndex g(ds, 1.0);
+  for (std::size_t i = 0; i < g.cells().size(); ++i) {
+    EXPECT_EQ(g.find_cell(g.cells()[i].linear_id), i);
+  }
+  // Cell (1,1) is empty.
+  CellCoords empty;
+  empty[0] = 1;
+  empty[1] = 1;
+  EXPECT_EQ(g.find_cell(g.encode(empty)), GridIndex::npos);
+}
+
+TEST(GridIndex, PointCellAndRankConsistent) {
+  const Dataset ds = gen_exponential(3000, 3, 17);
+  const GridIndex g(ds, 0.05);
+  for (PointId p = 0; p < ds.size(); ++p) {
+    const std::size_t ci = g.cell_of_point(p);
+    const auto& cell = g.cells()[ci];
+    const std::uint32_t rank = g.grid_rank(p);
+    ASSERT_GE(rank, cell.begin);
+    ASSERT_LT(rank, cell.end);
+    EXPECT_EQ(g.point_ids()[rank], p);
+  }
+}
+
+TEST(GridIndex, CellPointsBelongToCell) {
+  const Dataset ds = gen_uniform(2000, 2, 5);
+  const GridIndex g(ds, 10.0);
+  for (std::size_t ci = 0; ci < g.cells().size(); ++ci) {
+    const CellCoords cc = g.decode(g.cells()[ci].linear_id);
+    for (const PointId p : g.cell_points(ci)) {
+      const CellCoords pc = g.coords_of_point(p);
+      for (int d = 0; d < g.dims(); ++d) EXPECT_EQ(pc[d], cc[d]);
+    }
+  }
+}
+
+TEST(GridIndex, AdjacencyFindsAllNeighbors) {
+  const Dataset ds = grid_2d_fixture();
+  const GridIndex g(ds, 1.0);
+  // Around cell (0,0): non-empty adjacent cells are (1,0) and (0,1);
+  // with origin included, also (0,0) itself. (1,1) is empty.
+  const std::size_t origin = g.find_cell(0);
+  ASSERT_NE(origin, GridIndex::npos);
+  std::set<std::uint64_t> ids;
+  g.for_each_adjacent(origin, /*include_origin=*/true,
+                      [&](std::size_t, const CellCoords&, std::uint64_t id) {
+                        ids.insert(id);
+                      });
+  EXPECT_EQ(ids.size(), 3u);
+  std::set<std::uint64_t> without;
+  g.for_each_adjacent(origin, /*include_origin=*/false,
+                      [&](std::size_t, const CellCoords&, std::uint64_t id) {
+                        without.insert(id);
+                      });
+  EXPECT_EQ(without.size(), 2u);
+  EXPECT_FALSE(without.contains(0));
+}
+
+TEST(GridIndex, AdjacencyRespectsBounds) {
+  // A corner cell must only report in-bounds neighbors; verified by the
+  // enumeration not throwing and all coords being valid.
+  const Dataset ds = gen_uniform(500, 3, 10);
+  const GridIndex g(ds, 25.0);
+  for (std::size_t ci = 0; ci < g.cells().size(); ++ci) {
+    g.for_each_adjacent(ci, true,
+                        [&](std::size_t, const CellCoords& cc, std::uint64_t) {
+                          EXPECT_TRUE(g.in_bounds(cc));
+                        });
+  }
+}
+
+TEST(GridIndex, AdjacencyVolumeIsPow3) {
+  const Dataset ds2 = gen_uniform(100, 2, 1);
+  EXPECT_EQ(GridIndex(ds2, 10.0).adjacency_volume(), 9u);
+  const Dataset ds6 = gen_uniform(100, 6, 1);
+  EXPECT_EQ(GridIndex(ds6, 10.0).adjacency_volume(), 729u);
+}
+
+TEST(GridIndex, RejectsBadArguments) {
+  const Dataset ds = gen_uniform(10, 2, 1);
+  EXPECT_THROW(GridIndex(ds, 0.0), CheckError);
+  EXPECT_THROW(GridIndex(ds, -1.0), CheckError);
+  const Dataset empty(2);
+  EXPECT_THROW(GridIndex(empty, 1.0), CheckError);
+}
+
+TEST(GridIndex, TinyEpsilonOverflowGuard) {
+  const Dataset ds = gen_uniform(100, 6, 2);
+  EXPECT_THROW(GridIndex(ds, 1e-9), CheckError);
+}
+
+TEST(GridIndex, BoundaryPointFoldsIntoLastCell) {
+  Dataset ds(1);
+  ds.push_back({{0.0}});
+  ds.push_back({{10.0}});  // exactly max
+  const GridIndex g(ds, 2.5);
+  // extent 10 / 2.5 = 4 -> 5 cells; max point goes to cell 4.
+  EXPECT_EQ(g.cells_per_dim(0), 5);
+  EXPECT_EQ(g.coords_of_point(1)[0], 4);
+}
+
+}  // namespace
+}  // namespace gsj

@@ -1,0 +1,237 @@
+// Randomized property sweeps (parameterized gtest): invariants that
+// must hold for arbitrary seeds, sizes, dimensionalities and devices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "data/generators.hpp"
+#include "grid/workload.hpp"
+#include "simt/launch.hpp"
+#include "sj/batching.hpp"
+#include "sj/reference.hpp"
+#include "sj/selfjoin.hpp"
+
+namespace gsj {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Join algebra properties over random instances.
+
+class JoinAlgebra : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JoinAlgebra, ResultIsSymmetricAndReflexive) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+  const int dims = 1 + static_cast<int>(rng.uniform_index(5));
+  const auto n = 100 + rng.uniform_index(400);
+  const Dataset ds = rng.uniform() < 0.5
+                         ? gen_uniform(n, dims, seed, 0.0, 8.0)
+                         : gen_exponential(n, dims, seed);
+  const double eps = 0.02 + rng.uniform() * 0.5;
+  SelfJoinConfig cfg = SelfJoinConfig::combined(eps);
+  cfg.store_pairs = true;
+  const auto out = self_join(ds, cfg);
+  // Reflexive: (p,p) for every p. Symmetric: (a,b) <=> (b,a).
+  std::set<ResultPair> pairs(out.results.pairs().begin(),
+                             out.results.pairs().end());
+  EXPECT_EQ(pairs.size(), out.results.pairs().size());  // no duplicates
+  for (PointId p = 0; p < n; ++p) {
+    EXPECT_TRUE(pairs.contains({p, p}));
+  }
+  for (const auto& [a, b] : pairs) {
+    EXPECT_TRUE(pairs.contains({b, a}));
+  }
+}
+
+TEST_P(JoinAlgebra, MonotoneInEpsilon) {
+  const std::uint64_t seed = GetParam();
+  const Dataset ds = gen_exponential(500, 2, seed);
+  std::uint64_t prev = 0;
+  for (const double eps : {0.005, 0.01, 0.02, 0.04}) {
+    const auto out = self_join(ds, SelfJoinConfig::lid_unicomp(eps));
+    EXPECT_GE(out.results.count(), prev);
+    prev = out.results.count();
+  }
+}
+
+TEST_P(JoinAlgebra, AllVariantsAgreeOnCount) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed ^ 0x55);
+  const int dims = 2 + static_cast<int>(rng.uniform_index(3));
+  const Dataset ds = gen_exponential(400 + rng.uniform_index(300), dims, seed);
+  const double eps = 0.01 * dims;
+  std::uint64_t expected = 0;
+  bool first = true;
+  for (auto mk :
+       {&SelfJoinConfig::gpu_calc_global, &SelfJoinConfig::unicomp,
+        &SelfJoinConfig::lid_unicomp, &SelfJoinConfig::sort_by_wl,
+        &SelfJoinConfig::combined}) {
+    const auto out = self_join(ds, mk(eps));
+    if (first) {
+      expected = out.results.count();
+      first = false;
+    } else {
+      EXPECT_EQ(out.results.count(), expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinAlgebra,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// ---------------------------------------------------------------------------
+// Scheduler properties over random workloads.
+
+struct SeededWorkKernel {
+  std::vector<std::uint32_t> work;
+
+  struct LaneState {
+    std::uint32_t remaining = 0;
+  };
+  simt::InitResult init_lane(LaneState& s, const simt::LaneCtx& ctx,
+                             simt::WarpScratch&) {
+    s.remaining = work[ctx.global_thread_id];
+    return {s.remaining > 0, 0};
+  }
+  simt::StepResult step(LaneState& s) {
+    --s.remaining;
+    return {s.remaining > 0, 1};
+  }
+};
+
+class SchedulerProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerProps, SortedLaunchNeverSlowerThanRandom) {
+  // LPT-style property behind SORTBYWL/WORKQUEUE: launching warps in
+  // non-increasing work order never increases makespan vs the same
+  // warps launched in random order (greedy list scheduling, window 1).
+  Xoshiro256 rng(GetParam());
+  const int warps = 40;
+  std::vector<std::uint32_t> warp_cost(warps);
+  for (auto& c : warp_cost) {
+    c = 1 + static_cast<std::uint32_t>(rng.uniform_index(1000));
+  }
+  auto expand = [](const std::vector<std::uint32_t>& per_warp) {
+    std::vector<std::uint32_t> lanes;
+    for (auto c : per_warp) {
+      for (int l = 0; l < 32; ++l) lanes.push_back(c);
+    }
+    return lanes;
+  };
+  simt::DeviceConfig d;
+  d.num_sms = 2;
+  d.resident_warps_per_sm = 2;
+  d.dispatch_window = 1;
+  d.cost_warp_launch = 0;
+
+  std::vector<std::uint32_t> sorted = warp_cost;
+  std::sort(sorted.rbegin(), sorted.rend());
+  SeededWorkKernel ks{expand(sorted)};
+  const auto ms_sorted =
+      simt::launch(d, static_cast<std::uint64_t>(warps) * 32, ks).makespan_cycles;
+
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::uint32_t> shuffled = warp_cost;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.uniform_index(i)]);
+    }
+    SeededWorkKernel kr{expand(shuffled)};
+    const auto ms_rand =
+        simt::launch(d, static_cast<std::uint64_t>(warps) * 32, kr).makespan_cycles;
+    // Greedy with LPT order is within 4/3 of optimal; random order can
+    // only be >= optimal, and empirically >= LPT. Allow equality.
+    EXPECT_GE(ms_rand + ms_rand / 3, ms_sorted);
+    EXPECT_GE(ms_rand, ms_sorted * 3 / 4);
+  }
+}
+
+TEST_P(SchedulerProps, WeeMatchesManualAccounting) {
+  Xoshiro256 rng(GetParam() ^ 0x77);
+  std::vector<std::uint32_t> work(64);
+  for (auto& w : work) {
+    w = static_cast<std::uint32_t>(rng.uniform_index(20));
+  }
+  SeededWorkKernel k{work};
+  simt::DeviceConfig d;
+  d.num_sms = 1;
+  d.resident_warps_per_sm = 4;
+  const auto st = simt::launch(d, 64, k);
+  // Manual: per warp, steps = max lane work; active = sum lane work.
+  std::uint64_t steps = 0, active = 0;
+  for (int w = 0; w < 2; ++w) {
+    std::uint32_t mx = 0;
+    for (int l = 0; l < 32; ++l) {
+      const auto v = work[static_cast<std::size_t>(w) * 32 + l];
+      mx = std::max(mx, v);
+      active += v;
+    }
+    steps += mx;
+  }
+  EXPECT_EQ(st.warp_steps, steps);
+  EXPECT_EQ(st.active_lane_steps, active);
+  EXPECT_NEAR(st.warp_execution_efficiency(),
+              steps == 0 ? 0.0
+                         : static_cast<double>(active) /
+                               (static_cast<double>(steps) * 32.0),
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProps,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------------
+// Pipeline model properties.
+
+class PipelineProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineProps, BoundsHold) {
+  Xoshiro256 rng(GetParam() ^ 0x99);
+  const std::size_t nb = 1 + rng.uniform_index(20);
+  std::vector<double> ker(nb), xfer(nb);
+  double ker_sum = 0.0, xfer_sum = 0.0;
+  for (std::size_t i = 0; i < nb; ++i) {
+    ker[i] = rng.uniform() * 2.0;
+    xfer[i] = rng.uniform();
+    ker_sum += ker[i];
+    xfer_sum += xfer[i];
+  }
+  for (const int streams : {1, 2, 3, 8}) {
+    const double total = pipeline_seconds(ker, xfer, streams);
+    // Lower bounds: the device and the link are each serial resources.
+    EXPECT_GE(total, ker_sum - 1e-12);
+    EXPECT_GE(total, xfer_sum - 1e-12);
+    // Upper bound: fully serialized execution.
+    EXPECT_LE(total, ker_sum + xfer_sum + 1e-12);
+  }
+  // More streams never hurt.
+  EXPECT_LE(pipeline_seconds(ker, xfer, 3),
+            pipeline_seconds(ker, xfer, 1) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProps,
+                         ::testing::Values(7, 77, 777));
+
+// ---------------------------------------------------------------------------
+// Workload quantification properties.
+
+TEST(WorkloadProps, PatternWorkloadsAverageToHalfOfFull) {
+  const Dataset ds = gen_uniform(10000, 3, 50);
+  const GridIndex g(ds, 1.5);
+  const auto full = cell_workloads(g, CellPattern::Full);
+  const auto uni = cell_workloads(g, CellPattern::Unicomp);
+  const auto lid = cell_workloads(g, CellPattern::LidUnicomp);
+  auto sum = [](const std::vector<std::uint64_t>& v) {
+    return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  };
+  // Own-cell candidates are counted by all three, adjacent candidates
+  // halve under the unidirectional patterns (up to boundary effects).
+  EXPECT_LT(sum(uni), sum(full));
+  EXPECT_LT(sum(lid), sum(full));
+  EXPECT_NEAR(static_cast<double>(sum(uni)) / static_cast<double>(sum(lid)),
+              1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace gsj

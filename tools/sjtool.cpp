@@ -1,0 +1,176 @@
+// sjtool — command-line driver for the self-join library.
+//
+//   sjtool generate --dataset Expo2D2M --n 100000 --out data.bin
+//   sjtool info     --input data.bin
+//   sjtool join     --input data.bin --epsilon 0.02 --variant combined
+//                   [--pairs-out pairs.csv] [--k 8] [--sms 56]
+//   sjtool dbscan   --input data.bin --epsilon 0.05 --minpts 8
+//
+// Variants: gpucalcglobal | unicomp | lidunicomp | sortbywl | workqueue
+//           | combined | superego
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "data/generators.hpp"
+#include "data/io.hpp"
+#include "sj/dbscan.hpp"
+#include "sj/selfjoin.hpp"
+#include "superego/super_ego.hpp"
+
+namespace {
+
+int usage() {
+  std::cout <<
+      "usage: sjtool <generate|info|join|dbscan> [--flags]\n"
+      "  generate --dataset <Table-I name> [--n N] [--seed S] --out F\n"
+      "  info     --input F\n"
+      "  join     --input F --epsilon E [--variant V] [--k K]\n"
+      "           [--sms N] [--pairs-out F.csv]\n"
+      "  dbscan   --input F --epsilon E [--minpts M] [--labels-out F.csv]\n"
+      "variants: gpucalcglobal unicomp lidunicomp sortbywl workqueue\n"
+      "          combined superego\n";
+  return 2;
+}
+
+gsj::Dataset load_input(gsj::Cli& cli) {
+  const std::string path = cli.get("input", "", "input dataset (.bin)");
+  GSJ_CHECK_MSG(!path.empty(), "--input is required");
+  return gsj::load_binary(path);
+}
+
+int cmd_generate(gsj::Cli& cli) {
+  const std::string name =
+      cli.get("dataset", "Unif2D2M", "Table I dataset name");
+  const auto n = static_cast<std::size_t>(
+      cli.get_int("n", 0, "points (0 = spec default)"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1, ""));
+  const std::string out = cli.get("out", "dataset.bin", "output path");
+  const gsj::Dataset ds = gsj::make_dataset(name, n, seed);
+  gsj::save_binary(ds, out);
+  std::cout << "wrote " << ds.describe() << " to " << out << "\n";
+  return 0;
+}
+
+int cmd_info(gsj::Cli& cli) {
+  const gsj::Dataset ds = load_input(cli);
+  std::cout << ds.describe() << "\n";
+  for (int d = 0; d < ds.dims(); ++d) {
+    const gsj::Summary s = gsj::summarize(ds.dim(d));
+    std::cout << "  dim " << d << ": min " << s.min << ", median " << s.median
+              << ", mean " << s.mean << ", max " << s.max << ", stddev "
+              << s.stddev << "\n";
+  }
+  return 0;
+}
+
+int cmd_join(gsj::Cli& cli) {
+  const gsj::Dataset ds = load_input(cli);
+  const double eps = cli.get_double("epsilon", 0.0, "join radius");
+  GSJ_CHECK_MSG(eps > 0.0, "--epsilon is required and must be > 0");
+  const std::string variant =
+      cli.get("variant", "combined", "join variant (see --help)");
+  const std::string pairs_out =
+      cli.get("pairs-out", "", "write result pairs to CSV");
+
+  if (variant == "superego") {
+    gsj::SuperEgoConfig cfg;
+    cfg.epsilon = eps;
+    cfg.nthreads = static_cast<std::size_t>(
+        cli.get_int("threads", 0, "SUPER-EGO threads"));
+    cfg.store_pairs = !pairs_out.empty();
+    const auto out = gsj::super_ego_join(ds, cfg);
+    std::cout << "SUPER-EGO: " << out.stats.result_pairs << " pairs in "
+              << out.stats.sort_seconds + out.stats.seconds << " s ("
+              << out.stats.distance_calcs << " distance calcs)\n";
+    if (!pairs_out.empty()) {
+      std::ofstream f(pairs_out);
+      for (const auto& [a, b] : out.results.pairs()) {
+        f << a << ',' << b << '\n';
+      }
+      std::cout << "pairs written to " << pairs_out << "\n";
+    }
+    return 0;
+  }
+
+  gsj::SelfJoinConfig cfg;
+  if (variant == "gpucalcglobal") {
+    cfg = gsj::SelfJoinConfig::gpu_calc_global(eps);
+  } else if (variant == "unicomp") {
+    cfg = gsj::SelfJoinConfig::unicomp(eps);
+  } else if (variant == "lidunicomp") {
+    cfg = gsj::SelfJoinConfig::lid_unicomp(eps);
+  } else if (variant == "sortbywl") {
+    cfg = gsj::SelfJoinConfig::sort_by_wl(eps);
+  } else if (variant == "workqueue") {
+    cfg = gsj::SelfJoinConfig::work_queue_cfg(eps);
+  } else if (variant == "combined") {
+    cfg = gsj::SelfJoinConfig::combined(eps);
+  } else {
+    std::cerr << "unknown variant: " << variant << "\n";
+    return usage();
+  }
+  cfg.k = static_cast<int>(cli.get_int("k", cfg.k, "threads per point"));
+  cfg.device.num_sms =
+      static_cast<int>(cli.get_int("sms", cfg.device.num_sms, "modeled SMs"));
+  cfg.store_pairs = !pairs_out.empty();
+
+  const auto out = gsj::self_join(ds, cfg);
+  std::cout << cfg.name() << ": " << out.stats.result_pairs << " pairs, "
+            << out.stats.num_batches << " batches, modeled "
+            << out.stats.total_seconds << " s (kernel "
+            << out.stats.kernel_seconds << " s), WEE "
+            << out.stats.wee_percent() << "%\n";
+  if (!pairs_out.empty()) {
+    std::ofstream f(pairs_out);
+    for (const auto& [a, b] : out.results.pairs()) f << a << ',' << b << '\n';
+    std::cout << "pairs written to " << pairs_out << "\n";
+  }
+  return 0;
+}
+
+int cmd_dbscan(gsj::Cli& cli) {
+  const gsj::Dataset ds = load_input(cli);
+  gsj::DbscanConfig cfg;
+  cfg.epsilon = cli.get_double("epsilon", 0.0, "DBSCAN epsilon");
+  GSJ_CHECK_MSG(cfg.epsilon > 0.0, "--epsilon is required and must be > 0");
+  cfg.min_pts = static_cast<std::uint32_t>(
+      cli.get_int("minpts", 4, "DBSCAN minPts"));
+  const std::string labels_out =
+      cli.get("labels-out", "", "write per-point labels to CSV");
+
+  const auto res = gsj::dbscan(ds, cfg);
+  std::cout << "dbscan: " << res.num_clusters << " clusters, "
+            << res.num_core << " core, " << res.num_noise << " noise ("
+            << res.join_stats.result_pairs << " join pairs, WEE "
+            << res.join_stats.wee_percent() << "%)\n";
+  if (!labels_out.empty()) {
+    std::ofstream f(labels_out);
+    for (std::size_t p = 0; p < res.labels.size(); ++p) {
+      f << p << ',' << res.labels[p] << '\n';
+    }
+    std::cout << "labels written to " << labels_out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  gsj::Cli cli(argc - 1, argv + 1);
+  try {
+    if (cmd == "generate") return cmd_generate(cli);
+    if (cmd == "info") return cmd_info(cli);
+    if (cmd == "join") return cmd_join(cli);
+    if (cmd == "dbscan") return cmd_dbscan(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "sjtool: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,19 @@
+# End-to-end pipeline test of the sjtool CLI:
+# generate -> info -> join (csv out) -> dbscan.
+function(run)
+  execute_process(COMMAND ${ARGN} WORKING_DIRECTORY ${WORKDIR}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+endfunction()
+
+run(${SJTOOL} generate --dataset Expo2D2M --n 3000 --out ds.bin)
+run(${SJTOOL} info --input ds.bin)
+run(${SJTOOL} join --input ds.bin --epsilon 0.02 --variant combined --pairs-out pairs.csv)
+run(${SJTOOL} join --input ds.bin --epsilon 0.02 --variant superego)
+run(${SJTOOL} dbscan --input ds.bin --epsilon 0.05 --minpts 4)
+
+if(NOT EXISTS ${WORKDIR}/pairs.csv)
+  message(FATAL_ERROR "pairs.csv not written")
+endif()
