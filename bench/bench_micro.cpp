@@ -1,11 +1,13 @@
 // google-benchmark micro benchmarks of the host-side substrates: grid
 // construction, non-empty-cell lookup, workload quantification,
-// EGO-sort, and the distance inner loop.
+// EGO-sort, and the distance inner loop — plus the warp-observer
+// zero-overhead guard of simt::launch.
 #include <benchmark/benchmark.h>
 
 #include "data/generators.hpp"
 #include "grid/grid_index.hpp"
 #include "grid/workload.hpp"
+#include "simt/launch.hpp"
 #include "sj/reference.hpp"
 #include "superego/super_ego.hpp"
 
@@ -69,6 +71,41 @@ void BM_SuperEgo(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_SuperEgo)->Arg(10000)->Arg(50000);
+
+/// Single-step kernel: per-warp scheduling/observer overhead dominates.
+struct NopKernel {
+  struct LaneState {};
+  gsj::simt::InitResult init_lane(LaneState&, const gsj::simt::LaneCtx&,
+                                  gsj::simt::WarpScratch&) {
+    return {true, 1};
+  }
+  gsj::simt::StepResult step(LaneState&) { return {false, 1}; }
+};
+
+/// Arg 0: observer unset — the guard in simt::launch must skip both the
+/// std::function call and the WarpRecord construction, so this arm
+/// matches pre-observability launch cost. Arg 1: observer set.
+void BM_LaunchObserver(benchmark::State& state) {
+  const bool with_observer = state.range(0) != 0;
+  gsj::simt::DeviceConfig dev;
+  dev.num_sms = 4;
+  std::uint64_t sink = 0;
+  gsj::simt::WarpObserver observer;
+  if (with_observer) {
+    observer = [&sink](const gsj::simt::WarpRecord& r) { sink += r.cycles; };
+  }
+  NopKernel k;
+  const std::uint64_t nthreads = 32ull * 8192;
+  for (auto _ : state) {
+    const auto ks = gsj::simt::launch(dev, nthreads, k, observer);
+    benchmark::DoNotOptimize(ks.busy_cycles);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nthreads / 32));
+  state.SetLabel(with_observer ? "observer=set" : "observer=unset");
+}
+BENCHMARK(BM_LaunchObserver)->Arg(0)->Arg(1);
 
 }  // namespace
 

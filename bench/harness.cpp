@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 
 #include "common/check.hpp"
@@ -17,6 +18,8 @@ BenchOptions parse_common(Cli& cli) {
                              "paper sizes are ~20x repo default)");
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1, "RNG seed"));
   opt.csv_dir = cli.get("csv-dir", "", "also write CSV files here");
+  opt.json_dir =
+      cli.get("json", "", "also write BENCH_<id>.json files here");
   opt.ego_threads = static_cast<std::size_t>(
       cli.get_int("ego-threads", 0, "SUPER-EGO threads (0 = hardware)"));
   opt.sms = static_cast<int>(
@@ -152,9 +155,16 @@ void finish(const std::string& id, Table& t, const BenchOptions& opt) {
   t.print(std::cout);
   std::cout << '\n';
   if (!opt.csv_dir.empty()) {
+    std::filesystem::create_directories(opt.csv_dir);
     const std::string path = opt.csv_dir + "/" + id + ".csv";
     t.write_csv(path);
     std::cout << "csv: " << path << "\n\n";
+  }
+  if (!opt.json_dir.empty()) {
+    std::filesystem::create_directories(opt.json_dir);
+    const std::string path = opt.json_dir + "/BENCH_" + id + ".json";
+    t.write_json(path, id);
+    std::cout << "json: " << path << "\n\n";
   }
 }
 

@@ -30,6 +30,7 @@ struct BenchOptions {
   double scale = 0.25;     ///< multiplier on the spec's scaled default size
   std::uint64_t seed = 1;
   std::string csv_dir;     ///< when non-empty, also write <bench>_<id>.csv
+  std::string json_dir;    ///< when non-empty, also write BENCH_<id>.json
   std::size_t ego_threads = 0;
   /// Modeled SM count. The default shrinks the paper's GP100 (56 SMs)
   /// in proportion to the dataset shrink, so kernels stay
@@ -37,8 +38,8 @@ struct BenchOptions {
   int sms = 8;
 };
 
-/// Parses the shared flags (--scale, --seed, --csv-dir, --ego-threads);
-/// prints help and exits when requested.
+/// Parses the shared flags (--scale, --seed, --csv-dir, --json,
+/// --ego-threads); prints help and exits when requested.
 BenchOptions parse_common(Cli& cli);
 
 /// Materializes a Table I dataset at bench scale.
@@ -82,7 +83,9 @@ struct RunResult {
 void banner(const std::string& id, const std::string& what,
             const BenchOptions& opt);
 
-/// Prints `t` and optionally writes CSV next to the banner id.
+/// Prints `t` and optionally writes CSV (--csv-dir) and machine-
+/// readable JSON (--json, as <dir>/BENCH_<id>.json) next to the
+/// banner id.
 void finish(const std::string& id, Table& t, const BenchOptions& opt);
 
 }  // namespace gsj::bench

@@ -1,61 +1,87 @@
-// Visualizes the paper's Figures 3 and 7: per-lane workloads inside
-// warps, before and after the load-balance optimizations. Each row is
-// one warp lane; bar length is that lane's quantified workload
-// (candidate count). Unsorted assignment mixes heavy and light lanes in
-// one warp (idle time = the gap to the longest lane, Figure 3); the
-// workload-sorted queue packs similar lanes together (Figure 7).
+// Visualizes the paper's load-imbalance story from real traced runs:
+// each row is one resident-warp slot of the modeled device, '#' is busy
+// time and '.' is tail idle before the batch's last warp retires. The
+// unoptimized GPUCALCGLOBAL kernel ends ragged (some slots idle long
+// before the makespan — the kernel tail of Figure 3); the WORKQUEUE
+// combination packs similar warps together and the rows finish nearly
+// flush (Figure 7).
 //
-//   ./warp_timeline [--n 20000] [--epsilon 0.02] [--warps 4]
+// The drawing is derived from the observability layer (obs::Tracer warp
+// events + obs diagnostics), i.e. from exactly the data `sjtool
+// profile` exports as Chrome trace JSON. Pass --trace-dir to also write
+// the traces and open them in Perfetto / chrome://tracing.
+//
+//   ./warp_timeline [--n 20000] [--epsilon 0.15] [--trace-dir DIR]
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
-#include <numeric>
+#include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "data/generators.hpp"
-#include "grid/workload.hpp"
+#include "obs/diagnostics.hpp"
+#include "obs/trace.hpp"
+#include "sj/selfjoin.hpp"
 
 namespace {
 
-void draw_warps(const char* title, const std::vector<gsj::PointId>& order,
-                const std::vector<std::uint64_t>& work, int warps,
-                int lanes_shown) {
+/// ASCII rendering of batch `batch`'s device timeline: one row per
+/// resident-warp slot, scaled so the batch makespan spans `width`
+/// characters.
+void draw_batch(const gsj::obs::Tracer& tracer, std::uint32_t batch,
+                int nslots, std::size_t width) {
+  std::vector<std::uint64_t> busy(static_cast<std::size_t>(nslots), 0);
+  std::vector<std::uint64_t> warps(static_cast<std::size_t>(nslots), 0);
+  std::uint64_t base = ~std::uint64_t{0}, makespan_end = 0;
+  for (const auto& e : tracer.warp_events()) {
+    if (e.batch != batch) continue;
+    const auto s = static_cast<std::size_t>(e.slot);
+    busy[s] += e.cycles;
+    ++warps[s];
+    base = std::min(base, e.start_cycle);
+    makespan_end = std::max(makespan_end, e.start_cycle + e.cycles);
+  }
+  const std::uint64_t makespan = makespan_end > base ? makespan_end - base : 1;
+  for (int s = 0; s < nslots; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(width) * static_cast<double>(busy[su]) /
+        static_cast<double>(makespan));
+    std::cout << "  slot " << (s < 10 ? " " : "") << s << " |"
+              << std::string(std::min(bar, width), '#')
+              << std::string(width - std::min(bar, width), '.') << "| "
+              << warps[su] << " warps\n";
+  }
+}
+
+void run_variant(const char* title, const gsj::Dataset& ds,
+                 gsj::SelfJoinConfig cfg, const std::string& trace_dir,
+                 const std::string& trace_name) {
+  gsj::obs::Tracer tracer;
+  cfg.device.num_sms = 2;  // 16 slots: a timeline that fits a terminal
+  cfg.tracer = &tracer;
+  const gsj::SelfJoinOutput out = gsj::self_join(ds, cfg);
+
   std::cout << title << "\n";
-  std::uint64_t peak = 1;
-  for (int w = 0; w < warps; ++w) {
-    for (int l = 0; l < 32; ++l) {
-      const std::size_t idx = static_cast<std::size_t>(w) * 32 + l;
-      if (idx < order.size()) peak = std::max(peak, work[order[idx]]);
-    }
+  draw_batch(tracer, 0, cfg.device.total_slots(), 60);
+
+  std::uint64_t tail_idle = 0;
+  for (const auto& s : out.stats.slots) tail_idle += s.tail_idle_cycles;
+  std::cout << "  => WEE " << out.stats.wee_percent() << "%, "
+            << gsj::obs::describe(out.stats.warp_imbalance) << "\n"
+            << "     tail idle " << tail_idle << " slot-cycles over "
+            << out.stats.num_batches << " batch(es)\n";
+
+  if (!trace_dir.empty()) {
+    std::filesystem::create_directories(trace_dir);
+    const std::string path = trace_dir + "/" + trace_name;
+    std::ofstream f(path);
+    tracer.write_chrome_json(f);
+    std::cout << "     trace: " << path << "\n";
   }
-  double busy = 0.0, span = 0.0;
-  for (int w = 0; w < warps; ++w) {
-    std::uint64_t wmax = 0;
-    for (int l = 0; l < 32; ++l) {
-      const std::size_t idx = static_cast<std::size_t>(w) * 32 + l;
-      if (idx < order.size()) wmax = std::max(wmax, work[order[idx]]);
-    }
-    for (int l = 0; l < lanes_shown; ++l) {
-      const std::size_t idx = static_cast<std::size_t>(w) * 32 + l;
-      if (idx >= order.size()) break;
-      const std::uint64_t wl = work[order[idx]];
-      const auto bar = static_cast<std::size_t>(
-          60.0 * static_cast<double>(wl) / static_cast<double>(peak));
-      const auto idle = static_cast<std::size_t>(
-          60.0 * static_cast<double>(wmax - wl) / static_cast<double>(peak));
-      std::cout << "  w" << w << " lane" << (l < 10 ? " " : "") << l << " |"
-                << std::string(bar, '#') << std::string(idle, '.') << "\n";
-    }
-    std::cout << "  (warp " << w << ": longest lane " << wmax
-              << " candidates)\n";
-    for (int l = 0; l < 32; ++l) {
-      const std::size_t idx = static_cast<std::size_t>(w) * 32 + l;
-      if (idx >= order.size()) break;
-      busy += static_cast<double>(work[order[idx]]);
-      span += static_cast<double>(wmax);
-    }
-  }
-  std::cout << "  => modeled warp execution efficiency over shown warps: "
-            << (span > 0 ? 100.0 * busy / span : 0.0) << "%\n\n";
+  std::cout << "\n";
 }
 
 }  // namespace
@@ -63,25 +89,23 @@ void draw_warps(const char* title, const std::vector<gsj::PointId>& order,
 int main(int argc, char** argv) {
   gsj::Cli cli(argc, argv);
   const auto n = static_cast<std::size_t>(cli.get_int("n", 20000, "points"));
-  const double eps = cli.get_double("epsilon", 0.02, "join radius");
-  const int warps = static_cast<int>(cli.get_int("warps", 3, "warps drawn"));
-  const int lanes = static_cast<int>(cli.get_int("lanes", 8, "lanes drawn per warp"));
+  const double eps = cli.get_double("epsilon", 0.15, "join radius");
+  const std::string trace_dir =
+      cli.get("trace-dir", "", "write Chrome trace JSON files here");
   if (cli.help_requested()) {
     std::cout << cli.help_text();
     return 0;
   }
 
   const gsj::Dataset ds = gsj::gen_exponential(n, 2, 3);
-  const gsj::GridIndex grid(ds, eps);
-  const auto work = gsj::point_workloads(grid, gsj::CellPattern::Full);
 
-  std::vector<gsj::PointId> natural(n);
-  std::iota(natural.begin(), natural.end(), gsj::PointId{0});
-  draw_warps("Figure 3 — natural assignment (mixed workloads, '.' = idle):",
-             natural, work, warps, lanes);
-
-  const auto sorted = gsj::sort_by_workload(grid, gsj::CellPattern::Full);
-  draw_warps("Figure 7 — workload-sorted queue (similar lanes packed):",
-             sorted, work, warps, lanes);
+  run_variant(
+      "GPUCALCGLOBAL — unbalanced warps, ragged kernel tail ('.' = idle):",
+      ds, gsj::SelfJoinConfig::gpu_calc_global(eps), trace_dir,
+      "warp_timeline_gpucalcglobal.trace.json");
+  run_variant(
+      "WORKQUEUE+LID-UNICOMP+k8 — workload-sorted queue, flush finish:",
+      ds, gsj::SelfJoinConfig::combined(eps), trace_dir,
+      "warp_timeline_combined.trace.json");
   return 0;
 }

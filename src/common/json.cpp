@@ -1,0 +1,312 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace gsj::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+void JsonWriter::pre_value() {
+  if (expecting_value_) {
+    expecting_value_ = false;
+    return;
+  }
+  if (!comma_stack_.empty()) {
+    if (comma_stack_.back()) os_ << ',';
+    comma_stack_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  os_ << '{';
+  comma_stack_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  comma_stack_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  os_ << '[';
+  comma_stack_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  comma_stack_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (!comma_stack_.empty()) {
+    if (comma_stack_.back()) os_ << ',';
+    comma_stack_.back() = true;
+  }
+  os_ << '"' << escape(k) << "\":";
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  pre_value();
+  os_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  os_ << format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  pre_value();
+  os_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::newline() {
+  os_ << '\n';
+  return *this;
+}
+
+const JsonValue* JsonValue::find(std::string_view k) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [key, val] : as_object()) {
+    if (key == k) return &val;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    GSJ_CHECK_MSG(pos_ == s_.size(), "json: trailing garbage at " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    GSJ_CHECK_MSG(pos_ < s_.size(), "json: unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    GSJ_CHECK_MSG(pos_ < s_.size() && s_[pos_] == c,
+                  "json: expected '" << c << "' at " << pos_);
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue{parse_string()};
+    if (consume_literal("true")) return JsonValue{true};
+    if (consume_literal("false")) return JsonValue{false};
+    if (consume_literal("null")) return JsonValue{nullptr};
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(obj)};
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue{std::move(obj)};
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(arr)};
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue{std::move(arr)};
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      GSJ_CHECK_MSG(pos_ < s_.size(), "json: unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      GSJ_CHECK_MSG(pos_ < s_.size(), "json: unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          GSJ_CHECK_MSG(pos_ + 4 <= s_.size(), "json: bad \\u escape");
+          unsigned cp = 0;
+          const auto res =
+              std::from_chars(s_.data() + pos_, s_.data() + pos_ + 4, cp, 16);
+          GSJ_CHECK_MSG(res.ec == std::errc{} &&
+                            res.ptr == s_.data() + pos_ + 4,
+                        "json: bad \\u escape");
+          pos_ += 4;
+          // BMP code points only (the writer never emits surrogates).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          GSJ_CHECK_MSG(false, "json: bad escape '\\" << e << "'");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    double d = 0.0;
+    const auto res = std::from_chars(s_.data() + start, s_.data() + pos_, d);
+    GSJ_CHECK_MSG(res.ec == std::errc{} && res.ptr == s_.data() + pos_,
+                  "json: bad number at " << start);
+    return JsonValue{d};
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace gsj::json

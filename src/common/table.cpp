@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/json.hpp"
 
 namespace gsj {
 
@@ -95,6 +96,38 @@ void Table::write_csv(const std::string& path) const {
   std::ofstream f(path);
   GSJ_CHECK_MSG(f.good(), "cannot open " << path);
   print_csv(f);
+}
+
+void Table::print_json(std::ostream& os, const std::string& id) const {
+  json::JsonWriter w(os);
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("headers").begin_array();
+  for (const auto& h : headers_) w.value(h);
+  w.end_array();
+  w.key("rows").begin_array();
+  for (const auto& row : rows_) {
+    w.newline().begin_array();
+    for (const auto& cell : row) {
+      if (const auto* s = std::get_if<std::string>(&cell)) {
+        w.value(*s);
+      } else if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+        w.value(*i);
+      } else {
+        w.value(std::get<double>(cell));
+      }
+    }
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void Table::write_json(const std::string& path, const std::string& id) const {
+  std::ofstream f(path);
+  GSJ_CHECK_MSG(f.good(), "cannot open " << path);
+  print_json(f, id);
 }
 
 }  // namespace gsj

@@ -31,8 +31,15 @@ class Table {
   void print(std::ostream& os) const;      ///< aligned ASCII
   void print_csv(std::ostream& os) const;  ///< RFC-4180-ish CSV
 
+  /// Machine-readable JSON: {"id":...,"headers":[...],"rows":[[...]]}
+  /// with cells keeping their native type (string / integer / double).
+  void print_json(std::ostream& os, const std::string& id) const;
+
   /// Writes CSV to `path`, creating parent-less files only.
   void write_csv(const std::string& path) const;
+
+  /// Writes the JSON form to `path`.
+  void write_json(const std::string& path, const std::string& id) const;
 
  private:
   [[nodiscard]] std::string format(const Cell& c) const;

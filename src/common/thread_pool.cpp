@@ -4,13 +4,20 @@
 
 namespace gsj {
 
+namespace {
+thread_local int t_worker_index = -1;
+}  // namespace
+
+int ThreadPool::current_worker() noexcept { return t_worker_index; }
+
 ThreadPool::ThreadPool(std::size_t nthreads) {
   if (nthreads == 0) {
     nthreads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(nthreads);
   for (std::size_t i = 0; i < nthreads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<int>(i)); });
   }
 }
 
@@ -23,7 +30,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker_index) {
+  t_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {

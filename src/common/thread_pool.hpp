@@ -31,6 +31,11 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Worker tag of the calling thread: 0..size-1 inside a pool worker,
+  /// -1 on any other thread (main, detached). Used by the observability
+  /// layer to attribute trace spans and metric shards to workers.
+  [[nodiscard]] static int current_worker() noexcept;
+
   /// Enqueues a callable; returns a future for its result.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
@@ -55,7 +60,7 @@ class ThreadPool {
       std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop(int worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

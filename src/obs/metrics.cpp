@@ -1,0 +1,328 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+
+namespace gsj::obs {
+
+std::string labeled(
+    std::string_view name,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(name);
+  if (labels.size() == 0) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += '=';
+    out += v;
+  }
+  out += '}';
+  return out;
+}
+
+// --- FixedHistogram ---------------------------------------------------------
+
+FixedHistogram::FixedHistogram(double lo, double hi, std::size_t nbuckets)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(nbuckets)),
+      counts_(nbuckets) {
+  GSJ_CHECK(hi > lo && nbuckets >= 1);
+}
+
+void FixedHistogram::observe(double x) noexcept {
+  if (x < lo_) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (x >= hi_) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto b = static_cast<std::size_t>((x - lo_) / width_);
+  b = std::min(b, counts_.size() - 1);  // float-edge clamp
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t FixedHistogram::total() const noexcept {
+  std::uint64_t t = underflow() + overflow();
+  for (const auto& c : counts_) t += c.load(std::memory_order_relaxed);
+  return t;
+}
+
+double FixedHistogram::percentile(double q) const noexcept {
+  const std::uint64_t n = total();
+  if (n == 0) return lo_;
+  const double rank = q / 100.0 * static_cast<double>(n);
+  std::uint64_t seen = underflow();
+  if (static_cast<double>(seen) >= rank && seen > 0) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::uint64_t c = counts_[b].load(std::memory_order_relaxed);
+    if (static_cast<double>(seen + c) >= rank && c > 0) {
+      const double into =
+          (rank - static_cast<double>(seen)) / static_cast<double>(c);
+      return lo_ + width_ * (static_cast<double>(b) + std::clamp(into, 0.0, 1.0));
+    }
+    seen += c;
+  }
+  return hi_;
+}
+
+void FixedHistogram::merge_from(const FixedHistogram& other) noexcept {
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b].fetch_add(other.counts_[b].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  underflow_.fetch_add(other.underflow(), std::memory_order_relaxed);
+  overflow_.fetch_add(other.overflow(), std::memory_order_relaxed);
+}
+
+// --- CycleHistogram ---------------------------------------------------------
+
+CycleHistogram::CycleHistogram()
+    // Exact region [0, 2*kSubBuckets) plus (64 - kSubBucketBits - 1)
+    // log blocks of kSubBuckets sub-buckets each.
+    : counts_(2 * kSubBuckets +
+              (64 - kSubBucketBits - 1) * static_cast<std::size_t>(kSubBuckets)) {}
+
+std::size_t CycleHistogram::bucket_index(std::uint64_t v) noexcept {
+  if (v < 2 * kSubBuckets) return static_cast<std::size_t>(v);  // exact
+  const int e = std::bit_width(v) - 1;  // e >= kSubBucketBits + 1
+  const auto sub = static_cast<std::size_t>(
+      (v >> (e - kSubBucketBits)) - kSubBuckets);  // in [0, kSubBuckets)
+  return static_cast<std::size_t>(2 * kSubBuckets) +
+         static_cast<std::size_t>(e - kSubBucketBits - 1) * kSubBuckets + sub;
+}
+
+std::uint64_t CycleHistogram::bucket_upper(std::size_t idx) noexcept {
+  if (idx < 2 * kSubBuckets) return idx;  // exact
+  const std::size_t rel = idx - 2 * kSubBuckets;
+  const int e = static_cast<int>(rel / kSubBuckets) + kSubBucketBits + 1;
+  const std::uint64_t sub = rel % kSubBuckets + kSubBuckets;
+  const std::uint64_t lower = sub << (e - kSubBucketBits);
+  return lower + (std::uint64_t{1} << (e - kSubBucketBits)) - 1;
+}
+
+void CycleHistogram::record(std::uint64_t v) noexcept {
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t CycleHistogram::min() const noexcept {
+  return total() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CycleHistogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double CycleHistogram::mean() const noexcept {
+  const std::uint64_t n = total();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+                      static_cast<double>(n);
+}
+
+std::uint64_t CycleHistogram::percentile(double q) const noexcept {
+  const std::uint64_t n = total();
+  if (n == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(std::clamp(q, 0.0, 100.0) / 100.0 * static_cast<double>(n)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b].load(std::memory_order_relaxed);
+    if (seen >= target) return std::min(bucket_upper(b), max());
+  }
+  return max();
+}
+
+void CycleHistogram::merge_from(const CycleHistogram& other) noexcept {
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b].fetch_add(other.counts_[b].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  total_.fetch_add(other.total(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  if (other.total() > 0) {
+    std::uint64_t v = other.min_.load(std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    v = other.max_.load(std::memory_order_relaxed);
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+FixedHistogram& Registry::histogram(std::string_view name, double lo,
+                                    double hi, std::size_t nbuckets) {
+  std::lock_guard lk(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_
+             .emplace(std::string(name),
+                      std::make_unique<FixedHistogram>(lo, hi, nbuckets))
+             .first;
+  } else {
+    GSJ_CHECK_MSG(it->second->lo() == lo && it->second->hi() == hi &&
+                      it->second->buckets() == nbuckets,
+                  "histogram '" << name << "' re-registered with a "
+                                << "different shape");
+  }
+  return *it->second;
+}
+
+CycleHistogram& Registry::cycle_histogram(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = cycles_.find(name);
+  if (it == cycles_.end()) {
+    it = cycles_.emplace(std::string(name), std::make_unique<CycleHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::merge_from(const Registry& other) {
+  // Snapshot other's names first (other's mutex), then merge through the
+  // public accessors (this' mutex) — never both at once.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::pair<bool, double>>> gauges;
+  std::vector<std::pair<std::string, const FixedHistogram*>> hists;
+  std::vector<std::pair<std::string, const CycleHistogram*>> cycles;
+  {
+    std::lock_guard lk(other.mu_);
+    for (const auto& [k, v] : other.counters_) counters.emplace_back(k, v->value());
+    for (const auto& [k, v] : other.gauges_) {
+      gauges.emplace_back(k, std::make_pair(v->is_set(), v->value()));
+    }
+    for (const auto& [k, v] : other.hists_) hists.emplace_back(k, v.get());
+    for (const auto& [k, v] : other.cycles_) cycles.emplace_back(k, v.get());
+  }
+  for (const auto& [k, v] : counters) counter(k).add(v);
+  for (const auto& [k, sv] : gauges) {
+    if (sv.first) gauge(k).set(sv.second);
+  }
+  for (const auto& [k, h] : hists) {
+    histogram(k, h->lo(), h->hi(), h->buckets()).merge_from(*h);
+  }
+  for (const auto& [k, h] : cycles) cycle_histogram(k).merge_from(*h);
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard lk(mu_);
+  return counters_.size() + gauges_.size() + hists_.size() + cycles_.size();
+}
+
+void Registry::write_json(std::ostream& os) const {
+  std::lock_guard lk(mu_);
+  json::JsonWriter w(os);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [k, v] : counters_) w.key(k).value(v->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [k, v] : gauges_) w.key(k).value(v->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [k, h] : hists_) {
+    w.key(k).begin_object();
+    w.key("total").value(h->total());
+    w.key("underflow").value(h->underflow());
+    w.key("overflow").value(h->overflow());
+    w.key("p50").value(h->percentile(50));
+    w.key("p95").value(h->percentile(95));
+    w.key("p99").value(h->percentile(99));
+    w.end_object();
+  }
+  for (const auto& [k, h] : cycles_) {
+    w.key(k).begin_object();
+    w.key("total").value(h->total());
+    w.key("min").value(h->min());
+    w.key("max").value(h->max());
+    w.key("mean").value(h->mean());
+    w.key("p50").value(h->percentile(50));
+    w.key("p95").value(h->percentile(95));
+    w.key("p99").value(h->percentile(99));
+    w.end_object();
+  }
+  w.end_object();  // "histograms"
+  w.end_object();  // root
+  os << '\n';
+}
+
+void Registry::write_csv(std::ostream& os) const {
+  std::lock_guard lk(mu_);
+  os << "kind,name,field,value\n";
+  for (const auto& [k, v] : counters_) {
+    os << "counter," << k << ",value," << v->value() << '\n';
+  }
+  for (const auto& [k, v] : gauges_) {
+    os << "gauge," << k << ",value," << json::format_double(v->value())
+       << '\n';
+  }
+  for (const auto& [k, h] : hists_) {
+    os << "histogram," << k << ",total," << h->total() << '\n';
+    os << "histogram," << k << ",p50," << json::format_double(h->percentile(50))
+       << '\n';
+    os << "histogram," << k << ",p95," << json::format_double(h->percentile(95))
+       << '\n';
+    os << "histogram," << k << ",p99," << json::format_double(h->percentile(99))
+       << '\n';
+  }
+  for (const auto& [k, h] : cycles_) {
+    os << "cycle_histogram," << k << ",total," << h->total() << '\n';
+    os << "cycle_histogram," << k << ",min," << h->min() << '\n';
+    os << "cycle_histogram," << k << ",max," << h->max() << '\n';
+    os << "cycle_histogram," << k << ",mean," << json::format_double(h->mean())
+       << '\n';
+    os << "cycle_histogram," << k << ",p50," << h->percentile(50) << '\n';
+    os << "cycle_histogram," << k << ",p95," << h->percentile(95) << '\n';
+    os << "cycle_histogram," << k << ",p99," << h->percentile(99) << '\n';
+  }
+}
+
+}  // namespace gsj::obs

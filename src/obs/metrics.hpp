@@ -1,0 +1,200 @@
+// Metrics registry: labeled counters, gauges and histograms with a
+// lock-free hot path and worker-shard merging.
+//
+// Usage pattern (the only pattern that is lock-free):
+//
+//   obs::Registry reg;
+//   obs::Counter& pairs = reg.counter("sj.result_pairs");   // once, locked
+//   ...
+//   pairs.add(n);                                           // hot, atomic
+//
+// Registration (the name lookup) takes the registry mutex; the returned
+// reference is stable for the registry's lifetime, and every update
+// through it is a relaxed atomic operation. Thread-pool workers either
+// share instruments (atomics make that safe) or — when even shared
+// cache lines are too hot — populate a private Registry each and merge
+// the shards with `merge_from` at the end of the parallel phase
+// (see superego/super_ego.cpp for the worked example).
+//
+// Two histogram flavours:
+//  * FixedHistogram — equal-width buckets over [lo, hi), for quantities
+//    with a known range (percentages, per-batch WEE);
+//  * CycleHistogram — HDR-style log-linear buckets over the full uint64
+//    range (exact below 64, ≤ ~3.2% relative error above), for
+//    latency/cycle-count distributions with unknown dynamic range.
+//    Percentile queries walk the bucket array.
+//
+// Naming scheme (see docs/OBSERVABILITY.md): dot-separated lowercase
+// path, optional {key=value,...} label suffix rendered by `labeled`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gsj::obs {
+
+/// Renders "name{k1=v1,k2=v2}" — the canonical labeled-metric key.
+[[nodiscard]] std::string labeled(
+    std::string_view name,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
+/// Monotonic counter. add() is a relaxed atomic fetch-add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written double value. set() is a relaxed atomic store.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    set_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool is_set() const noexcept {
+    return set_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<double> v_{0.0};
+  std::atomic<bool> set_{false};
+};
+
+/// Equal-width buckets over [lo, hi) plus underflow/overflow counters.
+/// observe() is one relaxed atomic increment.
+class FixedHistogram {
+ public:
+  FixedHistogram(double lo, double hi, std::size_t nbuckets);
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const noexcept {
+    return counts_[b].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t underflow() const noexcept {
+    return underflow_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t overflow() const noexcept {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  /// Linear-interpolated percentile (q in [0,100]) assuming in-bucket
+  /// uniformity; underflow clamps to lo, overflow to hi.
+  [[nodiscard]] double percentile(double q) const noexcept;
+
+ private:
+  friend class Registry;
+  void merge_from(const FixedHistogram& other) noexcept;
+
+  double lo_, hi_, width_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> underflow_{0}, overflow_{0};
+};
+
+/// HDR-style log-linear histogram over uint64 values (cycles, counts).
+/// Values below kSubBuckets*2 record exactly; above, buckets are
+/// 2^e-wide ranges split into kSubBuckets linear sub-buckets, bounding
+/// the relative quantization error by 1/kSubBuckets.
+class CycleHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;                  // 32 sub-buckets
+  static constexpr std::uint64_t kSubBuckets = 1u << kSubBucketBits;
+  /// Worst-case relative error of a percentile query.
+  static constexpr double kMaxRelativeError = 1.0 / kSubBuckets;
+
+  CycleHistogram();
+
+  void record(std::uint64_t v) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Percentile (q in [0,100]): the upper bound of the bucket holding
+  /// the rank-ceil(q/100*total) value. Within kMaxRelativeError of the
+  /// exact order statistic; returns 0 on an empty histogram.
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+
+ private:
+  friend class Registry;
+  void merge_from(const CycleHistogram& other) noexcept;
+
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t idx) noexcept;
+
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Owns instruments by name. Lookup/registration is mutex-guarded;
+/// returned references are stable and lock-free to update.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  FixedHistogram& histogram(std::string_view name, double lo, double hi,
+                            std::size_t nbuckets);
+  CycleHistogram& cycle_histogram(std::string_view name);
+
+  /// Accumulates `other` into this registry: counters and histograms
+  /// sum; a gauge is overwritten when `other`'s was ever set. Histogram
+  /// shapes must agree for same-named fixed histograms.
+  void merge_from(const Registry& other);
+
+  /// Flat JSON object: {"counters":{...},"gauges":{...},
+  /// "histograms":{...}} with p50/p95/p99 pre-computed per histogram.
+  void write_json(std::ostream& os) const;
+
+  /// CSV: kind,name,field,value — one row per scalar.
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: deterministic (sorted) export order; unique_ptr: stable
+  // addresses across rehash-free growth.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<FixedHistogram>, std::less<>> hists_;
+  std::map<std::string, std::unique_ptr<CycleHistogram>, std::less<>> cycles_;
+};
+
+}  // namespace gsj::obs

@@ -1,0 +1,195 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+#include <utility>
+
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
+
+namespace gsj::obs {
+
+std::uint64_t Tracer::now() {
+  if (mode_ == TimeMode::Logical) {
+    std::lock_guard lk(mu_);
+    return logical_++;
+  }
+  return static_cast<std::uint64_t>(wall_.seconds() * 1e6);
+}
+
+Tracer::Span Tracer::span(std::string name) {
+  const std::uint64_t start = now();
+  return Span(this, std::move(name), start);
+}
+
+void Tracer::Span::finish() {
+  if (tracer_ == nullptr) return;
+  Tracer* t = std::exchange(tracer_, nullptr);
+  const std::uint64_t end = t->now();
+  HostSpan s;
+  s.name = std::move(name_);
+  s.ts = start_;
+  s.dur = end > start_ ? end - start_ : 0;
+  s.tid = ThreadPool::current_worker() + 1;  // -1 (main) -> tid 0
+  std::lock_guard lk(t->mu_);
+  t->spans_.push_back(std::move(s));
+}
+
+void Tracer::record_warp(const simt::WarpRecord& rec,
+                         std::uint64_t cycle_offset, std::uint32_t batch) {
+  WarpEvent ev;
+  ev.warp_id = rec.warp_id;
+  ev.dispatch_seq = rec.dispatch_seq;
+  ev.start_cycle = cycle_offset + rec.start_cycle;
+  ev.cycles = rec.cycles;
+  ev.steps = rec.steps;
+  ev.active_lane_steps = rec.active_lane_steps;
+  ev.slot = rec.slot;
+  ev.batch = batch;
+  std::lock_guard lk(mu_);
+  warps_.push_back(ev);
+}
+
+void Tracer::record_batch(const BatchEvent& ev) {
+  std::lock_guard lk(mu_);
+  batches_.push_back(ev);
+}
+
+std::size_t Tracer::host_span_count() const {
+  std::lock_guard lk(mu_);
+  return spans_.size();
+}
+
+std::size_t Tracer::warp_event_count() const {
+  std::lock_guard lk(mu_);
+  return warps_.size();
+}
+
+std::size_t Tracer::batch_event_count() const {
+  std::lock_guard lk(mu_);
+  return batches_.size();
+}
+
+std::vector<WarpEvent> Tracer::warp_events() const {
+  std::lock_guard lk(mu_);
+  return warps_;
+}
+
+std::vector<BatchEvent> Tracer::batch_events() const {
+  std::lock_guard lk(mu_);
+  return batches_;
+}
+
+std::vector<HostSpan> Tracer::host_spans() const {
+  std::lock_guard lk(mu_);
+  return spans_;
+}
+
+void Tracer::set_device_config(const simt::DeviceConfig& cfg) {
+  std::lock_guard lk(mu_);
+  num_sms_ = cfg.num_sms;
+  resident_warps_per_sm_ = cfg.resident_warps_per_sm;
+}
+
+namespace {
+
+constexpr std::int64_t kHostPid = 0;
+constexpr std::int64_t kDevicePid = 1;
+/// Chrome tid of the per-batch row on the device process (placed after
+/// any plausible slot count).
+constexpr std::int64_t kBatchTid = 1'000'000;
+
+void meta_event(json::JsonWriter& w, const char* what, std::int64_t pid,
+                std::int64_t tid, const std::string& name, bool thread_scope) {
+  w.begin_object();
+  w.key("name").value(what);
+  w.key("ph").value("M");
+  w.key("pid").value(pid);
+  if (thread_scope) w.key("tid").value(tid);
+  w.key("args").begin_object().key("name").value(name).end_object();
+  w.end_object();
+  w.newline();
+}
+
+}  // namespace
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  std::lock_guard lk(mu_);
+  json::JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ns");
+  w.key("traceEvents").begin_array();
+  w.newline();
+
+  // Process/thread naming metadata.
+  meta_event(w, "process_name", kHostPid, 0, "host", false);
+  meta_event(w, "process_name", kDevicePid, 0, "device (SIMT model)", false);
+  meta_event(w, "thread_name", kHostPid, 0, "main", true);
+  meta_event(w, "thread_name", kDevicePid, kBatchTid, "batches", true);
+  if (num_sms_ > 0 && resident_warps_per_sm_ > 0) {
+    for (int s = 0; s < num_sms_ * resident_warps_per_sm_; ++s) {
+      meta_event(w, "thread_name", kDevicePid, s,
+                 "sm" + std::to_string(s / resident_warps_per_sm_) + ".w" +
+                     std::to_string(s % resident_warps_per_sm_),
+                 true);
+    }
+  }
+
+  for (const HostSpan& s : spans_) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("ph").value("X");
+    w.key("ts").value(s.ts);
+    w.key("dur").value(s.dur);
+    w.key("pid").value(kHostPid);
+    w.key("tid").value(s.tid);
+    w.end_object();
+    w.newline();
+  }
+
+  for (const BatchEvent& b : batches_) {
+    w.begin_object();
+    w.key("name").value("batch " + std::to_string(b.index));
+    w.key("ph").value("X");
+    w.key("ts").value(b.start_cycle);
+    w.key("dur").value(b.makespan_cycles);
+    w.key("pid").value(kDevicePid);
+    w.key("tid").value(kBatchTid);
+    w.key("args").begin_object();
+    w.key("batch").value(std::uint64_t{b.index});
+    w.key("warps").value(b.warps);
+    w.key("result_pairs").value(b.result_pairs);
+    w.key("wee_percent").value(b.wee_percent);
+    w.end_object();
+    w.end_object();
+    w.newline();
+  }
+
+  for (const WarpEvent& e : warps_) {
+    w.begin_object();
+    w.key("name").value("warp " + std::to_string(e.warp_id));
+    w.key("ph").value("X");
+    w.key("ts").value(e.start_cycle);
+    w.key("dur").value(e.cycles);
+    w.key("pid").value(kDevicePid);
+    w.key("tid").value(std::int64_t{e.slot});
+    w.key("args").begin_object();
+    w.key("batch").value(std::uint64_t{e.batch});
+    w.key("dispatch_seq").value(e.dispatch_seq);
+    w.key("steps").value(e.steps);
+    w.key("active_lane_steps").value(e.active_lane_steps);
+    w.end_object();
+    w.end_object();
+    w.newline();
+  }
+
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+Tracer::Span span(Tracer* t, std::string name) {
+  if (t == nullptr) return Tracer::Span(nullptr, std::string(), 0);
+  return t->span(std::move(name));
+}
+
+}  // namespace gsj::obs

@@ -1,0 +1,160 @@
+// Structured tracer: scoped host-phase spans plus device timeline
+// events (batches and warps) from the SIMT simulator, exported as
+// Chrome trace-event JSON (open in Perfetto / chrome://tracing).
+//
+// Timeline layout of the exported trace:
+//
+//   process 0 "host"    — one Chrome "thread" per host thread: tid 0 is
+//       the main thread, tid 1+N is thread-pool worker N (see
+//       ThreadPool::current_worker). Host spans are the pipeline phases
+//       (grid_build, workload_quantify, sortbywl_sort, batch_plan,
+//       estimation_sample, ego_sort, ego_join, ...).
+//   process 1 "device"  — one Chrome "thread" per resident-warp slot,
+//       named "smS.wR" (SM S, resident slot R); every executed warp is
+//       one span on its slot's row, so load imbalance is visible as
+//       ragged row ends (kernel tail). A separate "batches" row holds
+//       one span per kernel launch.
+//
+// Time bases. Host spans use wall-clock microseconds since tracer
+// construction; device events use model cycles (1 cycle rendered as 1
+// Chrome microsecond tick; batches are laid out end-to-end with a
+// cumulative offset, matching the sequential-launch model). With
+// TimeMode::Logical the host clock is replaced by an event sequence
+// counter, making the whole trace a pure function of the execution —
+// two runs with identical seeds and configuration serialize to
+// byte-identical JSON (the determinism the tests pin down; requires the
+// traced host phases to run single-threaded, which the self-join
+// pipeline's do).
+//
+// Thread safety: all recording methods lock a mutex; the hot per-warp
+// path appends to a flat vector (no string formatting until export).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "simt/device.hpp"
+#include "simt/launch.hpp"
+
+namespace gsj::obs {
+
+enum class TimeMode {
+  Wall,     ///< host spans in wall-clock microseconds
+  Logical,  ///< host spans in deterministic sequence ticks
+};
+
+/// A finished host-phase span (complete "X" event).
+struct HostSpan {
+  std::string name;
+  std::uint64_t ts = 0;   ///< microseconds or logical ticks
+  std::uint64_t dur = 0;
+  std::int64_t tid = 0;   ///< 0 = main thread, 1+N = pool worker N
+};
+
+/// One executed warp on the device timeline.
+struct WarpEvent {
+  std::uint64_t warp_id = 0;
+  std::uint64_t dispatch_seq = 0;
+  std::uint64_t start_cycle = 0;  ///< absolute (batch offset applied)
+  std::uint64_t cycles = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t active_lane_steps = 0;
+  std::int32_t slot = 0;
+  std::uint32_t batch = 0;
+};
+
+/// One kernel launch (batch) on the device timeline.
+struct BatchEvent {
+  std::uint32_t index = 0;
+  std::uint64_t start_cycle = 0;  ///< absolute
+  std::uint64_t makespan_cycles = 0;
+  std::uint64_t warps = 0;
+  std::uint64_t result_pairs = 0;
+  double wee_percent = 0.0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TimeMode mode = TimeMode::Wall) : mode_(mode) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] TimeMode mode() const noexcept { return mode_; }
+
+  /// RAII host-phase span; records on destruction. Move-only.
+  class Span {
+   public:
+    Span(Span&& other) noexcept
+        : tracer_(other.tracer_), name_(std::move(other.name_)),
+          start_(other.start_) {
+      other.tracer_ = nullptr;
+    }
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { finish(); }
+
+    /// Closes the span early (idempotent).
+    void finish();
+
+   private:
+    friend class Tracer;
+    friend Span span(Tracer* t, std::string name);
+    Span(Tracer* t, std::string name, std::uint64_t start)
+        : tracer_(t), name_(std::move(name)), start_(start) {}
+
+    Tracer* tracer_;  ///< nullptr when tracing disabled or finished
+    std::string name_;
+    std::uint64_t start_ = 0;
+  };
+
+  /// Opens a host-phase span attributed to the calling thread. Safe to
+  /// call on a null tracer via the free helper `span(Tracer*, name)`.
+  [[nodiscard]] Span span(std::string name);
+
+  /// Records one executed warp. `cycle_offset` is the absolute device
+  /// cycle at which the warp's launch started (batches are sequential).
+  void record_warp(const simt::WarpRecord& rec, std::uint64_t cycle_offset,
+                   std::uint32_t batch);
+
+  /// Records a kernel launch as one span on the "batches" row.
+  void record_batch(const BatchEvent& ev);
+
+  [[nodiscard]] std::size_t host_span_count() const;
+  [[nodiscard]] std::size_t warp_event_count() const;
+  [[nodiscard]] std::size_t batch_event_count() const;
+  [[nodiscard]] std::vector<WarpEvent> warp_events() const;
+  [[nodiscard]] std::vector<BatchEvent> batch_events() const;
+  [[nodiscard]] std::vector<HostSpan> host_spans() const;
+
+  /// Names the device slot rows "smS.wR" in the exported trace.
+  void set_device_config(const simt::DeviceConfig& cfg);
+
+  /// Serializes the whole trace as Chrome trace-event JSON
+  /// ({"traceEvents":[...]} — the format Perfetto and chrome://tracing
+  /// load). Deterministic: append order, stable number formatting.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  friend class Span;
+  [[nodiscard]] std::uint64_t now();
+
+  const TimeMode mode_;
+  Timer wall_;
+  mutable std::mutex mu_;
+  std::uint64_t logical_ = 0;
+  std::vector<HostSpan> spans_;
+  std::vector<WarpEvent> warps_;
+  std::vector<BatchEvent> batches_;
+  int num_sms_ = 0;
+  int resident_warps_per_sm_ = 0;
+};
+
+/// Null-safe span helper: returns an inert span when `t` is nullptr.
+[[nodiscard]] Tracer::Span span(Tracer* t, std::string name);
+
+}  // namespace gsj::obs

@@ -62,6 +62,7 @@ struct WarpRecord {
   std::uint64_t cycles = 0;  ///< init + steps
   std::uint64_t steps = 0;
   std::uint64_t active_lane_steps = 0;
+  int slot = 0;  ///< resident-warp slot (sm = slot / resident_warps_per_sm)
 };
 
 using WarpObserver = std::function<void(const WarpRecord&)>;
@@ -110,6 +111,11 @@ KernelStats launch(const DeviceConfig& cfg, std::uint64_t num_threads, K& k,
   std::array<bool, 32> active{};
   WarpScratch scratch{};
 
+  // Hoisted emptiness test: an unset observer must cost nothing per
+  // warp — no std::function invocation and no WarpRecord construction
+  // (see BM_LaunchObserver in bench_micro.cpp).
+  const bool observed = static_cast<bool>(observer);
+
   std::uint64_t dispatch_seq = 0;
   while (!window.empty()) {
     // Choose the next warp from the head window.
@@ -124,10 +130,8 @@ KernelStats launch(const DeviceConfig& cfg, std::uint64_t num_threads, K& k,
     slots.pop();
 
     // --- execute warp w ---
-    WarpRecord rec;
-    rec.warp_id = w;
-    rec.dispatch_seq = dispatch_seq++;
-    rec.start_cycle = free_at;
+    std::uint64_t steps = 0;
+    std::uint64_t active_lane_steps = 0;
 
     std::uint64_t init_cost = cfg.cost_warp_launch;
     scratch.fill(0);
@@ -157,20 +161,30 @@ KernelStats launch(const DeviceConfig& cfg, std::uint64_t num_threads, K& k,
         ++nactive;
       }
       if (nactive == 0) break;
-      ++rec.steps;
-      rec.active_lane_steps += nactive;
+      ++steps;
+      active_lane_steps += nactive;
       warp_cycles += step_cost;
     }
-    rec.cycles = warp_cycles;
 
-    stats.warp_steps += rec.steps;
-    stats.active_lane_steps += rec.active_lane_steps;
+    stats.warp_steps += steps;
+    stats.active_lane_steps += active_lane_steps;
     stats.busy_cycles += warp_cycles;
 
     const std::uint64_t finish = free_at + warp_cycles;
     slot_finish[static_cast<std::size_t>(slot)] = finish;
     slots.emplace(finish, slot);
-    if (observer) observer(rec);
+    const std::uint64_t seq = dispatch_seq++;
+    if (observed) {
+      WarpRecord rec;
+      rec.warp_id = w;
+      rec.dispatch_seq = seq;
+      rec.start_cycle = free_at;
+      rec.cycles = warp_cycles;
+      rec.steps = steps;
+      rec.active_lane_steps = active_lane_steps;
+      rec.slot = slot;
+      observer(rec);
+    }
   }
 
   std::uint64_t makespan = 0;

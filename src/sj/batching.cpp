@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "sj/reference.hpp"
 
 namespace gsj {
@@ -40,11 +41,15 @@ std::uint64_t estimate_strided_total(const GridIndex& grid,
 }  // namespace
 
 BatchPlan plan_strided(const GridIndex& grid, const BatchingConfig& cfg,
-                       bool sort_batches_by_workload, CellPattern pattern) {
+                       bool sort_batches_by_workload, CellPattern pattern,
+                       obs::Tracer* tracer) {
   const std::size_t n = grid.dataset().size();
   GSJ_CHECK(n > 0);
   BatchPlan plan;
-  plan.estimated_total_pairs = estimate_strided_total(grid, cfg);
+  {
+    const auto sp = obs::span(tracer, "estimation_sample");
+    plan.estimated_total_pairs = estimate_strided_total(grid, cfg);
+  }
   plan.num_batches = batch_count(plan.estimated_total_pairs, cfg);
   plan.batches.resize(plan.num_batches);
   for (auto& b : plan.batches) b.reserve(n / plan.num_batches + 1);
@@ -53,7 +58,12 @@ BatchPlan plan_strided(const GridIndex& grid, const BatchingConfig& cfg,
   }
 
   if (sort_batches_by_workload) {
-    const auto pw = point_workloads(grid, pattern);
+    std::vector<std::uint64_t> pw;
+    {
+      const auto sp = obs::span(tracer, "workload_quantify");
+      pw = point_workloads(grid, pattern);
+    }
+    const auto sp = obs::span(tracer, "sortbywl_sort");
     for (auto& b : plan.batches) {
       std::stable_sort(b.begin(), b.end(), [&pw](PointId a, PointId c) {
         return pw[a] > pw[c];
@@ -65,11 +75,13 @@ BatchPlan plan_strided(const GridIndex& grid, const BatchingConfig& cfg,
 
 BatchPlan plan_queue(const GridIndex& grid, const BatchingConfig& cfg,
                      std::span<const PointId> queue_order,
-                     std::span<const std::uint64_t> workloads) {
+                     std::span<const std::uint64_t> workloads,
+                     obs::Tracer* tracer) {
   const std::size_t n = grid.dataset().size();
   GSJ_CHECK(queue_order.size() == n);
   GSJ_CHECK(workloads.size() == n);
   BatchPlan plan;
+  auto estimation_span = obs::span(tracer, "estimation_sample");
 
   // First 1% of D' — the heaviest-workload points — extrapolated to the
   // whole dataset; the paper's deliberate over-estimate (§III-D).
@@ -92,6 +104,7 @@ BatchPlan plan_queue(const GridIndex& grid, const BatchingConfig& cfg,
       static_cast<double>(n));
   plan.estimated_total_pairs =
       std::max(first_pct_estimate, estimate_strided_total(grid, cfg));
+  estimation_span.finish();
 
   if (!cfg.enabled) {
     plan.queue_ranges.emplace_back(0, n);

@@ -27,6 +27,10 @@
 
 namespace gsj {
 
+namespace obs {
+class Tracer;  // obs/trace.hpp
+}  // namespace obs
+
 struct BatchingConfig {
   /// Result-pair capacity of one batch buffer — the paper's b_s = 1e8.
   /// Keeping the paper's value even at scaled dataset sizes preserves
@@ -57,11 +61,14 @@ struct BatchPlan {
 
 /// Plans strided batches over natural point order. When
 /// `sort_batches_by_workload`, each batch list is ordered by
-/// non-increasing workload under `pattern` (SORTBYWL).
+/// non-increasing workload under `pattern` (SORTBYWL). An optional
+/// tracer records the estimation-sampling / workload-quantification /
+/// sort phases as host spans.
 [[nodiscard]] BatchPlan plan_strided(const GridIndex& grid,
                                      const BatchingConfig& cfg,
                                      bool sort_batches_by_workload,
-                                     CellPattern pattern);
+                                     CellPattern pattern,
+                                     obs::Tracer* tracer = nullptr);
 
 /// Plans contiguous chunks over `queue_order` (D', workload-sorted).
 /// `workloads` are the per-point candidate counts (point_workloads);
@@ -73,7 +80,8 @@ struct BatchPlan {
 [[nodiscard]] BatchPlan plan_queue(const GridIndex& grid,
                                    const BatchingConfig& cfg,
                                    std::span<const PointId> queue_order,
-                                   std::span<const std::uint64_t> workloads);
+                                   std::span<const std::uint64_t> workloads,
+                                   obs::Tracer* tracer = nullptr);
 
 /// Completion time of the batched pipeline: kernels serialize on the
 /// device; each batch's result transfer serializes on the PCIe engine

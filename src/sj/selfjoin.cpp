@@ -1,12 +1,15 @@
 #include "sj/selfjoin.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <sstream>
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
 #include "grid/workload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simt/counter.hpp"
 #include "simt/launch.hpp"
 
@@ -74,20 +77,39 @@ SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
   out.results = ResultSet(cfg.store_pairs);
   Timer host;
 
-  const GridIndex grid(ds, cfg.epsilon);
+  obs::Tracer* tracer = cfg.tracer;
+  if (tracer != nullptr) tracer->set_device_config(cfg.device);
+  auto pipeline_span = obs::span(tracer, "self_join");
+
+  std::unique_ptr<GridIndex> grid_holder;
+  {
+    const auto sp = obs::span(tracer, "grid_build");
+    grid_holder = std::make_unique<GridIndex>(ds, cfg.epsilon);
+  }
+  const GridIndex& grid = *grid_holder;
 
   // Workload-sorted order D' (only materialized when needed).
   std::vector<PointId> queue_order;
   BatchPlan plan;
   if (cfg.work_queue) {
-    const std::vector<std::uint64_t> pw = point_workloads(grid, cfg.pattern);
-    queue_order.resize(ds.size());
-    std::iota(queue_order.begin(), queue_order.end(), PointId{0});
-    std::stable_sort(queue_order.begin(), queue_order.end(),
-                     [&pw](PointId a, PointId b) { return pw[a] > pw[b]; });
-    plan = plan_queue(grid, cfg.batching, queue_order, pw);
+    std::vector<std::uint64_t> pw;
+    {
+      const auto sp = obs::span(tracer, "workload_quantify");
+      pw = point_workloads(grid, cfg.pattern);
+    }
+    {
+      const auto sp = obs::span(tracer, "sortbywl_sort");
+      queue_order.resize(ds.size());
+      std::iota(queue_order.begin(), queue_order.end(), PointId{0});
+      std::stable_sort(queue_order.begin(), queue_order.end(),
+                       [&pw](PointId a, PointId b) { return pw[a] > pw[b]; });
+    }
+    const auto sp = obs::span(tracer, "batch_plan");
+    plan = plan_queue(grid, cfg.batching, queue_order, pw, tracer);
   } else {
-    plan = plan_strided(grid, cfg.batching, cfg.sort_by_workload, cfg.pattern);
+    const auto sp = obs::span(tracer, "batch_plan");
+    plan = plan_strided(grid, cfg.batching, cfg.sort_by_workload, cfg.pattern,
+                        tracer);
   }
   out.stats.num_batches = plan.num_batches;
   out.stats.estimated_total_pairs = plan.estimated_total_pairs;
@@ -97,6 +119,35 @@ SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
   std::vector<double> kernel_secs, xfer_secs;
   kernel_secs.reserve(plan.num_batches);
   xfer_secs.reserve(plan.num_batches);
+
+  // --- per-warp collection (diagnostics, tracing, metrics) ---
+  const bool collect = cfg.collect_diagnostics || tracer != nullptr ||
+                       cfg.metrics != nullptr;
+  std::vector<std::uint64_t> all_warp_cycles;  // across all batches
+  std::vector<obs::SlotStats> slots(
+      collect ? static_cast<std::size_t>(cfg.device.total_slots()) : 0);
+  std::vector<std::uint64_t> slot_finish(slots.size(), 0);  // per launch
+  obs::CycleHistogram* warp_cycle_hist =
+      cfg.metrics != nullptr
+          ? &cfg.metrics->cycle_histogram("sj.warp_cycles")
+          : nullptr;
+  std::uint64_t cycle_offset = 0;  // batches execute back-to-back
+  std::uint32_t batch_index = 0;
+  std::size_t batch_first_warp = 0;  // index into all_warp_cycles
+
+  simt::WarpObserver observer;
+  if (collect) {
+    observer = [&](const simt::WarpRecord& r) {
+      all_warp_cycles.push_back(r.cycles);
+      auto& s = slots[static_cast<std::size_t>(r.slot)];
+      ++s.warps;
+      s.busy_cycles += r.cycles;
+      auto& fin = slot_finish[static_cast<std::size_t>(r.slot)];
+      fin = std::max(fin, r.start_cycle + r.cycles);
+      if (tracer != nullptr) tracer->record_warp(r, cycle_offset, batch_index);
+      if (warp_cycle_hist != nullptr) warp_cycle_hist->record(r.cycles);
+    };
+  }
 
   auto run_batch = [&](std::span<const PointId> points,
                        std::uint64_t queue_len) {
@@ -118,7 +169,8 @@ SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
 
     const std::uint64_t pairs_before = out.results.count();
     SelfJoinKernel kernel(params);
-    simt::KernelStats ks = simt::launch(cfg.device, nthreads, kernel);
+    std::fill(slot_finish.begin(), slot_finish.end(), 0);
+    simt::KernelStats ks = simt::launch(cfg.device, nthreads, kernel, observer);
     ks.atomics_executed = kernel.atomics_executed();
     ks.results_emitted = kernel.results_emitted();
     out.stats.kernel.merge(ks);
@@ -135,9 +187,37 @@ SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
     BatchStats bs;
     bs.query_points = groups;
     bs.result_pairs = batch_pairs;
+    bs.warps = ks.warps_launched;
+    bs.makespan_cycles = ks.makespan_cycles;
     bs.kernel_seconds = kernel_secs.back();
     bs.transfer_seconds = xfer_secs.back();
     bs.wee_percent = ks.warp_execution_efficiency(cfg.device.warp_size) * 100.0;
+
+    if (collect) {
+      // Close out this launch: per-slot tail idle against the launch's
+      // makespan (slots that never ran a warp idled for the whole
+      // launch — the same accounting simt::launch uses internally).
+      for (std::size_t s = 0; s < slots.size(); ++s) {
+        slots[s].tail_idle_cycles += ks.makespan_cycles - slot_finish[s];
+      }
+      const std::span<const std::uint64_t> batch_cycles{
+          all_warp_cycles.data() + batch_first_warp,
+          all_warp_cycles.size() - batch_first_warp};
+      bs.warp_cycle_cov = obs::analyze_warp_cycles(batch_cycles).cov;
+      batch_first_warp = all_warp_cycles.size();
+    }
+    if (tracer != nullptr) {
+      obs::BatchEvent ev;
+      ev.index = batch_index;
+      ev.start_cycle = cycle_offset;
+      ev.makespan_cycles = ks.makespan_cycles;
+      ev.warps = ks.warps_launched;
+      ev.result_pairs = batch_pairs;
+      ev.wee_percent = bs.wee_percent;
+      tracer->record_batch(ev);
+    }
+    cycle_offset += ks.makespan_cycles;
+    ++batch_index;
     out.stats.batches.push_back(bs);
   };
 
@@ -157,6 +237,29 @@ SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
   for (double s : kernel_secs) out.stats.kernel_seconds += s;
   out.stats.total_seconds =
       pipeline_seconds(kernel_secs, xfer_secs, cfg.batching.nstreams);
+
+  if (collect) {
+    out.stats.warp_imbalance = obs::analyze_warp_cycles(all_warp_cycles);
+    out.stats.slots = std::move(slots);
+  }
+  if (cfg.metrics != nullptr) {
+    obs::Registry& m = *cfg.metrics;
+    m.counter("sj.batches").add(out.stats.num_batches);
+    m.counter("sj.result_pairs").add(out.stats.result_pairs);
+    m.counter("sj.warps_launched").add(out.stats.kernel.warps_launched);
+    m.counter("sj.warp_steps").add(out.stats.kernel.warp_steps);
+    m.counter("sj.active_lane_steps").add(out.stats.kernel.active_lane_steps);
+    m.counter("sj.atomics").add(out.stats.kernel.atomics_executed);
+    m.gauge("sj.wee_percent").set(out.stats.wee_percent());
+    m.gauge("sj.warp_cycle_cov").set(out.stats.warp_cycle_cov());
+    m.gauge("sj.warp_cycle_gini").set(out.stats.warp_cycle_gini());
+    m.gauge("sj.estimated_total_pairs")
+        .set(static_cast<double>(out.stats.estimated_total_pairs));
+    m.gauge("sj.kernel_seconds").set(out.stats.kernel_seconds);
+    m.gauge("sj.total_seconds").set(out.stats.total_seconds);
+    m.gauge("sj.host_prep_seconds").set(out.stats.host_prep_seconds);
+  }
+
   if (cfg.store_pairs) out.results.canonicalize();
   return out;
 }

@@ -21,15 +21,21 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "data/dataset.hpp"
 #include "grid/cell_access.hpp"
+#include "obs/diagnostics.hpp"
 #include "simt/device.hpp"
 #include "sj/batching.hpp"
 #include "sj/kernels.hpp"
 #include "sj/result_set.hpp"
 
 namespace gsj {
+
+namespace obs {
+class Registry;  // metrics.hpp (Tracer comes in via diagnostics.hpp)
+}  // namespace obs
 
 struct SelfJoinConfig {
   double epsilon = 1.0;
@@ -49,6 +55,16 @@ struct SelfJoinConfig {
   /// Store result pairs (tests/examples) or count only (benchmarks).
   bool store_pairs = false;
 
+  // --- observability (all optional, non-owning) ---
+  /// Receives host-phase spans and per-warp/per-batch device events.
+  obs::Tracer* tracer = nullptr;
+  /// Receives counters and cycle histograms ("sj.*" namespace).
+  obs::Registry* metrics = nullptr;
+  /// Collect per-warp cycle dispersion (CoV/Gini) and per-slot tail
+  /// idle into SelfJoinStats. Adds one observer callback per warp;
+  /// disable for overhead-sensitive sweeps.
+  bool collect_diagnostics = true;
+
   [[nodiscard]] std::string name() const;
 
   // --- the paper's named configurations ---
@@ -66,9 +82,13 @@ struct SelfJoinConfig {
 struct BatchStats {
   std::uint64_t query_points = 0;
   std::uint64_t result_pairs = 0;
+  std::uint64_t warps = 0;
+  std::uint64_t makespan_cycles = 0;
   double kernel_seconds = 0.0;
   double transfer_seconds = 0.0;
   double wee_percent = 0.0;
+  /// Per-warp cycle CoV within this batch (0 when diagnostics off).
+  double warp_cycle_cov = 0.0;
 };
 
 struct SelfJoinStats {
@@ -83,9 +103,27 @@ struct SelfJoinStats {
   double total_seconds = 0.0;      ///< modeled pipeline incl. transfers
   double host_prep_seconds = 0.0;  ///< wall time: grid build, sorting, planning
 
+  // --- imbalance diagnostics (populated when collect_diagnostics) ---
+  /// Per-warp cycle dispersion over all batches (CoV, Gini, tail
+  /// percentiles — §IV's skew made queryable).
+  obs::WarpImbalance warp_imbalance;
+  /// Per resident-warp slot busy/tail-idle breakdown, merged over
+  /// batches. Index = slot id (sm = slot / resident_warps_per_sm).
+  std::vector<obs::SlotStats> slots;
+
   /// Warp execution efficiency in percent (the paper's WEE metric).
   [[nodiscard]] double wee_percent() const noexcept {
     return kernel.warp_execution_efficiency() * 100.0;
+  }
+
+  /// Coefficient of variation of per-warp cycles (0 = perfectly even).
+  [[nodiscard]] double warp_cycle_cov() const noexcept {
+    return warp_imbalance.cov;
+  }
+
+  /// Gini coefficient of per-warp cycles.
+  [[nodiscard]] double warp_cycle_gini() const noexcept {
+    return warp_imbalance.gini;
   }
 };
 

@@ -9,6 +9,8 @@
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gsj {
 
@@ -231,9 +233,12 @@ SuperEgoOutput super_ego_join(const Dataset& ds, const SuperEgoConfig& cfg) {
 
   SuperEgoOutput out;
   out.results = ResultSet(cfg.store_pairs);
+  obs::Tracer* tracer = cfg.tracer;
 
   Timer sort_timer;
+  auto sort_span = obs::span(tracer, "ego_sort");
   const EgoSorted sorted = ego_sort(ds, cfg);
+  sort_span.finish();
   out.stats.sort_seconds = sort_timer.seconds();
 
   Timer join_timer;
@@ -241,14 +246,40 @@ SuperEgoOutput super_ego_join(const Dataset& ds, const SuperEgoConfig& cfg) {
   const Range whole{0, ds.size()};
 
   std::vector<std::pair<Range, Range>> tasks;
-  joiner.collect_tasks(whole, whole, tasks);
+  {
+    const auto sp = obs::span(tracer, "ego_collect_tasks");
+    joiner.collect_tasks(whole, whole, tasks);
+  }
 
   ThreadPool pool(cfg.nthreads);
+
+  // Per-worker metric shards: each worker updates a private Registry
+  // (its mutex and atomics stay uncontended and cache-local), merged
+  // into cfg.metrics after the parallel phase.
+  std::vector<obs::Registry> shards(cfg.metrics != nullptr ? pool.size() : 0);
+
+  auto join_span = obs::span(tracer, "ego_join");
   std::vector<LocalResult> locals(tasks.size());
   pool.parallel_for(tasks.size(), [&](std::size_t t) {
+    auto task_span = obs::span(tracer, "ego_task");
     joiner.join(tasks[t].first, tasks[t].second, locals[t]);
+    task_span.finish();
+    if (!shards.empty()) {
+      const int w = ThreadPool::current_worker();
+      obs::Registry& sh = shards[static_cast<std::size_t>(w)];
+      sh.counter("ego.tasks").add(1);
+      sh.counter("ego.distance_calcs").add(locals[t].dist_calcs);
+      sh.counter("ego.pruned_pairs").add(locals[t].pruned);
+      sh.counter(obs::labeled("ego.tasks",
+                              {{"worker", std::to_string(w)}}))
+          .add(1);
+      sh.cycle_histogram("ego.task_distance_calcs")
+          .record(locals[t].dist_calcs);
+    }
   });
+  join_span.finish();
 
+  const auto merge_span = obs::span(tracer, "ego_merge");
   for (auto& l : locals) {
     out.stats.distance_calcs += l.dist_calcs;
     out.stats.pruned_pairs += l.pruned;
@@ -260,6 +291,12 @@ SuperEgoOutput super_ego_join(const Dataset& ds, const SuperEgoConfig& cfg) {
   }
   out.stats.result_pairs = out.results.count();
   out.stats.seconds = join_timer.seconds();
+  if (cfg.metrics != nullptr) {
+    for (const obs::Registry& sh : shards) cfg.metrics->merge_from(sh);
+    cfg.metrics->counter("ego.result_pairs").add(out.stats.result_pairs);
+    cfg.metrics->gauge("ego.sort_seconds").set(out.stats.sort_seconds);
+    cfg.metrics->gauge("ego.join_seconds").set(out.stats.seconds);
+  }
   if (cfg.store_pairs) out.results.canonicalize();
   return out;
 }

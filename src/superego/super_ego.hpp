@@ -27,6 +27,11 @@
 
 namespace gsj {
 
+namespace obs {
+class Tracer;    // obs/trace.hpp
+class Registry;  // obs/metrics.hpp
+}  // namespace obs
+
 struct SuperEgoConfig {
   double epsilon = 1.0;
   std::size_t nthreads = 0;      ///< 0 = hardware concurrency
@@ -34,6 +39,16 @@ struct SuperEgoConfig {
   std::size_t parallel_grain = 4096;  ///< split into tasks above this size
   bool reorder_dims = true;
   bool store_pairs = false;
+
+  // --- observability (optional, non-owning) ---
+  /// Receives phase spans (ego_sort, ego_collect_tasks, ego_join,
+  /// ego_merge) plus one span per range-pair task, attributed to the
+  /// executing pool worker's timeline row.
+  obs::Tracer* tracer = nullptr;
+  /// Receives "ego.*" counters/histograms. Workers populate private
+  /// per-worker Registry shards (no shared cache lines on the hot
+  /// path) that are merged here after the parallel phase.
+  obs::Registry* metrics = nullptr;
 };
 
 struct SuperEgoStats {

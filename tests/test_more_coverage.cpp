@@ -3,6 +3,7 @@
 // behaviours, and small utility edges not covered elsewhere.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <tuple>
@@ -45,17 +46,21 @@ TEST_P(HotspotExactness, MatchesBruteForce) {
   EXPECT_EQ(out.results.pairs(), truth.pairs()) << cfg.name();
 }
 
+// Name generator lives outside the macro: brace-enclosed initializers
+// inside macro arguments are split at their commas by the preprocessor.
+std::string combo_case_name(const ::testing::TestParamInfo<ComboCase>& info) {
+  static constexpr const char* kPats[] = {"Full", "Unicomp", "LidUnicomp"};
+  return std::string(kPats[std::get<0>(info.param)]) + "_k" +
+         std::to_string(std::get<1>(info.param)) +
+         (std::get<2>(info.param) ? "_wq" : "_sorted");
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Combos, HotspotExactness,
     ::testing::Combine(::testing::Values(0, 1, 2),        // Full/Uni/Lid
                        ::testing::Values(1, 2, 16),       // k
                        ::testing::Values(false, true)),   // queue
-    [](const auto& info) {
-      const char* pats[] = {"Full", "Unicomp", "LidUnicomp"};
-      return std::string(pats[std::get<0>(info.param)]) + "_k" +
-             std::to_string(std::get<1>(info.param)) +
-             (std::get<2>(info.param) ? "_wq" : "_sorted");
-    });
+    combo_case_name);
 
 // ---------------------------------------------------------------------------
 // Sparse/extreme grids.

@@ -5,9 +5,13 @@
 //   sjtool join     --input data.bin --epsilon 0.02 --variant combined
 //                   [--pairs-out pairs.csv] [--k 8] [--sms 56]
 //   sjtool dbscan   --input data.bin --epsilon 0.05 --minpts 8
+//   sjtool profile  --input data.bin --epsilon 0.02 --variant combined
+//                   [--out DIR] [--logical-time]   (trace.json + metrics.json)
 //
 // Variants: gpucalcglobal | unicomp | lidunicomp | sortbywl | workqueue
 //           | combined | superego
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -17,6 +21,9 @@
 #include "common/stats.hpp"
 #include "data/generators.hpp"
 #include "data/io.hpp"
+#include "obs/diagnostics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sj/dbscan.hpp"
 #include "sj/selfjoin.hpp"
 #include "superego/super_ego.hpp"
@@ -25,12 +32,17 @@ namespace {
 
 int usage() {
   std::cout <<
-      "usage: sjtool <generate|info|join|dbscan> [--flags]\n"
+      "usage: sjtool <generate|info|join|dbscan|profile> [--flags]\n"
       "  generate --dataset <Table-I name> [--n N] [--seed S] --out F\n"
       "  info     --input F\n"
       "  join     --input F --epsilon E [--variant V] [--k K]\n"
       "           [--sms N] [--pairs-out F.csv]\n"
       "  dbscan   --input F --epsilon E [--minpts M] [--labels-out F.csv]\n"
+      "  profile  (--input F | --dataset <name> [--n N] [--seed S])\n"
+      "           --epsilon E [--variant V] [--k K] [--sms N]\n"
+      "           [--out DIR] [--logical-time]\n"
+      "           writes DIR/trace.json (Chrome trace-event JSON — load in\n"
+      "           Perfetto or chrome://tracing) and DIR/metrics.json\n"
       "variants: gpucalcglobal unicomp lidunicomp sortbywl workqueue\n"
       "          combined superego\n";
   return 2;
@@ -40,6 +52,27 @@ gsj::Dataset load_input(gsj::Cli& cli) {
   const std::string path = cli.get("input", "", "input dataset (.bin)");
   GSJ_CHECK_MSG(!path.empty(), "--input is required");
   return gsj::load_binary(path);
+}
+
+/// Resolves a GPU variant name to its configuration; false if unknown.
+bool make_gpu_config(const std::string& variant, double eps,
+                     gsj::SelfJoinConfig& cfg) {
+  if (variant == "gpucalcglobal") {
+    cfg = gsj::SelfJoinConfig::gpu_calc_global(eps);
+  } else if (variant == "unicomp") {
+    cfg = gsj::SelfJoinConfig::unicomp(eps);
+  } else if (variant == "lidunicomp") {
+    cfg = gsj::SelfJoinConfig::lid_unicomp(eps);
+  } else if (variant == "sortbywl") {
+    cfg = gsj::SelfJoinConfig::sort_by_wl(eps);
+  } else if (variant == "workqueue") {
+    cfg = gsj::SelfJoinConfig::work_queue_cfg(eps);
+  } else if (variant == "combined") {
+    cfg = gsj::SelfJoinConfig::combined(eps);
+  } else {
+    return false;
+  }
+  return true;
 }
 
 int cmd_generate(gsj::Cli& cli) {
@@ -97,19 +130,7 @@ int cmd_join(gsj::Cli& cli) {
   }
 
   gsj::SelfJoinConfig cfg;
-  if (variant == "gpucalcglobal") {
-    cfg = gsj::SelfJoinConfig::gpu_calc_global(eps);
-  } else if (variant == "unicomp") {
-    cfg = gsj::SelfJoinConfig::unicomp(eps);
-  } else if (variant == "lidunicomp") {
-    cfg = gsj::SelfJoinConfig::lid_unicomp(eps);
-  } else if (variant == "sortbywl") {
-    cfg = gsj::SelfJoinConfig::sort_by_wl(eps);
-  } else if (variant == "workqueue") {
-    cfg = gsj::SelfJoinConfig::work_queue_cfg(eps);
-  } else if (variant == "combined") {
-    cfg = gsj::SelfJoinConfig::combined(eps);
-  } else {
+  if (!make_gpu_config(variant, eps, cfg)) {
     std::cerr << "unknown variant: " << variant << "\n";
     return usage();
   }
@@ -157,6 +178,93 @@ int cmd_dbscan(gsj::Cli& cli) {
   return 0;
 }
 
+int cmd_profile(gsj::Cli& cli) {
+  // Dataset: an existing .bin, or generated in-process.
+  const std::string input = cli.get("input", "", "input dataset (.bin)");
+  gsj::Dataset ds = [&] {
+    if (!input.empty()) return gsj::load_binary(input);
+    const std::string name =
+        cli.get("dataset", "Expo2D2M", "Table I dataset to generate");
+    const auto n = static_cast<std::size_t>(
+        cli.get_int("n", 20000, "points (0 = spec default)"));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1, ""));
+    return gsj::make_dataset(name, n, seed);
+  }();
+
+  const double eps = cli.get_double("epsilon", 0.0, "join radius");
+  GSJ_CHECK_MSG(eps > 0.0, "--epsilon is required and must be > 0");
+  const std::string variant =
+      cli.get("variant", "combined", "join variant (see --help)");
+  const std::string out_dir =
+      cli.get("out", "profile_out", "output directory");
+  const bool logical =
+      cli.get_bool("logical-time", false,
+                   "deterministic logical host timestamps (byte-identical "
+                   "traces across identical runs)");
+
+  gsj::obs::Tracer tracer(logical ? gsj::obs::TimeMode::Logical
+                                  : gsj::obs::TimeMode::Wall);
+  gsj::obs::Registry metrics;
+
+  if (variant == "superego") {
+    gsj::SuperEgoConfig cfg;
+    cfg.epsilon = eps;
+    cfg.nthreads = static_cast<std::size_t>(
+        cli.get_int("threads", 0, "SUPER-EGO threads"));
+    cfg.tracer = &tracer;
+    cfg.metrics = &metrics;
+    const auto out = gsj::super_ego_join(ds, cfg);
+    std::cout << "SUPER-EGO: " << out.stats.result_pairs << " pairs in "
+              << out.stats.sort_seconds + out.stats.seconds << " s\n";
+  } else {
+    gsj::SelfJoinConfig cfg;
+    if (!make_gpu_config(variant, eps, cfg)) {
+      std::cerr << "unknown variant: " << variant << "\n";
+      return usage();
+    }
+    cfg.k = static_cast<int>(cli.get_int("k", cfg.k, "threads per point"));
+    cfg.device.num_sms =
+        static_cast<int>(cli.get_int("sms", cfg.device.num_sms, "modeled SMs"));
+    cfg.tracer = &tracer;
+    cfg.metrics = &metrics;
+
+    const auto out = gsj::self_join(ds, cfg);
+    std::cout << cfg.name() << ": " << out.stats.result_pairs << " pairs, "
+              << out.stats.num_batches << " batches, WEE "
+              << out.stats.wee_percent() << "%\n"
+              << "warp imbalance: " << gsj::obs::describe(out.stats.warp_imbalance)
+              << "\n";
+    std::uint64_t tail_idle = 0, worst_idle = 0;
+    for (const auto& s : out.stats.slots) {
+      tail_idle += s.tail_idle_cycles;
+      worst_idle = std::max(worst_idle, s.tail_idle_cycles);
+    }
+    std::cout << "tail idle: " << tail_idle << " slot-cycles total, worst slot "
+              << worst_idle << " cycles over " << out.stats.num_batches
+              << " batches\n";
+  }
+
+  std::filesystem::create_directories(out_dir);
+  const std::string trace_path = out_dir + "/trace.json";
+  const std::string metrics_path = out_dir + "/metrics.json";
+  {
+    std::ofstream f(trace_path);
+    GSJ_CHECK_MSG(f.good(), "cannot open " << trace_path);
+    tracer.write_chrome_json(f);
+  }
+  {
+    std::ofstream f(metrics_path);
+    GSJ_CHECK_MSG(f.good(), "cannot open " << metrics_path);
+    metrics.write_json(f);
+  }
+  std::cout << "trace: " << trace_path << " (" << tracer.host_span_count()
+            << " host spans, " << tracer.batch_event_count() << " batches, "
+            << tracer.warp_event_count() << " warp events)\n"
+            << "metrics: " << metrics_path << " (" << metrics.size()
+            << " instruments)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -168,6 +276,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(cli);
     if (cmd == "join") return cmd_join(cli);
     if (cmd == "dbscan") return cmd_dbscan(cli);
+    if (cmd == "profile") return cmd_profile(cli);
   } catch (const std::exception& e) {
     std::cerr << "sjtool: " << e.what() << "\n";
     return 1;
