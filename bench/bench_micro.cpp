@@ -4,11 +4,13 @@
 // zero-overhead guard of simt::launch.
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.hpp"
 #include "data/generators.hpp"
 #include "grid/grid_index.hpp"
 #include "grid/workload.hpp"
 #include "simt/launch.hpp"
 #include "sj/reference.hpp"
+#include "sj/selfjoin.hpp"
 #include "superego/super_ego.hpp"
 
 namespace {
@@ -106,6 +108,29 @@ void BM_LaunchObserver(benchmark::State& state) {
   state.SetLabel(with_observer ? "observer=set" : "observer=unset");
 }
 BENCHMARK(BM_LaunchObserver)->Arg(0)->Arg(1);
+
+/// End-to-end self-join wall time vs `--host-threads` (Arg 0 =
+/// sequential path). Results are bit-identical across arms; only the
+/// wall time may differ. Speedup saturates at the machine's core count.
+void BM_JoinHostThreads(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  const gsj::Dataset ds = gsj::gen_exponential(30000, 2, 13);
+  gsj::SelfJoinConfig cfg = gsj::SelfJoinConfig::combined(0.1);
+  cfg.store_pairs = false;
+  cfg.collect_diagnostics = false;
+  cfg.device.host.num_threads = threads;
+  std::uint64_t pairs = 0;
+  for (auto _ : state) {
+    pairs = gsj::self_join(ds, cfg).stats.result_pairs;
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ds.size()));
+  state.SetLabel("host_threads=" + std::to_string(threads) +
+                 " pairs=" + std::to_string(pairs));
+}
+BENCHMARK(BM_JoinHostThreads)->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

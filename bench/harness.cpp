@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "common/check.hpp"
+#include "common/timer.hpp"
 #include "data/generators.hpp"
 
 namespace gsj::bench {
@@ -24,6 +25,8 @@ BenchOptions parse_common(Cli& cli) {
       cli.get_int("ego-threads", 0, "SUPER-EGO threads (0 = hardware)"));
   opt.sms = static_cast<int>(
       cli.get_int("sms", 8, "modeled SM count (paper GP100: 56)"));
+  opt.host_threads = static_cast<int>(cli.get_int(
+      "host-threads", 0, "host worker threads (0 = sequential)"));
   if (cli.help_requested()) {
     std::cout << cli.help_text();
     std::exit(0);
@@ -122,8 +125,11 @@ RunResult run_gpu(const Dataset& ds, SelfJoinConfig cfg,
                   const BenchOptions& opt) {
   cfg.store_pairs = false;
   cfg.device.num_sms = opt.sms;
+  cfg.device.host.num_threads = opt.host_threads;
+  const Timer wall;
   const SelfJoinOutput out = self_join(ds, cfg);
   RunResult r;
+  r.wall_seconds = wall.seconds();
   r.seconds = out.stats.total_seconds;
   r.wee = out.stats.wee_percent();
   r.pairs = out.stats.result_pairs;

@@ -36,10 +36,13 @@ struct BenchOptions {
   /// in proportion to the dataset shrink, so kernels stay
   /// throughput-bound (many warp waves per slot) as on the real device.
   int sms = 8;
+  /// Host worker threads driving the simulator (0 = sequential).
+  /// Changes wall time only — every reported number is identical.
+  int host_threads = 0;
 };
 
 /// Parses the shared flags (--scale, --seed, --csv-dir, --json,
-/// --ego-threads); prints help and exits when requested.
+/// --ego-threads, --host-threads); prints help and exits when requested.
 BenchOptions parse_common(Cli& cli);
 
 /// Materializes a Table I dataset at bench scale.
@@ -72,6 +75,7 @@ struct RunResult {
   double wee = 0.0;      ///< warp execution efficiency, percent
   std::uint64_t pairs = 0;
   std::size_t batches = 0;
+  double wall_seconds = 0.0;  ///< host wall time of the whole self_join
 };
 
 [[nodiscard]] RunResult run_gpu(const Dataset& ds, SelfJoinConfig cfg,

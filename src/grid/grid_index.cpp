@@ -5,10 +5,12 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gsj {
 
-GridIndex::GridIndex(const Dataset& ds, double epsilon)
+GridIndex::GridIndex(const Dataset& ds, double epsilon, ThreadPool* pool)
     : ds_(&ds), epsilon_(epsilon) {
   GSJ_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
   GSJ_CHECK_MSG(!ds.empty(), "cannot index an empty dataset");
@@ -38,29 +40,42 @@ GridIndex::GridIndex(const Dataset& ds, double epsilon)
     s *= static_cast<std::uint64_t>(cells_per_dim_[static_cast<std::size_t>(d)]);
   }
 
-  // Compute each point's linear cell id, then counting-sort points by id.
+  // Compute each point's linear cell id (independent per point, so
+  // trivially parallel), then sort points by id.
   const std::size_t npts = ds.size();
   std::vector<std::uint64_t> ids(npts);
-  for (std::size_t i = 0; i < npts; ++i) {
-    std::uint64_t id = 0;
-    for (int d = 0; d < n; ++d) {
-      auto c = static_cast<std::int32_t>(
-          std::floor((ds.coord(i, d) - min_[static_cast<std::size_t>(d)]) /
-                     epsilon));
-      // Points exactly on the max boundary fold into the last cell.
-      c = std::clamp(c, std::int32_t{0},
-                     cells_per_dim_[static_cast<std::size_t>(d)] - 1);
-      id += static_cast<std::uint64_t>(c) * stride_[static_cast<std::size_t>(d)];
+  const auto compute_ids = [&](std::size_t first, std::size_t last) {
+    for (std::size_t i = first; i < last; ++i) {
+      std::uint64_t id = 0;
+      for (int d = 0; d < n; ++d) {
+        auto c = static_cast<std::int32_t>(
+            std::floor((ds.coord(i, d) - min_[static_cast<std::size_t>(d)]) /
+                       epsilon));
+        // Points exactly on the max boundary fold into the last cell.
+        c = std::clamp(c, std::int32_t{0},
+                       cells_per_dim_[static_cast<std::size_t>(d)] - 1);
+        id += static_cast<std::uint64_t>(c) * stride_[static_cast<std::size_t>(d)];
+      }
+      ids[i] = id;
     }
-    ids[i] = id;
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for_chunks(npts, compute_ids);
+  } else {
+    compute_ids(0, npts);
   }
 
   point_ids_.resize(npts);
   std::iota(point_ids_.begin(), point_ids_.end(), PointId{0});
-  std::sort(point_ids_.begin(), point_ids_.end(),
-            [&ids](PointId a, PointId b) {
-              return ids[a] != ids[b] ? ids[a] < ids[b] : a < b;
-            });
+  // The comparator is a strict total order (id, then point id), so the
+  // sorted order — and with it every downstream structure — is unique:
+  // the parallel sort cannot diverge from the sequential one.
+  parallel_stable_sort(
+      point_ids_,
+      [&ids](PointId a, PointId b) {
+        return ids[a] != ids[b] ? ids[a] < ids[b] : a < b;
+      },
+      pool);
 
   // Materialize non-empty cells over the sorted order.
   point_cell_.resize(npts);

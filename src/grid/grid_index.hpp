@@ -21,6 +21,8 @@
 
 namespace gsj {
 
+class ThreadPool;
+
 /// Maximum indexable dimensionality (paper evaluates 2..6).
 inline constexpr int kMaxDims = 8;
 
@@ -52,8 +54,10 @@ class GridIndex {
   static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
 
   /// Builds the index for `ds` with cell side `epsilon`. The dataset
-  /// must outlive the index (the index stores a reference).
-  GridIndex(const Dataset& ds, double epsilon);
+  /// must outlive the index (the index stores a reference). An optional
+  /// `pool` parallelizes the build (cell-id computation and the grid
+  /// sort); the resulting index is identical with or without it.
+  GridIndex(const Dataset& ds, double epsilon, ThreadPool* pool = nullptr);
 
   [[nodiscard]] const Dataset& dataset() const noexcept { return *ds_; }
   [[nodiscard]] double epsilon() const noexcept { return epsilon_; }

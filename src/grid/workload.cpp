@@ -3,44 +3,64 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
+
 namespace gsj {
 
 std::vector<std::uint64_t> cell_workloads(const GridIndex& grid,
-                                          CellPattern pattern) {
+                                          CellPattern pattern,
+                                          ThreadPool* pool) {
   const auto cells = grid.cells();
   std::vector<std::uint64_t> wl(cells.size(), 0);
-  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
-    const CellCoords oc = grid.decode(cells[ci].linear_id);
-    const std::uint64_t oid = cells[ci].linear_id;
-    std::uint64_t w = cells[ci].size();  // own cell candidates
-    grid.for_each_adjacent(
-        ci, /*include_origin=*/false,
-        [&](std::size_t nidx, const CellCoords& nc, std::uint64_t nid) {
-          if (pattern_accepts(pattern, grid.dims(), oc, nc, oid, nid)) {
-            w += grid.cells()[nidx].size();
-          }
-        });
-    wl[ci] = w;
+  const auto quantify = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t ci = lo; ci < hi; ++ci) {
+      const CellCoords oc = grid.decode(cells[ci].linear_id);
+      const std::uint64_t oid = cells[ci].linear_id;
+      std::uint64_t w = cells[ci].size();  // own cell candidates
+      grid.for_each_adjacent(
+          ci, /*include_origin=*/false,
+          [&](std::size_t nidx, const CellCoords& nc, std::uint64_t nid) {
+            if (pattern_accepts(pattern, grid.dims(), oc, nc, oid, nid)) {
+              w += grid.cells()[nidx].size();
+            }
+          });
+      wl[ci] = w;
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for_chunks(cells.size(), quantify);
+  } else {
+    quantify(0, cells.size());
   }
   return wl;
 }
 
 std::vector<std::uint64_t> point_workloads(const GridIndex& grid,
-                                           CellPattern pattern) {
-  const auto cw = cell_workloads(grid, pattern);
+                                           CellPattern pattern,
+                                           ThreadPool* pool) {
+  const auto cw = cell_workloads(grid, pattern, pool);
   std::vector<std::uint64_t> pw(grid.dataset().size());
-  for (PointId p = 0; p < pw.size(); ++p) pw[p] = cw[grid.cell_of_point(p)];
+  const auto scatter = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      pw[p] = cw[grid.cell_of_point(static_cast<PointId>(p))];
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for_chunks(pw.size(), scatter);
+  } else {
+    scatter(0, pw.size());
+  }
   return pw;
 }
 
 std::vector<PointId> sort_by_workload(const GridIndex& grid,
-                                      CellPattern pattern) {
-  const auto pw = point_workloads(grid, pattern);
+                                      CellPattern pattern, ThreadPool* pool) {
+  const auto pw = point_workloads(grid, pattern, pool);
   std::vector<PointId> order(pw.size());
   std::iota(order.begin(), order.end(), PointId{0});
-  std::stable_sort(order.begin(), order.end(), [&pw](PointId a, PointId b) {
-    return pw[a] > pw[b];
-  });
+  parallel_stable_sort(
+      order, [&pw](PointId a, PointId b) { return pw[a] > pw[b]; }, pool);
   return order;
 }
 

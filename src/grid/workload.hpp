@@ -14,22 +14,26 @@
 
 namespace gsj {
 
+class ThreadPool;
+
 /// Per-cell workload: for each cell in grid.cells(), the number of
 /// candidate points a query point of that cell evaluates — the sizes of
 /// all pattern-accepted adjacent cells plus the origin cell's own size
-/// (the paper's "number of neighbors" of the cell).
-[[nodiscard]] std::vector<std::uint64_t> cell_workloads(const GridIndex& grid,
-                                                        CellPattern pattern);
+/// (the paper's "number of neighbors" of the cell). A non-null `pool`
+/// quantifies cells in parallel; output is identical either way.
+[[nodiscard]] std::vector<std::uint64_t> cell_workloads(
+    const GridIndex& grid, CellPattern pattern, ThreadPool* pool = nullptr);
 
 /// Per-point workload: point_workloads(grid)[p] is the workload of p's
 /// owning cell.
 [[nodiscard]] std::vector<std::uint64_t> point_workloads(
-    const GridIndex& grid, CellPattern pattern);
+    const GridIndex& grid, CellPattern pattern, ThreadPool* pool = nullptr);
 
 /// Point ids ordered by non-increasing workload (the paper's D').
-/// Stable on ties (grid order) so runs are deterministic.
+/// Stable on ties (grid order) so runs are deterministic — also under a
+/// pool (the parallel sort reproduces std::stable_sort exactly).
 [[nodiscard]] std::vector<PointId> sort_by_workload(
-    const GridIndex& grid, CellPattern pattern);
+    const GridIndex& grid, CellPattern pattern, ThreadPool* pool = nullptr);
 
 /// Exact total number of candidate evaluations the whole self-join will
 /// perform under `pattern` (own-cell pair counting uses the precise

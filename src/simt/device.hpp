@@ -27,7 +27,26 @@
 #include <cstdint>
 #include <string>
 
+namespace gsj {
+class ThreadPool;  // common/thread_pool.hpp
+}  // namespace gsj
+
 namespace gsj::simt {
+
+/// Host-side execution strategy for the simulator (how the *host*
+/// replays the modeled device — modeled cycles, results, stats and
+/// observer order are bit-identical regardless of these knobs; see
+/// docs/PERFORMANCE.md for the three-pass equivalence argument).
+struct HostExecConfig {
+  /// Host worker threads running warp step loops. 0 = the sequential
+  /// single-threaded path; N >= 1 executes warps on a pool of N
+  /// workers (kernels without the shard API fall back to sequential).
+  int num_threads = 0;
+  /// Optional externally-owned pool, reused across launches (batches).
+  /// When null and num_threads > 0, each launch spawns a transient
+  /// pool — prefer passing a shared pool on multi-batch pipelines.
+  gsj::ThreadPool* pool = nullptr;
+};
 
 struct DeviceConfig {
   int warp_size = 32;
@@ -52,6 +71,10 @@ struct DeviceConfig {
   /// is not (see bench_ablation_scheduler).
   int dispatch_window = 64;
   std::uint64_t scheduler_seed = 0x5eedULL;
+
+  /// Host execution strategy (threads replaying the model). Does not
+  /// affect any modeled quantity — only wall-clock time on the host.
+  HostExecConfig host;
 
   // --- cost table (model cycles per warp instruction) ---
   // Calibrated so a 56-SM device sustains ~7e10 2-D candidate

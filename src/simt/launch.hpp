@@ -18,17 +18,42 @@
 // Init costs are *summed* across lanes (atomics to one address
 // serialize within a warp; the slight overcharge for the non-atomic
 // part of init is a documented simplification).
+//
+// Parallel host execution. With cfg.host.num_threads > 0 and a kernel
+// that additionally provides the shard API
+//
+//   auto K::make_shard()                   // per-warp side-effect sink
+//   simt::StepResult K::step(LaneState&, Shard&);
+//   void K::merge_shard(Shard&&);          // sequential, dispatch order
+//
+// the launch runs in three passes (docs/PERFORMANCE.md):
+//   1. sequential dispatch — draw the RNG window picks and run
+//      init_lane in dispatch order (work-queue counter grabs happen
+//      exactly as in the sequential path);
+//   2. parallel step loops — each warp's lockstep loop depends only on
+//      its own lanes' state, so warps execute concurrently on a
+//      ThreadPool, emitting into private shards;
+//   3. sequential replay — the slot min-heap is replayed with the
+//      computed cycle costs, shards merge and the WarpObserver fires in
+//      dispatch order.
+// Every modeled quantity (cycles, stats, results, observer stream) is
+// bit-identical to the sequential path; kernels lacking the shard API
+// silently keep the sequential path.
 #pragma once
 
 #include <algorithm>
 #include <array>
+#include <concepts>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "simt/device.hpp"
 
 namespace gsj::simt {
@@ -67,8 +92,147 @@ struct WarpRecord {
 
 using WarpObserver = std::function<void(const WarpRecord&)>;
 
+/// Kernels whose step loops may run on host worker threads: side
+/// effects go to a per-warp shard, merged sequentially in dispatch
+/// order so the shared sinks see the exact sequential event stream.
+template <typename K>
+concept ParallelHostKernel =
+    requires(K& k, typename K::LaneState& s,
+             decltype(std::declval<K&>().make_shard())& shard) {
+      { k.step(s, shard) } -> std::same_as<StepResult>;
+      k.merge_shard(std::move(shard));
+    };
+
+namespace detail {
+
+/// Warp ids in dispatch order: uniform picks from a bounded window at
+/// the head of the pending queue. A pure function of (seed, window,
+/// num_warps) — the RNG consumption never depends on warp execution,
+/// which is what makes the dispatch pass separable from the step pass.
+inline std::vector<std::uint64_t> dispatch_order(const DeviceConfig& cfg,
+                                                 std::uint64_t num_warps) {
+  Xoshiro256 rng(cfg.scheduler_seed);
+  std::vector<std::uint64_t> order;
+  order.reserve(static_cast<std::size_t>(num_warps));
+  std::vector<std::uint64_t> window;
+  window.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+      num_warps, static_cast<std::uint64_t>(cfg.dispatch_window))));
+  std::uint64_t next_unqueued = 0;
+  auto refill = [&] {
+    while (window.size() < static_cast<std::size_t>(cfg.dispatch_window) &&
+           next_unqueued < num_warps) {
+      window.push_back(next_unqueued++);
+    }
+  };
+  refill();
+  while (!window.empty()) {
+    const std::size_t pick =
+        window.size() == 1
+            ? 0
+            : static_cast<std::size_t>(rng.uniform_index(window.size()));
+    order.push_back(window[pick]);
+    window.erase(window.begin() + static_cast<std::ptrdiff_t>(pick));
+    refill();
+  }
+  return order;
+}
+
+/// Min-heap of (free_cycle, slot) replayed in dispatch order; lowest
+/// slot id breaks ties so runs are deterministic.
+class SlotSchedule {
+ public:
+  explicit SlotSchedule(int nslots) : slot_finish_(static_cast<std::size_t>(nslots), 0) {
+    for (int s = 0; s < nslots; ++s) slots_.emplace(0, s);
+  }
+
+  /// Places the next dispatched warp; returns {start_cycle, slot}.
+  std::pair<std::uint64_t, int> place(std::uint64_t warp_cycles) {
+    const auto [free_at, slot] = slots_.top();
+    slots_.pop();
+    const std::uint64_t finish = free_at + warp_cycles;
+    slot_finish_[static_cast<std::size_t>(slot)] = finish;
+    slots_.emplace(finish, slot);
+    return {free_at, slot};
+  }
+
+  void finalize(KernelStats& stats) const {
+    std::uint64_t makespan = 0;
+    for (auto f : slot_finish_) makespan = std::max(makespan, f);
+    stats.makespan_cycles = makespan;
+    for (auto f : slot_finish_) stats.tail_idle_cycles += makespan - f;
+  }
+
+ private:
+  using Slot = std::pair<std::uint64_t, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> slots_;
+  std::vector<std::uint64_t> slot_finish_;
+};
+
+/// One warp's step-loop outcome (cycles include init).
+struct WarpRun {
+  std::uint64_t cycles = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t active_lane_steps = 0;
+};
+
+/// Runs init_lane over one warp's lanes (in lane order); returns the
+/// summed init cost and fills `lanes`/`active`.
+template <typename K>
+std::uint64_t init_warp(const DeviceConfig& cfg, std::uint64_t num_threads,
+                        K& k, std::uint64_t w,
+                        typename K::LaneState* lanes, std::uint8_t* active,
+                        WarpScratch& scratch) {
+  const auto ws = static_cast<std::uint64_t>(cfg.warp_size);
+  std::uint64_t init_cost = cfg.cost_warp_launch;
+  scratch.fill(0);
+  for (int l = 0; l < cfg.warp_size; ++l) {
+    const auto li = static_cast<std::size_t>(l);
+    const std::uint64_t tid = w * ws + static_cast<std::uint64_t>(l);
+    lanes[li] = typename K::LaneState{};
+    if (tid >= num_threads) {
+      active[li] = 0;
+      continue;
+    }
+    LaneCtx ctx{tid, l, w};
+    const InitResult r = k.init_lane(lanes[li], ctx, scratch);
+    active[li] = r.active ? 1 : 0;
+    init_cost += r.cost;
+  }
+  return init_cost;
+}
+
+/// Lockstep step loop of one warp: each step costs the max over its
+/// active lanes; the warp retires when every lane reports inactive.
+template <typename LaneState, typename StepFn>
+WarpRun warp_step_loop(int warp_size, LaneState* lanes, std::uint8_t* active,
+                       std::uint64_t init_cost, StepFn&& step) {
+  WarpRun run;
+  run.cycles = init_cost;
+  for (;;) {
+    std::uint32_t step_cost = 0;
+    std::uint32_t nactive = 0;
+    for (int l = 0; l < warp_size; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      if (!active[li]) continue;
+      const StepResult r = step(lanes[li]);
+      active[li] = r.active ? 1 : 0;
+      step_cost = std::max(step_cost, r.cost);
+      ++nactive;
+    }
+    if (nactive == 0) break;
+    ++run.steps;
+    run.active_lane_steps += nactive;
+    run.cycles += step_cost;
+  }
+  return run;
+}
+
+}  // namespace detail
+
 /// Executes `num_threads` logical threads of kernel `k` on the modeled
-/// device. Deterministic for fixed config (including scheduler_seed).
+/// device. Deterministic for fixed config (including scheduler_seed);
+/// cfg.host selects sequential or parallel *host* execution with
+/// bit-identical modeled behavior either way.
 template <typename K>
 KernelStats launch(const DeviceConfig& cfg, std::uint64_t num_threads, K& k,
                    const WarpObserver& observer = {}) {
@@ -84,113 +248,109 @@ KernelStats launch(const DeviceConfig& cfg, std::uint64_t num_threads, K& k,
   const std::uint64_t num_warps = (num_threads + ws - 1) / ws;
   stats.warps_launched = num_warps;
 
-  // Dispatch window over the pending queue: pick uniformly among the
-  // first `window` undispatched warps (window 1 = launch order).
-  Xoshiro256 rng(cfg.scheduler_seed);
-  std::vector<std::uint64_t> window;
-  window.reserve(static_cast<std::size_t>(
-      std::min<std::uint64_t>(num_warps, static_cast<std::uint64_t>(cfg.dispatch_window))));
-  std::uint64_t next_unqueued = 0;
-  auto refill = [&] {
-    while (window.size() < static_cast<std::size_t>(cfg.dispatch_window) &&
-           next_unqueued < num_warps) {
-      window.push_back(next_unqueued++);
-    }
-  };
-  refill();
-
-  // Min-heap of (free_cycle, slot); lowest slot id breaks ties so runs
-  // are deterministic.
-  using Slot = std::pair<std::uint64_t, int>;
-  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> slots;
-  const int nslots = cfg.total_slots();
-  for (int s = 0; s < nslots; ++s) slots.emplace(0, s);
-  std::vector<std::uint64_t> slot_finish(static_cast<std::size_t>(nslots), 0);
-
-  std::vector<typename K::LaneState> lanes(static_cast<std::size_t>(cfg.warp_size));
-  std::array<bool, 32> active{};
-  WarpScratch scratch{};
+  const std::vector<std::uint64_t> order =
+      detail::dispatch_order(cfg, num_warps);
+  detail::SlotSchedule sched(cfg.total_slots());
 
   // Hoisted emptiness test: an unset observer must cost nothing per
   // warp — no std::function invocation and no WarpRecord construction
   // (see BM_LaunchObserver in bench_micro.cpp).
   const bool observed = static_cast<bool>(observer);
 
-  std::uint64_t dispatch_seq = 0;
-  while (!window.empty()) {
-    // Choose the next warp from the head window.
-    const std::size_t pick =
-        window.size() == 1 ? 0
-                           : static_cast<std::size_t>(rng.uniform_index(window.size()));
-    const std::uint64_t w = window[pick];
-    window.erase(window.begin() + static_cast<std::ptrdiff_t>(pick));
-    refill();
-
-    auto [free_at, slot] = slots.top();
-    slots.pop();
-
-    // --- execute warp w ---
-    std::uint64_t steps = 0;
-    std::uint64_t active_lane_steps = 0;
-
-    std::uint64_t init_cost = cfg.cost_warp_launch;
-    scratch.fill(0);
-    for (int l = 0; l < cfg.warp_size; ++l) {
-      const std::uint64_t tid = w * ws + static_cast<std::uint64_t>(l);
-      lanes[static_cast<std::size_t>(l)] = typename K::LaneState{};
-      if (tid >= num_threads) {
-        active[static_cast<std::size_t>(l)] = false;
-        continue;
-      }
-      LaneCtx ctx{tid, l, w};
-      const InitResult r =
-          k.init_lane(lanes[static_cast<std::size_t>(l)], ctx, scratch);
-      active[static_cast<std::size_t>(l)] = r.active;
-      init_cost += r.cost;
-    }
-
-    std::uint64_t warp_cycles = init_cost;
-    for (;;) {
-      std::uint32_t step_cost = 0;
-      std::uint32_t nactive = 0;
-      for (int l = 0; l < cfg.warp_size; ++l) {
-        if (!active[static_cast<std::size_t>(l)]) continue;
-        const StepResult r = k.step(lanes[static_cast<std::size_t>(l)]);
-        active[static_cast<std::size_t>(l)] = r.active;
-        step_cost = std::max(step_cost, r.cost);
-        ++nactive;
-      }
-      if (nactive == 0) break;
-      ++steps;
-      active_lane_steps += nactive;
-      warp_cycles += step_cost;
-    }
-
-    stats.warp_steps += steps;
-    stats.active_lane_steps += active_lane_steps;
-    stats.busy_cycles += warp_cycles;
-
-    const std::uint64_t finish = free_at + warp_cycles;
-    slot_finish[static_cast<std::size_t>(slot)] = finish;
-    slots.emplace(finish, slot);
-    const std::uint64_t seq = dispatch_seq++;
+  auto retire = [&](std::uint64_t w, std::uint64_t seq,
+                    const detail::WarpRun& run) {
+    stats.warp_steps += run.steps;
+    stats.active_lane_steps += run.active_lane_steps;
+    stats.busy_cycles += run.cycles;
+    const auto [start, slot] = sched.place(run.cycles);
     if (observed) {
       WarpRecord rec;
       rec.warp_id = w;
       rec.dispatch_seq = seq;
-      rec.start_cycle = free_at;
-      rec.cycles = warp_cycles;
-      rec.steps = steps;
-      rec.active_lane_steps = active_lane_steps;
+      rec.start_cycle = start;
+      rec.cycles = run.cycles;
+      rec.steps = run.steps;
+      rec.active_lane_steps = run.active_lane_steps;
       rec.slot = slot;
       observer(rec);
     }
+  };
+
+  bool done = false;
+  if constexpr (ParallelHostKernel<K>) {
+    if (cfg.host.num_threads > 0 && num_warps > 1) {
+      using Shard = decltype(k.make_shard());
+      std::optional<ThreadPool> owned;
+      ThreadPool* pool = cfg.host.pool;
+      if (pool == nullptr) {
+        owned.emplace(static_cast<std::size_t>(cfg.host.num_threads));
+        pool = &*owned;
+      }
+
+      // Blocked execution bounds the saved lane states / shards to a
+      // window of warps while leaving plenty of parallel slack.
+      constexpr std::uint64_t kWarpBlock = 4096;
+      const std::uint64_t block = std::min(num_warps, kWarpBlock);
+      std::vector<typename K::LaneState> lanes(
+          static_cast<std::size_t>(block * ws));
+      std::vector<std::uint8_t> active(static_cast<std::size_t>(block * ws));
+      std::vector<std::uint64_t> init_costs(static_cast<std::size_t>(block));
+      std::vector<detail::WarpRun> runs(static_cast<std::size_t>(block));
+      std::vector<Shard> shards;
+      shards.reserve(static_cast<std::size_t>(block));
+      WarpScratch scratch{};
+
+      for (std::uint64_t base = 0; base < num_warps; base += block) {
+        const std::uint64_t bsize = std::min(block, num_warps - base);
+        // Pass 1 — sequential dispatch: init_lane in dispatch order
+        // (work-queue counter grabs serialize exactly as sequentially).
+        shards.clear();
+        for (std::uint64_t i = 0; i < bsize; ++i) {
+          const auto off = static_cast<std::size_t>(i * ws);
+          init_costs[static_cast<std::size_t>(i)] = detail::init_warp(
+              cfg, num_threads, k, order[static_cast<std::size_t>(base + i)],
+              lanes.data() + off, active.data() + off, scratch);
+          shards.push_back(k.make_shard());
+        }
+        // Pass 2 — parallel step loops into per-warp shards.
+        pool->parallel_for(static_cast<std::size_t>(bsize), [&](std::size_t i) {
+          const std::size_t off = i * static_cast<std::size_t>(ws);
+          runs[i] = detail::warp_step_loop(
+              cfg.warp_size, lanes.data() + off, active.data() + off,
+              init_costs[i],
+              [&k, &shard = shards[i]](typename K::LaneState& s) {
+                return k.step(s, shard);
+              });
+        });
+        // Pass 3 — sequential replay: slot heap, stats, observer and
+        // shard merge in dispatch order.
+        for (std::uint64_t i = 0; i < bsize; ++i) {
+          const auto ii = static_cast<std::size_t>(i);
+          retire(order[static_cast<std::size_t>(base + i)], base + i, runs[ii]);
+          k.merge_shard(std::move(shards[ii]));
+        }
+      }
+      done = true;
+    }
   }
 
-  std::uint64_t makespan = 0;
-  for (auto f : slot_finish) makespan = std::max(makespan, f);
-  stats.makespan_cycles = makespan;
-  for (auto f : slot_finish) stats.tail_idle_cycles += makespan - f;
+  if (!done) {
+    std::vector<typename K::LaneState> lanes(
+        static_cast<std::size_t>(cfg.warp_size));
+    std::array<std::uint8_t, 32> active{};
+    WarpScratch scratch{};
+    for (std::uint64_t seq = 0; seq < num_warps; ++seq) {
+      const std::uint64_t w = order[static_cast<std::size_t>(seq)];
+      const std::uint64_t init_cost = detail::init_warp(
+          cfg, num_threads, k, w, lanes.data(), active.data(), scratch);
+      const detail::WarpRun run = detail::warp_step_loop(
+          cfg.warp_size, lanes.data(), active.data(), init_cost,
+          [&k](typename K::LaneState& s) { return k.step(s); });
+      retire(w, seq, run);
+    }
+  }
+
+  sched.finalize(stats);
   return stats;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/trace.hpp"
 #include "sj/reference.hpp"
 
@@ -42,7 +43,7 @@ std::uint64_t estimate_strided_total(const GridIndex& grid,
 
 BatchPlan plan_strided(const GridIndex& grid, const BatchingConfig& cfg,
                        bool sort_batches_by_workload, CellPattern pattern,
-                       obs::Tracer* tracer) {
+                       obs::Tracer* tracer, ThreadPool* pool) {
   const std::size_t n = grid.dataset().size();
   GSJ_CHECK(n > 0);
   BatchPlan plan;
@@ -61,13 +62,21 @@ BatchPlan plan_strided(const GridIndex& grid, const BatchingConfig& cfg,
     std::vector<std::uint64_t> pw;
     {
       const auto sp = obs::span(tracer, "workload_quantify");
-      pw = point_workloads(grid, pattern);
+      pw = point_workloads(grid, pattern, pool);
     }
     const auto sp = obs::span(tracer, "sortbywl_sort");
-    for (auto& b : plan.batches) {
+    const auto sort_batch = [&](std::size_t bi) {
+      auto& b = plan.batches[bi];
       std::stable_sort(b.begin(), b.end(), [&pw](PointId a, PointId c) {
         return pw[a] > pw[c];
       });
+    };
+    // Batches are disjoint vectors and each gets a plain stable sort,
+    // so running them on pool workers changes nothing but wall time.
+    if (pool != nullptr && pool->size() > 1 && plan.num_batches > 1) {
+      pool->parallel_for(plan.num_batches, sort_batch);
+    } else {
+      for (std::size_t bi = 0; bi < plan.num_batches; ++bi) sort_batch(bi);
     }
   }
   return plan;

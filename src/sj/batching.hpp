@@ -27,6 +27,8 @@
 
 namespace gsj {
 
+class ThreadPool;
+
 namespace obs {
 class Tracer;  // obs/trace.hpp
 }  // namespace obs
@@ -63,12 +65,15 @@ struct BatchPlan {
 /// `sort_batches_by_workload`, each batch list is ordered by
 /// non-increasing workload under `pattern` (SORTBYWL). An optional
 /// tracer records the estimation-sampling / workload-quantification /
-/// sort phases as host spans.
+/// sort phases as host spans. A non-null `pool` parallelizes workload
+/// quantification and the per-batch SORTBYWL sorts (deterministic —
+/// same plan with or without it).
 [[nodiscard]] BatchPlan plan_strided(const GridIndex& grid,
                                      const BatchingConfig& cfg,
                                      bool sort_batches_by_workload,
                                      CellPattern pattern,
-                                     obs::Tracer* tracer = nullptr);
+                                     obs::Tracer* tracer = nullptr,
+                                     ThreadPool* pool = nullptr);
 
 /// Plans contiguous chunks over `queue_order` (D', workload-sorted).
 /// `workloads` are the per-point candidate counts (point_workloads);

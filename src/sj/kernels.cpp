@@ -68,21 +68,23 @@ simt::InitResult SelfJoinKernel::init_lane(LaneState& s,
   return {true, cost};
 }
 
-simt::StepResult SelfJoinKernel::step(LaneState& s) {
-  return s.scanning ? scan(s) : next_cell(s);
+simt::StepResult SelfJoinKernel::step_into(LaneState& s, ResultSet& out,
+                                           std::uint64_t& emitted) const {
+  return s.scanning ? scan(s, out, emitted) : next_cell(s, out, emitted);
 }
 
-simt::StepResult SelfJoinKernel::scan(LaneState& s) {
+simt::StepResult SelfJoinKernel::scan(LaneState& s, ResultSet& out,
+                                      std::uint64_t& emitted) const {
   const PointId c = point_ids_[s.cand_pos];
   std::uint32_t cost = cost_dist_;
-  if (dist2(s.q, c) <= eps2_) {
-    p_.results->emit(s.q, c);
-    ++emitted_;
+  if (within_eps(s.q, c)) {
+    out.emit(s.q, c);
+    ++emitted;
     if (unidirectional_) {
       // This evaluation is the only one for the unordered pair {q, c}:
       // mirror it (the CUDA code writes both pairs to the buffer).
-      p_.results->emit(c, s.q);
-      ++emitted_;
+      out.emit(c, s.q);
+      ++emitted;
     }
     cost += p_.device->cost_emit;
   }
@@ -91,7 +93,8 @@ simt::StepResult SelfJoinKernel::scan(LaneState& s) {
   return {true, cost};
 }
 
-simt::StepResult SelfJoinKernel::next_cell(LaneState& s) {
+simt::StepResult SelfJoinKernel::next_cell(LaneState& s, ResultSet& out,
+                                           std::uint64_t& emitted) const {
   if (s.adj_cursor >= adj_total_) return {false, 1};
   const std::uint64_t cur = s.adj_cursor++;
   std::uint32_t cost = p_.device->cost_pattern_check;
@@ -109,8 +112,8 @@ simt::StepResult SelfJoinKernel::next_cell(LaneState& s) {
       // evaluation emits both pairs. The (q,q) self pair is written
       // directly, once per group.
       if (s.group_rank == 0) {
-        p_.results->emit(s.q, s.q);
-        ++emitted_;
+        out.emit(s.q, s.q);
+        ++emitted;
         cost += p_.device->cost_emit;
       }
       begin = s.rank + 1;

@@ -88,9 +88,37 @@ class SelfJoinKernel {
     bool scanning = false;
   };
 
+  /// Per-warp side-effect sink for parallel host execution (see
+  /// simt::ParallelHostKernel): each warp's step loop emits into a
+  /// private ResultSet; merge_shard appends them to the shared set in
+  /// dispatch order, reproducing the sequential emission stream byte
+  /// for byte.
+  struct Shard {
+    ResultSet results;
+    std::uint64_t emitted = 0;
+
+    explicit Shard(bool store_pairs) : results(store_pairs) {}
+  };
+
   simt::InitResult init_lane(LaneState& s, const simt::LaneCtx& ctx,
                              simt::WarpScratch& scratch);
-  simt::StepResult step(LaneState& s);
+  simt::StepResult step(LaneState& s) {
+    return step_into(s, *p_.results, emitted_);
+  }
+
+  // --- parallel host execution (simt::ParallelHostKernel) ---
+  [[nodiscard]] Shard make_shard() const {
+    return Shard(p_.results->stores_pairs());
+  }
+  /// Thread-safe step: all mutation goes to `shard` (the kernel's own
+  /// state is read-only here; init_lane already ran sequentially).
+  simt::StepResult step(LaneState& s, Shard& shard) {
+    return step_into(s, shard.results, shard.emitted);
+  }
+  void merge_shard(Shard&& shard) {
+    emitted_ += shard.emitted;
+    p_.results->absorb(std::move(shard.results));
+  }
 
   [[nodiscard]] std::uint64_t atomics_executed() const noexcept {
     return atomics_;
@@ -100,8 +128,12 @@ class SelfJoinKernel {
   }
 
  private:
-  simt::StepResult next_cell(LaneState& s);
-  simt::StepResult scan(LaneState& s);
+  simt::StepResult step_into(LaneState& s, ResultSet& out,
+                             std::uint64_t& emitted) const;
+  simt::StepResult next_cell(LaneState& s, ResultSet& out,
+                             std::uint64_t& emitted) const;
+  simt::StepResult scan(LaneState& s, ResultSet& out,
+                        std::uint64_t& emitted) const;
 
   [[nodiscard]] double dist2(PointId a, PointId b) const noexcept {
     double sum = 0.0;
@@ -111,6 +143,21 @@ class SelfJoinKernel {
       sum += diff * diff;
     }
     return sum;
+  }
+
+  /// dist(a, b) <= epsilon with per-dimension short-circuit for
+  /// dims > 2 (host-side speedup only — the modeled cost_dist is
+  /// charged in full either way, like SUPER-EGO's early termination).
+  [[nodiscard]] bool within_eps(PointId a, PointId b) const noexcept {
+    if (dims_ <= 2) return dist2(a, b) <= eps2_;
+    double sum = 0.0;
+    for (int d = 0; d < dims_; ++d) {
+      const double diff = coords_[static_cast<std::size_t>(d)][a] -
+                          coords_[static_cast<std::size_t>(d)][b];
+      sum += diff * diff;
+      if (sum > eps2_) return false;
+    }
+    return true;
   }
 
   KernelParams p_;

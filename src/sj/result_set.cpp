@@ -6,6 +6,15 @@
 
 namespace gsj {
 
+void ResultSet::absorb(ResultSet&& other) {
+  GSJ_CHECK_MSG(store_ == other.store_, "absorb across storage modes");
+  count_ += other.count_;
+  if (store_) {
+    pairs_.insert(pairs_.end(), other.pairs_.begin(), other.pairs_.end());
+  }
+  other.clear();
+}
+
 void ResultSet::canonicalize() {
   GSJ_CHECK_MSG(store_, "canonicalize requires stored pairs");
   std::sort(pairs_.begin(), pairs_.end());

@@ -35,6 +35,18 @@ class ResultSet {
   /// count-only mode).
   void add_count(std::uint64_t n) noexcept { count_ += n; }
 
+  /// Appends another collector's content in its emission order and
+  /// empties it — the per-warp-shard merge of the parallel host
+  /// execution path. Both sides must share the storage mode.
+  void absorb(ResultSet&& other);
+
+  /// Pre-sizes pair storage for `expected_pairs` total pairs (from the
+  /// batch estimator) so store-pairs joins don't pay realloc churn
+  /// mid-kernel. No-op in count-only mode.
+  void reserve(std::uint64_t expected_pairs) {
+    if (store_) pairs_.reserve(static_cast<std::size_t>(expected_pairs));
+  }
+
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] bool stores_pairs() const noexcept { return store_; }
   [[nodiscard]] const std::vector<ResultPair>& pairs() const noexcept {

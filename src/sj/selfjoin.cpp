@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "grid/workload.hpp"
 #include "obs/metrics.hpp"
@@ -77,14 +79,28 @@ SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
   out.results = ResultSet(cfg.store_pairs);
   Timer host;
 
+  // Host execution pool: when the config asks for worker threads but
+  // supplies no external pool, one is created here and reused across
+  // the grid build, planning, and every batch launch (no per-launch
+  // spawn/join churn). `device` is the effective config handed to every
+  // launch so all batches see the same pool.
+  simt::DeviceConfig device = cfg.device;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (device.host.num_threads > 0 && device.host.pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(device.host.num_threads));
+    device.host.pool = owned_pool.get();
+  }
+  ThreadPool* pool = device.host.num_threads > 0 ? device.host.pool : nullptr;
+
   obs::Tracer* tracer = cfg.tracer;
-  if (tracer != nullptr) tracer->set_device_config(cfg.device);
+  if (tracer != nullptr) tracer->set_device_config(device);
   auto pipeline_span = obs::span(tracer, "self_join");
 
   std::unique_ptr<GridIndex> grid_holder;
   {
     const auto sp = obs::span(tracer, "grid_build");
-    grid_holder = std::make_unique<GridIndex>(ds, cfg.epsilon);
+    grid_holder = std::make_unique<GridIndex>(ds, cfg.epsilon, pool);
   }
   const GridIndex& grid = *grid_holder;
 
@@ -95,25 +111,29 @@ SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
     std::vector<std::uint64_t> pw;
     {
       const auto sp = obs::span(tracer, "workload_quantify");
-      pw = point_workloads(grid, cfg.pattern);
+      pw = point_workloads(grid, cfg.pattern, pool);
     }
     {
       const auto sp = obs::span(tracer, "sortbywl_sort");
       queue_order.resize(ds.size());
       std::iota(queue_order.begin(), queue_order.end(), PointId{0});
-      std::stable_sort(queue_order.begin(), queue_order.end(),
-                       [&pw](PointId a, PointId b) { return pw[a] > pw[b]; });
+      parallel_stable_sort(
+          queue_order,
+          [&pw](PointId a, PointId b) { return pw[a] > pw[b]; }, pool);
     }
     const auto sp = obs::span(tracer, "batch_plan");
     plan = plan_queue(grid, cfg.batching, queue_order, pw, tracer);
   } else {
     const auto sp = obs::span(tracer, "batch_plan");
     plan = plan_strided(grid, cfg.batching, cfg.sort_by_workload, cfg.pattern,
-                        tracer);
+                        tracer, pool);
   }
   out.stats.num_batches = plan.num_batches;
   out.stats.estimated_total_pairs = plan.estimated_total_pairs;
   out.stats.host_prep_seconds = host.seconds();
+  // Pre-size pair storage from the batch estimator so stored-pair joins
+  // don't pay realloc churn while the kernel emits.
+  if (cfg.store_pairs) out.results.reserve(plan.estimated_total_pairs);
 
   simt::DeviceCounter counter;
   std::vector<double> kernel_secs, xfer_secs;
@@ -125,7 +145,7 @@ SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
                        cfg.metrics != nullptr;
   std::vector<std::uint64_t> all_warp_cycles;  // across all batches
   std::vector<obs::SlotStats> slots(
-      collect ? static_cast<std::size_t>(cfg.device.total_slots()) : 0);
+      collect ? static_cast<std::size_t>(device.total_slots()) : 0);
   std::vector<std::uint64_t> slot_finish(slots.size(), 0);  // per launch
   obs::CycleHistogram* warp_cycle_hist =
       cfg.metrics != nullptr
@@ -160,7 +180,7 @@ SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
     params.points = points;
     params.queue = queue_order;
     params.counter = &counter;
-    params.device = &cfg.device;
+    params.device = &device;
     params.results = &out.results;
 
     const std::uint64_t groups =
@@ -170,7 +190,7 @@ SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
     const std::uint64_t pairs_before = out.results.count();
     SelfJoinKernel kernel(params);
     std::fill(slot_finish.begin(), slot_finish.end(), 0);
-    simt::KernelStats ks = simt::launch(cfg.device, nthreads, kernel, observer);
+    simt::KernelStats ks = simt::launch(device, nthreads, kernel, observer);
     ks.atomics_executed = kernel.atomics_executed();
     ks.results_emitted = kernel.results_emitted();
     out.stats.kernel.merge(ks);
@@ -181,7 +201,7 @@ SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
     if (cfg.batching.enabled && batch_pairs > cfg.batching.buffer_pairs) {
       out.stats.buffer_overflowed = true;
     }
-    kernel_secs.push_back(ks.seconds(cfg.device));
+    kernel_secs.push_back(ks.seconds(device));
     xfer_secs.push_back(transfer_seconds(batch_pairs, cfg.batching));
 
     BatchStats bs;
@@ -191,7 +211,7 @@ SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
     bs.makespan_cycles = ks.makespan_cycles;
     bs.kernel_seconds = kernel_secs.back();
     bs.transfer_seconds = xfer_secs.back();
-    bs.wee_percent = ks.warp_execution_efficiency(cfg.device.warp_size) * 100.0;
+    bs.wee_percent = ks.warp_execution_efficiency(device.warp_size) * 100.0;
 
     if (collect) {
       // Close out this launch: per-slot tail idle against the launch's

@@ -51,6 +51,10 @@ struct SelfJoinConfig {
   /// Threads per query point (§III-A); must divide device.warp_size.
   int k = 1;
   BatchingConfig batching;
+  /// Device model. `device.host.num_threads > 0` additionally runs the
+  /// simulator (and grid build / workload sorts) on that many host
+  /// worker threads — results, stats and traces are bit-identical to
+  /// the sequential path (see docs/PERFORMANCE.md).
   simt::DeviceConfig device;
   /// Store result pairs (tests/examples) or count only (benchmarks).
   bool store_pairs = false;

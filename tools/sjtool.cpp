@@ -36,11 +36,14 @@ int usage() {
       "  generate --dataset <Table-I name> [--n N] [--seed S] --out F\n"
       "  info     --input F\n"
       "  join     --input F --epsilon E [--variant V] [--k K]\n"
-      "           [--sms N] [--pairs-out F.csv]\n"
-      "  dbscan   --input F --epsilon E [--minpts M] [--labels-out F.csv]\n"
+      "           [--sms N] [--host-threads T] [--pairs-out F.csv]\n"
+      "  dbscan   --input F --epsilon E [--minpts M] [--host-threads T]\n"
+      "           [--labels-out F.csv]\n"
       "  profile  (--input F | --dataset <name> [--n N] [--seed S])\n"
       "           --epsilon E [--variant V] [--k K] [--sms N]\n"
-      "           [--out DIR] [--logical-time]\n"
+      "           [--host-threads T] [--out DIR] [--logical-time]\n"
+      "--host-threads runs the simulator on T host worker threads\n"
+      "(0 = sequential; results and traces are identical either way)\n"
       "           writes DIR/trace.json (Chrome trace-event JSON — load in\n"
       "           Perfetto or chrome://tracing) and DIR/metrics.json\n"
       "variants: gpucalcglobal unicomp lidunicomp sortbywl workqueue\n"
@@ -137,6 +140,8 @@ int cmd_join(gsj::Cli& cli) {
   cfg.k = static_cast<int>(cli.get_int("k", cfg.k, "threads per point"));
   cfg.device.num_sms =
       static_cast<int>(cli.get_int("sms", cfg.device.num_sms, "modeled SMs"));
+  cfg.device.host.num_threads = static_cast<int>(
+      cli.get_int("host-threads", 0, "host worker threads (0 = sequential)"));
   cfg.store_pairs = !pairs_out.empty();
 
   const auto out = gsj::self_join(ds, cfg);
@@ -160,6 +165,8 @@ int cmd_dbscan(gsj::Cli& cli) {
   GSJ_CHECK_MSG(cfg.epsilon > 0.0, "--epsilon is required and must be > 0");
   cfg.min_pts = static_cast<std::uint32_t>(
       cli.get_int("minpts", 4, "DBSCAN minPts"));
+  cfg.join.device.host.num_threads = static_cast<int>(
+      cli.get_int("host-threads", 0, "host worker threads (0 = sequential)"));
   const std::string labels_out =
       cli.get("labels-out", "", "write per-point labels to CSV");
 
@@ -225,6 +232,8 @@ int cmd_profile(gsj::Cli& cli) {
     cfg.k = static_cast<int>(cli.get_int("k", cfg.k, "threads per point"));
     cfg.device.num_sms =
         static_cast<int>(cli.get_int("sms", cfg.device.num_sms, "modeled SMs"));
+    cfg.device.host.num_threads = static_cast<int>(
+        cli.get_int("host-threads", 0, "host worker threads (0 = sequential)"));
     cfg.tracer = &tracer;
     cfg.metrics = &metrics;
 
