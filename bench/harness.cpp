@@ -27,6 +27,9 @@ BenchOptions parse_common(Cli& cli) {
       cli.get_int("sms", 8, "modeled SM count (paper GP100: 56)"));
   opt.host_threads = static_cast<int>(cli.get_int(
       "host-threads", 0, "host worker threads (0 = sequential)"));
+  opt.buffer_pairs = static_cast<std::uint64_t>(cli.get_int(
+      "buffer-pairs", 0,
+      "per-batch result buffer capacity (0 = library default)"));
   if (cli.help_requested()) {
     std::cout << cli.help_text();
     std::exit(0);
@@ -126,6 +129,7 @@ RunResult run_gpu(const Dataset& ds, SelfJoinConfig cfg,
   cfg.store_pairs = false;
   cfg.device.num_sms = opt.sms;
   cfg.device.host.num_threads = opt.host_threads;
+  if (opt.buffer_pairs != 0) cfg.batching.buffer_pairs = opt.buffer_pairs;
   const Timer wall;
   const SelfJoinOutput out = self_join(ds, cfg);
   RunResult r;
@@ -134,6 +138,7 @@ RunResult run_gpu(const Dataset& ds, SelfJoinConfig cfg,
   r.wee = out.stats.wee_percent();
   r.pairs = out.stats.result_pairs;
   r.batches = out.stats.num_batches;
+  r.retries = out.stats.overflow_retries;
   return r;
 }
 

@@ -39,10 +39,15 @@ struct BenchOptions {
   /// Host worker threads driving the simulator (0 = sequential).
   /// Changes wall time only — every reported number is identical.
   int host_threads = 0;
+  /// Per-batch result buffer capacity (0 = BatchingConfig default).
+  /// Small values exercise the overflow-recovery path under load
+  /// (docs/ROBUSTNESS.md).
+  std::uint64_t buffer_pairs = 0;
 };
 
 /// Parses the shared flags (--scale, --seed, --csv-dir, --json,
-/// --ego-threads, --host-threads); prints help and exits when requested.
+/// --ego-threads, --host-threads, --buffer-pairs); prints help and
+/// exits when requested.
 BenchOptions parse_common(Cli& cli);
 
 /// Materializes a Table I dataset at bench scale.
@@ -76,6 +81,8 @@ struct RunResult {
   std::uint64_t pairs = 0;
   std::size_t batches = 0;
   double wall_seconds = 0.0;  ///< host wall time of the whole self_join
+  /// Overflow-recovery launches (0 on the honest-estimator hot path).
+  std::uint64_t retries = 0;
 };
 
 [[nodiscard]] RunResult run_gpu(const Dataset& ds, SelfJoinConfig cfg,

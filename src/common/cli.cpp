@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -49,7 +50,12 @@ std::string Cli::get(const std::string& name, const std::string& def,
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def,
                           const std::string& help) {
   const std::string v = get(name, std::to_string(def), help);
-  return std::strtoll(v.c_str(), nullptr, 10);
+  char* end = nullptr;
+  errno = 0;
+  const std::int64_t parsed = std::strtoll(v.c_str(), &end, 10);
+  GSJ_CHECK_MSG(end != v.c_str() && *end == '\0' && errno != ERANGE,
+                "--" << name << ": expected an integer, got '" << v << "'");
+  return parsed;
 }
 
 double Cli::get_double(const std::string& name, double def,
@@ -57,7 +63,12 @@ double Cli::get_double(const std::string& name, double def,
   std::ostringstream d;
   d << def;
   const std::string v = get(name, d.str(), help);
-  return std::strtod(v.c_str(), nullptr);
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v.c_str(), &end);
+  GSJ_CHECK_MSG(end != v.c_str() && *end == '\0' && errno != ERANGE,
+                "--" << name << ": expected a number, got '" << v << "'");
+  return parsed;
 }
 
 bool Cli::get_bool(const std::string& name, bool def, const std::string& help) {

@@ -21,6 +21,9 @@ class Cli {
   /// `def` when absent). Safe to call multiple times.
   [[nodiscard]] std::string get(const std::string& name, const std::string& def,
                                 const std::string& help = "");
+  /// Numeric getters parse strictly: trailing garbage, empty values and
+  /// out-of-range magnitudes throw CheckError naming the flag, instead
+  /// of silently yielding 0 or a truncated prefix.
   [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def,
                                      const std::string& help = "");
   [[nodiscard]] double get_double(const std::string& name, double def,

@@ -1,0 +1,78 @@
+// Structured error taxonomy (docs/ROBUSTNESS.md).
+//
+// Two disjoint families:
+//
+//  * CheckError (common/check.hpp, std::logic_error) — a violated
+//    precondition or internal invariant: bad epsilon, k not dividing
+//    the warp size, malformed flags. Caller bug; never retried.
+//  * Error (this file, std::runtime_error) — a runtime condition of a
+//    well-formed request. Its subclasses carry structured fields so
+//    callers can react programmatically instead of parsing what().
+//
+// OverflowError is the recoverable member of the second family: a
+// batch's result count exceeded the fixed per-batch buffer capacity and
+// the built-in recovery (batch splitting with bounded retries, see
+// sj/selfjoin.cpp) could not shrink the batch enough. It is thrown only
+// when recovery is exhausted — a single query point alone overflows the
+// buffer, or the retry budget ran out — and names the knobs that fix
+// it (buffer_pairs, safety, max_overflow_retries).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gsj {
+
+/// Base of all recoverable runtime errors (vs CheckError preconditions).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A per-batch result buffer overflowed and recovery was exhausted.
+class OverflowError : public Error {
+ public:
+  /// `capacity` — effective per-batch pair capacity; `observed_pairs` —
+  /// pairs counted when the overflow was detected (>= capacity; a lower
+  /// bound if the launch aborted early); `batch_points` — query points
+  /// in the unrecoverable batch; `retries` — failed launches so far.
+  OverflowError(std::uint64_t capacity, std::uint64_t observed_pairs,
+                std::uint64_t batch_points, std::uint64_t retries)
+      : Error(format(capacity, observed_pairs, batch_points, retries)),
+        capacity_(capacity),
+        observed_pairs_(observed_pairs),
+        batch_points_(batch_points),
+        retries_(retries) {}
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t observed_pairs() const noexcept {
+    return observed_pairs_;
+  }
+  [[nodiscard]] std::uint64_t batch_points() const noexcept {
+    return batch_points_;
+  }
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+
+ private:
+  static std::string format(std::uint64_t capacity,
+                            std::uint64_t observed_pairs,
+                            std::uint64_t batch_points,
+                            std::uint64_t retries) {
+    std::ostringstream os;
+    os << "result buffer overflow: batch of " << batch_points
+       << " query point(s) produced >= " << observed_pairs
+       << " pairs against a capacity of " << capacity << " after " << retries
+       << " retry launch(es); raise batching.buffer_pairs or "
+          "batching.max_overflow_retries";
+    return os.str();
+  }
+
+  std::uint64_t capacity_;
+  std::uint64_t observed_pairs_;
+  std::uint64_t batch_points_;
+  std::uint64_t retries_;
+};
+
+}  // namespace gsj

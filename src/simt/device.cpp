@@ -6,6 +6,7 @@ namespace gsj::simt {
 
 void KernelStats::merge(const KernelStats& other) noexcept {
   launches += other.launches;
+  aborted_launches += other.aborted_launches;
   warps_launched += other.warps_launched;
   warp_steps += other.warp_steps;
   active_lane_steps += other.active_lane_steps;

@@ -99,6 +99,9 @@ struct DeviceConfig {
 /// whole self-join).
 struct KernelStats {
   std::uint64_t launches = 0;            ///< kernel invocations merged in
+  /// Launches stopped early by the abort hook (result-buffer overflow
+  /// recovery); their warps_launched count only the warps that ran.
+  std::uint64_t aborted_launches = 0;
   std::uint64_t warps_launched = 0;
   std::uint64_t warp_steps = 0;          ///< lockstep steps over all warps
   std::uint64_t active_lane_steps = 0;   ///< lane-steps actually executing

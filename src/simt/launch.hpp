@@ -39,6 +39,17 @@
 // Every modeled quantity (cycles, stats, results, observer stream) is
 // bit-identical to the sequential path; kernels lacking the shard API
 // silently keep the sequential path.
+//
+// Abortable launch. An optional `should_abort` hook is polled every
+// detail::kWarpBlock warps — at the *same* warp-count boundaries on the
+// sequential and parallel paths (the parallel path's block merges), so
+// an abort decision driven by merged side effects (e.g. the result
+// count crossing the batch buffer capacity) stops both paths after the
+// exact same set of executed warps, keeping them bit-identical. On
+// abort the remaining warps never run, warps_launched reports only the
+// executed ones and stats.aborted_launches is 1. This models a host
+// that cancels the remaining grid once the device-side result counter
+// passes the pinned-buffer capacity (overflow recovery, sj/selfjoin).
 #pragma once
 
 #include <algorithm>
@@ -103,7 +114,16 @@ concept ParallelHostKernel =
       k.merge_shard(std::move(shard));
     };
 
+/// Launch abort hook: polled between warp blocks; returning true stops
+/// the launch before the next block (see header comment).
+using LaunchAbort = std::function<bool()>;
+
 namespace detail {
+
+/// Warps per execution block: the parallel host path's shard window and
+/// the abort-hook polling interval (both paths poll at multiples of
+/// this count, which is what keeps aborts bit-identical across them).
+constexpr std::uint64_t kWarpBlock = 4096;
 
 /// Warp ids in dispatch order: uniform picks from a bounded window at
 /// the head of the pending queue. A pure function of (seed, window,
@@ -235,7 +255,8 @@ WarpRun warp_step_loop(int warp_size, LaneState* lanes, std::uint8_t* active,
 /// bit-identical modeled behavior either way.
 template <typename K>
 KernelStats launch(const DeviceConfig& cfg, std::uint64_t num_threads, K& k,
-                   const WarpObserver& observer = {}) {
+                   const WarpObserver& observer = {},
+                   const LaunchAbort& should_abort = {}) {
   GSJ_CHECK(cfg.warp_size >= 1 && cfg.warp_size <= 32);
   GSJ_CHECK(cfg.total_slots() >= 1);
   GSJ_CHECK(cfg.dispatch_window >= 1);
@@ -246,7 +267,7 @@ KernelStats launch(const DeviceConfig& cfg, std::uint64_t num_threads, K& k,
 
   const auto ws = static_cast<std::uint64_t>(cfg.warp_size);
   const std::uint64_t num_warps = (num_threads + ws - 1) / ws;
-  stats.warps_launched = num_warps;
+  stats.warps_launched = num_warps;  // reduced below if aborted
 
   const std::vector<std::uint64_t> order =
       detail::dispatch_order(cfg, num_warps);
@@ -289,8 +310,7 @@ KernelStats launch(const DeviceConfig& cfg, std::uint64_t num_threads, K& k,
 
       // Blocked execution bounds the saved lane states / shards to a
       // window of warps while leaving plenty of parallel slack.
-      constexpr std::uint64_t kWarpBlock = 4096;
-      const std::uint64_t block = std::min(num_warps, kWarpBlock);
+      const std::uint64_t block = std::min(num_warps, detail::kWarpBlock);
       std::vector<typename K::LaneState> lanes(
           static_cast<std::size_t>(block * ws));
       std::vector<std::uint8_t> active(static_cast<std::size_t>(block * ws));
@@ -329,6 +349,13 @@ KernelStats launch(const DeviceConfig& cfg, std::uint64_t num_threads, K& k,
           retire(order[static_cast<std::size_t>(base + i)], base + i, runs[ii]);
           k.merge_shard(std::move(shards[ii]));
         }
+        // Abort poll at the block boundary — the merged side effects
+        // here equal the sequential path's at the same warp count.
+        if (should_abort && base + bsize < num_warps && should_abort()) {
+          stats.aborted_launches = 1;
+          stats.warps_launched = base + bsize;
+          break;
+        }
       }
       done = true;
     }
@@ -340,6 +367,13 @@ KernelStats launch(const DeviceConfig& cfg, std::uint64_t num_threads, K& k,
     std::array<std::uint8_t, 32> active{};
     WarpScratch scratch{};
     for (std::uint64_t seq = 0; seq < num_warps; ++seq) {
+      // Same polling boundaries as the parallel path's block merges.
+      if (should_abort && seq > 0 && seq % detail::kWarpBlock == 0 &&
+          should_abort()) {
+        stats.aborted_launches = 1;
+        stats.warps_launched = seq;
+        break;
+      }
       const std::uint64_t w = order[static_cast<std::size_t>(seq)];
       const std::uint64_t init_cost = detail::init_warp(
           cfg, num_threads, k, w, lanes.data(), active.data(), scratch);

@@ -10,14 +10,39 @@
 
 namespace gsj {
 
+void BatchingConfig::validate() const {
+  GSJ_CHECK_MSG(buffer_pairs >= 1, "batching.buffer_pairs must be >= 1");
+  GSJ_CHECK_MSG(nstreams >= 1, "batching.nstreams must be >= 1");
+  GSJ_CHECK_MSG(sample_fraction > 0.0 && sample_fraction <= 1.0,
+                "batching.sample_fraction must be in (0, 1], got "
+                    << sample_fraction);
+  GSJ_CHECK_MSG(safety >= 1.0, "batching.safety must be >= 1, got " << safety);
+  GSJ_CHECK_MSG(pcie_gbps > 0.0,
+                "batching.pcie_gbps must be > 0, got " << pcie_gbps);
+  GSJ_CHECK_MSG(inject_estimator_skew > 0.0,
+                "batching.inject_estimator_skew must be > 0, got "
+                    << inject_estimator_skew);
+}
+
 namespace {
 
-/// Number of batches for an estimated total, >= 1.
-std::size_t batch_count(std::uint64_t estimated, const BatchingConfig& cfg) {
+/// Applies the fault-injection skew to an estimate (identity at 1.0).
+std::uint64_t skewed(std::uint64_t estimate, const BatchingConfig& cfg) {
+  if (cfg.inject_estimator_skew == 1.0) return estimate;
+  return static_cast<std::uint64_t>(static_cast<double>(estimate) *
+                                    cfg.inject_estimator_skew);
+}
+
+/// Number of batches for an estimated total, >= 1. Capped at `n` (one
+/// point per batch): a wildly high estimate — e.g. a skew-injected one —
+/// must not plan millions of empty batches.
+std::size_t batch_count(std::uint64_t estimated, const BatchingConfig& cfg,
+                        std::size_t n) {
   if (!cfg.enabled || estimated == 0) return 1;
   const double padded = static_cast<double>(estimated) * cfg.safety;
-  return static_cast<std::size_t>(
+  const auto wanted = static_cast<std::size_t>(
       std::max(1.0, std::ceil(padded / static_cast<double>(cfg.buffer_pairs))));
+  return std::min(wanted, n);
 }
 
 /// Strided 1% sample extrapolated to the full result size (§II-C2).
@@ -34,9 +59,10 @@ std::uint64_t estimate_strided_total(const GridIndex& grid,
   const auto counts = neighbor_counts(grid, sample);
   std::uint64_t sample_sum = 0;
   for (auto c : counts) sample_sum += c;
-  return static_cast<std::uint64_t>(static_cast<double>(sample_sum) *
-                                    static_cast<double>(n) /
-                                    static_cast<double>(sample.size()));
+  return skewed(static_cast<std::uint64_t>(static_cast<double>(sample_sum) *
+                                           static_cast<double>(n) /
+                                           static_cast<double>(sample.size())),
+                cfg);
 }
 
 }  // namespace
@@ -46,12 +72,13 @@ BatchPlan plan_strided(const GridIndex& grid, const BatchingConfig& cfg,
                        obs::Tracer* tracer, ThreadPool* pool) {
   const std::size_t n = grid.dataset().size();
   GSJ_CHECK(n > 0);
+  cfg.validate();
   BatchPlan plan;
   {
     const auto sp = obs::span(tracer, "estimation_sample");
     plan.estimated_total_pairs = estimate_strided_total(grid, cfg);
   }
-  plan.num_batches = batch_count(plan.estimated_total_pairs, cfg);
+  plan.num_batches = batch_count(plan.estimated_total_pairs, cfg, n);
   plan.batches.resize(plan.num_batches);
   for (auto& b : plan.batches) b.reserve(n / plan.num_batches + 1);
   for (std::size_t i = 0; i < n; ++i) {
@@ -89,6 +116,7 @@ BatchPlan plan_queue(const GridIndex& grid, const BatchingConfig& cfg,
   const std::size_t n = grid.dataset().size();
   GSJ_CHECK(queue_order.size() == n);
   GSJ_CHECK(workloads.size() == n);
+  cfg.validate();
   BatchPlan plan;
   auto estimation_span = obs::span(tracer, "estimation_sample");
 
@@ -108,9 +136,11 @@ BatchPlan plan_queue(const GridIndex& grid, const BatchingConfig& cfg,
       neighbor_counts(grid, queue_order.subspan(0, sample_n));
   std::uint64_t sample_sum = 0;
   for (auto c : counts) sample_sum += c;
-  const auto first_pct_estimate = static_cast<std::uint64_t>(
-      static_cast<double>(sample_sum) / static_cast<double>(sample_n) *
-      static_cast<double>(n));
+  const auto first_pct_estimate =
+      skewed(static_cast<std::uint64_t>(static_cast<double>(sample_sum) /
+                                        static_cast<double>(sample_n) *
+                                        static_cast<double>(n)),
+             cfg);
   plan.estimated_total_pairs =
       std::max(first_pct_estimate, estimate_strided_total(grid, cfg));
   estimation_span.finish();

@@ -50,6 +50,40 @@ struct BatchingConfig {
   double pcie_gbps = 40.0;
   /// When false, everything runs as one unbounded batch.
   bool enabled = true;
+
+  // --- overflow recovery (docs/ROBUSTNESS.md) ---
+  /// Failed-launch budget across the whole join: each buffer overflow
+  /// rolls the batch back, splits it and re-executes; once the budget
+  /// is spent the join throws OverflowError instead of retrying.
+  /// Recovery terminates regardless (batch sizes halve, and a
+  /// single-point overflow is unrecoverable by definition), so this
+  /// only bounds wasted re-execution work. A badly undershooting
+  /// estimator can legitimately cost one or two splits per planned
+  /// batch, so the budget defaults high.
+  std::uint64_t max_overflow_retries = 1024;
+
+  // --- deterministic fault injection (testing the recovery path) ---
+  /// Multiplies every result-size estimate (1.0 = honest estimator).
+  /// Values < 1 reproduce the estimator undershoot on skewed data that
+  /// Gowanlock & Karsin report: the plan allocates too few batches and
+  /// the buffer overflows mid-join.
+  double inject_estimator_skew = 1.0;
+  /// When non-zero, overrides the *detection* capacity per batch while
+  /// planning still sizes batches for `buffer_pairs` — a guaranteed
+  /// undershoot even on the queue planner, whose 2w+1 hard bound makes
+  /// real estimator-driven overflows impossible.
+  std::uint64_t inject_capacity = 0;
+
+  /// Effective per-batch overflow-detection capacity.
+  [[nodiscard]] std::uint64_t effective_capacity() const noexcept {
+    return inject_capacity != 0 ? inject_capacity : buffer_pairs;
+  }
+
+  /// Throws CheckError unless every field is in its documented domain
+  /// (sample_fraction in (0, 1], buffer_pairs/nstreams/safety >= 1,
+  /// pcie_gbps > 0, inject_estimator_skew > 0). Called at self_join
+  /// entry and by both planners.
+  void validate() const;
 };
 
 struct BatchPlan {

@@ -30,6 +30,14 @@
 // evaluation; the unidirectional patterns evaluate each unordered pair
 // once (adjacent cells via the pattern predicate, the own cell via the
 // grid-rank rule) and emit both ordered pairs.
+//
+// Buffer overflow: emissions go through ResultSet's batch window (see
+// result_set.hpp) — like the CUDA kernel's atomicAdd into a fixed
+// pinned buffer, a lane keeps *counting* past the capacity while writes
+// are dropped, and lane behaviour never branches on the shared count
+// (what keeps the parallel host path bit-identical). The host aborts
+// an overflowing launch at warp-block granularity via simt::launch's
+// abort hook and rolls the batch back (sj/selfjoin.cpp).
 #pragma once
 
 #include <array>
@@ -97,7 +105,13 @@ class SelfJoinKernel {
     ResultSet results;
     std::uint64_t emitted = 0;
 
-    explicit Shard(bool store_pairs) : results(store_pairs) {}
+    /// `capacity` bounds the shard's own pair storage to the batch
+    /// buffer capacity (counting continues past it), so even a single
+    /// runaway warp cannot materialize unbounded memory while its
+    /// launch is overflowing.
+    Shard(bool store_pairs, std::uint64_t capacity) : results(store_pairs) {
+      results.begin_batch(capacity);
+    }
   };
 
   simt::InitResult init_lane(LaneState& s, const simt::LaneCtx& ctx,
@@ -108,7 +122,7 @@ class SelfJoinKernel {
 
   // --- parallel host execution (simt::ParallelHostKernel) ---
   [[nodiscard]] Shard make_shard() const {
-    return Shard(p_.results->stores_pairs());
+    return Shard(p_.results->stores_pairs(), p_.results->batch_capacity());
   }
   /// Thread-safe step: all mutation goes to `shard` (the kernel's own
   /// state is read-only here; init_lane already ran sequentially).

@@ -96,13 +96,27 @@ struct BatchStats {
 };
 
 struct SelfJoinStats {
-  simt::KernelStats kernel;  ///< merged over all batches
+  simt::KernelStats kernel;  ///< merged over all *committed* batches
   std::vector<BatchStats> batches;
+  /// Batches actually executed and committed; exceeds the planned count
+  /// when overflow recovery split batches.
   std::size_t num_batches = 0;
   std::uint64_t estimated_total_pairs = 0;
   std::uint64_t result_pairs = 0;
   std::uint64_t max_batch_pairs = 0;  ///< buffer-overflow audit
+  /// At least one batch overflowed its buffer. The overflow was
+  /// recovered (rolled back, split, re-executed) — an unrecoverable
+  /// overflow throws OverflowError instead (docs/ROBUSTNESS.md).
   bool buffer_overflowed = false;
+
+  // --- overflow recovery accounting ---
+  /// Launches that overflowed the per-batch buffer and were rolled
+  /// back; each costs one re-planned re-execution.
+  std::uint64_t overflow_retries = 0;
+  /// Wasted-work audit: the merged KernelStats of every rolled-back
+  /// launch (cycles spent, pairs emitted then discarded, warps run —
+  /// none of it contributes to `kernel` or the result).
+  simt::KernelStats wasted;
   double kernel_seconds = 0.0;     ///< modeled device time (sum of batches)
   double total_seconds = 0.0;      ///< modeled pipeline incl. transfers
   double host_prep_seconds = 0.0;  ///< wall time: grid build, sorting, planning
@@ -139,7 +153,14 @@ struct SelfJoinOutput {
 };
 
 /// Runs the batched self-join. Throws CheckError on invalid
-/// configuration (epsilon <= 0, k not dividing warp size, ...).
+/// configuration (epsilon <= 0, k not dividing warp size, malformed
+/// batching knobs, ...) and OverflowError (common/error.hpp) when a
+/// batch overflows its result buffer unrecoverably — a single query
+/// point alone exceeds the capacity, or batching.max_overflow_retries
+/// is exhausted. Recoverable overflows are handled internally: the
+/// batch is rolled back, split, and re-executed until it fits, with the
+/// cost visible in stats.overflow_retries / stats.wasted (see
+/// docs/ROBUSTNESS.md).
 [[nodiscard]] SelfJoinOutput self_join(const Dataset& ds,
                                        const SelfJoinConfig& cfg);
 

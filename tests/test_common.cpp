@@ -155,6 +155,40 @@ TEST(Cli, HelpRequested) {
   EXPECT_NE(cli.help_text().find("sample size"), std::string::npos);
 }
 
+TEST(Cli, RejectsMalformedNumericValues) {
+  // Silent strtoll/strtod prefix parsing once turned "--n 10x" into 10
+  // and "--epsilon abc" into 0.0; malformed values must instead fail
+  // loudly, naming the flag.
+  const char* argv[] = {"prog",      "--n",     "10x",  "--epsilon", "abc",
+                        "--empty=",  "--huge",  "99999999999999999999",
+                        "--bigexp",  "1e999999"};
+  Cli cli(10, argv);
+  EXPECT_THROW((void)cli.get_int("n", 0), CheckError);
+  EXPECT_THROW((void)cli.get_double("epsilon", 0.0), CheckError);
+  EXPECT_THROW((void)cli.get_int("empty", 0), CheckError);
+  EXPECT_THROW((void)cli.get_double("empty", 0.0), CheckError);
+  EXPECT_THROW((void)cli.get_int("huge", 0), CheckError);     // ERANGE
+  EXPECT_THROW((void)cli.get_double("bigexp", 0.0), CheckError);
+  try {
+    (void)cli.get_int("n", 0);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("10x"), std::string::npos);
+  }
+}
+
+TEST(Cli, AcceptsWellFormedNumericValues) {
+  const char* argv[] = {"prog", "--a", "-42", "--b", "3.5e-2", "--c", "0"};
+  Cli cli(7, argv);
+  EXPECT_EQ(cli.get_int("a", 0), -42);
+  EXPECT_DOUBLE_EQ(cli.get_double("b", 0.0), 3.5e-2);
+  EXPECT_EQ(cli.get_int("c", 9), 0);
+  // Defaults still pass through the strict parser unharmed.
+  EXPECT_EQ(cli.get_int("absent", -7), -7);
+  EXPECT_DOUBLE_EQ(cli.get_double("absent2", 0.25), 0.25);
+}
+
 TEST(ThreadPool, RunsAllIndices) {
   ThreadPool pool(4);
   std::atomic<std::uint64_t> sum{0};

@@ -146,6 +146,53 @@ INSTANTIATE_TEST_SUITE_P(
       return name + "_t" + std::to_string(std::get<1>(info.param));
     });
 
+TEST(HostParallel, OverflowRecoveryBitIdenticalToSequential) {
+  // Forced estimator undershoot: the join overflows its buffer, aborts
+  // launches mid-flight, rolls back and splits. The parallel path must
+  // take the *same* recovery decisions — abort polling sits on the
+  // block boundaries both paths share — so results, committed stats,
+  // wasted-work accounting and the logical trace all stay bit-identical.
+  const Dataset ds = gen_exponential(3000, 2, 117);
+  for (std::size_t vi : {std::size_t{0}, std::size_t{5}}) {  // FULL, COMBINED
+    const Variant& v = kVariants[vi];
+    auto run = [&](int threads) {
+      SelfJoinConfig cfg = v.make(0.04);
+      cfg.batching.buffer_pairs = vi == 5 ? 20'000 : 5000;
+      cfg.batching.inject_estimator_skew = 0.2;
+      // The queue planner's hard bound never overflows on its own;
+      // shrink its detection capacity (kept above the densest single
+      // point) so its recovery path runs too.
+      cfg.batching.inject_capacity = vi == 5 ? 5000 : 0;
+      cfg.batching.max_overflow_retries = 1'000'000;
+      cfg.store_pairs = true;
+      cfg.device.host.num_threads = threads;
+      obs::Tracer tracer(obs::TimeMode::Logical);
+      cfg.tracer = &tracer;
+      JoinRun r;
+      r.out = self_join(ds, cfg);
+      std::ostringstream os;
+      tracer.write_chrome_json(os);
+      r.trace_json = os.str();
+      return r;
+    };
+    const JoinRun seq = run(0);
+    const JoinRun par = run(3);
+    ASSERT_GE(seq.out.stats.overflow_retries, 1u) << v.name;
+    expect_identical(seq, par, v.name);
+    EXPECT_EQ(seq.out.stats.overflow_retries, par.out.stats.overflow_retries);
+    EXPECT_EQ(seq.out.stats.wasted.warps_launched,
+              par.out.stats.wasted.warps_launched);
+    EXPECT_EQ(seq.out.stats.wasted.busy_cycles,
+              par.out.stats.wasted.busy_cycles);
+    EXPECT_EQ(seq.out.stats.wasted.makespan_cycles,
+              par.out.stats.wasted.makespan_cycles);
+    EXPECT_EQ(seq.out.stats.wasted.aborted_launches,
+              par.out.stats.wasted.aborted_launches);
+    EXPECT_EQ(seq.out.stats.wasted.results_emitted,
+              par.out.stats.wasted.results_emitted);
+  }
+}
+
 TEST(HostParallel, ExternalPoolIsReusedAcrossJoins) {
   ThreadPool pool(2);
   const Dataset ds = gen_exponential(2000, 2, 118);
@@ -237,6 +284,53 @@ TEST(HostParallel, LaunchShardMergePreservesEmissionStream) {
     EXPECT_EQ(seq_stats.active_lane_steps, par_stats.active_lane_steps);
     EXPECT_EQ(seq_stats.tail_idle_cycles, par_stats.tail_idle_cycles);
   }
+}
+
+TEST(HostParallel, AbortedLaunchStopsAtBlockBoundaryBitIdentically) {
+  // The abort hook is polled at multiples of detail::kWarpBlock on both
+  // paths; a condition on merged side effects must stop them after the
+  // exact same set of executed warps.
+  simt::DeviceConfig dev;
+  dev.num_sms = 2;
+  const std::uint64_t num_warps = simt::detail::kWarpBlock * 2 + 500;
+  const std::uint64_t nthreads = 32 * num_warps;
+
+  auto run = [&](int threads) {
+    dev.host.num_threads = threads;
+    EmitKernel k;
+    const auto stats = simt::launch(
+        dev, nthreads, k, {}, [&k] { return !k.log.empty(); });
+    return std::pair{std::move(k.log), stats};
+  };
+  const auto [seq_log, seq_stats] = run(0);
+  EXPECT_EQ(seq_stats.aborted_launches, 1u);
+  EXPECT_EQ(seq_stats.warps_launched, simt::detail::kWarpBlock);
+
+  for (const int threads : {1, 3}) {
+    const auto [par_log, par_stats] = run(threads);
+    EXPECT_EQ(par_log, seq_log) << "threads=" << threads;
+    EXPECT_EQ(par_stats.aborted_launches, seq_stats.aborted_launches);
+    EXPECT_EQ(par_stats.warps_launched, seq_stats.warps_launched);
+    EXPECT_EQ(par_stats.busy_cycles, seq_stats.busy_cycles);
+    EXPECT_EQ(par_stats.makespan_cycles, seq_stats.makespan_cycles);
+    EXPECT_EQ(par_stats.warp_steps, seq_stats.warp_steps);
+    EXPECT_EQ(par_stats.tail_idle_cycles, seq_stats.tail_idle_cycles);
+  }
+}
+
+TEST(HostParallel, UnsetAbortHookChangesNothing) {
+  simt::DeviceConfig dev;
+  dev.num_sms = 2;
+  const std::uint64_t nthreads = 32 * (simt::detail::kWarpBlock + 100);
+  EmitKernel plain, hooked;
+  const auto a = simt::launch(dev, nthreads, plain);
+  const auto b =
+      simt::launch(dev, nthreads, hooked, {}, [] { return false; });
+  EXPECT_EQ(plain.log, hooked.log);
+  EXPECT_EQ(a.warps_launched, b.warps_launched);
+  EXPECT_EQ(a.busy_cycles, b.busy_cycles);
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  EXPECT_EQ(b.aborted_launches, 0u);
 }
 
 TEST(HostParallel, ObserverFiresInDispatchOrderUnderThreads) {

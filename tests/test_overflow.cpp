@@ -1,0 +1,329 @@
+// Overflow-recovery suite (docs/ROBUSTNESS.md): per-batch buffer
+// capacity, mid-launch abort, rollback + split re-planning, fault
+// injection, the OverflowError taxonomy, and the supporting ResultSet
+// batch-window primitives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+#include "data/generators.hpp"
+#include "sj/reference.hpp"
+#include "sj/result_set.hpp"
+#include "sj/selfjoin.hpp"
+
+namespace gsj {
+namespace {
+
+// An adversary for the strided 1% estimator: every stride-sampled index
+// (i % 100 == 0 at the default sample_fraction 0.01) is an isolated
+// point with no neighbors but itself, while the remaining 99% sit in a
+// dense clump. The sample extrapolates ~n total pairs; the clump alone
+// produces tens of thousands — a provable undershoot, no injection
+// knobs needed.
+Dataset make_estimator_adversary(std::size_t n) {
+  Dataset ds(2, n);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  auto unit = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 100 == 0) {
+      // Sparse arm: consecutive sampled points 10 apart, far beyond
+      // any test epsilon.
+      const double c = 100.0 + 10.0 * static_cast<double>(i);
+      ds.coord(i, 0) = c;
+      ds.coord(i, 1) = c;
+    } else {
+      // Dense clump in [0, 0.5]^2.
+      ds.coord(i, 0) = unit() * 0.5;
+      ds.coord(i, 1) = unit() * 0.5;
+    }
+  }
+  return ds;
+}
+
+/// Canonical pairs of a recovered run must equal the unbatched oracle:
+/// no lost pairs, no partial-batch leftovers, no duplicates.
+void expect_matches_reference(const Dataset& ds, const SelfJoinOutput& out,
+                              double eps) {
+  const ResultSet ref = brute_force_join(ds, eps);
+  ASSERT_EQ(out.results.count(), ref.count());
+  EXPECT_EQ(out.results.pairs(), ref.pairs());
+}
+
+TEST(OverflowRecovery, StridedUndershootRecoversAndMatchesReference) {
+  const Dataset ds = make_estimator_adversary(2000);
+  const double eps = 0.05;
+  SelfJoinConfig cfg = SelfJoinConfig::gpu_calc_global(eps);
+  cfg.store_pairs = true;
+  cfg.batching.buffer_pairs = 2000;
+
+  const auto out = self_join(ds, cfg);
+  EXPECT_GE(out.stats.overflow_retries, 1u);
+  EXPECT_TRUE(out.stats.buffer_overflowed);
+  // Committed batches all fit the buffer; the plan alone could not
+  // have achieved that (the estimate was ~n pairs).
+  EXPECT_LE(out.stats.max_batch_pairs, cfg.batching.buffer_pairs);
+  EXPECT_EQ(out.stats.num_batches, out.stats.batches.size());
+  // Wasted-work audit: rolled-back launches really ran. (Batches here
+  // are far below the abort-poll block size, so overflowing launches
+  // run to completion rather than aborting — the launch-level abort is
+  // covered in test_host_parallel.cpp.)
+  EXPECT_GT(out.stats.wasted.warps_launched, 0u);
+  EXPECT_GT(out.stats.wasted.busy_cycles, 0u);
+  // None of the wasted work leaked into the committed kernel stats.
+  EXPECT_EQ(out.stats.kernel.launches, out.stats.num_batches);
+  expect_matches_reference(ds, out, eps);
+}
+
+TEST(OverflowRecovery, SortByWlRecoversAndMatchesReference) {
+  const Dataset ds = make_estimator_adversary(2000);
+  const double eps = 0.05;
+  SelfJoinConfig cfg = SelfJoinConfig::sort_by_wl(eps);
+  cfg.store_pairs = true;
+  cfg.batching.buffer_pairs = 2000;
+
+  const auto out = self_join(ds, cfg);
+  EXPECT_GE(out.stats.overflow_retries, 1u);
+  expect_matches_reference(ds, out, eps);
+}
+
+TEST(OverflowRecovery, InjectedSkewForcesRetriesResultUnchanged) {
+  const Dataset ds = gen_exponential(2500, 2, 21);
+  SelfJoinConfig cfg = SelfJoinConfig::gpu_calc_global(0.05);
+  cfg.store_pairs = true;
+  cfg.batching.buffer_pairs = 8000;
+
+  const auto honest = self_join(ds, cfg);
+  EXPECT_EQ(honest.stats.overflow_retries, 0u);
+
+  cfg.batching.inject_estimator_skew = 0.02;  // plan far too few batches
+  const auto skewed = self_join(ds, cfg);
+  EXPECT_GE(skewed.stats.overflow_retries, 1u);
+  EXPECT_EQ(honest.results.pairs(), skewed.results.pairs());
+  EXPECT_EQ(honest.stats.result_pairs, skewed.stats.result_pairs);
+}
+
+TEST(OverflowRecovery, QueueHardBoundNeverOverflowsEvenUnderSkew) {
+  // plan_queue cuts chunks by the 2w+1 bound, so an estimator
+  // undershoot produces zero genuine overflows on the queue path.
+  const Dataset ds = gen_exponential(2500, 2, 22);
+  SelfJoinConfig cfg = SelfJoinConfig::combined(0.05);
+  cfg.store_pairs = true;
+  cfg.batching.buffer_pairs = 8000;
+  cfg.batching.inject_estimator_skew = 0.02;
+
+  const auto out = self_join(ds, cfg);
+  EXPECT_EQ(out.stats.overflow_retries, 0u);
+  EXPECT_FALSE(out.stats.buffer_overflowed);
+  expect_matches_reference(ds, out, 0.05);
+}
+
+TEST(OverflowRecovery, QueuePathRecoversUnderInjectedCapacity) {
+  // inject_capacity shrinks detection below what planning promised —
+  // the only way to exercise queue-path recovery, by design.
+  const Dataset ds = gen_exponential(2500, 2, 23);
+  SelfJoinConfig cfg = SelfJoinConfig::combined(0.05);
+  cfg.store_pairs = true;
+  cfg.batching.buffer_pairs = 50'000;
+
+  const auto honest = self_join(ds, cfg);
+  // Detection capacity well below the planned chunk sizes but above the
+  // densest single point's emission (~4k pairs here): recovery splits
+  // chunks until they fit instead of giving up.
+  cfg.batching.inject_capacity = 6500;
+  const auto faulty = self_join(ds, cfg);
+  EXPECT_GE(faulty.stats.overflow_retries, 1u);
+  EXPECT_LE(faulty.stats.max_batch_pairs, 6500u);
+  EXPECT_EQ(honest.results.pairs(), faulty.results.pairs());
+}
+
+TEST(OverflowRecovery, AllVariantsZeroRetriesWithoutInjection) {
+  const Dataset ds = gen_exponential(1500, 2, 24);
+  const SelfJoinConfig variants[] = {
+      SelfJoinConfig::gpu_calc_global(0.05), SelfJoinConfig::unicomp(0.05),
+      SelfJoinConfig::lid_unicomp(0.05),     SelfJoinConfig::sort_by_wl(0.05),
+      SelfJoinConfig::work_queue_cfg(0.05),  SelfJoinConfig::combined(0.05),
+  };
+  for (SelfJoinConfig cfg : variants) {
+    SCOPED_TRACE(cfg.name());
+    cfg.store_pairs = true;
+    const auto out = self_join(ds, cfg);
+    EXPECT_EQ(out.stats.overflow_retries, 0u);
+    EXPECT_EQ(out.stats.wasted.warps_launched, 0u);
+    EXPECT_EQ(out.stats.wasted.aborted_launches, 0u);
+    EXPECT_FALSE(out.stats.buffer_overflowed);
+  }
+}
+
+TEST(OverflowRecovery, SinglePointOverflowThrowsStructuredError) {
+  // Capacity smaller than one dense point's neighborhood: recovery
+  // splits down to single-point batches and must then give up.
+  const Dataset ds = gen_exponential(800, 2, 25);
+  SelfJoinConfig cfg = SelfJoinConfig::gpu_calc_global(0.2);
+  cfg.store_pairs = true;
+  cfg.batching.inject_capacity = 4;
+
+  try {
+    (void)self_join(ds, cfg);
+    FAIL() << "expected OverflowError";
+  } catch (const OverflowError& e) {
+    EXPECT_EQ(e.capacity(), 4u);
+    EXPECT_EQ(e.batch_points(), 1u);
+    EXPECT_GT(e.observed_pairs(), e.capacity());
+    EXPECT_NE(std::string(e.what()).find("buffer overflow"),
+              std::string::npos);
+  }
+}
+
+TEST(OverflowRecovery, RetryBudgetExhaustionThrows) {
+  const Dataset ds = make_estimator_adversary(2000);
+  SelfJoinConfig cfg = SelfJoinConfig::gpu_calc_global(0.05);
+  cfg.store_pairs = true;
+  cfg.batching.buffer_pairs = 2000;
+  cfg.batching.max_overflow_retries = 1;  // far below what recovery needs
+
+  EXPECT_THROW((void)self_join(ds, cfg), OverflowError);
+}
+
+TEST(OverflowRecovery, OverflowErrorIsNotACheckError) {
+  // The taxonomy keeps precondition bugs and recoverable runtime
+  // failures in disjoint families.
+  const OverflowError e(10, 20, 2, 1);
+  EXPECT_NE(dynamic_cast<const std::runtime_error*>(&e), nullptr);
+  const Error& base = e;
+  EXPECT_EQ(std::string(base.what()), std::string(e.what()));
+  static_assert(!std::is_base_of_v<CheckError, OverflowError>);
+  static_assert(!std::is_base_of_v<OverflowError, CheckError>);
+}
+
+TEST(OverflowRecovery, ReserveClampSurvivesWildOverestimate) {
+  // A hugely inflated estimate must neither bad_alloc at reserve time
+  // nor distort the join result.
+  const Dataset ds = gen_exponential(1200, 2, 26);
+  SelfJoinConfig cfg = SelfJoinConfig::gpu_calc_global(0.05);
+  cfg.store_pairs = true;
+  cfg.batching.inject_estimator_skew = 1e12;
+
+  const auto out = self_join(ds, cfg);
+  EXPECT_EQ(out.stats.overflow_retries, 0u);
+  expect_matches_reference(ds, out, 0.05);
+}
+
+TEST(BatchingValidation, RejectsOutOfDomainKnobs) {
+  const Dataset ds = gen_exponential(200, 2, 27);
+  SelfJoinConfig cfg = SelfJoinConfig::gpu_calc_global(0.1);
+
+  auto expect_rejected = [&](auto mutate) {
+    SelfJoinConfig bad = cfg;
+    mutate(bad.batching);
+    EXPECT_THROW((void)self_join(ds, bad), CheckError);
+  };
+  expect_rejected([](BatchingConfig& b) { b.sample_fraction = 0.0; });
+  expect_rejected([](BatchingConfig& b) { b.sample_fraction = -0.5; });
+  expect_rejected([](BatchingConfig& b) { b.sample_fraction = 1.5; });
+  expect_rejected([](BatchingConfig& b) { b.buffer_pairs = 0; });
+  expect_rejected([](BatchingConfig& b) { b.nstreams = 0; });
+  expect_rejected([](BatchingConfig& b) { b.safety = 0.5; });
+  expect_rejected([](BatchingConfig& b) { b.pcie_gbps = 0.0; });
+  expect_rejected([](BatchingConfig& b) { b.inject_estimator_skew = 0.0; });
+  expect_rejected([](BatchingConfig& b) { b.inject_estimator_skew = -1.0; });
+}
+
+TEST(BatchingValidation, EffectiveCapacityPrefersInjection) {
+  BatchingConfig b;
+  b.buffer_pairs = 123;
+  EXPECT_EQ(b.effective_capacity(), 123u);
+  b.inject_capacity = 7;
+  EXPECT_EQ(b.effective_capacity(), 7u);
+}
+
+// --- ResultSet batch-window primitives ---
+
+TEST(ResultSetBatch, OverflowDetectionAndRollback) {
+  ResultSet rs(/*store_pairs=*/true);
+  rs.emit(1, 2);  // pre-existing committed pair
+  rs.begin_batch(2);
+  rs.emit(3, 4);
+  rs.emit(5, 6);
+  EXPECT_FALSE(rs.batch_overflowed());
+  rs.emit(7, 8);  // one past capacity: counted, not stored
+  EXPECT_TRUE(rs.batch_overflowed());
+  EXPECT_EQ(rs.batch_count(), 3u);
+  EXPECT_EQ(rs.count(), 4u);
+  EXPECT_EQ(rs.pairs().size(), 3u);  // storage clamped at capacity
+
+  rs.rollback_batch();
+  EXPECT_EQ(rs.count(), 1u);
+  ASSERT_EQ(rs.pairs().size(), 1u);
+  EXPECT_EQ(rs.pairs()[0], (ResultPair{1, 2}));
+  EXPECT_FALSE(rs.batch_overflowed());
+
+  // The window is reusable after rollback.
+  rs.begin_batch(2);
+  rs.emit(9, 10);
+  EXPECT_EQ(rs.batch_count(), 1u);
+  EXPECT_FALSE(rs.batch_overflowed());
+}
+
+TEST(ResultSetBatch, CountOnlyModeDetectsOverflowToo) {
+  ResultSet rs(/*store_pairs=*/false);
+  rs.begin_batch(1);
+  rs.emit(0, 1);
+  rs.emit(1, 0);
+  EXPECT_TRUE(rs.batch_overflowed());
+  rs.rollback_batch();
+  EXPECT_EQ(rs.count(), 0u);
+}
+
+TEST(ResultSetBatch, AbsorbClampsStorageToWindow) {
+  // The parallel path merges per-warp shards into the batch window;
+  // storage past the capacity must be dropped while counts accumulate
+  // (bitwise what the sequential emit path does).
+  ResultSet main(/*store_pairs=*/true);
+  main.begin_batch(3);
+  ResultSet shard_a(true);
+  shard_a.emit(1, 1);
+  shard_a.emit(2, 2);
+  ResultSet shard_b(true);
+  shard_b.emit(3, 3);
+  shard_b.emit(4, 4);
+  main.absorb(std::move(shard_a));
+  main.absorb(std::move(shard_b));
+  EXPECT_EQ(main.count(), 4u);
+  EXPECT_EQ(main.pairs().size(), 3u);
+  EXPECT_TRUE(main.batch_overflowed());
+  main.rollback_batch();
+  EXPECT_EQ(main.count(), 0u);
+  EXPECT_TRUE(main.pairs().empty());
+}
+
+TEST(ResultSetBatch, UnlimitedWindowNeverOverflows) {
+  ResultSet rs(true);
+  for (PointId i = 0; i < 100; ++i) rs.emit(i, i);
+  EXPECT_FALSE(rs.batch_overflowed());
+  EXPECT_EQ(rs.count(), 100u);
+  EXPECT_EQ(rs.pairs().size(), 100u);
+}
+
+TEST(ResultSetBatch, ReserveIsBoundedAgainstWildEstimates) {
+  ResultSet rs(true);
+  // Must not throw bad_alloc / length_error on absurd requests.
+  rs.reserve(std::numeric_limits<std::uint64_t>::max());
+  rs.emit(1, 2);
+  EXPECT_EQ(rs.count(), 1u);
+}
+
+}  // namespace
+}  // namespace gsj

@@ -18,6 +18,7 @@
 
 #include "common/check.hpp"
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/stats.hpp"
 #include "data/generators.hpp"
 #include "data/io.hpp"
@@ -49,6 +50,26 @@ int usage() {
       "variants: gpucalcglobal unicomp lidunicomp sortbywl workqueue\n"
       "          combined superego\n";
   return 2;
+}
+
+/// Batching / overflow-recovery flags shared by join, dbscan and
+/// profile. The inject-* knobs deterministically exercise the recovery
+/// path (docs/ROBUSTNESS.md).
+void apply_batching_flags(gsj::Cli& cli, gsj::BatchingConfig& b) {
+  b.buffer_pairs = static_cast<std::uint64_t>(cli.get_int(
+      "buffer-pairs", static_cast<std::int64_t>(b.buffer_pairs),
+      "per-batch result buffer capacity (pairs)"));
+  b.safety = cli.get_double("safety", b.safety, "batch-count safety factor");
+  b.max_overflow_retries = static_cast<std::uint64_t>(cli.get_int(
+      "max-overflow-retries",
+      static_cast<std::int64_t>(b.max_overflow_retries),
+      "failed-launch budget before the join gives up"));
+  b.inject_estimator_skew = cli.get_double(
+      "inject-estimator-skew", b.inject_estimator_skew,
+      "fault injection: multiply result-size estimates (<1 = undershoot)");
+  b.inject_capacity = static_cast<std::uint64_t>(cli.get_int(
+      "inject-capacity", static_cast<std::int64_t>(b.inject_capacity),
+      "fault injection: override overflow-detection capacity (0 = off)"));
 }
 
 gsj::Dataset load_input(gsj::Cli& cli) {
@@ -142,6 +163,7 @@ int cmd_join(gsj::Cli& cli) {
       static_cast<int>(cli.get_int("sms", cfg.device.num_sms, "modeled SMs"));
   cfg.device.host.num_threads = static_cast<int>(
       cli.get_int("host-threads", 0, "host worker threads (0 = sequential)"));
+  apply_batching_flags(cli, cfg.batching);
   cfg.store_pairs = !pairs_out.empty();
 
   const auto out = gsj::self_join(ds, cfg);
@@ -150,6 +172,11 @@ int cmd_join(gsj::Cli& cli) {
             << out.stats.total_seconds << " s (kernel "
             << out.stats.kernel_seconds << " s), WEE "
             << out.stats.wee_percent() << "%\n";
+  if (out.stats.overflow_retries > 0) {
+    std::cout << "overflow recovery: " << out.stats.overflow_retries
+              << " retried launch(es), " << out.stats.wasted.busy_cycles
+              << " wasted busy cycles\n";
+  }
   if (!pairs_out.empty()) {
     std::ofstream f(pairs_out);
     for (const auto& [a, b] : out.results.pairs()) f << a << ',' << b << '\n';
@@ -167,6 +194,7 @@ int cmd_dbscan(gsj::Cli& cli) {
       cli.get_int("minpts", 4, "DBSCAN minPts"));
   cfg.join.device.host.num_threads = static_cast<int>(
       cli.get_int("host-threads", 0, "host worker threads (0 = sequential)"));
+  apply_batching_flags(cli, cfg.join.batching);
   const std::string labels_out =
       cli.get("labels-out", "", "write per-point labels to CSV");
 
@@ -234,13 +262,20 @@ int cmd_profile(gsj::Cli& cli) {
         static_cast<int>(cli.get_int("sms", cfg.device.num_sms, "modeled SMs"));
     cfg.device.host.num_threads = static_cast<int>(
         cli.get_int("host-threads", 0, "host worker threads (0 = sequential)"));
+    apply_batching_flags(cli, cfg.batching);
     cfg.tracer = &tracer;
     cfg.metrics = &metrics;
 
     const auto out = gsj::self_join(ds, cfg);
     std::cout << cfg.name() << ": " << out.stats.result_pairs << " pairs, "
               << out.stats.num_batches << " batches, WEE "
-              << out.stats.wee_percent() << "%\n"
+              << out.stats.wee_percent() << "%\n";
+    if (out.stats.overflow_retries > 0) {
+      std::cout << "overflow recovery: " << out.stats.overflow_retries
+                << " retried launch(es), " << out.stats.wasted.busy_cycles
+                << " wasted busy cycles\n";
+    }
+    std::cout
               << "warp imbalance: " << gsj::obs::describe(out.stats.warp_imbalance)
               << "\n";
     std::uint64_t tail_idle = 0, worst_idle = 0;
@@ -286,6 +321,12 @@ int main(int argc, char** argv) {
     if (cmd == "join") return cmd_join(cli);
     if (cmd == "dbscan") return cmd_dbscan(cli);
     if (cmd == "profile") return cmd_profile(cli);
+  } catch (const gsj::OverflowError& e) {
+    // Recoverable-in-principle resource failure: the message already
+    // names the knobs to raise (docs/ROBUSTNESS.md). Distinct exit code
+    // so scripts can retry with a larger buffer.
+    std::cerr << "sjtool: " << e.what() << "\n";
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "sjtool: " << e.what() << "\n";
     return 1;
