@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
                      opt);
 
   const gsj::Dataset ds = gsj::bench::load_dataset("Expo2D2M", opt);
+  gsj::bench::GpuRunner gpu(ds, opt);
   const double eps = gsj::bench::table_epsilon("Expo2D2M", ds.size());
 
   gsj::Table wt({"dispatch window", "SORTBYWL t(s)", "SORTBYWL WEE(%)",
@@ -27,8 +28,8 @@ int main(int argc, char** argv) {
     sorted.device.dispatch_window = window;
     auto wq = gsj::SelfJoinConfig::work_queue_cfg(eps);
     wq.device.dispatch_window = window;
-    const auto rs = gsj::bench::run_gpu(ds, sorted, opt);
-    const auto rq = gsj::bench::run_gpu(ds, wq, opt);
+    const auto rs = gpu.run(sorted);
+    const auto rq = gpu.run(wq);
     wt.add_row({static_cast<std::int64_t>(window), rs.seconds, rs.wee,
                 rq.seconds, rq.wee});
   }
@@ -40,9 +41,9 @@ int main(int argc, char** argv) {
   for (const int k : {1, 2, 4, 8, 16, 32}) {
     auto base = gsj::SelfJoinConfig::gpu_calc_global(eps);
     base.k = k;
-    const auto rb = gsj::bench::run_gpu(ds, base, opt);
-    const auto rq = gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::work_queue_cfg(eps, k,
-                                            gsj::CellPattern::LidUnicomp), opt);
+    const auto rb = gpu.run(base);
+    const auto rq = gpu.run(gsj::SelfJoinConfig::work_queue_cfg(eps, k,
+                                            gsj::CellPattern::LidUnicomp));
     kt.add_row({static_cast<std::int64_t>(k), rb.seconds, rb.wee, rq.seconds,
                 rq.wee});
   }

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   t.set_precision(4);
   for (const char* name : {"Expo2D2M", "SW2DA"}) {
     const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    gsj::bench::GpuRunner gpu(ds, opt);
     const double eps = gsj::bench::table_epsilon(name, ds.size());
 
     const auto kd = gsj::kdtree_self_join(ds, eps, opt.ego_threads);
@@ -60,11 +61,10 @@ int main(int argc, char** argv) {
                ego.seconds, std::int64_t{-1},
                static_cast<std::int64_t>(ego.pairs)});
 
-    const auto gpu =
-        gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::combined(eps), opt);
+    const auto sim = gpu.run(gsj::SelfJoinConfig::combined(eps));
     t.add_row({std::string(name), eps,
-               std::string("WQ+LID+k8 (GPU model)"), gpu.seconds,
-               std::int64_t{-1}, static_cast<std::int64_t>(gpu.pairs)});
+               std::string("WQ+LID+k8 (GPU model)"), sim.seconds,
+               std::int64_t{-1}, static_cast<std::int64_t>(sim.pairs)});
   }
   gsj::bench::finish("baselines", t, opt);
   std::cout << "All methods must agree on `pairs` — a cross-implementation "

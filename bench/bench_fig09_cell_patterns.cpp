@@ -17,13 +17,14 @@ int main(int argc, char** argv) {
   for (const char* name :
        {"Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"}) {
     const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    gsj::bench::GpuRunner gpu(ds, opt);
     for (const double eps : gsj::bench::epsilon_series(name, ds.size())) {
       const auto base =
-          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::gpu_calc_global(eps), opt);
+          gpu.run(gsj::SelfJoinConfig::gpu_calc_global(eps));
       const auto uni =
-          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::unicomp(eps), opt);
+          gpu.run(gsj::SelfJoinConfig::unicomp(eps));
       const auto lid =
-          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::lid_unicomp(eps), opt);
+          gpu.run(gsj::SelfJoinConfig::lid_unicomp(eps));
       t.add_row({std::string(name), eps, base.seconds, uni.seconds,
                  lid.seconds, static_cast<std::int64_t>(base.pairs)});
     }

@@ -13,12 +13,13 @@ int main(int argc, char** argv) {
   for (const char* name :
        {"Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"}) {
     const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    gsj::bench::GpuRunner gpu(ds, opt);
     for (const double eps : gsj::bench::epsilon_series(name, ds.size())) {
       const auto k1 =
-          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::gpu_calc_global(eps), opt);
+          gpu.run(gsj::SelfJoinConfig::gpu_calc_global(eps));
       auto cfg8 = gsj::SelfJoinConfig::gpu_calc_global(eps);
       cfg8.k = 8;
-      const auto k8 = gsj::bench::run_gpu(ds, cfg8, opt);
+      const auto k8 = gpu.run(cfg8);
       t.add_row({std::string(name), eps, k1.seconds, k8.seconds,
                  static_cast<std::int64_t>(k1.pairs)});
     }

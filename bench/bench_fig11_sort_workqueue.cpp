@@ -15,13 +15,14 @@ int main(int argc, char** argv) {
   for (const char* name :
        {"Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"}) {
     const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    gsj::bench::GpuRunner gpu(ds, opt);
     for (const double eps : gsj::bench::epsilon_series(name, ds.size())) {
       const auto base =
-          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::gpu_calc_global(eps), opt);
+          gpu.run(gsj::SelfJoinConfig::gpu_calc_global(eps));
       const auto sorted =
-          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::sort_by_wl(eps), opt);
+          gpu.run(gsj::SelfJoinConfig::sort_by_wl(eps));
       const auto wq =
-          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::work_queue_cfg(eps), opt);
+          gpu.run(gsj::SelfJoinConfig::work_queue_cfg(eps));
       t.add_row({std::string(name), eps, base.seconds, sorted.seconds,
                  wq.seconds, static_cast<std::int64_t>(base.pairs)});
     }

@@ -16,18 +16,19 @@ int main(int argc, char** argv) {
   t.set_precision(5);
   for (const char* name : {"SW2DA", "SW2DB", "SW3DA", "SW3DB", "Gaia"}) {
     const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    gsj::bench::GpuRunner gpu(ds, opt);
     for (const double eps : gsj::bench::epsilon_series(name, ds.size())) {
       const auto base =
-          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::gpu_calc_global(eps), opt);
+          gpu.run(gsj::SelfJoinConfig::gpu_calc_global(eps));
       const auto ego = gsj::bench::run_superego(ds, eps, opt);
       const auto wq =
-          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::work_queue_cfg(eps), opt);
-      const auto wq_lid = gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::work_queue_cfg(eps, 1,
-                                                  gsj::CellPattern::LidUnicomp), opt);
+          gpu.run(gsj::SelfJoinConfig::work_queue_cfg(eps));
+      const auto wq_lid = gpu.run(gsj::SelfJoinConfig::work_queue_cfg(eps, 1,
+                                                  gsj::CellPattern::LidUnicomp));
       const auto wq_k8 =
-          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::work_queue_cfg(eps, 8), opt);
+          gpu.run(gsj::SelfJoinConfig::work_queue_cfg(eps, 8));
       const auto all =
-          gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::combined(eps), opt);
+          gpu.run(gsj::SelfJoinConfig::combined(eps));
       t.add_row({std::string(name), eps, base.seconds, ego.seconds,
                  wq.seconds, wq_lid.seconds, wq_k8.seconds, all.seconds,
                  static_cast<std::int64_t>(base.pairs)});

@@ -46,11 +46,12 @@ int main(int argc, char** argv) {
   int n_rows = 0;
   for (const auto& spec : gsj::dataset_specs()) {
     const gsj::Dataset ds = gsj::bench::load_dataset(spec.name, opt);
+    gsj::bench::GpuRunner gpu(ds, opt);
     const double eps = gsj::bench::table_epsilon(spec.name, ds.size());
     const auto best =
-        gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::combined(eps), opt);
+        gpu.run(gsj::SelfJoinConfig::combined(eps));
     const auto base =
-        gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::gpu_calc_global(eps), opt);
+        gpu.run(gsj::SelfJoinConfig::gpu_calc_global(eps));
     const auto ego = gsj::bench::run_superego(ds, eps, opt);
     const double su_gpu = base.seconds / best.seconds;
     const double su_ego = ego.seconds / best.seconds;

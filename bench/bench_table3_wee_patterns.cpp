@@ -16,12 +16,13 @@ int main(int argc, char** argv) {
   for (const char* name :
        {"Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"}) {
     const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    gsj::bench::GpuRunner gpu(ds, opt);
     const double eps = gsj::bench::table_epsilon(name, ds.size());
     const auto base =
-        gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::gpu_calc_global(eps), opt);
-    const auto uni = gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::unicomp(eps), opt);
+        gpu.run(gsj::SelfJoinConfig::gpu_calc_global(eps));
+    const auto uni = gpu.run(gsj::SelfJoinConfig::unicomp(eps));
     const auto lid =
-        gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::lid_unicomp(eps), opt);
+        gpu.run(gsj::SelfJoinConfig::lid_unicomp(eps));
     t.add_row({std::string(name), eps, base.wee, base.seconds, uni.wee,
                uni.seconds, lid.wee, lid.seconds});
   }

@@ -14,11 +14,12 @@ int main(int argc, char** argv) {
   for (const char* name :
        {"Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"}) {
     const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    gsj::bench::GpuRunner gpu(ds, opt);
     const double eps = gsj::bench::table_epsilon(name, ds.size());
     const auto base =
-        gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::gpu_calc_global(eps), opt);
+        gpu.run(gsj::SelfJoinConfig::gpu_calc_global(eps));
     const auto wq =
-        gsj::bench::run_gpu(ds, gsj::SelfJoinConfig::work_queue_cfg(eps, 8), opt);
+        gpu.run(gsj::SelfJoinConfig::work_queue_cfg(eps, 8));
     t.add_row({std::string(name), eps, base.wee, base.seconds, wq.wee,
                wq.seconds});
   }

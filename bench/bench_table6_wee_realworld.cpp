@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   t.set_precision(4);
   for (const char* name : {"SW2DA", "SW2DB", "SW3DA", "SW3DB", "Gaia"}) {
     const gsj::Dataset ds = gsj::bench::load_dataset(name, opt);
+    gsj::bench::GpuRunner gpu(ds, opt);
     const double eps = gsj::bench::table_epsilon(name, ds.size());
     const std::pair<const char*, gsj::SelfJoinConfig> variants[] = {
         {"GPUCALCGLOBAL", gsj::SelfJoinConfig::gpu_calc_global(eps)},
@@ -24,7 +25,7 @@ int main(int argc, char** argv) {
         {"WQ+LID+k8", gsj::SelfJoinConfig::combined(eps)},
     };
     for (const auto& [label, cfg] : variants) {
-      const auto r = gsj::bench::run_gpu(ds, cfg, opt);
+      const auto r = gpu.run(cfg);
       t.add_row({std::string(name), eps, std::string(label), r.wee,
                  r.seconds, static_cast<std::int64_t>(r.batches)});
     }

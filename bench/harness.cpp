@@ -124,22 +124,64 @@ double table_epsilon(const std::string& dataset, std::size_t n) {
   return paper_table_epsilon(dataset) * epsilon_compensation(dataset, n);
 }
 
-RunResult run_gpu(const Dataset& ds, SelfJoinConfig cfg,
-                  const BenchOptions& opt) {
+namespace {
+
+/// Applies the harness's shared device/batching options to a config.
+void apply_options(SelfJoinConfig& cfg, const BenchOptions& opt) {
   cfg.store_pairs = false;
   cfg.device.num_sms = opt.sms;
   cfg.device.host.num_threads = opt.host_threads;
   if (opt.buffer_pairs != 0) cfg.batching.buffer_pairs = opt.buffer_pairs;
-  const Timer wall;
-  const SelfJoinOutput out = self_join(ds, cfg);
+}
+
+RunResult to_run_result(const SelfJoinOutput& out, double wall_seconds) {
   RunResult r;
-  r.wall_seconds = wall.seconds();
+  r.wall_seconds = wall_seconds;
   r.seconds = out.stats.total_seconds;
   r.wee = out.stats.wee_percent();
   r.pairs = out.stats.result_pairs;
   r.batches = out.stats.num_batches;
+  r.host_prep_seconds = out.stats.host_prep_seconds;
   r.retries = out.stats.overflow_retries;
   return r;
+}
+
+/// Cache bounds above any figure sweep (<= ~6 epsilons x 3 patterns),
+/// so benches measure artifact reuse, never eviction churn.
+EngineConfig bench_engine_config(obs::Registry* metrics) {
+  EngineConfig ecfg;
+  ecfg.max_cached_grids = 16;
+  ecfg.max_cached_plans = 48;
+  ecfg.metrics = metrics;
+  return ecfg;
+}
+
+}  // namespace
+
+GpuRunner::GpuRunner(const Dataset& ds, const BenchOptions& opt)
+    : opt_(opt),
+      engine_(bench_engine_config(&engine_metrics_)),
+      prep_(engine_.prepare(ds)) {}
+
+RunResult GpuRunner::run(SelfJoinConfig cfg) {
+  apply_options(cfg, opt_);
+  const Timer wall;
+  SelfJoinOutput out = engine_.run(prep_, cfg);
+  RunResult r = to_run_result(out, wall.seconds());
+  engine_.recycle(std::move(out));
+  return r;
+}
+
+std::uint64_t GpuRunner::cache_hits() {
+  return engine_metrics_.counter("sj.cache.hits").value();
+}
+
+RunResult run_gpu(const Dataset& ds, SelfJoinConfig cfg,
+                  const BenchOptions& opt) {
+  apply_options(cfg, opt);
+  const Timer wall;
+  const SelfJoinOutput out = self_join(ds, cfg);
+  return to_run_result(out, wall.seconds());
 }
 
 RunResult run_superego(const Dataset& ds, double eps,

@@ -21,6 +21,8 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "data/dataset.hpp"
+#include "obs/metrics.hpp"
+#include "sj/engine.hpp"
 #include "sj/selfjoin.hpp"
 #include "superego/super_ego.hpp"
 
@@ -81,10 +83,41 @@ struct RunResult {
   std::uint64_t pairs = 0;
   std::size_t batches = 0;
   double wall_seconds = 0.0;  ///< host wall time of the whole self_join
+  double host_prep_seconds = 0.0;  ///< grid build / sorting / planning wall
   /// Overflow-recovery launches (0 on the honest-estimator hot path).
   std::uint64_t retries = 0;
 };
 
+/// Engine-backed per-dataset runner: every figure/table bench sweeps
+/// many (epsilon, variant) cells over one dataset, so the runner keeps
+/// one JoinEngine + PreparedDataset alive for the dataset's lifetime —
+/// grids, workloads and estimates are built once per key instead of
+/// once per cell, and the modeled numbers are bit-identical to the
+/// one-shot path (the plan cache only removes redundant host work).
+/// The engine's cache bounds are sized above any figure sweep, so
+/// benches measure reuse, never eviction.
+class GpuRunner {
+ public:
+  GpuRunner(const Dataset& ds, const BenchOptions& opt);
+
+  /// Runs one (epsilon, variant) cell through the shared engine,
+  /// applying the harness device/batching options to `cfg`.
+  [[nodiscard]] RunResult run(SelfJoinConfig cfg);
+
+  /// Engine-level cache hits accumulated so far (sj.cache.hits).
+  /// (Non-const: the registry's name lookup registers on first use.)
+  [[nodiscard]] std::uint64_t cache_hits();
+
+ private:
+  BenchOptions opt_;
+  obs::Registry engine_metrics_;
+  JoinEngine engine_;
+  PreparedDataset prep_;
+};
+
+/// One-shot runner: pays the full host prep per call. Kept for A/B
+/// comparison against GpuRunner (BENCH_4.json) and for callers running
+/// a single cell per dataset.
 [[nodiscard]] RunResult run_gpu(const Dataset& ds, SelfJoinConfig cfg,
                               const BenchOptions& opt);
 [[nodiscard]] RunResult run_superego(const Dataset& ds, double eps,

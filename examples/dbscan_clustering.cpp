@@ -1,7 +1,9 @@
 // DBSCAN clustering on top of the optimized self-join — the paper's
 // motivating application. Generates a hotspot dataset (clusters over
-// background noise), clusters it, and reports cluster statistics plus
-// how the join's load-balance optimizations behaved.
+// background noise), runs a small epsilon parameter search through one
+// JoinEngine (so every candidate reuses the cached grid artifacts where
+// possible), clusters at the requested epsilon, and reports cluster
+// statistics plus how the join's load-balance optimizations behaved.
 //
 //   ./dbscan_clustering [--n 30000] [--epsilon 1.0] [--minpts 8]
 #include <algorithm>
@@ -11,6 +13,7 @@
 #include "common/cli.hpp"
 #include "data/generators.hpp"
 #include "sj/dbscan.hpp"
+#include "sj/engine.hpp"
 
 int main(int argc, char** argv) {
   gsj::Cli cli(argc, argv);
@@ -30,10 +33,24 @@ int main(int argc, char** argv) {
   const gsj::Dataset ds = gsj::gen_sw_like(n, /*with_tec=*/false, 7);
   std::cout << "dataset: " << ds.describe() << "\n";
 
+  // One engine serves the whole parameter search; each epsilon builds
+  // its grid once and the final clustering run below reuses it.
+  gsj::JoinEngine engine;
+  gsj::PreparedDataset prep = engine.prepare(ds);
+
   gsj::DbscanConfig cfg;
-  cfg.epsilon = eps;
   cfg.min_pts = minpts;
-  const gsj::DbscanResult res = gsj::dbscan(ds, cfg);
+  std::cout << "parameter search (minPts " << minpts << "):\n";
+  for (const double factor : {0.5, 1.0, 2.0}) {
+    cfg.epsilon = eps * factor;
+    const gsj::DbscanResult probe = gsj::dbscan(engine, prep, cfg);
+    std::cout << "  epsilon " << cfg.epsilon << ": " << probe.num_clusters
+              << " clusters, " << probe.num_noise << " noise\n";
+  }
+  std::cout << "\n";
+
+  cfg.epsilon = eps;
+  const gsj::DbscanResult res = gsj::dbscan(engine, prep, cfg);
 
   std::cout << "clusters: " << res.num_clusters << ", core points "
             << res.num_core << ", noise " << res.num_noise << " ("

@@ -16,8 +16,8 @@
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "data/dataset.hpp"
+#include "sj/engine.hpp"
 #include "sj/neighbor_table.hpp"
-#include "sj/selfjoin.hpp"
 
 int main(int argc, char** argv) {
   gsj::Cli cli(argc, argv);
@@ -53,9 +53,14 @@ int main(int argc, char** argv) {
     ds.push_back(p);
   }
 
+  // The corpus is fixed after generation, so run the join through an
+  // engine: a real deduplication service would answer repeated queries
+  // (new epsilons, refreshed variants) over the same prepared corpus.
+  gsj::JoinEngine engine;
+  gsj::PreparedDataset prep = engine.prepare(ds);
   gsj::SelfJoinConfig cfg = gsj::SelfJoinConfig::combined(eps);
   cfg.store_pairs = true;
-  const gsj::SelfJoinOutput out = gsj::self_join(ds, cfg);
+  const gsj::SelfJoinOutput out = engine.run(prep, cfg);
   const gsj::NeighborTable nt(out.results, n);
 
   // A detected duplicate pair is any (a, b), a != b, within epsilon.

@@ -8,7 +8,7 @@
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "data/generators.hpp"
-#include "sj/selfjoin.hpp"
+#include "sj/engine.hpp"
 #include "superego/super_ego.hpp"
 
 int main(int argc, char** argv) {
@@ -28,13 +28,18 @@ int main(int argc, char** argv) {
   const gsj::Dataset ds = gsj::gen_exponential(n, dims, seed);
   std::cout << "dataset: " << ds.describe() << "\n\n";
 
+  // Both variants run at the same epsilon, so one engine builds the
+  // grid once and the second run reuses it from the plan cache.
+  gsj::JoinEngine engine;
+  gsj::PreparedDataset prep = engine.prepare(ds);
+
   // 1. Baseline GPU kernel of [18]: one thread per point, full pattern.
-  const auto base = gsj::self_join(ds, gsj::SelfJoinConfig::gpu_calc_global(eps));
+  const auto base = engine.run(prep, gsj::SelfJoinConfig::gpu_calc_global(eps));
 
   // 2. This paper's combination: WORKQUEUE + LID-UNICOMP + k=8.
   gsj::SelfJoinConfig cfg = gsj::SelfJoinConfig::combined(eps);
   cfg.store_pairs = true;  // keep pairs to show neighbor statistics
-  const auto opt = gsj::self_join(ds, cfg);
+  const auto opt = engine.run(prep, cfg);
 
   // 3. CPU comparator.
   gsj::SuperEgoConfig ecfg;

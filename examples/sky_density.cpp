@@ -10,8 +10,8 @@
 #include "common/stats.hpp"
 #include "data/generators.hpp"
 #include "grid/grid_index.hpp"
+#include "sj/engine.hpp"
 #include "sj/neighbor_table.hpp"
-#include "sj/selfjoin.hpp"
 
 int main(int argc, char** argv) {
   gsj::Cli cli(argc, argv);
@@ -27,9 +27,13 @@ int main(int argc, char** argv) {
   const gsj::Dataset sky = gsj::gen_gaia_like(n, 42);
   std::cout << "catalog: " << sky.describe() << "\n";
 
+  // A catalog service answers many density queries over one loaded
+  // catalog, so hold it in an engine-prepared form.
+  gsj::JoinEngine engine;
+  gsj::PreparedDataset prep = engine.prepare(sky);
   gsj::SelfJoinConfig cfg = gsj::SelfJoinConfig::combined(eps);
   cfg.store_pairs = true;
-  const gsj::SelfJoinOutput out = gsj::self_join(sky, cfg);
+  const gsj::SelfJoinOutput out = engine.run(prep, cfg);
   const gsj::NeighborTable nt(out.results, n);
 
   std::vector<double> density(n);

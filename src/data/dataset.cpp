@@ -22,6 +22,7 @@ void Dataset::push_back(std::span<const double> p) {
     coords_[static_cast<std::size_t>(d)].push_back(p[static_cast<std::size_t>(d)]);
   }
   ++n_;
+  ++generation_;
 }
 
 void Dataset::reserve(std::size_t n) {

@@ -35,7 +35,17 @@ class Dataset {
     return coords_[static_cast<std::size_t>(d)][i];
   }
   double& coord(std::size_t i, int d) noexcept {
+    ++generation_;  // handing out a mutable reference may change content
     return coords_[static_cast<std::size_t>(d)][i];
+  }
+
+  /// Mutation counter: bumped by every operation that can change the
+  /// dataset's content (push_back, non-const coord access). Cached
+  /// derived structures — grid indexes, workload tables — record the
+  /// generation they were built at and treat a mismatch as stale
+  /// (sj/engine.hpp).
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
   }
 
   /// Whole coordinate column for dimension `d`.
@@ -74,6 +84,7 @@ class Dataset {
  private:
   int dims_ = 0;
   std::size_t n_ = 0;
+  std::uint64_t generation_ = 0;
   std::vector<std::vector<double>> coords_;  // [dim][point]
 };
 

@@ -1,6 +1,7 @@
 #include "grid/grid_index.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
 
@@ -91,6 +92,21 @@ GridIndex::GridIndex(const Dataset& ds, double epsilon, ThreadPool* pool)
     cells_.back().end = static_cast<std::uint32_t>(pos + 1);
     point_cell_[p] = static_cast<std::uint32_t>(cells_.size() - 1);
   }
+
+  // Content digest (FNV-1a over the build inputs and grid shape).
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h = (h ^ v) * 1099511628211ull;
+  };
+  mix(std::bit_cast<std::uint64_t>(epsilon));
+  mix(static_cast<std::uint64_t>(npts));
+  mix(static_cast<std::uint64_t>(n));
+  mix(ds.generation());
+  mix(static_cast<std::uint64_t>(cells_.size()));
+  for (int d = 0; d < n; ++d) {
+    mix(static_cast<std::uint64_t>(cells_per_dim_[static_cast<std::size_t>(d)]));
+  }
+  content_key_ = h;
 }
 
 std::span<const PointId> GridIndex::cell_points(std::size_t cell_idx) const {

@@ -63,6 +63,17 @@ class GridIndex {
   [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
   [[nodiscard]] int dims() const noexcept { return ds_->dims(); }
 
+  /// Cheap content digest of the built index: an FNV-1a fold of the
+  /// build inputs (epsilon bits, point count, dims, the dataset
+  /// generation at build time) and shape outputs (non-empty cell count,
+  /// cells per dimension). Two indexes over identical content produce
+  /// equal keys; a key mismatch proves the cached index is stale. Used
+  /// by the JoinEngine plan cache (sj/engine.hpp) to validate hits —
+  /// computed once at build, O(1) to read.
+  [[nodiscard]] std::uint64_t content_key() const noexcept {
+    return content_key_;
+  }
+
   /// Number of cells along dimension `d`.
   [[nodiscard]] std::int32_t cells_per_dim(int d) const noexcept {
     return cells_per_dim_[static_cast<std::size_t>(d)];
@@ -140,6 +151,7 @@ class GridIndex {
  private:
   const Dataset* ds_;
   double epsilon_;
+  std::uint64_t content_key_ = 0;
   std::array<double, kMaxDims> min_{};
   std::array<std::int32_t, kMaxDims> cells_per_dim_{};
   std::array<std::uint64_t, kMaxDims> stride_{};

@@ -26,6 +26,7 @@
 #include "simt/launch.hpp"
 #include "sj/batching.hpp"
 #include "sj/dbscan.hpp"
+#include "sj/engine.hpp"
 #include "sj/kernels.hpp"
 #include "sj/neighbor_table.hpp"
 #include "sj/reference.hpp"

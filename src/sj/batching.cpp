@@ -45,7 +45,8 @@ std::size_t batch_count(std::uint64_t estimated, const BatchingConfig& cfg,
   return std::min(wanted, n);
 }
 
-/// Strided 1% sample extrapolated to the full result size (§II-C2).
+}  // namespace
+
 std::uint64_t estimate_strided_total(const GridIndex& grid,
                                      const BatchingConfig& cfg) {
   const std::size_t n = grid.dataset().size();
@@ -65,18 +66,51 @@ std::uint64_t estimate_strided_total(const GridIndex& grid,
                 cfg);
 }
 
-}  // namespace
+std::uint64_t estimate_queue_total(const GridIndex& grid,
+                                   const BatchingConfig& cfg,
+                                   std::span<const PointId> queue_order) {
+  const std::size_t n = grid.dataset().size();
+  GSJ_CHECK(queue_order.size() == n);
+  // First 1% of D' — the heaviest-workload points — extrapolated to the
+  // whole dataset; the paper's deliberate over-estimate (§III-D).
+  //
+  // Deviation from the paper: points with the largest *workload*
+  // (candidate count) do not always have the largest *result* count —
+  // a small cell adjacent to a very dense cell scans many candidates
+  // but keeps few — so the first-1% estimate can in fact undershoot on
+  // heavily skewed data. We take the max of the first-1% and the
+  // strided estimate, preserving the paper's "at least as many batches"
+  // behaviour while staying safe (see DESIGN.md §2).
+  const auto sample_n = static_cast<std::size_t>(
+      std::max(1.0, std::floor(static_cast<double>(n) * cfg.sample_fraction)));
+  const auto counts = neighbor_counts(grid, queue_order.subspan(0, sample_n));
+  std::uint64_t sample_sum = 0;
+  for (auto c : counts) sample_sum += c;
+  const auto first_pct_estimate =
+      skewed(static_cast<std::uint64_t>(static_cast<double>(sample_sum) /
+                                        static_cast<double>(sample_n) *
+                                        static_cast<double>(n)),
+             cfg);
+  return std::max(first_pct_estimate, estimate_strided_total(grid, cfg));
+}
 
 BatchPlan plan_strided(const GridIndex& grid, const BatchingConfig& cfg,
                        bool sort_batches_by_workload, CellPattern pattern,
-                       obs::Tracer* tracer, ThreadPool* pool) {
+                       obs::Tracer* tracer, ThreadPool* pool,
+                       std::span<const std::uint64_t> workloads,
+                       std::optional<std::uint64_t> precomputed_estimate) {
   const std::size_t n = grid.dataset().size();
   GSJ_CHECK(n > 0);
   cfg.validate();
   BatchPlan plan;
   {
+    // The span opens on the cached path too: downstream logical traces
+    // must be byte-identical whether the estimate was sampled here or
+    // fetched from the engine cache.
     const auto sp = obs::span(tracer, "estimation_sample");
-    plan.estimated_total_pairs = estimate_strided_total(grid, cfg);
+    plan.estimated_total_pairs = precomputed_estimate.has_value()
+                                     ? *precomputed_estimate
+                                     : estimate_strided_total(grid, cfg);
   }
   plan.num_batches = batch_count(plan.estimated_total_pairs, cfg, n);
   plan.batches.resize(plan.num_batches);
@@ -86,10 +120,15 @@ BatchPlan plan_strided(const GridIndex& grid, const BatchingConfig& cfg,
   }
 
   if (sort_batches_by_workload) {
-    std::vector<std::uint64_t> pw;
+    std::vector<std::uint64_t> pw_storage;
+    std::span<const std::uint64_t> pw = workloads;
     {
       const auto sp = obs::span(tracer, "workload_quantify");
-      pw = point_workloads(grid, pattern, pool);
+      if (pw.empty()) {
+        pw_storage = point_workloads(grid, pattern, pool);
+        pw = pw_storage;
+      }
+      GSJ_CHECK(pw.size() == n);
     }
     const auto sp = obs::span(tracer, "sortbywl_sort");
     const auto sort_batch = [&](std::size_t bi) {
@@ -112,38 +151,21 @@ BatchPlan plan_strided(const GridIndex& grid, const BatchingConfig& cfg,
 BatchPlan plan_queue(const GridIndex& grid, const BatchingConfig& cfg,
                      std::span<const PointId> queue_order,
                      std::span<const std::uint64_t> workloads,
-                     obs::Tracer* tracer) {
+                     obs::Tracer* tracer,
+                     std::optional<std::uint64_t> precomputed_estimate) {
   const std::size_t n = grid.dataset().size();
   GSJ_CHECK(queue_order.size() == n);
   GSJ_CHECK(workloads.size() == n);
   cfg.validate();
   BatchPlan plan;
-  auto estimation_span = obs::span(tracer, "estimation_sample");
-
-  // First 1% of D' — the heaviest-workload points — extrapolated to the
-  // whole dataset; the paper's deliberate over-estimate (§III-D).
-  //
-  // Deviation from the paper: points with the largest *workload*
-  // (candidate count) do not always have the largest *result* count —
-  // a small cell adjacent to a very dense cell scans many candidates
-  // but keeps few — so the first-1% estimate can in fact undershoot on
-  // heavily skewed data. We take the max of the first-1% and the
-  // strided estimate, preserving the paper's "at least as many batches"
-  // behaviour while staying safe (see DESIGN.md §2).
-  const auto sample_n = static_cast<std::size_t>(
-      std::max(1.0, std::floor(static_cast<double>(n) * cfg.sample_fraction)));
-  const auto counts =
-      neighbor_counts(grid, queue_order.subspan(0, sample_n));
-  std::uint64_t sample_sum = 0;
-  for (auto c : counts) sample_sum += c;
-  const auto first_pct_estimate =
-      skewed(static_cast<std::uint64_t>(static_cast<double>(sample_sum) /
-                                        static_cast<double>(sample_n) *
-                                        static_cast<double>(n)),
-             cfg);
-  plan.estimated_total_pairs =
-      std::max(first_pct_estimate, estimate_strided_total(grid, cfg));
-  estimation_span.finish();
+  {
+    // Opens even when the estimate is precomputed — see plan_strided.
+    const auto sp = obs::span(tracer, "estimation_sample");
+    plan.estimated_total_pairs =
+        precomputed_estimate.has_value()
+            ? *precomputed_estimate
+            : estimate_queue_total(grid, cfg, queue_order);
+  }
 
   if (!cfg.enabled) {
     plan.queue_ranges.emplace_back(0, n);

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -95,6 +96,22 @@ struct BatchPlan {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> queue_ranges;
 };
 
+/// Strided 1% sample extrapolated to the full result size (§II-C2),
+/// with the fault-injection skew applied. Deterministic for a fixed
+/// (grid, sample_fraction, inject_estimator_skew) — the JoinEngine
+/// caches it under exactly that key so re-planning a cached dataset
+/// skips the sampling join.
+[[nodiscard]] std::uint64_t estimate_strided_total(const GridIndex& grid,
+                                                   const BatchingConfig& cfg);
+
+/// The WORKQUEUE estimate: the first `sample_fraction` of D' (the
+/// heaviest points) extrapolated to the whole dataset, combined with
+/// the strided estimate by max (see plan_queue's deviation note).
+/// Skew applied; deterministic and cacheable like the strided one.
+[[nodiscard]] std::uint64_t estimate_queue_total(
+    const GridIndex& grid, const BatchingConfig& cfg,
+    std::span<const PointId> queue_order);
+
 /// Plans strided batches over natural point order. When
 /// `sort_batches_by_workload`, each batch list is ordered by
 /// non-increasing workload under `pattern` (SORTBYWL). An optional
@@ -102,12 +119,18 @@ struct BatchPlan {
 /// sort phases as host spans. A non-null `pool` parallelizes workload
 /// quantification and the per-batch SORTBYWL sorts (deterministic —
 /// same plan with or without it).
-[[nodiscard]] BatchPlan plan_strided(const GridIndex& grid,
-                                     const BatchingConfig& cfg,
-                                     bool sort_batches_by_workload,
-                                     CellPattern pattern,
-                                     obs::Tracer* tracer = nullptr,
-                                     ThreadPool* pool = nullptr);
+///
+/// Cached-artifact fast path (JoinEngine): a non-empty `workloads`
+/// span (size n, from point_workloads under `pattern`) skips the
+/// quantification, and an engaged `precomputed_estimate` (a prior
+/// estimate_strided_total value) skips the sampling join. The emitted
+/// trace spans and the resulting plan are identical either way.
+[[nodiscard]] BatchPlan plan_strided(
+    const GridIndex& grid, const BatchingConfig& cfg,
+    bool sort_batches_by_workload, CellPattern pattern,
+    obs::Tracer* tracer = nullptr, ThreadPool* pool = nullptr,
+    std::span<const std::uint64_t> workloads = {},
+    std::optional<std::uint64_t> precomputed_estimate = std::nullopt);
 
 /// Plans contiguous chunks over `queue_order` (D', workload-sorted).
 /// `workloads` are the per-point candidate counts (point_workloads);
@@ -116,11 +139,13 @@ struct BatchPlan {
 /// guarantee (this realizes the paper's future-work item of dynamically
 /// grouping query batches by result size). Chunks are additionally cut
 /// by the statistical estimate so sizes stay near the paper's scheme.
-[[nodiscard]] BatchPlan plan_queue(const GridIndex& grid,
-                                   const BatchingConfig& cfg,
-                                   std::span<const PointId> queue_order,
-                                   std::span<const std::uint64_t> workloads,
-                                   obs::Tracer* tracer = nullptr);
+/// An engaged `precomputed_estimate` (a prior estimate_queue_total
+/// value) skips the sampling joins; plan and spans are identical.
+[[nodiscard]] BatchPlan plan_queue(
+    const GridIndex& grid, const BatchingConfig& cfg,
+    std::span<const PointId> queue_order,
+    std::span<const std::uint64_t> workloads, obs::Tracer* tracer = nullptr,
+    std::optional<std::uint64_t> precomputed_estimate = std::nullopt);
 
 /// Completion time of the batched pipeline: kernels serialize on the
 /// device; each batch's result transfer serializes on the PCIe engine

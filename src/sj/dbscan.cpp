@@ -6,14 +6,21 @@
 
 namespace gsj {
 
-DbscanResult dbscan(const Dataset& ds, const DbscanConfig& cfg) {
-  GSJ_CHECK_MSG(cfg.min_pts >= 1, "min_pts must be >= 1");
+namespace {
 
+/// The join configuration the neighborhood phase runs.
+SelfJoinConfig neighborhood_join(const DbscanConfig& cfg) {
+  GSJ_CHECK_MSG(cfg.min_pts >= 1, "min_pts must be >= 1");
   SelfJoinConfig join = cfg.join;
   join.epsilon = cfg.epsilon;
   join.store_pairs = true;
-  const SelfJoinOutput out = self_join(ds, join);
+  return join;
+}
 
+/// Cluster-expansion phase shared by both overloads: core detection
+/// from the neighbor table plus BFS over core points.
+DbscanResult cluster(const Dataset& ds, const SelfJoinOutput& out,
+                     const DbscanConfig& cfg) {
   const std::size_t n = ds.size();
   const NeighborTable nt(out.results, n);
 
@@ -50,6 +57,21 @@ DbscanResult dbscan(const Dataset& ds, const DbscanConfig& cfg) {
   for (PointId p = 0; p < n; ++p) {
     res.num_noise += res.labels[p] == DbscanResult::kNoise;
   }
+  return res;
+}
+
+}  // namespace
+
+DbscanResult dbscan(const Dataset& ds, const DbscanConfig& cfg) {
+  const SelfJoinOutput out = self_join(ds, neighborhood_join(cfg));
+  return cluster(ds, out, cfg);
+}
+
+DbscanResult dbscan(JoinEngine& engine, PreparedDataset& prep,
+                    const DbscanConfig& cfg) {
+  SelfJoinOutput out = engine.run(prep, neighborhood_join(cfg));
+  DbscanResult res = cluster(prep.dataset(), out, cfg);
+  engine.recycle(std::move(out));
   return res;
 }
 

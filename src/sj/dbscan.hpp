@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "sj/engine.hpp"
 #include "sj/neighbor_table.hpp"
 #include "sj/selfjoin.hpp"
 
@@ -37,5 +38,12 @@ struct DbscanResult {
 /// Runs DBSCAN over `ds` using the simulated-GPU self-join for the
 /// neighborhood phase and a host-side BFS for cluster expansion.
 [[nodiscard]] DbscanResult dbscan(const Dataset& ds, const DbscanConfig& cfg);
+
+/// Engine-backed overload: the neighborhood join runs through `engine`
+/// against `prep`, so epsilon sweeps (e.g. a DBSCAN parameter search)
+/// reuse the cached grid/workload artifacts instead of rebuilding them
+/// per call. Results are bit-identical to the one-shot overload.
+[[nodiscard]] DbscanResult dbscan(JoinEngine& engine, PreparedDataset& prep,
+                                  const DbscanConfig& cfg);
 
 }  // namespace gsj

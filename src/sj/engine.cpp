@@ -1,0 +1,281 @@
+#include "sj/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <optional>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "grid/workload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sj/execute.hpp"
+
+namespace gsj {
+
+JoinEngine::JoinEngine(EngineConfig cfg)
+    : cfg_(cfg), scratch_(std::make_unique<detail::ScratchArena>()) {}
+
+JoinEngine::~JoinEngine() = default;
+
+PreparedDataset JoinEngine::prepare(const Dataset& ds) {
+  // Admission is deliberately lazy — caches fill on first use — so
+  // prepare() performs no validation beyond what run() will do; the
+  // one-shot wrapper must keep the monolith's exact error behaviour.
+  const auto sp = obs::span(cfg_.tracer, "prepare");
+  return PreparedDataset(ds);
+}
+
+ThreadPool* JoinEngine::pool(int num_threads) {
+  GSJ_CHECK_MSG(num_threads > 0, "pool requires num_threads > 0");
+  auto& slot = pools_[num_threads];
+  if (slot == nullptr) {
+    slot = std::make_unique<ThreadPool>(static_cast<std::size_t>(num_threads));
+  }
+  return slot.get();
+}
+
+void JoinEngine::recycle(SelfJoinOutput&& out) {
+  scratch_->spare_pairs = out.results.take_storage();
+  out.stats.batches.clear();
+  scratch_->spare_batch_stats = std::move(out.stats.batches);
+  out.stats.slots.clear();
+  scratch_->spare_slots = std::move(out.stats.slots);
+}
+
+void JoinEngine::count_cache(const char* artifact, bool hit) {
+  if (cfg_.metrics == nullptr) return;
+  obs::Registry& m = *cfg_.metrics;
+  m.counter(hit ? "sj.cache.hits" : "sj.cache.misses").add(1);
+  m.counter(std::string("sj.cache.") + artifact + (hit ? ".hits" : ".misses"))
+      .add(1);
+}
+
+void JoinEngine::sync_generation(PreparedDataset& prep) {
+  const std::uint64_t g = prep.ds_->generation();
+  if (g == prep.generation_) return;
+  if (!prep.grids_.empty() || !prep.plans_.empty()) {
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->counter("sj.cache.invalidations").add(1);
+    }
+  }
+  prep.grids_.clear();
+  prep.plans_.clear();
+  prep.generation_ = g;
+}
+
+PreparedDataset::GridEntry& JoinEngine::grid_for(PreparedDataset& prep,
+                                                 double epsilon,
+                                                 ThreadPool* pool, bool* hit) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(epsilon);
+  for (auto& e : prep.grids_) {
+    if (e.eps_bits == bits) {
+      e.last_used = ++prep.tick_;
+      *hit = true;
+      count_cache("grid", true);
+      return e;
+    }
+  }
+  *hit = false;
+  count_cache("grid", false);
+  PreparedDataset::GridEntry entry;
+  entry.eps_bits = bits;
+  entry.grid = std::make_unique<GridIndex>(*prep.ds_, epsilon, pool);
+  entry.last_used = ++prep.tick_;
+  prep.grids_.push_back(std::move(entry));
+  const std::size_t bound = std::max<std::size_t>(1, cfg_.max_cached_grids);
+  if (prep.grids_.size() > bound) {
+    // The just-inserted entry holds the max tick, so the LRU victim is
+    // never it — grids_.back() stays valid across the erase.
+    const auto victim = std::min_element(
+        prep.grids_.begin(), prep.grids_.end(),
+        [](const auto& a, const auto& b) { return a.last_used < b.last_used; });
+    prep.grids_.erase(victim);
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->counter("sj.cache.evictions").add(1);
+    }
+  }
+  return prep.grids_.back();
+}
+
+PreparedDataset::PlanEntry& JoinEngine::plan_entry(PreparedDataset& prep,
+                                                   const GridIndex& grid,
+                                                   CellPattern pattern) {
+  const std::uint64_t key = grid.content_key();
+  for (auto& e : prep.plans_) {
+    if (e.grid_key == key && e.pattern == pattern) {
+      e.last_used = ++prep.tick_;
+      return e;
+    }
+  }
+  PreparedDataset::PlanEntry entry;
+  entry.grid_key = key;
+  entry.pattern = pattern;
+  entry.last_used = ++prep.tick_;
+  prep.plans_.push_back(std::move(entry));
+  const std::size_t bound = std::max<std::size_t>(1, cfg_.max_cached_plans);
+  if (prep.plans_.size() > bound) {
+    const auto victim = std::min_element(
+        prep.plans_.begin(), prep.plans_.end(),
+        [](const auto& a, const auto& b) { return a.last_used < b.last_used; });
+    prep.plans_.erase(victim);
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->counter("sj.cache.evictions").add(1);
+    }
+  }
+  return prep.plans_.back();
+}
+
+SelfJoinOutput JoinEngine::run(PreparedDataset& prep,
+                               const SelfJoinConfig& cfg) {
+  const Dataset& ds = prep.dataset();
+  GSJ_CHECK_MSG(cfg.epsilon > 0.0, "epsilon must be positive");
+  GSJ_CHECK_MSG(!ds.empty(), "empty dataset");
+  GSJ_CHECK_MSG(cfg.k >= 1 && cfg.device.warp_size % cfg.k == 0,
+                "k=" << cfg.k << " must divide warp_size="
+                     << cfg.device.warp_size);
+  cfg.batching.validate();
+  sync_generation(prep);
+
+  SelfJoinOutput out;
+  out.results = ResultSet(cfg.store_pairs);
+  if (cfg.store_pairs) {
+    // Reuse the arena's spare pair buffer (capacity only; no content).
+    out.results.adopt_storage(std::move(scratch_->spare_pairs));
+    scratch_->spare_pairs = {};
+  }
+  Timer host;
+
+  // Host execution pool: when the config asks for worker threads but
+  // supplies no external pool, the engine's cached pool of that size is
+  // attached — same pool across the grid build, planning and every
+  // batch launch, and across run() calls (no per-call spawn/join
+  // churn). `device` is the effective config handed to every launch.
+  simt::DeviceConfig device = cfg.device;
+  if (device.host.num_threads > 0 && device.host.pool == nullptr) {
+    device.host.pool = pool(device.host.num_threads);
+  }
+  ThreadPool* p = device.host.num_threads > 0 ? device.host.pool : nullptr;
+
+  obs::Tracer* tracer = cfg.tracer;
+  if (tracer != nullptr) tracer->set_device_config(device);
+  auto pipeline_span = obs::span(tracer, "self_join");
+
+  // --- plan stage: resolve every artifact from the cache, computing
+  // and caching on miss. The per-run span sequence below is exactly the
+  // monolith's (grid_build; for WQ: workload_quantify, sortbywl_sort,
+  // batch_plan; otherwise batch_plan with nested sub-spans opened by
+  // the planner), so logical traces are byte-identical on hit and miss.
+  bool grid_hit = false;
+  PreparedDataset::GridEntry* ge = nullptr;
+  {
+    const auto sp = obs::span(tracer, "grid_build");
+    ge = &grid_for(prep, cfg.epsilon, p, &grid_hit);
+  }
+  const GridIndex& grid = *ge->grid;
+  // Engine-channel span marking a cache-served plan stage.
+  auto reuse_span =
+      obs::span(grid_hit ? cfg_.tracer : nullptr, "plan_reuse");
+
+  const std::pair<std::uint64_t, std::uint64_t> est_key{
+      std::bit_cast<std::uint64_t>(cfg.batching.sample_fraction),
+      std::bit_cast<std::uint64_t>(cfg.batching.inject_estimator_skew)};
+
+  std::span<const PointId> queue_order;
+  BatchPlan plan;
+  if (cfg.work_queue) {
+    PreparedDataset::PlanEntry& pe = plan_entry(prep, grid, cfg.pattern);
+    {
+      const auto sp = obs::span(tracer, "workload_quantify");
+      if (pe.workloads.empty()) {
+        count_cache("workload", false);
+        pe.workloads = point_workloads(grid, cfg.pattern, p);
+      } else {
+        count_cache("workload", true);
+      }
+    }
+    {
+      const auto sp = obs::span(tracer, "sortbywl_sort");
+      if (pe.queue_order.empty()) {
+        count_cache("order", false);
+        pe.queue_order.resize(ds.size());
+        std::iota(pe.queue_order.begin(), pe.queue_order.end(), PointId{0});
+        parallel_stable_sort(
+            pe.queue_order,
+            [&pw = pe.workloads](PointId a, PointId b) {
+              return pw[a] > pw[b];
+            },
+            p);
+      } else {
+        count_cache("order", true);
+      }
+    }
+    queue_order = pe.queue_order;
+    const auto sp = obs::span(tracer, "batch_plan");
+    std::optional<std::uint64_t> est;
+    if (const auto it = pe.queue_estimates.find(est_key);
+        it != pe.queue_estimates.end()) {
+      count_cache("estimate", true);
+      est = it->second;
+    } else {
+      count_cache("estimate", false);
+    }
+    plan = plan_queue(grid, cfg.batching, queue_order, pe.workloads, tracer,
+                      est);
+    if (!est.has_value()) {
+      pe.queue_estimates.emplace(est_key, plan.estimated_total_pairs);
+    }
+  } else {
+    const auto sp = obs::span(tracer, "batch_plan");
+    std::span<const std::uint64_t> pw;
+    if (cfg.sort_by_workload) {
+      PreparedDataset::PlanEntry& pe = plan_entry(prep, grid, cfg.pattern);
+      if (pe.workloads.empty()) {
+        count_cache("workload", false);
+        pe.workloads = point_workloads(grid, cfg.pattern, p);
+      } else {
+        count_cache("workload", true);
+      }
+      pw = pe.workloads;
+    }
+    std::optional<std::uint64_t> est;
+    if (const auto it = ge->strided_estimates.find(est_key);
+        it != ge->strided_estimates.end()) {
+      count_cache("estimate", true);
+      est = it->second;
+    } else {
+      count_cache("estimate", false);
+    }
+    plan = plan_strided(grid, cfg.batching, cfg.sort_by_workload, cfg.pattern,
+                        tracer, p, pw, est);
+    if (!est.has_value()) {
+      ge->strided_estimates.emplace(est_key, plan.estimated_total_pairs);
+    }
+  }
+  reuse_span.finish();
+
+  out.stats.num_batches = plan.num_batches;
+  out.stats.estimated_total_pairs = plan.estimated_total_pairs;
+  out.stats.host_prep_seconds = host.seconds();
+
+  // --- execute stage (sj/execute.cpp) ---
+  detail::ExecutionInputs in;
+  in.grid = &grid;
+  in.plan = &plan;
+  in.queue_order = queue_order;
+  in.device = device;
+  detail::execute_self_join(cfg, in, *scratch_, out);
+  return out;
+}
+
+SelfJoinOutput JoinEngine::self_join(const Dataset& ds,
+                                     const SelfJoinConfig& cfg) {
+  PreparedDataset prep = prepare(ds);
+  return run(prep, cfg);
+}
+
+}  // namespace gsj

@@ -1,0 +1,208 @@
+// JoinEngine: session-scoped execution layer with plan caching and
+// scratch-buffer reuse.
+//
+// The one-shot self_join(ds, cfg) rebuilds every plan artifact — the
+// epsilon grid, per-point workloads, the workload-sorted order D', the
+// result-size estimate — and re-allocates every working buffer on each
+// call. Parameter sweeps (multi-epsilon, multi-variant — the paper's
+// Tables IV–VI and every figure bench) repeat that host-side work N
+// times even though most artifacts only depend on (dataset, epsilon)
+// or (dataset, epsilon, pattern), not on the variant being measured.
+//
+// JoinEngine factors the join into three stages:
+//
+//   prepare(ds)        -> PreparedDataset   dataset admission
+//   [plan]  (internal)                      cache-served artifact resolution
+//   run(prepared, cfg) -> SelfJoinOutput    batched execution (sj/execute.hpp)
+//
+// PreparedDataset carries a keyed LRU cache of plan artifacts:
+//
+//   GridIndex            keyed by epsilon (bit pattern)
+//   workloads + D' order keyed by (GridIndex::content_key, pattern)
+//   result-size estimate keyed on top by (sample_fraction, skew) bits
+//
+// All entries are invalidated as a unit when the Dataset's generation
+// counter (data/dataset.hpp) no longer matches the one captured at the
+// last sync — mutating the dataset can never serve stale plans. Grid
+// and plan caches are bounded (EngineConfig) with least-recently-used
+// eviction.
+//
+// Correctness bar: a cache-served run is bit-identical to a cold run —
+// same result pairs, same SelfJoinStats, and byte-identical logical
+// traces — for every variant, sequentially and at any host thread
+// count. The per-run observability channel (SelfJoinConfig::tracer /
+// ::metrics) sees the exact same span sequence and counters on a hit
+// as on a miss; the *engine's* own channel (EngineConfig::tracer /
+// ::metrics) carries the cache story: "prepare" / "plan_reuse" spans
+// and the sj.cache.* hit/miss/evict counters.
+//
+// The engine also owns the host ThreadPool(s) — configs that ask for
+// host threads without supplying a pool get a cached, engine-owned one
+// instead of a per-call spawn/join cycle — and a scratch arena whose
+// buffers (result pairs, per-batch stats, slot accounting) persist
+// across run() calls; recycle(std::move(output)) returns a consumed
+// output's allocations to the arena.
+//
+// Thread safety: a JoinEngine and its PreparedDatasets are meant to be
+// used from one thread at a time (the free self_join wrapper keeps one
+// engine per thread). Observability sinks remain internally locked as
+// before.
+//
+// See docs/ENGINE.md for the cache-key derivation, the invalidation
+// rules and measured reuse wins.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sj/selfjoin.hpp"
+
+namespace gsj {
+
+class ThreadPool;
+
+namespace detail {
+struct ScratchArena;  // sj/execute.hpp
+}  // namespace detail
+
+struct EngineConfig {
+  /// Bound on cached GridIndex instances per PreparedDataset (one per
+  /// distinct epsilon); least-recently-used beyond it. Clamped to >= 1.
+  std::size_t max_cached_grids = 4;
+  /// Bound on cached workload/order entries per PreparedDataset (one
+  /// per distinct (grid, pattern)); LRU beyond it. Clamped to >= 1.
+  std::size_t max_cached_plans = 8;
+
+  // --- the engine's own observability channel (optional, non-owning).
+  // Deliberately separate from the per-run SelfJoinConfig sinks so that
+  // cache-dependent events never perturb per-run traces. ---
+  /// Receives "prepare" spans and a "plan_reuse" span per cache-served
+  /// run.
+  obs::Tracer* tracer = nullptr;
+  /// Receives the "sj.cache.*" counters: aggregate hits/misses plus
+  /// per-artifact grid/workload/order/estimate breakdowns, evictions,
+  /// invalidations.
+  obs::Registry* metrics = nullptr;
+};
+
+class JoinEngine;
+
+/// A dataset admitted to an engine, carrying the plan-artifact caches.
+/// Holds a reference to the Dataset — it must outlive this object.
+/// Move-only; create via JoinEngine::prepare.
+class PreparedDataset {
+ public:
+  PreparedDataset(PreparedDataset&&) noexcept = default;
+  PreparedDataset& operator=(PreparedDataset&&) noexcept = default;
+  PreparedDataset(const PreparedDataset&) = delete;
+  PreparedDataset& operator=(const PreparedDataset&) = delete;
+
+  [[nodiscard]] const Dataset& dataset() const noexcept { return *ds_; }
+  /// Dataset generation captured at the last cache sync; a mismatch
+  /// with dataset().generation() means the caches are stale and will be
+  /// dropped on the next run.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+  [[nodiscard]] std::size_t cached_grid_count() const noexcept {
+    return grids_.size();
+  }
+  [[nodiscard]] std::size_t cached_plan_count() const noexcept {
+    return plans_.size();
+  }
+
+ private:
+  friend class JoinEngine;
+  explicit PreparedDataset(const Dataset& ds)
+      : ds_(&ds), generation_(ds.generation()) {}
+
+  /// Estimates keyed by (sample_fraction bits, inject_estimator_skew
+  /// bits) — skew is part of the key so fault-injection runs never
+  /// collide with honest ones.
+  using EstimateMap =
+      std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>;
+
+  struct GridEntry {
+    std::uint64_t eps_bits = 0;
+    std::unique_ptr<GridIndex> grid;
+    /// Strided estimates depend only on the grid (not the pattern), so
+    /// they live here rather than on a PlanEntry.
+    EstimateMap strided_estimates;
+    std::uint64_t last_used = 0;
+  };
+
+  struct PlanEntry {
+    std::uint64_t grid_key = 0;  ///< GridIndex::content_key()
+    CellPattern pattern = CellPattern::Full;
+    std::vector<std::uint64_t> workloads;   ///< point_workloads
+    std::vector<PointId> queue_order;       ///< D'; filled on first WQ use
+    EstimateMap queue_estimates;            ///< first-1% (max strided)
+    std::uint64_t last_used = 0;
+  };
+
+  const Dataset* ds_;
+  std::uint64_t generation_;
+  std::uint64_t tick_ = 0;  ///< LRU clock
+  std::vector<GridEntry> grids_;
+  std::vector<PlanEntry> plans_;
+};
+
+class JoinEngine {
+ public:
+  explicit JoinEngine(EngineConfig cfg = {});
+  ~JoinEngine();
+  JoinEngine(const JoinEngine&) = delete;
+  JoinEngine& operator=(const JoinEngine&) = delete;
+
+  /// Admits a dataset: captures its generation and returns an empty
+  /// cache shell; artifacts are built (and cached) lazily by run().
+  /// The dataset must outlive the returned PreparedDataset.
+  [[nodiscard]] PreparedDataset prepare(const Dataset& ds);
+
+  /// Runs one self-join against the prepared dataset, serving every
+  /// plan artifact from the cache when warm. Identical contract to the
+  /// free self_join (same validation, same OverflowError behaviour) and
+  /// bit-identical output to a cold run.
+  [[nodiscard]] SelfJoinOutput run(PreparedDataset& prep,
+                                   const SelfJoinConfig& cfg);
+
+  /// One-shot convenience: prepare + run on a fresh PreparedDataset.
+  /// No plan caching across calls, but the engine's pools and scratch
+  /// arena are still reused.
+  [[nodiscard]] SelfJoinOutput self_join(const Dataset& ds,
+                                         const SelfJoinConfig& cfg);
+
+  /// Reclaims a consumed output's allocations (pair buffer, batch
+  /// stats, slot vectors) into the scratch arena for the next run.
+  void recycle(SelfJoinOutput&& out);
+
+  /// The engine-owned host pool with `num_threads` workers, created on
+  /// first use and cached for the engine's lifetime (the fix for
+  /// per-call ThreadPool churn). Requires num_threads > 0.
+  [[nodiscard]] ThreadPool* pool(int num_threads);
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
+
+ private:
+  /// Drops every cache when the dataset generation moved.
+  void sync_generation(PreparedDataset& prep);
+  [[nodiscard]] PreparedDataset::GridEntry& grid_for(PreparedDataset& prep,
+                                                     double epsilon,
+                                                     ThreadPool* pool,
+                                                     bool* hit);
+  [[nodiscard]] PreparedDataset::PlanEntry& plan_entry(PreparedDataset& prep,
+                                                       const GridIndex& grid,
+                                                       CellPattern pattern);
+  /// Counts one cache event on the aggregate and per-artifact counters
+  /// (no-op without an engine metrics registry).
+  void count_cache(const char* artifact, bool hit);
+
+  EngineConfig cfg_;
+  std::map<int, std::unique_ptr<ThreadPool>> pools_;
+  std::unique_ptr<detail::ScratchArena> scratch_;
+};
+
+}  // namespace gsj

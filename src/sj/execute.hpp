@@ -1,0 +1,62 @@
+// Execution stage of the self-join pipeline (internal).
+//
+// JoinEngine::run (sj/engine.hpp) splits the former monolithic
+// self_join into three stages: *prepare* (dataset admission), *plan*
+// (grid / workload / batch-plan resolution, cache-served when warm) and
+// *execute* — this file. The execution stage takes a fully resolved
+// plan and drives the batched kernel launches: per-batch capacity
+// windows, overflow rollback + LIFO split recovery, per-warp
+// observability commits, stats finalization and metrics publication.
+//
+// ScratchArena is the engine's reusable working memory: every vector
+// the execution stage needs per run (per-batch timing, warp-cycle
+// collection, slot accounting, buffered warp records) plus spare
+// storage reclaimed by JoinEngine::recycle (the result-pair buffer,
+// batch-stats and slot vectors of a consumed output). Reusing the
+// arena across queries removes the per-call allocation churn of the
+// one-shot path; it never changes observable behaviour — a fresh arena
+// and a warm one produce bit-identical outputs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "simt/launch.hpp"
+#include "sj/selfjoin.hpp"
+
+namespace gsj::detail {
+
+struct ScratchArena {
+  // --- per-run working vectors (cleared, capacity kept) ---
+  std::vector<double> kernel_secs;
+  std::vector<double> xfer_secs;
+  std::vector<std::uint64_t> all_warp_cycles;
+  std::vector<std::uint64_t> slot_finish;
+  std::vector<simt::WarpRecord> launch_records;
+
+  // --- spare storage donated to the next run (JoinEngine::recycle) ---
+  std::vector<ResultPair> spare_pairs;
+  std::vector<BatchStats> spare_batch_stats;
+  std::vector<obs::SlotStats> spare_slots;
+};
+
+/// Everything the execution stage needs, resolved by the plan stage.
+struct ExecutionInputs {
+  const GridIndex* grid = nullptr;
+  /// Consumed: the strided driver moves the batch point lists out.
+  BatchPlan* plan = nullptr;
+  /// D' (workload-sorted order) for the work-queue variants; empty
+  /// otherwise. Must outlive the call.
+  std::span<const PointId> queue_order;
+  /// Effective device config: the host pool is already attached.
+  simt::DeviceConfig device;
+};
+
+/// Runs the batched kernel launches for a planned self-join and fills
+/// `out` (whose ResultSet is already constructed in the right storage
+/// mode; stats.host_prep_seconds / estimated_total_pairs are set by the
+/// caller). Throws OverflowError exactly as the public API documents.
+void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
+                       ScratchArena& arena, SelfJoinOutput& out);
+
+}  // namespace gsj::detail

@@ -137,6 +137,27 @@ class ResultSet {
     store_limit_ = kUnlimited;
   }
 
+  // --- storage recycling (the engine's scratch arena) ---
+
+  /// Donates an empty-but-capacitated buffer for pair storage: the
+  /// vector is cleared and used in place of a fresh allocation, so a
+  /// long-lived JoinEngine can reuse one pair buffer across queries
+  /// instead of reallocating per call. Content (if any) is discarded;
+  /// no observable state changes besides capacity.
+  void adopt_storage(std::vector<ResultPair>&& buffer) noexcept {
+    pairs_ = std::move(buffer);
+    pairs_.clear();
+  }
+
+  /// Releases the pair buffer (capacity included) back to the caller
+  /// and resets the collector — the inverse of adopt_storage, used by
+  /// JoinEngine::recycle to reclaim a consumed output's allocation.
+  [[nodiscard]] std::vector<ResultPair> take_storage() noexcept {
+    std::vector<ResultPair> out = std::move(pairs_);
+    clear();
+    return out;
+  }
+
  private:
   bool store_;
   std::uint64_t count_ = 0;

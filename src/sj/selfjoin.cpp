@@ -1,20 +1,12 @@
+// Public one-shot API. The pipeline itself lives in the staged engine:
+// sj/engine.cpp resolves the plan (grid, workloads, D', estimate,
+// batch plan) and sj/execute.cpp drives the batched launches. This
+// file keeps the named configurations and the free self_join wrapper.
 #include "sj/selfjoin.hpp"
 
-#include <algorithm>
-#include <memory>
-#include <numeric>
 #include <sstream>
 
-#include "common/check.hpp"
-#include "common/error.hpp"
-#include "common/parallel.hpp"
-#include "common/thread_pool.hpp"
-#include "common/timer.hpp"
-#include "grid/workload.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
-#include "simt/counter.hpp"
-#include "simt/launch.hpp"
+#include "sj/engine.hpp"
 
 namespace gsj {
 
@@ -70,318 +62,14 @@ SelfJoinConfig SelfJoinConfig::combined(double eps) {
 }
 
 SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
-  GSJ_CHECK_MSG(cfg.epsilon > 0.0, "epsilon must be positive");
-  GSJ_CHECK_MSG(!ds.empty(), "empty dataset");
-  GSJ_CHECK_MSG(cfg.k >= 1 && cfg.device.warp_size % cfg.k == 0,
-                "k=" << cfg.k << " must divide warp_size="
-                     << cfg.device.warp_size);
-  cfg.batching.validate();
-
-  SelfJoinOutput out;
-  out.results = ResultSet(cfg.store_pairs);
-  Timer host;
-
-  // Host execution pool: when the config asks for worker threads but
-  // supplies no external pool, one is created here and reused across
-  // the grid build, planning, and every batch launch (no per-launch
-  // spawn/join churn). `device` is the effective config handed to every
-  // launch so all batches see the same pool.
-  simt::DeviceConfig device = cfg.device;
-  std::unique_ptr<ThreadPool> owned_pool;
-  if (device.host.num_threads > 0 && device.host.pool == nullptr) {
-    owned_pool = std::make_unique<ThreadPool>(
-        static_cast<std::size_t>(device.host.num_threads));
-    device.host.pool = owned_pool.get();
-  }
-  ThreadPool* pool = device.host.num_threads > 0 ? device.host.pool : nullptr;
-
-  obs::Tracer* tracer = cfg.tracer;
-  if (tracer != nullptr) tracer->set_device_config(device);
-  auto pipeline_span = obs::span(tracer, "self_join");
-
-  std::unique_ptr<GridIndex> grid_holder;
-  {
-    const auto sp = obs::span(tracer, "grid_build");
-    grid_holder = std::make_unique<GridIndex>(ds, cfg.epsilon, pool);
-  }
-  const GridIndex& grid = *grid_holder;
-
-  // Workload-sorted order D' (only materialized when needed).
-  std::vector<PointId> queue_order;
-  BatchPlan plan;
-  if (cfg.work_queue) {
-    std::vector<std::uint64_t> pw;
-    {
-      const auto sp = obs::span(tracer, "workload_quantify");
-      pw = point_workloads(grid, cfg.pattern, pool);
-    }
-    {
-      const auto sp = obs::span(tracer, "sortbywl_sort");
-      queue_order.resize(ds.size());
-      std::iota(queue_order.begin(), queue_order.end(), PointId{0});
-      parallel_stable_sort(
-          queue_order,
-          [&pw](PointId a, PointId b) { return pw[a] > pw[b]; }, pool);
-    }
-    const auto sp = obs::span(tracer, "batch_plan");
-    plan = plan_queue(grid, cfg.batching, queue_order, pw, tracer);
-  } else {
-    const auto sp = obs::span(tracer, "batch_plan");
-    plan = plan_strided(grid, cfg.batching, cfg.sort_by_workload, cfg.pattern,
-                        tracer, pool);
-  }
-  out.stats.num_batches = plan.num_batches;
-  out.stats.estimated_total_pairs = plan.estimated_total_pairs;
-  out.stats.host_prep_seconds = host.seconds();
-  // Pre-size pair storage from the batch estimator so stored-pair joins
-  // don't pay realloc churn while the kernel emits. The estimate is
-  // untrusted — clamped to one buffer's capacity so a wildly high value
-  // cannot bad_alloc before the join starts; growth past it is
-  // amortized by the vector.
-  if (cfg.store_pairs) {
-    out.results.reserve(
-        std::min(plan.estimated_total_pairs, cfg.batching.buffer_pairs));
-  }
-
-  // Per-batch result capacity: the fixed pinned buffer of a real GPU
-  // join. Overflow detection (and its fault-injection override) only
-  // applies while batching is on; a disabled batcher runs one unbounded
-  // batch unless a capacity is injected for testing.
-  const std::uint64_t capacity =
-      cfg.batching.enabled ? cfg.batching.effective_capacity()
-      : cfg.batching.inject_capacity != 0 ? cfg.batching.inject_capacity
-                                          : ResultSet::kUnlimited;
-
-  simt::DeviceCounter counter;
-  std::vector<double> kernel_secs, xfer_secs;
-  kernel_secs.reserve(plan.num_batches);
-  xfer_secs.reserve(plan.num_batches);
-
-  // --- per-warp collection (diagnostics, tracing, metrics) ---
-  const bool collect = cfg.collect_diagnostics || tracer != nullptr ||
-                       cfg.metrics != nullptr;
-  std::vector<std::uint64_t> all_warp_cycles;  // across all batches
-  std::vector<obs::SlotStats> slots(
-      collect ? static_cast<std::size_t>(device.total_slots()) : 0);
-  std::vector<std::uint64_t> slot_finish(slots.size(), 0);  // per launch
-  obs::CycleHistogram* warp_cycle_hist =
-      cfg.metrics != nullptr
-          ? &cfg.metrics->cycle_histogram("sj.warp_cycles")
-          : nullptr;
-  std::uint64_t cycle_offset = 0;  // batches execute back-to-back
-  std::uint32_t batch_index = 0;
-  std::size_t batch_first_warp = 0;  // index into all_warp_cycles
-
-  // Warp records are buffered per launch and committed to the obs
-  // sinks only once the launch is known not to have overflowed — a
-  // rolled-back launch must leave no trace in diagnostics, metrics or
-  // the exported timeline (its cost is accounted in stats.wasted).
-  std::vector<simt::WarpRecord> launch_records;
-  simt::WarpObserver observer;
-  if (collect) {
-    observer = [&launch_records](const simt::WarpRecord& r) {
-      launch_records.push_back(r);
-    };
-  }
-  auto commit_record = [&](const simt::WarpRecord& r) {
-    all_warp_cycles.push_back(r.cycles);
-    auto& s = slots[static_cast<std::size_t>(r.slot)];
-    ++s.warps;
-    s.busy_cycles += r.cycles;
-    auto& fin = slot_finish[static_cast<std::size_t>(r.slot)];
-    fin = std::max(fin, r.start_cycle + r.cycles);
-    if (tracer != nullptr) tracer->record_warp(r, cycle_offset, batch_index);
-    if (warp_cycle_hist != nullptr) warp_cycle_hist->record(r.cycles);
-  };
-
-  // Executes one batch against the fixed-capacity buffer. On overflow
-  // the launch is aborted (block granularity), every side effect rolled
-  // back, and the wasted device time accounted; returns false so the
-  // caller can split and re-plan. `overflow_pairs` reports the count at
-  // detection (a lower bound when the launch aborted early).
-  std::uint64_t overflow_pairs = 0;
-  auto attempt_batch = [&](std::span<const PointId> points,
-                           std::uint64_t queue_len) -> bool {
-    KernelParams params;
-    params.grid = &grid;
-    params.pattern = cfg.pattern;
-    params.assignment =
-        cfg.work_queue ? Assignment::WorkQueue : Assignment::Static;
-    params.k = cfg.k;
-    params.points = points;
-    params.queue = queue_order;
-    params.counter = &counter;
-    params.device = &device;
-    params.results = &out.results;
-
-    const std::uint64_t groups =
-        cfg.work_queue ? queue_len : points.size();
-    const std::uint64_t nthreads = groups * static_cast<std::uint64_t>(cfg.k);
-
-    out.results.begin_batch(capacity);
-    SelfJoinKernel kernel(params);
-    launch_records.clear();
-    simt::LaunchAbort abort_hook;
-    if (capacity != ResultSet::kUnlimited) {
-      abort_hook = [&results = out.results] {
-        return results.batch_overflowed();
-      };
-    }
-    simt::KernelStats ks =
-        simt::launch(device, nthreads, kernel, observer, abort_hook);
-    ks.atomics_executed = kernel.atomics_executed();
-    ks.results_emitted = kernel.results_emitted();
-
-    if (out.results.batch_overflowed()) {
-      // The device time is spent either way; the overflowed buffer is
-      // never transferred. Partial results are discarded bit-exactly.
-      overflow_pairs = out.results.batch_count();
-      out.results.rollback_batch();
-      out.stats.buffer_overflowed = true;
-      ++out.stats.overflow_retries;
-      out.stats.wasted.merge(ks);
-      kernel_secs.push_back(ks.seconds(device));
-      xfer_secs.push_back(0.0);
-      cycle_offset += ks.makespan_cycles;
-      return false;
-    }
-
-    out.stats.kernel.merge(ks);
-    const std::uint64_t batch_pairs = out.results.batch_count();
-    out.stats.max_batch_pairs =
-        std::max(out.stats.max_batch_pairs, batch_pairs);
-    kernel_secs.push_back(ks.seconds(device));
-    xfer_secs.push_back(transfer_seconds(batch_pairs, cfg.batching));
-
-    BatchStats bs;
-    bs.query_points = groups;
-    bs.result_pairs = batch_pairs;
-    bs.warps = ks.warps_launched;
-    bs.makespan_cycles = ks.makespan_cycles;
-    bs.kernel_seconds = kernel_secs.back();
-    bs.transfer_seconds = xfer_secs.back();
-    bs.wee_percent = ks.warp_execution_efficiency(device.warp_size) * 100.0;
-
-    if (collect) {
-      // Commit the buffered records, then close out this launch:
-      // per-slot tail idle against the launch's makespan (slots that
-      // never ran a warp idled for the whole launch — the same
-      // accounting simt::launch uses internally).
-      std::fill(slot_finish.begin(), slot_finish.end(), 0);
-      for (const auto& r : launch_records) commit_record(r);
-      for (std::size_t s = 0; s < slots.size(); ++s) {
-        slots[s].tail_idle_cycles += ks.makespan_cycles - slot_finish[s];
-      }
-      const std::span<const std::uint64_t> batch_cycles{
-          all_warp_cycles.data() + batch_first_warp,
-          all_warp_cycles.size() - batch_first_warp};
-      bs.warp_cycle_cov = obs::analyze_warp_cycles(batch_cycles).cov;
-      batch_first_warp = all_warp_cycles.size();
-    }
-    if (tracer != nullptr) {
-      obs::BatchEvent ev;
-      ev.index = batch_index;
-      ev.start_cycle = cycle_offset;
-      ev.makespan_cycles = ks.makespan_cycles;
-      ev.warps = ks.warps_launched;
-      ev.result_pairs = batch_pairs;
-      ev.wee_percent = bs.wee_percent;
-      tracer->record_batch(ev);
-    }
-    cycle_offset += ks.makespan_cycles;
-    ++batch_index;
-    out.stats.batches.push_back(bs);
-    return true;
-  };
-
-  // Gate shared by both drivers: a failed batch is recoverable while it
-  // is still divisible and the retry budget holds; otherwise the join
-  // surfaces the structured, caller-actionable error.
-  auto check_recoverable = [&](std::uint64_t batch_points) {
-    if (batch_points <= 1 ||
-        out.stats.overflow_retries > cfg.batching.max_overflow_retries) {
-      throw OverflowError(capacity, overflow_pairs, batch_points,
-                          out.stats.overflow_retries);
-    }
-  };
-
-  if (cfg.work_queue) {
-    // LIFO stack of [begin, end) chunks over D'; a failed chunk is
-    // halved and both halves re-executed (first half next, preserving
-    // the workload-sorted consumption order).
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> work(
-        plan.queue_ranges.rbegin(), plan.queue_ranges.rend());
-    while (!work.empty()) {
-      const auto [begin, end] = work.back();
-      work.pop_back();
-      if (begin == end) continue;
-      counter.reset(begin);
-      if (attempt_batch({}, end - begin)) continue;
-      const auto sp = obs::span(tracer, "overflow_retry");
-      check_recoverable(end - begin);
-      const std::uint64_t mid = begin + (end - begin) / 2;
-      work.emplace_back(mid, end);
-      work.emplace_back(begin, mid);
-    }
-  } else {
-    // LIFO stack over the planned batch lists; a failed batch is split
-    // in half (halves keep their SORTBYWL order — a contiguous slice of
-    // a sorted list stays sorted).
-    std::vector<std::vector<PointId>> work(plan.batches.rbegin(),
-                                           plan.batches.rend());
-    while (!work.empty()) {
-      std::vector<PointId> batch = std::move(work.back());
-      work.pop_back();
-      if (batch.empty()) continue;
-      if (attempt_batch(batch, 0)) continue;
-      const auto sp = obs::span(tracer, "overflow_retry");
-      check_recoverable(batch.size());
-      const std::size_t mid = batch.size() / 2;
-      work.emplace_back(batch.begin() + static_cast<std::ptrdiff_t>(mid),
-                        batch.end());
-      batch.resize(mid);
-      work.push_back(std::move(batch));
-    }
-  }
-  // Recovery may have executed more (smaller) batches than planned.
-  out.stats.num_batches = out.stats.batches.size();
-  // Close the batch window so the returned ResultSet is unclamped.
-  out.results.begin_batch(ResultSet::kUnlimited);
-
-  out.stats.result_pairs = out.results.count();
-  out.stats.kernel_seconds = 0.0;
-  for (double s : kernel_secs) out.stats.kernel_seconds += s;
-  out.stats.total_seconds =
-      pipeline_seconds(kernel_secs, xfer_secs, cfg.batching.nstreams);
-
-  if (collect) {
-    out.stats.warp_imbalance = obs::analyze_warp_cycles(all_warp_cycles);
-    out.stats.slots = std::move(slots);
-  }
-  if (cfg.metrics != nullptr) {
-    obs::Registry& m = *cfg.metrics;
-    m.counter("sj.batches").add(out.stats.num_batches);
-    m.counter("sj.result_pairs").add(out.stats.result_pairs);
-    m.counter("sj.warps_launched").add(out.stats.kernel.warps_launched);
-    m.counter("sj.warp_steps").add(out.stats.kernel.warp_steps);
-    m.counter("sj.active_lane_steps").add(out.stats.kernel.active_lane_steps);
-    m.counter("sj.atomics").add(out.stats.kernel.atomics_executed);
-    m.counter("sj.overflow_retries").add(out.stats.overflow_retries);
-    m.counter("sj.aborted_launches").add(out.stats.wasted.aborted_launches);
-    m.counter("sj.wasted_pairs").add(out.stats.wasted.results_emitted);
-    m.counter("sj.wasted_cycles").add(out.stats.wasted.busy_cycles);
-    m.gauge("sj.wee_percent").set(out.stats.wee_percent());
-    m.gauge("sj.warp_cycle_cov").set(out.stats.warp_cycle_cov());
-    m.gauge("sj.warp_cycle_gini").set(out.stats.warp_cycle_gini());
-    m.gauge("sj.estimated_total_pairs")
-        .set(static_cast<double>(out.stats.estimated_total_pairs));
-    m.gauge("sj.kernel_seconds").set(out.stats.kernel_seconds);
-    m.gauge("sj.total_seconds").set(out.stats.total_seconds);
-    m.gauge("sj.host_prep_seconds").set(out.stats.host_prep_seconds);
-  }
-
-  if (cfg.store_pairs) out.results.canonicalize();
-  return out;
+  // One engine per thread: configs that ask for host threads without
+  // supplying a pool reuse the engine's cached pools instead of paying
+  // a ThreadPool spawn/join per call, and the scratch arena persists.
+  // Each call still gets a fresh PreparedDataset, so one-shot behaviour
+  // (no plan caching across calls, no dataset lifetime entanglement) is
+  // unchanged.
+  thread_local JoinEngine engine;
+  return engine.self_join(ds, cfg);
 }
 
 }  // namespace gsj

@@ -7,25 +7,36 @@
 //   sjtool dbscan   --input data.bin --epsilon 0.05 --minpts 8
 //   sjtool profile  --input data.bin --epsilon 0.02 --variant combined
 //                   [--out DIR] [--logical-time]   (trace.json + metrics.json)
+//   sjtool sweep    --input data.bin --epsilons 0.01,0.02,0.04
+//                   [--variants combined,workqueue] [--out sweep.json]
+//                   [--per-call-baseline]
+//                   (multi-epsilon x multi-variant grid through ONE
+//                   JoinEngine: grids/workloads/estimates are cached
+//                   across cells; the JSON reports per-run host_prep vs
+//                   kernel seconds and the engine's sj.cache.* counters)
 //
 // Variants: gpucalcglobal | unicomp | lidunicomp | sortbywl | workqueue
-//           | combined | superego
+//           | combined | superego (superego: join/profile only)
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "common/timer.hpp"
 #include "data/generators.hpp"
 #include "data/io.hpp"
 #include "obs/diagnostics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sj/dbscan.hpp"
+#include "sj/engine.hpp"
 #include "sj/selfjoin.hpp"
 #include "superego/super_ego.hpp"
 
@@ -33,7 +44,7 @@ namespace {
 
 int usage() {
   std::cout <<
-      "usage: sjtool <generate|info|join|dbscan|profile> [--flags]\n"
+      "usage: sjtool <generate|info|join|dbscan|profile|sweep> [--flags]\n"
       "  generate --dataset <Table-I name> [--n N] [--seed S] --out F\n"
       "  info     --input F\n"
       "  join     --input F --epsilon E [--variant V] [--k K]\n"
@@ -43,12 +54,21 @@ int usage() {
       "  profile  (--input F | --dataset <name> [--n N] [--seed S])\n"
       "           --epsilon E [--variant V] [--k K] [--sms N]\n"
       "           [--host-threads T] [--out DIR] [--logical-time]\n"
-      "--host-threads runs the simulator on T host worker threads\n"
-      "(0 = sequential; results and traces are identical either way)\n"
       "           writes DIR/trace.json (Chrome trace-event JSON — load in\n"
       "           Perfetto or chrome://tracing) and DIR/metrics.json\n"
+      "  sweep    (--input F | --dataset <name> [--n N] [--seed S])\n"
+      "           --epsilons E1,E2,... [--variants V1,V2,...] [--sms N]\n"
+      "           [--host-threads T] [--out F.json] [--per-call-baseline]\n"
+      "           runs the full epsilon x variant grid through one\n"
+      "           JoinEngine (plan artifacts cached across cells) and\n"
+      "           writes a JSON report: per-run host_prep/kernel seconds\n"
+      "           plus the engine's sj.cache.* hit/miss/evict counters;\n"
+      "           --per-call-baseline also times each cell through the\n"
+      "           one-shot path for comparison\n"
+      "--host-threads runs the simulator on T host worker threads\n"
+      "(0 = sequential; results and traces are identical either way)\n"
       "variants: gpucalcglobal unicomp lidunicomp sortbywl workqueue\n"
-      "          combined superego\n";
+      "          combined superego (superego: join/profile only)\n";
   return 2;
 }
 
@@ -309,6 +329,178 @@ int cmd_profile(gsj::Cli& cli) {
   return 0;
 }
 
+/// Splits a comma-separated flag value ("0.01,0.02" / "combined,workqueue").
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int cmd_sweep(gsj::Cli& cli) {
+  // Dataset: an existing .bin, or generated in-process.
+  const std::string input = cli.get("input", "", "input dataset (.bin)");
+  gsj::Dataset ds = [&] {
+    if (!input.empty()) return gsj::load_binary(input);
+    const std::string name =
+        cli.get("dataset", "Expo2D2M", "Table I dataset to generate");
+    const auto n = static_cast<std::size_t>(
+        cli.get_int("n", 20000, "points (0 = spec default)"));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1, ""));
+    return gsj::make_dataset(name, n, seed);
+  }();
+
+  const std::string eps_flag =
+      cli.get("epsilons", "", "comma-separated join radii");
+  GSJ_CHECK_MSG(!eps_flag.empty(), "--epsilons is required");
+  std::vector<double> epsilons;
+  for (const auto& tok : split_csv(eps_flag)) epsilons.push_back(std::stod(tok));
+  const std::vector<std::string> variants = split_csv(cli.get(
+      "variants", "gpucalcglobal,unicomp,lidunicomp,sortbywl,workqueue,combined",
+      "comma-separated GPU variants"));
+  const int sms = static_cast<int>(cli.get_int("sms", 0, "modeled SMs (0 = default)"));
+  const int host_threads = static_cast<int>(
+      cli.get_int("host-threads", 0, "host worker threads (0 = sequential)"));
+  gsj::BatchingConfig batching;
+  apply_batching_flags(cli, batching);
+  const bool per_call = cli.get_bool(
+      "per-call-baseline", false,
+      "also run every cell through the one-shot self_join for comparison");
+  const std::string out_path = cli.get("out", "sweep.json", "JSON report path");
+
+  gsj::obs::Registry engine_metrics;
+  gsj::EngineConfig ecfg;
+  ecfg.metrics = &engine_metrics;
+  // Bound large enough for the whole grid so the sweep itself measures
+  // reuse, not eviction; eviction behaviour has its own tests.
+  ecfg.max_cached_grids = std::max<std::size_t>(4, epsilons.size());
+  ecfg.max_cached_plans = std::max<std::size_t>(8, 3 * epsilons.size());
+  gsj::JoinEngine engine(ecfg);
+  gsj::PreparedDataset prep = engine.prepare(ds);
+
+  struct Row {
+    double eps = 0.0;
+    std::string variant, name;
+    std::uint64_t pairs = 0, batches = 0;
+    double wee = 0.0, host_prep = 0.0, kernel = 0.0, total = 0.0, wall = 0.0;
+    double pc_host_prep = 0.0, pc_kernel = 0.0, pc_wall = 0.0;
+  };
+  std::vector<Row> rows;
+  double eng_prep_total = 0.0, eng_kernel_total = 0.0, eng_wall_total = 0.0;
+  double pc_prep_total = 0.0, pc_kernel_total = 0.0, pc_wall_total = 0.0;
+
+  for (const double eps : epsilons) {
+    for (const auto& variant : variants) {
+      gsj::SelfJoinConfig cfg;
+      if (!make_gpu_config(variant, eps, cfg)) {
+        std::cerr << "unknown variant: " << variant << "\n";
+        return usage();
+      }
+      if (sms > 0) cfg.device.num_sms = sms;
+      cfg.device.host.num_threads = host_threads;
+      cfg.batching = batching;
+      cfg.store_pairs = false;
+      cfg.collect_diagnostics = false;  // throughput mode
+
+      Row row;
+      row.eps = eps;
+      row.variant = variant;
+      row.name = cfg.name();
+      gsj::Timer wall;
+      auto out = engine.run(prep, cfg);
+      row.wall = wall.seconds();
+      row.pairs = out.stats.result_pairs;
+      row.batches = out.stats.num_batches;
+      row.wee = out.stats.wee_percent();
+      row.host_prep = out.stats.host_prep_seconds;
+      row.kernel = out.stats.kernel_seconds;
+      row.total = out.stats.total_seconds;
+      engine.recycle(std::move(out));
+      eng_prep_total += row.host_prep;
+      eng_kernel_total += row.kernel;
+      eng_wall_total += row.wall;
+
+      if (per_call) {
+        gsj::Timer pc_wall;
+        const auto pc = gsj::self_join(ds, cfg);
+        row.pc_wall = pc_wall.seconds();
+        row.pc_host_prep = pc.stats.host_prep_seconds;
+        row.pc_kernel = pc.stats.kernel_seconds;
+        GSJ_CHECK_MSG(pc.stats.result_pairs == row.pairs,
+                      "engine/per-call result mismatch at eps=" << eps);
+        pc_prep_total += row.pc_host_prep;
+        pc_kernel_total += row.pc_kernel;
+        pc_wall_total += row.pc_wall;
+      }
+
+      std::cout << row.name << " eps=" << eps << ": " << row.pairs
+                << " pairs, " << row.batches << " batches, host_prep "
+                << row.host_prep << " s, kernel " << row.kernel << " s\n";
+      rows.push_back(std::move(row));
+    }
+  }
+
+  const auto cache = [&](const char* name) {
+    return engine_metrics.counter(name).value();
+  };
+  std::ofstream f(out_path);
+  GSJ_CHECK_MSG(f.good(), "cannot open " << out_path);
+  f.precision(17);
+  f << "{\n  \"dataset\": {\"n\": " << ds.size() << ", \"dims\": " << ds.dims()
+    << "},\n  \"host_threads\": " << host_threads << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    f << "    {\"epsilon\": " << r.eps << ", \"variant\": \"" << r.variant
+      << "\", \"name\": \"" << r.name << "\", \"pairs\": " << r.pairs
+      << ", \"batches\": " << r.batches << ", \"wee_percent\": " << r.wee
+      << ", \"host_prep_seconds\": " << r.host_prep
+      << ", \"kernel_seconds\": " << r.kernel
+      << ", \"total_seconds\": " << r.total
+      << ", \"wall_seconds\": " << r.wall;
+    if (per_call) {
+      f << ", \"per_call_host_prep_seconds\": " << r.pc_host_prep
+        << ", \"per_call_kernel_seconds\": " << r.pc_kernel
+        << ", \"per_call_wall_seconds\": " << r.pc_wall;
+    }
+    f << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  f << "  ],\n  \"cache\": {\"hits\": " << cache("sj.cache.hits")
+    << ", \"misses\": " << cache("sj.cache.misses")
+    << ", \"evictions\": " << cache("sj.cache.evictions")
+    << ", \"invalidations\": " << cache("sj.cache.invalidations")
+    << ", \"grid_hits\": " << cache("sj.cache.grid.hits")
+    << ", \"grid_misses\": " << cache("sj.cache.grid.misses")
+    << ", \"workload_hits\": " << cache("sj.cache.workload.hits")
+    << ", \"workload_misses\": " << cache("sj.cache.workload.misses")
+    << ", \"estimate_hits\": " << cache("sj.cache.estimate.hits")
+    << ", \"estimate_misses\": " << cache("sj.cache.estimate.misses")
+    << "},\n  \"totals\": {\"host_prep_seconds\": " << eng_prep_total
+    << ", \"kernel_seconds\": " << eng_kernel_total
+    << ", \"wall_seconds\": " << eng_wall_total << "}";
+  if (per_call) {
+    f << ",\n  \"per_call_totals\": {\"host_prep_seconds\": " << pc_prep_total
+      << ", \"kernel_seconds\": " << pc_kernel_total
+      << ", \"wall_seconds\": " << pc_wall_total << "}";
+  }
+  f << "\n}\n";
+
+  std::cout << "cache: " << cache("sj.cache.hits") << " hits, "
+            << cache("sj.cache.misses") << " misses ("
+            << cache("sj.cache.grid.hits") << " grid hits over "
+            << rows.size() << " runs)\n"
+            << "totals: host_prep " << eng_prep_total << " s, kernel "
+            << eng_kernel_total << " s";
+  if (per_call) {
+    std::cout << " | per-call host_prep " << pc_prep_total << " s, kernel "
+              << pc_kernel_total << " s";
+  }
+  std::cout << "\nreport: " << out_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -321,6 +513,7 @@ int main(int argc, char** argv) {
     if (cmd == "join") return cmd_join(cli);
     if (cmd == "dbscan") return cmd_dbscan(cli);
     if (cmd == "profile") return cmd_profile(cli);
+    if (cmd == "sweep") return cmd_sweep(cli);
   } catch (const gsj::OverflowError& e) {
     // Recoverable-in-principle resource failure: the message already
     // names the knobs to raise (docs/ROBUSTNESS.md). Distinct exit code
