@@ -16,6 +16,12 @@
 // when recovery is exhausted — a single query point alone overflows the
 // buffer, or the retry budget ran out — and names the knobs that fix
 // it (buffer_pairs, safety, max_overflow_retries).
+//
+// CancelledError reports a *client-requested* cooperative cancellation:
+// the join's cancel token was set, the in-flight launch was aborted at
+// the next LaunchAbort poll (or the next batch boundary) and the
+// partial output was discarded. Not an error of the request itself —
+// JoinService maps it to JoinStatus::Cancelled (docs/SERVICE.md).
 #pragma once
 
 #include <cstdint>
@@ -73,6 +79,30 @@ class OverflowError : public Error {
   std::uint64_t observed_pairs_;
   std::uint64_t batch_points_;
   std::uint64_t retries_;
+};
+
+/// A join was cancelled cooperatively via its cancel token. Carries how
+/// many batches had committed before the token was observed (work that
+/// was rolled into the discarded partial output).
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(std::uint64_t batches_completed)
+      : Error(format(batches_completed)),
+        batches_completed_(batches_completed) {}
+
+  [[nodiscard]] std::uint64_t batches_completed() const noexcept {
+    return batches_completed_;
+  }
+
+ private:
+  static std::string format(std::uint64_t batches_completed) {
+    std::ostringstream os;
+    os << "join cancelled by client after " << batches_completed
+       << " committed batch(es)";
+    return os.str();
+  }
+
+  std::uint64_t batches_completed_;
 };
 
 }  // namespace gsj

@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sj/execute.hpp"
+#include "sj/pipeline.hpp"
 
 namespace gsj {
 
@@ -130,145 +131,94 @@ PreparedDataset::PlanEntry& JoinEngine::plan_entry(PreparedDataset& prep,
   return prep.plans_.back();
 }
 
+namespace detail {
+
+/// PlanSource (sj/pipeline.hpp) over the engine's thread-private LRU
+/// caches: every resolution mutates the PreparedDataset in place, which
+/// is exactly why this backend is single-threaded (the service's
+/// locked backend lives in sj/service.cpp).
+class EnginePlanSource {
+ public:
+  EnginePlanSource(JoinEngine& engine, PreparedDataset& prep)
+      : engine_(engine), prep_(prep) {}
+
+  void sync() { engine_.sync_generation(prep_); }
+
+  ThreadPool* pool(int n) { return engine_.pool(n); }
+
+  obs::Tracer* channel_tracer() { return engine_.config().tracer; }
+
+  void resolve_grid(double eps, ThreadPool* p, bool* hit) {
+    ge_ = &engine_.grid_for(prep_, eps, p, hit);
+  }
+
+  [[nodiscard]] const GridIndex& grid() const { return *ge_->grid; }
+
+  std::span<const std::uint64_t> resolve_workloads(CellPattern pattern,
+                                                   ThreadPool* p) {
+    plan_entry(pattern);
+    if (pe_->workloads.empty()) {
+      engine_.count_cache("workload", false);
+      pe_->workloads = point_workloads(*ge_->grid, pattern, p);
+    } else {
+      engine_.count_cache("workload", true);
+    }
+    return pe_->workloads;
+  }
+
+  std::span<const PointId> resolve_order(CellPattern pattern, ThreadPool* p) {
+    plan_entry(pattern);
+    if (pe_->queue_order.empty()) {
+      engine_.count_cache("order", false);
+      pe_->queue_order.resize(prep_.dataset().size());
+      std::iota(pe_->queue_order.begin(), pe_->queue_order.end(), PointId{0});
+      parallel_stable_sort(
+          pe_->queue_order,
+          [&pw = pe_->workloads](PointId a, PointId b) {
+            return pw[a] > pw[b];
+          },
+          p);
+    } else {
+      engine_.count_cache("order", true);
+    }
+    return pe_->queue_order;
+  }
+
+  std::optional<std::uint64_t> find_estimate(bool queue,
+                                             detail::EstimateKey key) {
+    const auto& map = queue ? pe_->queue_estimates : ge_->strided_estimates;
+    if (const auto it = map.find(key); it != map.end()) {
+      engine_.count_cache("estimate", true);
+      return it->second;
+    }
+    engine_.count_cache("estimate", false);
+    return std::nullopt;
+  }
+
+  void put_estimate(bool queue, detail::EstimateKey key, std::uint64_t value) {
+    (queue ? pe_->queue_estimates : ge_->strided_estimates)
+        .emplace(key, value);
+  }
+
+ private:
+  void plan_entry(CellPattern pattern) {
+    if (pe_ == nullptr) pe_ = &engine_.plan_entry(prep_, *ge_->grid, pattern);
+  }
+
+  JoinEngine& engine_;
+  PreparedDataset& prep_;
+  PreparedDataset::GridEntry* ge_ = nullptr;
+  PreparedDataset::PlanEntry* pe_ = nullptr;
+};
+
+}  // namespace detail
+
 SelfJoinOutput JoinEngine::run(PreparedDataset& prep,
                                const SelfJoinConfig& cfg) {
-  const Dataset& ds = prep.dataset();
-  GSJ_CHECK_MSG(cfg.epsilon > 0.0, "epsilon must be positive");
-  GSJ_CHECK_MSG(!ds.empty(), "empty dataset");
-  GSJ_CHECK_MSG(cfg.k >= 1 && cfg.device.warp_size % cfg.k == 0,
-                "k=" << cfg.k << " must divide warp_size="
-                     << cfg.device.warp_size);
-  cfg.batching.validate();
-  sync_generation(prep);
-
+  detail::EnginePlanSource src(*this, prep);
   SelfJoinOutput out;
-  out.results = ResultSet(cfg.store_pairs);
-  if (cfg.store_pairs) {
-    // Reuse the arena's spare pair buffer (capacity only; no content).
-    out.results.adopt_storage(std::move(scratch_->spare_pairs));
-    scratch_->spare_pairs = {};
-  }
-  Timer host;
-
-  // Host execution pool: when the config asks for worker threads but
-  // supplies no external pool, the engine's cached pool of that size is
-  // attached — same pool across the grid build, planning and every
-  // batch launch, and across run() calls (no per-call spawn/join
-  // churn). `device` is the effective config handed to every launch.
-  simt::DeviceConfig device = cfg.device;
-  if (device.host.num_threads > 0 && device.host.pool == nullptr) {
-    device.host.pool = pool(device.host.num_threads);
-  }
-  ThreadPool* p = device.host.num_threads > 0 ? device.host.pool : nullptr;
-
-  obs::Tracer* tracer = cfg.tracer;
-  if (tracer != nullptr) tracer->set_device_config(device);
-  auto pipeline_span = obs::span(tracer, "self_join");
-
-  // --- plan stage: resolve every artifact from the cache, computing
-  // and caching on miss. The per-run span sequence below is exactly the
-  // monolith's (grid_build; for WQ: workload_quantify, sortbywl_sort,
-  // batch_plan; otherwise batch_plan with nested sub-spans opened by
-  // the planner), so logical traces are byte-identical on hit and miss.
-  bool grid_hit = false;
-  PreparedDataset::GridEntry* ge = nullptr;
-  {
-    const auto sp = obs::span(tracer, "grid_build");
-    ge = &grid_for(prep, cfg.epsilon, p, &grid_hit);
-  }
-  const GridIndex& grid = *ge->grid;
-  // Engine-channel span marking a cache-served plan stage.
-  auto reuse_span =
-      obs::span(grid_hit ? cfg_.tracer : nullptr, "plan_reuse");
-
-  const std::pair<std::uint64_t, std::uint64_t> est_key{
-      std::bit_cast<std::uint64_t>(cfg.batching.sample_fraction),
-      std::bit_cast<std::uint64_t>(cfg.batching.inject_estimator_skew)};
-
-  std::span<const PointId> queue_order;
-  BatchPlan plan;
-  if (cfg.work_queue) {
-    PreparedDataset::PlanEntry& pe = plan_entry(prep, grid, cfg.pattern);
-    {
-      const auto sp = obs::span(tracer, "workload_quantify");
-      if (pe.workloads.empty()) {
-        count_cache("workload", false);
-        pe.workloads = point_workloads(grid, cfg.pattern, p);
-      } else {
-        count_cache("workload", true);
-      }
-    }
-    {
-      const auto sp = obs::span(tracer, "sortbywl_sort");
-      if (pe.queue_order.empty()) {
-        count_cache("order", false);
-        pe.queue_order.resize(ds.size());
-        std::iota(pe.queue_order.begin(), pe.queue_order.end(), PointId{0});
-        parallel_stable_sort(
-            pe.queue_order,
-            [&pw = pe.workloads](PointId a, PointId b) {
-              return pw[a] > pw[b];
-            },
-            p);
-      } else {
-        count_cache("order", true);
-      }
-    }
-    queue_order = pe.queue_order;
-    const auto sp = obs::span(tracer, "batch_plan");
-    std::optional<std::uint64_t> est;
-    if (const auto it = pe.queue_estimates.find(est_key);
-        it != pe.queue_estimates.end()) {
-      count_cache("estimate", true);
-      est = it->second;
-    } else {
-      count_cache("estimate", false);
-    }
-    plan = plan_queue(grid, cfg.batching, queue_order, pe.workloads, tracer,
-                      est);
-    if (!est.has_value()) {
-      pe.queue_estimates.emplace(est_key, plan.estimated_total_pairs);
-    }
-  } else {
-    const auto sp = obs::span(tracer, "batch_plan");
-    std::span<const std::uint64_t> pw;
-    if (cfg.sort_by_workload) {
-      PreparedDataset::PlanEntry& pe = plan_entry(prep, grid, cfg.pattern);
-      if (pe.workloads.empty()) {
-        count_cache("workload", false);
-        pe.workloads = point_workloads(grid, cfg.pattern, p);
-      } else {
-        count_cache("workload", true);
-      }
-      pw = pe.workloads;
-    }
-    std::optional<std::uint64_t> est;
-    if (const auto it = ge->strided_estimates.find(est_key);
-        it != ge->strided_estimates.end()) {
-      count_cache("estimate", true);
-      est = it->second;
-    } else {
-      count_cache("estimate", false);
-    }
-    plan = plan_strided(grid, cfg.batching, cfg.sort_by_workload, cfg.pattern,
-                        tracer, p, pw, est);
-    if (!est.has_value()) {
-      ge->strided_estimates.emplace(est_key, plan.estimated_total_pairs);
-    }
-  }
-  reuse_span.finish();
-
-  out.stats.num_batches = plan.num_batches;
-  out.stats.estimated_total_pairs = plan.estimated_total_pairs;
-  out.stats.host_prep_seconds = host.seconds();
-
-  // --- execute stage (sj/execute.cpp) ---
-  detail::ExecutionInputs in;
-  in.grid = &grid;
-  in.plan = &plan;
-  in.queue_order = queue_order;
-  in.device = device;
-  detail::execute_self_join(cfg, in, *scratch_, out);
+  detail::plan_and_execute(cfg, prep.dataset(), src, *scratch_,
+                           /*cancel=*/nullptr, out);
   return out;
 }
 

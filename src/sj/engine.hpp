@@ -43,13 +43,17 @@
 // across run() calls; recycle(std::move(output)) returns a consumed
 // output's allocations to the arena.
 //
-// Thread safety: a JoinEngine and its PreparedDatasets are meant to be
-// used from one thread at a time (the free self_join wrapper keeps one
-// engine per thread). Observability sinks remain internally locked as
-// before.
+// Thread safety: a JoinEngine and its PreparedDatasets are
+// single-threaded by design — one owner thread at a time. Concurrent
+// callers belong on JoinService (sj/service.hpp), which shares these
+// same caches behind a reader/writer lock with single-flight builds;
+// the free self_join wrapper routes through the process-wide service,
+// so it no longer keeps a thread_local engine per caller thread.
+// Observability sinks remain internally locked as before.
 //
 // See docs/ENGINE.md for the cache-key derivation, the invalidation
-// rules and measured reuse wins.
+// rules and measured reuse wins, and docs/SERVICE.md for the
+// concurrent layer on top.
 #pragma once
 
 #include <cstdint>
@@ -65,7 +69,8 @@ namespace gsj {
 class ThreadPool;
 
 namespace detail {
-struct ScratchArena;  // sj/execute.hpp
+struct ScratchArena;     // sj/execute.hpp
+class EnginePlanSource;  // sj/engine.cpp (PlanSource over these caches)
 }  // namespace detail
 
 struct EngineConfig {
@@ -116,6 +121,7 @@ class PreparedDataset {
 
  private:
   friend class JoinEngine;
+  friend class detail::EnginePlanSource;
   explicit PreparedDataset(const Dataset& ds)
       : ds_(&ds), generation_(ds.generation()) {}
 
@@ -187,6 +193,7 @@ class JoinEngine {
   [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
 
  private:
+  friend class detail::EnginePlanSource;
   /// Drops every cache when the dataset generation moved.
   void sync_generation(PreparedDataset& prep);
   [[nodiscard]] PreparedDataset::GridEntry& grid_for(PreparedDataset& prep,

@@ -90,6 +90,18 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
     if (warp_cycle_hist != nullptr) warp_cycle_hist->record(r.cycles);
   };
 
+  // Cooperative cancellation (JoinService): polled at batch boundaries
+  // and folded into the launch abort hook. A cancelled run throws
+  // CancelledError; the caller discards the partial output, so nothing
+  // here needs to roll back beyond what overflow recovery already does.
+  const std::atomic<bool>* cancel = in.cancel;
+  auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  };
+  auto throw_if_cancelled = [&] {
+    if (cancelled()) throw CancelledError(out.stats.batches.size());
+  };
+
   // Executes one batch against the fixed-capacity buffer. On overflow
   // the launch is aborted (block granularity), every side effect rolled
   // back, and the wasted device time accounted; returns false so the
@@ -118,15 +130,29 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
     SelfJoinKernel kernel(params);
     launch_records.clear();
     simt::LaunchAbort abort_hook;
-    if (capacity != ResultSet::kUnlimited) {
+    if (capacity != ResultSet::kUnlimited && cancel != nullptr) {
+      abort_hook = [&results = out.results, cancel] {
+        return results.batch_overflowed() ||
+               cancel->load(std::memory_order_relaxed);
+      };
+    } else if (capacity != ResultSet::kUnlimited) {
       abort_hook = [&results = out.results] {
         return results.batch_overflowed();
+      };
+    } else if (cancel != nullptr) {
+      abort_hook = [cancel] {
+        return cancel->load(std::memory_order_relaxed);
       };
     }
     simt::KernelStats ks =
         simt::launch(device, nthreads, kernel, observer, abort_hook);
     ks.atomics_executed = kernel.atomics_executed();
     ks.results_emitted = kernel.results_emitted();
+
+    // A launch aborted by cancellation is not an overflow: the whole
+    // run's output is about to be discarded, so surface the
+    // cancellation before the overflow/commit bookkeeping.
+    throw_if_cancelled();
 
     if (out.results.batch_overflowed()) {
       // The device time is spent either way; the overflowed buffer is
@@ -208,6 +234,7 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
     std::vector<std::pair<std::uint64_t, std::uint64_t>> work(
         plan.queue_ranges.rbegin(), plan.queue_ranges.rend());
     while (!work.empty()) {
+      throw_if_cancelled();
       const auto [begin, end] = work.back();
       work.pop_back();
       if (begin == end) continue;
@@ -228,6 +255,7 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
         std::make_move_iterator(plan.batches.rbegin()),
         std::make_move_iterator(plan.batches.rend()));
     while (!work.empty()) {
+      throw_if_cancelled();
       std::vector<PointId> batch = std::move(work.back());
       work.pop_back();
       if (batch.empty()) continue;

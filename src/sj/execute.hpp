@@ -18,6 +18,7 @@
 // and a warm one produce bit-identical outputs.
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -50,6 +51,12 @@ struct ExecutionInputs {
   std::span<const PointId> queue_order;
   /// Effective device config: the host pool is already attached.
   simt::DeviceConfig device;
+  /// Optional cooperative-cancellation token (JoinService). When set,
+  /// it is polled at every batch boundary and folded into the
+  /// LaunchAbort hook (polled at kWarpBlock boundaries inside a
+  /// launch); once observed true the run throws CancelledError and the
+  /// partial output is discarded by the caller.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Runs the batched kernel launches for a planned self-join and fills

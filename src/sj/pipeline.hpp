@@ -1,0 +1,151 @@
+// Plan+execute pipeline shared by the two execution frontends
+// (internal).
+//
+// JoinEngine::run (single-threaded sessions, sj/engine.cpp) and
+// JoinService (concurrent serving, sj/service.cpp) run the exact same
+// join pipeline — validation, cache-served plan-artifact resolution
+// with the monolith's span sequence, batch planning, then the batched
+// execution stage — against *different cache backends*: the engine's
+// thread-private LRU caches versus the service's reader/writer-locked,
+// single-flight shared caches. plan_and_execute() is that pipeline,
+// templated over a PlanSource that supplies the artifacts; keeping it
+// in one place is what guarantees the two frontends stay bit-identical
+// (same spans, same stats, same results) for the same request.
+//
+// A PlanSource provides (duck-typed; resolution order is fixed by the
+// pipeline, so sources may carry state between calls):
+//
+//   void sync();                              // generation check/invalidate
+//   ThreadPool* pool(int n);                  // cached host pool
+//   obs::Tracer* channel_tracer();            // engine/service channel
+//   void resolve_grid(double eps, ThreadPool*, bool* hit);
+//   const GridIndex& grid();                  // valid after resolve_grid
+//   std::span<const std::uint64_t> resolve_workloads(CellPattern,
+//                                                    ThreadPool*);
+//   std::span<const PointId> resolve_order(CellPattern, ThreadPool*);
+//   std::optional<std::uint64_t> find_estimate(bool queue, EstimateKey);
+//   void put_estimate(bool queue, EstimateKey, std::uint64_t);
+//
+// Artifact lifetime contract: spans/references returned by a source
+// stay valid until plan_and_execute returns (sources pin shared
+// artifacts for the duration of the run).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "obs/trace.hpp"
+#include "sj/execute.hpp"
+
+namespace gsj::detail {
+
+/// Result-size-estimate cache key: (sample_fraction bits,
+/// inject_estimator_skew bits) — skew is part of the key so
+/// fault-injection runs never collide with honest ones.
+using EstimateKey = std::pair<std::uint64_t, std::uint64_t>;
+
+template <typename Source>
+void plan_and_execute(const SelfJoinConfig& cfg, const Dataset& ds,
+                      Source& src, ScratchArena& arena,
+                      const std::atomic<bool>* cancel, SelfJoinOutput& out) {
+  GSJ_CHECK_MSG(cfg.epsilon > 0.0, "epsilon must be positive");
+  GSJ_CHECK_MSG(!ds.empty(), "empty dataset");
+  GSJ_CHECK_MSG(cfg.k >= 1 && cfg.device.warp_size % cfg.k == 0,
+                "k=" << cfg.k << " must divide warp_size="
+                     << cfg.device.warp_size);
+  cfg.batching.validate();
+  src.sync();
+
+  out.results = ResultSet(cfg.store_pairs);
+  if (cfg.store_pairs) {
+    // Reuse the arena's spare pair buffer (capacity only; no content).
+    out.results.adopt_storage(std::move(arena.spare_pairs));
+    arena.spare_pairs = {};
+  }
+  Timer host;
+
+  // Host execution pool: when the config asks for worker threads but
+  // supplies no external pool, the source's cached/leased pool of that
+  // size is attached — same pool across the grid build, planning and
+  // every batch launch. `device` is the effective config handed to
+  // every launch.
+  simt::DeviceConfig device = cfg.device;
+  if (device.host.num_threads > 0 && device.host.pool == nullptr) {
+    device.host.pool = src.pool(device.host.num_threads);
+  }
+  ThreadPool* p = device.host.num_threads > 0 ? device.host.pool : nullptr;
+
+  obs::Tracer* tracer = cfg.tracer;
+  if (tracer != nullptr) tracer->set_device_config(device);
+  auto pipeline_span = obs::span(tracer, "self_join");
+
+  // --- plan stage: resolve every artifact from the cache, computing
+  // and caching on miss. The per-run span sequence below is exactly the
+  // monolith's (grid_build; for WQ: workload_quantify, sortbywl_sort,
+  // batch_plan; otherwise batch_plan with nested sub-spans opened by
+  // the planner), so logical traces are byte-identical on hit and miss.
+  bool grid_hit = false;
+  {
+    const auto sp = obs::span(tracer, "grid_build");
+    src.resolve_grid(cfg.epsilon, p, &grid_hit);
+  }
+  const GridIndex& grid = src.grid();
+  // Engine/service-channel span marking a cache-served plan stage.
+  auto reuse_span = obs::span(grid_hit ? src.channel_tracer() : nullptr,
+                              "plan_reuse");
+
+  const EstimateKey est_key{
+      std::bit_cast<std::uint64_t>(cfg.batching.sample_fraction),
+      std::bit_cast<std::uint64_t>(cfg.batching.inject_estimator_skew)};
+
+  std::span<const PointId> queue_order;
+  BatchPlan plan;
+  if (cfg.work_queue) {
+    std::span<const std::uint64_t> pw;
+    {
+      const auto sp = obs::span(tracer, "workload_quantify");
+      pw = src.resolve_workloads(cfg.pattern, p);
+    }
+    {
+      const auto sp = obs::span(tracer, "sortbywl_sort");
+      queue_order = src.resolve_order(cfg.pattern, p);
+    }
+    const auto sp = obs::span(tracer, "batch_plan");
+    std::optional<std::uint64_t> est = src.find_estimate(true, est_key);
+    plan = plan_queue(grid, cfg.batching, queue_order, pw, tracer, est);
+    if (!est.has_value()) {
+      src.put_estimate(true, est_key, plan.estimated_total_pairs);
+    }
+  } else {
+    const auto sp = obs::span(tracer, "batch_plan");
+    std::span<const std::uint64_t> pw;
+    if (cfg.sort_by_workload) pw = src.resolve_workloads(cfg.pattern, p);
+    std::optional<std::uint64_t> est = src.find_estimate(false, est_key);
+    plan = plan_strided(grid, cfg.batching, cfg.sort_by_workload, cfg.pattern,
+                        tracer, p, pw, est);
+    if (!est.has_value()) {
+      src.put_estimate(false, est_key, plan.estimated_total_pairs);
+    }
+  }
+  reuse_span.finish();
+
+  out.stats.num_batches = plan.num_batches;
+  out.stats.estimated_total_pairs = plan.estimated_total_pairs;
+  out.stats.host_prep_seconds = host.seconds();
+
+  // --- execute stage (sj/execute.cpp) ---
+  ExecutionInputs in;
+  in.grid = &grid;
+  in.plan = &plan;
+  in.queue_order = queue_order;
+  in.device = device;
+  in.cancel = cancel;
+  execute_self_join(cfg, in, arena, out);
+}
+
+}  // namespace gsj::detail

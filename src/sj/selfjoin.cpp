@@ -1,12 +1,13 @@
-// Public one-shot API. The pipeline itself lives in the staged engine:
-// sj/engine.cpp resolves the plan (grid, workloads, D', estimate,
-// batch plan) and sj/execute.cpp drives the batched launches. This
-// file keeps the named configurations and the free self_join wrapper.
+// Public one-shot API. The pipeline itself lives in sj/pipeline.hpp
+// (plan resolution: grid, workloads, D', estimate, batch plan) and
+// sj/execute.cpp (the batched launches); the free wrapper rides the
+// process-wide JoinService (sj/service.hpp). This file keeps the named
+// configurations and that wrapper.
 #include "sj/selfjoin.hpp"
 
 #include <sstream>
 
-#include "sj/engine.hpp"
+#include "sj/service.hpp"
 
 namespace gsj {
 
@@ -62,14 +63,14 @@ SelfJoinConfig SelfJoinConfig::combined(double eps) {
 }
 
 SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
-  // One engine per thread: configs that ask for host threads without
-  // supplying a pool reuse the engine's cached pools instead of paying
-  // a ThreadPool spawn/join per call, and the scratch arena persists.
-  // Each call still gets a fresh PreparedDataset, so one-shot behaviour
-  // (no plan caching across calls, no dataset lifetime entanglement) is
-  // unchanged.
-  thread_local JoinEngine engine;
-  return engine.self_join(ds, cfg);
+  // Rides the process-wide JoinService: scratch arenas and host thread
+  // pools come from its bounded depots instead of a thread_local engine
+  // per calling thread, so resident state no longer grows with the
+  // number of threads that ever issued a join (and short-lived caller
+  // threads leak nothing). Each call still gets an ephemeral cache
+  // shell, so one-shot behaviour (no plan caching across calls, no
+  // dataset lifetime entanglement) is unchanged.
+  return JoinService::shared().self_join(ds, cfg);
 }
 
 }  // namespace gsj

@@ -1,0 +1,646 @@
+#include "sj/service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <exception>
+#include <numeric>
+#include <optional>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "grid/workload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sj/execute.hpp"
+#include "sj/pipeline.hpp"
+
+namespace gsj {
+
+const char* to_string(JoinStatus s) noexcept {
+  switch (s) {
+    case JoinStatus::Ok:
+      return "ok";
+    case JoinStatus::Rejected:
+      return "rejected";
+    case JoinStatus::Expired:
+      return "expired";
+    case JoinStatus::Cancelled:
+      return "cancelled";
+    case JoinStatus::Failed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+/// Shared state between a Ticket and the worker serving its request.
+struct ServiceRequestState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;        ///< guarded by mu
+  JoinResponse response;    ///< guarded by mu; valid once done
+  std::atomic<bool> cancel{false};
+  std::atomic<bool> started{false};
+};
+
+struct JoinService::QueueItem {
+  std::shared_ptr<SharedDataset> sd;
+  JoinRequest req;
+  std::shared_ptr<ServiceRequestState> state;
+  std::uint64_t seq = 0;
+  Timer queued;  ///< measures admission-queue wait
+};
+
+std::size_t SharedDataset::cached_grid_count() const {
+  std::shared_lock lk(mu_);
+  return grids_.size();
+}
+
+std::size_t SharedDataset::cached_plan_count() const {
+  std::shared_lock lk(mu_);
+  return plans_.size();
+}
+
+namespace detail {
+
+/// PlanSource (sj/pipeline.hpp) over a SharedDataset's reader/writer-
+/// locked caches. Discipline:
+///
+///  * hits take the shared lock only (scan, bump the atomic LRU tick,
+///    copy the slot's shared_future) — concurrent hits never serialize;
+///  * misses double-check under the exclusive lock, install a
+///    promise-backed future (single-flight), then build *outside* any
+///    lock and publish through the promise; waiters block on their
+///    future copy, also outside the lock;
+///  * every resolved slot/artifact is pinned by a shared_ptr member for
+///    the run's duration, so concurrent LRU eviction can drop a slot
+///    from the cache vectors without invalidating anything this run
+///    still references (the pipeline's artifact-lifetime contract);
+///  * a builder that throws publishes the exception to its waiters and
+///    rolls the slot back so later requests rebuild.
+///
+/// The builder counts the miss; waiters and fast-path readers count
+/// hits (a waiter is served from the cache — it just arrives early).
+class ServicePlanSource {
+ public:
+  ServicePlanSource(JoinService& svc, SharedDataset& sd)
+      : svc_(svc), sd_(sd) {}
+
+  ~ServicePlanSource() {
+    if (pool_ != nullptr) svc_.return_pool(pool_threads_, std::move(pool_));
+  }
+
+  void sync() {
+    {
+      std::shared_lock lk(sd_.mu_);
+      if (sd_.ds_->generation() == sd_.generation_) return;
+    }
+    std::unique_lock lk(sd_.mu_);
+    const std::uint64_t g = sd_.ds_->generation();
+    if (g == sd_.generation_) return;
+    if (!sd_.grids_.empty() || !sd_.plans_.empty()) count("invalidations");
+    sd_.grids_.clear();
+    sd_.plans_.clear();
+    sd_.generation_ = g;
+  }
+
+  ThreadPool* pool(int n) {
+    if (pool_ == nullptr) {
+      pool_threads_ = n;
+      pool_ = svc_.checkout_pool(n);
+    }
+    return pool_.get();
+  }
+
+  obs::Tracer* channel_tracer() { return svc_.config().tracer; }
+
+  void resolve_grid(double eps, ThreadPool* p, bool* hit) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(eps);
+    std::shared_future<SharedDataset::GridPtr> fut;
+    std::promise<SharedDataset::GridPtr> prom;
+    bool builder = false;
+    {
+      std::shared_lock lk(sd_.mu_);
+      if (auto* s = find_grid_locked(bits)) {
+        gslot_ = shared_of(sd_.grids_, s);
+        fut = s->grid;
+      }
+    }
+    if (!fut.valid()) {
+      std::unique_lock lk(sd_.mu_);
+      if (auto* s = find_grid_locked(bits)) {
+        gslot_ = shared_of(sd_.grids_, s);
+        fut = s->grid;
+      } else {
+        builder = true;
+        fut = prom.get_future().share();
+        auto slot = std::make_shared<SharedDataset::GridSlot>();
+        slot->eps_bits = bits;
+        slot->grid = fut;
+        slot->last_used.store(next_tick(), std::memory_order_relaxed);
+        gslot_ = slot;
+        sd_.grids_.push_back(std::move(slot));
+        evict_lru_locked(sd_.grids_, sd_.max_grids_);
+      }
+    }
+    cache_event("grid", !builder);
+    if (builder) {
+      try {
+        prom.set_value(std::make_shared<const GridIndex>(sd_.dataset(), eps, p));
+      } catch (...) {
+        prom.set_exception(std::current_exception());
+        std::unique_lock lk(sd_.mu_);
+        std::erase(sd_.grids_, gslot_);
+        throw;
+      }
+    }
+    grid_ = fut.get();  // waits outside any lock; rethrows build failures
+    *hit = !builder;
+  }
+
+  [[nodiscard]] const GridIndex& grid() const { return *grid_; }
+
+  std::span<const std::uint64_t> resolve_workloads(CellPattern pattern,
+                                                   ThreadPool* p) {
+    ensure_plan_slot(pattern);
+    workloads_ = resolve_in_slot<SharedDataset::WorkloadsPtr>(
+        "workload", [&](SharedDataset::PlanSlot& s) { return &s.workloads; },
+        [&] {
+          return std::make_shared<const std::vector<std::uint64_t>>(
+              point_workloads(*grid_, pattern, p));
+        });
+    return *workloads_;
+  }
+
+  std::span<const PointId> resolve_order(CellPattern pattern, ThreadPool* p) {
+    ensure_plan_slot(pattern);
+    order_ = resolve_in_slot<SharedDataset::OrderPtr>(
+        "order", [&](SharedDataset::PlanSlot& s) { return &s.order; },
+        [&] {
+          // The pipeline resolves workloads before the order, so
+          // workloads_ is pinned by the time a builder runs.
+          std::vector<PointId> order(sd_.dataset().size());
+          std::iota(order.begin(), order.end(), PointId{0});
+          parallel_stable_sort(
+              order,
+              [&pw = *workloads_](PointId a, PointId b) {
+                return pw[a] > pw[b];
+              },
+              p);
+          return std::make_shared<const std::vector<PointId>>(
+              std::move(order));
+        });
+    return *order_;
+  }
+
+  std::optional<std::uint64_t> find_estimate(bool queue,
+                                             detail::EstimateKey key) {
+    auto [mu, map] = estimate_map(queue);
+    std::lock_guard lk(*mu);
+    if (const auto it = map->find(key); it != map->end()) {
+      cache_event("estimate", true);
+      return it->second;
+    }
+    cache_event("estimate", false);
+    return std::nullopt;
+  }
+
+  void put_estimate(bool queue, detail::EstimateKey key, std::uint64_t value) {
+    auto [mu, map] = estimate_map(queue);
+    std::lock_guard lk(*mu);
+    // emplace = first-wins: concurrent runs compute the same pure
+    // function of (grid, config), so whichever lands is the value.
+    map->emplace(key, value);
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t next_tick() {
+    return sd_.tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  SharedDataset::GridSlot* find_grid_locked(std::uint64_t bits) {
+    for (auto& s : sd_.grids_) {
+      if (s->eps_bits == bits) {
+        s->last_used.store(next_tick(), std::memory_order_relaxed);
+        return s.get();
+      }
+    }
+    return nullptr;
+  }
+
+  SharedDataset::PlanSlot* find_plan_locked(std::uint64_t key,
+                                            CellPattern pattern) {
+    for (auto& s : sd_.plans_) {
+      if (s->grid_key == key && s->pattern == pattern) {
+        s->last_used.store(next_tick(), std::memory_order_relaxed);
+        return s.get();
+      }
+    }
+    return nullptr;
+  }
+
+  template <typename Slot>
+  static std::shared_ptr<Slot> shared_of(
+      const std::vector<std::shared_ptr<Slot>>& v, Slot* raw) {
+    for (const auto& s : v) {
+      if (s.get() == raw) return s;
+    }
+    return nullptr;  // unreachable: caller found `raw` in `v` under lock
+  }
+
+  /// LRU-evicts beyond `bound`. The just-inserted slot holds the max
+  /// tick, so it is never the victim; pinned runs keep evicted slots
+  /// alive through their shared_ptrs.
+  template <typename Slot>
+  void evict_lru_locked(std::vector<std::shared_ptr<Slot>>& v,
+                        std::size_t bound) {
+    bound = std::max<std::size_t>(1, bound);
+    if (v.size() <= bound) return;
+    const auto victim = std::min_element(
+        v.begin(), v.end(), [](const auto& a, const auto& b) {
+          return a->last_used.load(std::memory_order_relaxed) <
+                 b->last_used.load(std::memory_order_relaxed);
+        });
+    v.erase(victim);
+    count("evictions");
+  }
+
+  void ensure_plan_slot(CellPattern pattern) {
+    if (pslot_ != nullptr) return;
+    const std::uint64_t key = grid_->content_key();
+    {
+      std::shared_lock lk(sd_.mu_);
+      if (auto* s = find_plan_locked(key, pattern)) {
+        pslot_ = shared_of(sd_.plans_, s);
+        return;
+      }
+    }
+    std::unique_lock lk(sd_.mu_);
+    if (auto* s = find_plan_locked(key, pattern)) {
+      pslot_ = shared_of(sd_.plans_, s);
+      return;
+    }
+    auto slot = std::make_shared<SharedDataset::PlanSlot>();
+    slot->grid_key = key;
+    slot->pattern = pattern;
+    slot->last_used.store(next_tick(), std::memory_order_relaxed);
+    pslot_ = slot;
+    sd_.plans_.push_back(std::move(slot));
+    evict_lru_locked(sd_.plans_, sd_.max_plans_);
+  }
+
+  /// Single-flight resolution of one future-valued artifact inside the
+  /// pinned plan slot. `member` picks the future, `build` produces the
+  /// artifact (runs outside any lock).
+  template <typename Ptr, typename Member, typename Build>
+  Ptr resolve_in_slot(const char* artifact, Member member, Build build) {
+    std::shared_future<Ptr> fut;
+    std::promise<Ptr> prom;
+    bool builder = false;
+    {
+      std::shared_lock lk(sd_.mu_);
+      if (member(*pslot_)->valid()) fut = *member(*pslot_);
+    }
+    if (!fut.valid()) {
+      std::unique_lock lk(sd_.mu_);
+      if (member(*pslot_)->valid()) {
+        fut = *member(*pslot_);
+      } else {
+        builder = true;
+        fut = prom.get_future().share();
+        *member(*pslot_) = fut;
+      }
+    }
+    cache_event(artifact, !builder);
+    if (builder) {
+      try {
+        prom.set_value(build());
+      } catch (...) {
+        prom.set_exception(std::current_exception());
+        std::unique_lock lk(sd_.mu_);
+        *member(*pslot_) = {};  // roll back so later requests rebuild
+        throw;
+      }
+    }
+    return fut.get();
+  }
+
+  std::pair<std::mutex*, SharedDataset::EstimateMap*> estimate_map(
+      bool queue) {
+    if (queue) return {&pslot_->est_mu, &pslot_->queue_estimates};
+    return {&gslot_->est_mu, &gslot_->strided_estimates};
+  }
+
+  void count(const char* event) {
+    if (svc_.config().metrics != nullptr) {
+      svc_.config().metrics->counter(std::string("sj.cache.") + event).add(1);
+    }
+  }
+
+  void cache_event(const char* artifact, bool hit) {
+    obs::Registry* m = svc_.config().metrics;
+    if (m == nullptr) return;
+    m->counter(hit ? "sj.cache.hits" : "sj.cache.misses").add(1);
+    m->counter(std::string("sj.cache.") + artifact +
+               (hit ? ".hits" : ".misses"))
+        .add(1);
+  }
+
+  JoinService& svc_;
+  SharedDataset& sd_;
+  std::unique_ptr<ThreadPool> pool_;  ///< depot lease, returned in dtor
+  int pool_threads_ = 0;
+
+  // Pins for the run's duration (artifact-lifetime contract).
+  std::shared_ptr<SharedDataset::GridSlot> gslot_;
+  std::shared_ptr<SharedDataset::PlanSlot> pslot_;
+  SharedDataset::GridPtr grid_;
+  SharedDataset::WorkloadsPtr workloads_;
+  SharedDataset::OrderPtr order_;
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// JoinService
+// ---------------------------------------------------------------------------
+
+JoinService::JoinService(ServiceConfig cfg) : cfg_(cfg) {}
+
+JoinService::~JoinService() {
+  {
+    std::lock_guard lk(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+JoinService& JoinService::shared() {
+  static JoinService svc;
+  return svc;
+}
+
+std::shared_ptr<SharedDataset> JoinService::attach(const Dataset& ds) {
+  const auto sp = obs::span(cfg_.tracer, "prepare");
+  return std::shared_ptr<SharedDataset>(new SharedDataset(
+      ds, cfg_.max_cached_grids, cfg_.max_cached_plans));
+}
+
+SelfJoinOutput JoinService::execute(SharedDataset& sd,
+                                    const SelfJoinConfig& cfg,
+                                    const std::atomic<bool>* cancel) {
+  // Arena lease: returned to the depot on every exit path (including
+  // OverflowError / CancelledError) so working memory stays bounded.
+  struct ArenaLease {
+    JoinService& svc;
+    std::unique_ptr<detail::ScratchArena> arena;
+    ~ArenaLease() { svc.return_arena(std::move(arena)); }
+  } lease{*this, checkout_arena()};
+  detail::ServicePlanSource src(*this, sd);  // returns its pool lease in dtor
+
+  SelfJoinOutput out;
+  detail::plan_and_execute(cfg, sd.dataset(), src, *lease.arena, cancel, out);
+  return out;
+}
+
+SelfJoinOutput JoinService::run(SharedDataset& sd, const SelfJoinConfig& cfg) {
+  return execute(sd, cfg, /*cancel=*/nullptr);
+}
+
+SelfJoinOutput JoinService::self_join(const Dataset& ds,
+                                      const SelfJoinConfig& cfg) {
+  // Ephemeral cache shell: exactly the free self_join's semantics (no
+  // plan reuse across calls, no dataset lifetime entanglement) while
+  // arenas and host pools still come from the bounded depots.
+  SharedDataset sd(ds, cfg_.max_cached_grids, cfg_.max_cached_plans);
+  return execute(sd, cfg, /*cancel=*/nullptr);
+}
+
+void JoinService::recycle(SelfJoinOutput&& out) {
+  std::lock_guard lk(arena_mu_);
+  if (idle_arenas_.empty()) return;  // no idle arena to donate to; drop
+  detail::ScratchArena& arena = *idle_arenas_.back();
+  arena.spare_pairs = out.results.take_storage();
+  out.stats.batches.clear();
+  arena.spare_batch_stats = std::move(out.stats.batches);
+  out.stats.slots.clear();
+  arena.spare_slots = std::move(out.stats.slots);
+}
+
+JoinService::Ticket JoinService::submit(std::shared_ptr<SharedDataset> sd,
+                                        JoinRequest req) {
+  Ticket t;
+  t.state_ = std::make_shared<ServiceRequestState>();
+  count("svc.submitted");
+
+  bool rejected = false;
+  {
+    std::lock_guard lk(queue_mu_);
+    if (stopping_ || queue_.size() >= cfg_.max_queue_depth) {
+      rejected = true;
+    } else {
+      spawn_workers_locked();
+      QueueItem item;
+      item.sd = std::move(sd);
+      item.req = std::move(req);
+      item.state = t.state_;
+      item.seq = next_seq_++;
+      queue_.push_back(std::move(item));
+      std::push_heap(queue_.begin(), queue_.end(),
+                     [](const QueueItem& a, const QueueItem& b) {
+                       if (a.req.priority != b.req.priority) {
+                         return a.req.priority < b.req.priority;
+                       }
+                       return a.seq > b.seq;  // FIFO within a priority
+                     });
+      set_queue_depth_locked(queue_.size());
+    }
+  }
+  if (rejected) {
+    count("svc.rejected");
+    JoinResponse r;
+    r.status = JoinStatus::Rejected;
+    respond(*t.state_, std::move(r));
+  } else {
+    queue_cv_.notify_one();
+  }
+  return t;
+}
+
+void JoinService::spawn_workers_locked() {
+  if (!workers_.empty()) return;
+  const std::size_t n = std::max<std::size_t>(1, cfg_.workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void JoinService::worker_loop() {
+  const auto by_priority = [](const QueueItem& a, const QueueItem& b) {
+    if (a.req.priority != b.req.priority) {
+      return a.req.priority < b.req.priority;
+    }
+    return a.seq > b.seq;
+  };
+  for (;;) {
+    QueueItem item;
+    {
+      std::unique_lock lk(queue_mu_);
+      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      // Shutdown drains: outstanding tickets are still answered.
+      if (queue_.empty()) return;
+      std::pop_heap(queue_.begin(), queue_.end(), by_priority);
+      item = std::move(queue_.back());
+      queue_.pop_back();
+      set_queue_depth_locked(queue_.size());
+    }
+
+    ServiceRequestState& st = *item.state;
+    JoinResponse r;
+    r.wait_seconds = item.queued.seconds();
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->cycle_histogram("svc.wait_us")
+          .record(static_cast<std::uint64_t>(r.wait_seconds * 1e6));
+    }
+
+    if (st.cancel.load(std::memory_order_relaxed)) {
+      r.status = JoinStatus::Cancelled;
+      count("svc.cancelled");
+    } else if (r.wait_seconds > item.req.deadline_seconds) {
+      r.status = JoinStatus::Expired;
+      count("svc.expired");
+    } else {
+      st.started.store(true, std::memory_order_release);
+      Timer service_timer;
+      try {
+        r.output = execute(*item.sd, item.req.config, &st.cancel);
+        r.status = JoinStatus::Ok;
+        count("svc.completed");
+      } catch (const CancelledError&) {
+        // Partial output was discarded with the run's scratch state.
+        r.status = JoinStatus::Cancelled;
+        count("svc.cancelled");
+      } catch (const std::exception& e) {
+        r.status = JoinStatus::Failed;
+        r.error = e.what();
+        count("svc.failed");
+      }
+      r.service_seconds = service_timer.seconds();
+      if (cfg_.metrics != nullptr) {
+        cfg_.metrics->cycle_histogram("svc.service_us")
+            .record(static_cast<std::uint64_t>(r.service_seconds * 1e6));
+      }
+    }
+    respond(st, std::move(r));
+  }
+}
+
+void JoinService::respond(ServiceRequestState& st, JoinResponse&& r) {
+  {
+    std::lock_guard lk(st.mu);
+    st.response = std::move(r);
+    st.done = true;
+  }
+  st.cv.notify_all();
+}
+
+void JoinService::count(const char* name, std::uint64_t n) {
+  if (cfg_.metrics != nullptr) cfg_.metrics->counter(name).add(n);
+}
+
+void JoinService::set_queue_depth_locked(std::size_t depth) {
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->gauge("svc.queue_depth").set(static_cast<double>(depth));
+  }
+}
+
+JoinResponse JoinService::Ticket::get() {
+  GSJ_CHECK_MSG(state_ != nullptr, "Ticket::get on an empty ticket");
+  std::unique_lock lk(state_->mu);
+  state_->cv.wait(lk, [&] { return state_->done; });
+  return std::move(state_->response);
+}
+
+void JoinService::Ticket::cancel() noexcept {
+  if (state_ != nullptr) {
+    state_->cancel.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool JoinService::Ticket::started() const noexcept {
+  return state_ != nullptr && state_->started.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------------
+// Depots: bounded pools of per-run working memory.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<detail::ScratchArena> JoinService::checkout_arena() {
+  {
+    std::lock_guard lk(arena_mu_);
+    if (!idle_arenas_.empty()) {
+      auto arena = std::move(idle_arenas_.back());
+      idle_arenas_.pop_back();
+      return arena;
+    }
+  }
+  return std::make_unique<detail::ScratchArena>();
+}
+
+void JoinService::return_arena(std::unique_ptr<detail::ScratchArena> arena) {
+  std::lock_guard lk(arena_mu_);
+  if (idle_arenas_.size() < cfg_.max_pooled_arenas) {
+    idle_arenas_.push_back(std::move(arena));
+  }
+  // else: dropped — resident memory stays bounded by the depot cap.
+}
+
+std::unique_ptr<ThreadPool> JoinService::checkout_pool(int num_threads) {
+  GSJ_CHECK_MSG(num_threads > 0, "pool requires num_threads > 0");
+  {
+    std::lock_guard lk(pool_mu_);
+    auto& idle = idle_pools_[num_threads];
+    if (!idle.empty()) {
+      auto pool = std::move(idle.back());
+      idle.pop_back();
+      --idle_pool_count_;
+      return pool;
+    }
+  }
+  // Spawn outside the lock: pool construction starts real threads.
+  return std::make_unique<ThreadPool>(static_cast<std::size_t>(num_threads));
+}
+
+void JoinService::return_pool(int num_threads,
+                              std::unique_ptr<ThreadPool> pool) {
+  {
+    std::lock_guard lk(pool_mu_);
+    if (idle_pool_count_ < cfg_.max_pooled_thread_pools) {
+      idle_pools_[num_threads].push_back(std::move(pool));
+      ++idle_pool_count_;
+      return;
+    }
+  }
+  // Destroy (join) the surplus pool outside the lock.
+}
+
+std::size_t JoinService::queue_depth() const {
+  std::lock_guard lk(queue_mu_);
+  return queue_.size();
+}
+
+std::size_t JoinService::resident_arenas() const {
+  std::lock_guard lk(arena_mu_);
+  return idle_arenas_.size();
+}
+
+std::size_t JoinService::resident_thread_pools() const {
+  std::lock_guard lk(pool_mu_);
+  return idle_pool_count_;
+}
+
+}  // namespace gsj

@@ -1,0 +1,322 @@
+// JoinService: concurrent multi-client serving on one shared engine
+// core.
+//
+// PR 4's JoinEngine made plan reuse cheap but pinned each engine to a
+// single thread, so concurrent clients each paid for private caches
+// (the free self_join kept one engine *per thread*). JoinService is
+// the serving layer on top of the same plan+execute pipeline
+// (sj/pipeline.hpp), built for many clients against shared prepared
+// datasets — the paper's scheduling discipline (decouple work items
+// from executors, §III-D) applied one level up:
+//
+//   attach(ds)  -> shared_ptr<SharedDataset>   shared plan caches
+//   run(sd,cfg) -> SelfJoinOutput              synchronous, on the caller
+//   submit(...) -> Ticket                      queued, on the worker pool
+//   self_join() -> SelfJoinOutput              one-shot (no cross-call cache)
+//
+// Concurrency design (docs/SERVICE.md):
+//
+//  * SharedDataset carries the same artifact caches as PreparedDataset
+//    (GridIndex by epsilon bits, workloads + D' order by
+//    (grid content_key, pattern), estimates by (sample_fraction, skew))
+//    behind a reader/writer lock: concurrent cache *hits* take the
+//    shared lock only and never serialize on each other.
+//  * Misses are *single-flight*: the first requester installs a
+//    promise-backed shared_future under the exclusive lock, builds
+//    outside any lock, and publishes; N clients requesting the same
+//    grid build it exactly once, the rest wait on the future.
+//  * Working memory is pooled, not shared: every in-flight run checks
+//    a ScratchArena (and, when host threads are requested, a
+//    ThreadPool) out of a bounded depot and returns it afterwards, so
+//    resident state is bounded by the depot caps — not by how many
+//    threads ever joined (the thread_local-engine leak this replaces).
+//  * The admission queue is bounded and priority-ordered (higher
+//    priority first, FIFO within a priority), with per-request queue
+//    deadlines and cooperative cancellation routed through the
+//    LaunchAbort hook (a cancelled in-flight run aborts at the next
+//    warp-block boundary and reports JoinStatus::Cancelled).
+//
+// Correctness bar, same as every prior layer: any interleaving of
+// concurrent clients yields results bit-identical to running those
+// requests serially on a cold engine (tests/test_service.cpp pins this
+// under TSan).
+//
+// Observability: the service's own channel (ServiceConfig::metrics /
+// ::tracer) carries svc.* instruments — queue depth, wait/service time
+// histograms, per-status counters — plus the sj.cache.* family for the
+// shared artifact caches; per-run sinks (SelfJoinConfig::tracer /
+// ::metrics) are untouched and see exactly what a cold engine run
+// would emit.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sj/selfjoin.hpp"
+
+namespace gsj {
+
+class ThreadPool;
+
+namespace detail {
+struct ScratchArena;      // sj/execute.hpp
+class ServicePlanSource;  // sj/service.cpp (PlanSource over SharedDataset)
+}  // namespace detail
+
+struct ServiceConfig {
+  /// Worker threads serving the admission queue. Spawned lazily on the
+  /// first submit(); run()/self_join() execute on the caller's thread
+  /// and never require workers. Clamped to >= 1 at spawn time.
+  std::size_t workers = 4;
+  /// Bound on queued (not yet running) requests; submit() beyond it
+  /// answers JoinStatus::Rejected immediately.
+  std::size_t max_queue_depth = 256;
+  /// Per-SharedDataset cache bounds, as EngineConfig's (LRU beyond).
+  std::size_t max_cached_grids = 4;
+  std::size_t max_cached_plans = 8;
+  /// Bound on idle pooled scratch arenas / host thread pools kept for
+  /// reuse; leases beyond it are served fresh and destroyed on return.
+  std::size_t max_pooled_arenas = 8;
+  std::size_t max_pooled_thread_pools = 4;
+
+  // --- the service's own observability channel (optional, non-owning).
+  /// Receives "prepare" / "plan_reuse" spans, as EngineConfig::tracer.
+  obs::Tracer* tracer = nullptr;
+  /// Receives svc.* instruments (submitted/completed/rejected/expired/
+  /// cancelled/failed counters, svc.queue_depth gauge, svc.wait_us and
+  /// svc.service_us histograms) and the sj.cache.* family.
+  obs::Registry* metrics = nullptr;
+};
+
+/// Terminal state of a served request.
+enum class JoinStatus {
+  Ok,         ///< ran to completion; JoinResponse::output is valid
+  Rejected,   ///< admission queue full (or service shutting down)
+  Expired,    ///< queue-wait deadline passed before the run started
+  Cancelled,  ///< cancel token observed before or during the run
+  Failed,     ///< the run threw (OverflowError, CheckError, ...)
+};
+
+[[nodiscard]] const char* to_string(JoinStatus s) noexcept;
+
+/// One queued join request. The epsilon/variant/device knobs live in
+/// `config`, exactly as a direct engine run would take them.
+struct JoinRequest {
+  SelfJoinConfig config;
+  /// Higher runs first; FIFO within equal priorities.
+  int priority = 0;
+  /// Max seconds the request may wait in the queue before it is
+  /// answered JoinStatus::Expired instead of run. Infinity = no limit.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+};
+
+struct JoinResponse {
+  JoinStatus status = JoinStatus::Failed;
+  /// Valid only when status == Ok.
+  SelfJoinOutput output;
+  /// what() of the failure when status == Failed.
+  std::string error;
+  double wait_seconds = 0.0;     ///< admission-queue wait
+  double service_seconds = 0.0;  ///< run wall time (0 unless started)
+};
+
+/// A dataset attached to the service, carrying the shared,
+/// reader/writer-locked plan-artifact caches. Create via
+/// JoinService::attach; the Dataset must outlive every run against it.
+/// Runs may be issued against one SharedDataset from any number of
+/// threads concurrently; mutating the *dataset* is only supported while
+/// no run is in flight (the generation counter then invalidates the
+/// caches as a unit, as the engine's do).
+class SharedDataset {
+ public:
+  SharedDataset(const SharedDataset&) = delete;
+  SharedDataset& operator=(const SharedDataset&) = delete;
+
+  [[nodiscard]] const Dataset& dataset() const noexcept { return *ds_; }
+  [[nodiscard]] std::size_t cached_grid_count() const;
+  [[nodiscard]] std::size_t cached_plan_count() const;
+
+ private:
+  friend class JoinService;
+  friend class detail::ServicePlanSource;
+
+  using EstimateMap =
+      std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>;
+  using GridPtr = std::shared_ptr<const GridIndex>;
+  using WorkloadsPtr = std::shared_ptr<const std::vector<std::uint64_t>>;
+  using OrderPtr = std::shared_ptr<const std::vector<PointId>>;
+
+  /// One cached grid (single-flight: `grid` may still be building).
+  /// Slots are shared_ptr-held: an in-flight run pins its slot, so LRU
+  /// eviction under the exclusive lock can never dangle a reader.
+  struct GridSlot {
+    std::uint64_t eps_bits = 0;
+    std::shared_future<GridPtr> grid;  ///< guarded by SharedDataset::mu_
+    /// Guards `strided_estimates` alone; per-slot so estimate traffic
+    /// from pinned runs never touches the dataset-wide lock.
+    std::mutex est_mu;
+    EstimateMap strided_estimates;
+    std::atomic<std::uint64_t> last_used{0};
+  };
+
+  /// One cached workload/order entry per (grid, pattern).
+  struct PlanSlot {
+    std::uint64_t grid_key = 0;
+    CellPattern pattern = CellPattern::Full;
+    /// Single-flight futures; !valid() until the first requester
+    /// installs its promise. Guarded by SharedDataset::mu_.
+    std::shared_future<WorkloadsPtr> workloads;
+    std::shared_future<OrderPtr> order;
+    std::mutex est_mu;  ///< guards queue_estimates alone
+    EstimateMap queue_estimates;
+    std::atomic<std::uint64_t> last_used{0};
+  };
+
+  SharedDataset(const Dataset& ds, std::size_t max_grids,
+                std::size_t max_plans)
+      : ds_(&ds),
+        generation_(ds.generation()),
+        max_grids_(max_grids),
+        max_plans_(max_plans) {}
+
+  const Dataset* ds_;
+  mutable std::shared_mutex mu_;
+  std::uint64_t generation_;  ///< guarded by mu_
+  std::atomic<std::uint64_t> tick_{0};  ///< LRU clock
+  std::size_t max_grids_;
+  std::size_t max_plans_;
+  std::vector<std::shared_ptr<GridSlot>> grids_;  ///< guarded by mu_
+  std::vector<std::shared_ptr<PlanSlot>> plans_;  ///< guarded by mu_
+};
+
+class JoinService {
+ public:
+  explicit JoinService(ServiceConfig cfg = {});
+  /// Drains the admission queue (every outstanding ticket is answered)
+  /// and joins the workers. Cancel tickets first for a fast shutdown.
+  ~JoinService();
+  JoinService(const JoinService&) = delete;
+  JoinService& operator=(const JoinService&) = delete;
+
+  /// Handle to one queued request: its eventual response plus the
+  /// cooperative cancel token. Copyable; all copies share state.
+  class Ticket {
+   public:
+    Ticket() = default;
+
+    /// Blocks until the request reaches a terminal state. Valid once
+    /// per ticket (the response's output is moved out).
+    [[nodiscard]] JoinResponse get();
+
+    /// Requests cooperative cancellation: a queued request is answered
+    /// Cancelled without running; an in-flight one aborts at the next
+    /// launch-abort poll or batch boundary. Idempotent; racing with
+    /// completion is benign (the run may still finish Ok).
+    void cancel() noexcept;
+
+    /// True once a worker has started executing the request (used to
+    /// drive genuinely mid-flight cancellations in tests).
+    [[nodiscard]] bool started() const noexcept;
+
+   private:
+    friend class JoinService;
+    std::shared_ptr<struct ServiceRequestState> state_;
+  };
+
+  /// Admits a dataset for shared serving: returns the cache shell all
+  /// subsequent runs against `ds` should share. The dataset must
+  /// outlive every run against the handle.
+  [[nodiscard]] std::shared_ptr<SharedDataset> attach(const Dataset& ds);
+
+  /// Runs one join synchronously on the calling thread against the
+  /// shared caches. Identical contract (validation, OverflowError) and
+  /// bit-identical output to a cold engine run; safe to call from any
+  /// number of threads concurrently.
+  [[nodiscard]] SelfJoinOutput run(SharedDataset& sd,
+                                   const SelfJoinConfig& cfg);
+
+  /// Enqueues one join for the worker pool. Never blocks: a full queue
+  /// (or a stopping service) yields an immediately-ready Rejected
+  /// ticket.
+  [[nodiscard]] Ticket submit(std::shared_ptr<SharedDataset> sd,
+                              JoinRequest req);
+
+  /// One-shot convenience with the free self_join's exact semantics:
+  /// an ephemeral SharedDataset per call (no plan caching across
+  /// calls, no dataset lifetime entanglement), but arenas and host
+  /// pools still come from the bounded depots.
+  [[nodiscard]] SelfJoinOutput self_join(const Dataset& ds,
+                                         const SelfJoinConfig& cfg);
+
+  /// Reclaims a consumed output's allocations into an idle pooled
+  /// arena (JoinEngine::recycle's analogue). Drops them when no arena
+  /// is idle.
+  void recycle(SelfJoinOutput&& out);
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+  // --- introspection (tests, docs/SERVICE.md) ---
+  /// Queued-but-not-started requests.
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Idle pooled scratch arenas (excludes checked-out leases).
+  [[nodiscard]] std::size_t resident_arenas() const;
+  /// Idle pooled host thread pools (excludes checked-out leases).
+  [[nodiscard]] std::size_t resident_thread_pools() const;
+
+  /// The process-wide service backing the free self_join wrapper.
+  /// Default-configured; workers spawn only if submit() is ever used.
+  [[nodiscard]] static JoinService& shared();
+
+ private:
+  friend class detail::ServicePlanSource;
+  struct QueueItem;
+
+  /// Core run path shared by run()/submit()/self_join(): leases
+  /// working memory, resolves the plan through the shared caches and
+  /// executes. Throws as the engine does, plus CancelledError.
+  SelfJoinOutput execute(SharedDataset& sd, const SelfJoinConfig& cfg,
+                         const std::atomic<bool>* cancel);
+
+  void spawn_workers_locked();
+  void worker_loop();
+  void respond(ServiceRequestState& st, JoinResponse&& r);
+  void count(const char* name, std::uint64_t n = 1);
+  void set_queue_depth_locked(std::size_t depth);
+
+  // Depot checkout/return (bounded; see ServiceConfig).
+  std::unique_ptr<detail::ScratchArena> checkout_arena();
+  void return_arena(std::unique_ptr<detail::ScratchArena> arena);
+  std::unique_ptr<ThreadPool> checkout_pool(int num_threads);
+  void return_pool(int num_threads, std::unique_ptr<ThreadPool> pool);
+
+  ServiceConfig cfg_;
+
+  // --- admission queue ---
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::vector<QueueItem> queue_;  ///< heap (priority desc, seq asc)
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  // --- pooled working memory ---
+  mutable std::mutex arena_mu_;
+  std::vector<std::unique_ptr<detail::ScratchArena>> idle_arenas_;
+  mutable std::mutex pool_mu_;
+  std::map<int, std::vector<std::unique_ptr<ThreadPool>>> idle_pools_;
+  std::size_t idle_pool_count_ = 0;
+};
+
+}  // namespace gsj

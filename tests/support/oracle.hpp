@@ -1,0 +1,162 @@
+// Shared support for the randomized differential tests: seed-driven
+// adversarial dataset generation plus the brute-force oracle interface.
+//
+// Every dataset here is derived deterministically from one 64-bit seed,
+// so a failing case is fully reproducible from the printed
+// (seed, family, n, dims, eps) tuple — re-run with that seed and the
+// same case comes back. The families are chosen to stress exactly the
+// machinery the load-balancing variants disagree on when buggy:
+//
+//   uniform        even occupancy — the baseline case
+//   clusters       a few dense piles on a sparse background: heavy
+//                  cells, the workload skew the paper's variants target
+//   duplicates     exact-duplicate piles: zero-distance pairs, maximal
+//                  per-cell density, duplicate-handling in every index
+//   boundaries     coordinates snapped to multiples of eps (plus a few
+//                  half-cell offsets): points exactly on grid-cell
+//                  edges and pair distances exactly == eps, the classic
+//                  off-by-one-cell / <-vs-<= mistakes
+//   tiny           n in {1, 2, 3}: degenerate shapes, single-point
+//                  cells, result sets dominated by self-pairs
+//
+// The oracle is the O(n^2) brute_force_join (sj/reference.hpp): all
+// ordered pairs (a, b) with dist <= eps, self-pairs included,
+// canonicalized — the pair semantics every join in this repo shares.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "sj/reference.hpp"
+#include "sj/selfjoin.hpp"
+
+namespace gsj::testsupport {
+
+struct AdversarialCase {
+  std::uint64_t seed = 0;
+  std::string family;
+  Dataset dataset;
+  double epsilon = 0.0;
+
+  /// The tuple to paste into a regression test when this case fails.
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    os.precision(17);
+    os << "(seed=" << seed << ", family=" << family
+       << ", n=" << dataset.size() << ", dims=" << dataset.dims()
+       << ", eps=" << epsilon << ")";
+    return os.str();
+  }
+};
+
+/// Derives one adversarial dataset + epsilon from `seed`. Sizes stay
+/// <= ~400 points so the O(n^2) oracle is cheap.
+inline AdversarialCase make_adversarial_case(std::uint64_t seed) {
+  AdversarialCase c;
+  c.seed = seed;
+  Xoshiro256 rng(seed);
+  const int dims = 2 + static_cast<int>(rng.uniform_index(3));  // 2..4
+  const double extent = 1.0 + rng.uniform() * 9.0;              // [1, 10)
+  c.epsilon = extent * (0.02 + rng.uniform() * 0.10);
+
+  Dataset ds(dims);
+  std::vector<double> p(static_cast<std::size_t>(dims));
+  const auto push_jittered = [&](double scale) {
+    for (auto& x : p) x += rng.uniform(-scale, scale);
+    ds.push_back(p);
+  };
+
+  switch (rng.uniform_index(5)) {
+    case 0: {
+      c.family = "uniform";
+      const std::size_t n = 50 + rng.uniform_index(351);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (auto& x : p) x = rng.uniform(0.0, extent);
+        ds.push_back(p);
+      }
+      break;
+    }
+    case 1: {
+      c.family = "clusters";
+      const std::size_t clusters = 2 + rng.uniform_index(5);
+      const std::size_t n = 80 + rng.uniform_index(271);
+      std::vector<std::vector<double>> centers(clusters);
+      for (auto& center : centers) {
+        center.resize(static_cast<std::size_t>(dims));
+        for (auto& x : center) x = rng.uniform(0.0, extent);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.uniform() < 0.85) {
+          // Dense pile within ~one epsilon of a center.
+          p = centers[rng.uniform_index(clusters)];
+          push_jittered(c.epsilon);
+        } else {
+          for (auto& x : p) x = rng.uniform(0.0, extent);
+          ds.push_back(p);
+        }
+      }
+      break;
+    }
+    case 2: {
+      c.family = "duplicates";
+      const std::size_t sites = 3 + rng.uniform_index(10);
+      const std::size_t n = 60 + rng.uniform_index(241);
+      std::vector<std::vector<double>> locations(sites);
+      for (auto& loc : locations) {
+        loc.resize(static_cast<std::size_t>(dims));
+        for (auto& x : loc) x = rng.uniform(0.0, extent);
+      }
+      // Exact duplicates: every point *is* one of the sites, bit-equal.
+      for (std::size_t i = 0; i < n; ++i) {
+        ds.push_back(locations[rng.uniform_index(sites)]);
+      }
+      break;
+    }
+    case 3: {
+      c.family = "boundaries";
+      // Coordinates snapped to k*eps (grid-cell edges) with occasional
+      // half-cell offsets: inter-point distances hit eps exactly.
+      const std::size_t n = 50 + rng.uniform_index(201);
+      const std::uint64_t cells = 1 + rng.uniform_index(8);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (auto& x : p) {
+          x = c.epsilon * static_cast<double>(rng.uniform_index(cells + 1));
+          if (rng.uniform() < 0.25) x += c.epsilon * 0.5;
+        }
+        ds.push_back(p);
+      }
+      break;
+    }
+    default: {
+      c.family = "tiny";
+      const std::size_t n = 1 + rng.uniform_index(3);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (auto& x : p) x = rng.uniform(0.0, extent);
+        ds.push_back(p);
+      }
+      break;
+    }
+  }
+  c.dataset = std::move(ds);
+  return c;
+}
+
+/// The paper's six GPU variants at radius `eps`, named as in Table IV.
+inline std::vector<std::pair<std::string, SelfJoinConfig>> all_variants(
+    double eps) {
+  return {
+      {"GPUCALCGLOBAL", SelfJoinConfig::gpu_calc_global(eps)},
+      {"UNICOMP", SelfJoinConfig::unicomp(eps)},
+      {"LID-UNICOMP", SelfJoinConfig::lid_unicomp(eps)},
+      {"SORTBYWL", SelfJoinConfig::sort_by_wl(eps)},
+      {"WORKQUEUE", SelfJoinConfig::work_queue_cfg(eps)},
+      {"COMBINED", SelfJoinConfig::combined(eps)},
+  };
+}
+
+}  // namespace gsj::testsupport

@@ -1,0 +1,332 @@
+// Randomized differential harness: every execution path in the repo
+// against the brute-force oracle, over seed-driven adversarial
+// datasets (tests/support/oracle.hpp).
+//
+// A failure prints the full (seed, family, n, dims, eps) tuple plus the
+// variant/path name — paste the seed into make_adversarial_case to
+// reproduce the exact dataset. ctest runs these under the
+// `differential` label.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/kdtree.hpp"
+#include "baselines/morton.hpp"
+#include "baselines/rtree.hpp"
+#include "common/check.hpp"
+#include "grid/grid_index.hpp"
+#include "sj/engine.hpp"
+#include "sj/selfjoin.hpp"
+#include "sj/service.hpp"
+#include "superego/super_ego.hpp"
+#include "support/oracle.hpp"
+
+namespace gsj {
+namespace {
+
+using testsupport::AdversarialCase;
+using testsupport::all_variants;
+using testsupport::make_adversarial_case;
+
+void expect_pairs_match(const ResultSet& got, const ResultSet& want,
+                        const AdversarialCase& c, const std::string& path) {
+  ASSERT_EQ(got.pairs().size(), want.pairs().size())
+      << path << " " << c.describe();
+  EXPECT_EQ(got.pairs(), want.pairs()) << path << " " << c.describe();
+}
+
+// ---------------------------------------------------------------------------
+// All six GPU variants through the public one-shot path (which rides
+// the shared JoinService): 40 seeds x 6 variants = 240 differential
+// cases, one test per variant so a failure names its variant in the
+// ctest output too.
+
+void variant_vs_oracle(std::size_t variant_index) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    const ResultSet truth = brute_force_join(c.dataset, c.epsilon);
+    auto variants = all_variants(c.epsilon);
+    auto& [name, cfg] = variants[variant_index];
+    cfg.store_pairs = true;
+    const SelfJoinOutput out = self_join(c.dataset, cfg);
+    expect_pairs_match(out.results, truth, c, name);
+    EXPECT_EQ(out.stats.result_pairs, truth.pairs().size())
+        << name << " " << c.describe();
+  }
+}
+
+TEST(Differential, GpuCalcGlobalMatchesBruteForce) { variant_vs_oracle(0); }
+TEST(Differential, UnicompMatchesBruteForce) { variant_vs_oracle(1); }
+TEST(Differential, LidUnicompMatchesBruteForce) { variant_vs_oracle(2); }
+TEST(Differential, SortByWlMatchesBruteForce) { variant_vs_oracle(3); }
+TEST(Differential, WorkQueueMatchesBruteForce) { variant_vs_oracle(4); }
+TEST(Differential, CombinedMatchesBruteForce) { variant_vs_oracle(5); }
+
+TEST(Differential, WorkQueueHigherKMatchesBruteForce) {
+  // k in {2, 4, 8}: every thread-per-point fan-out against the oracle.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    const ResultSet truth = brute_force_join(c.dataset, c.epsilon);
+    for (const int k : {2, 4, 8}) {
+      SelfJoinConfig cfg = SelfJoinConfig::work_queue_cfg(c.epsilon, k);
+      cfg.store_pairs = true;
+      const SelfJoinOutput out = self_join(c.dataset, cfg);
+      expect_pairs_match(out.results, truth, c,
+                         "WORKQUEUE k=" + std::to_string(k));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine path: cold and cache-warm runs against the same oracle (a
+// warm-cache divergence is a plan-cache bug, not a kernel bug).
+
+TEST(Differential, EngineColdAndWarmRunsMatchOracle) {
+  for (std::uint64_t seed = 41; seed <= 48; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    const ResultSet truth = brute_force_join(c.dataset, c.epsilon);
+    JoinEngine engine;
+    PreparedDataset prep = engine.prepare(c.dataset);
+    for (auto& [name, cfg] : all_variants(c.epsilon)) {
+      cfg.store_pairs = true;
+      const SelfJoinOutput cold = engine.run(prep, cfg);
+      expect_pairs_match(cold.results, truth, c, name + "/cold");
+      const SelfJoinOutput warm = engine.run(prep, cfg);
+      expect_pairs_match(warm.results, truth, c, name + "/warm");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Service paths: synchronous run() against a shared dataset and the
+// queued submit() path, same oracle.
+
+TEST(Differential, ServiceRunMatchesOracle) {
+  for (std::uint64_t seed = 49; seed <= 56; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    const ResultSet truth = brute_force_join(c.dataset, c.epsilon);
+    JoinService svc;
+    const auto sd = svc.attach(c.dataset);
+    for (auto& [name, cfg] : all_variants(c.epsilon)) {
+      cfg.store_pairs = true;
+      const SelfJoinOutput out = svc.run(*sd, cfg);
+      expect_pairs_match(out.results, truth, c, name + "/service");
+    }
+  }
+}
+
+TEST(Differential, ServiceSubmitMatchesOracle) {
+  for (std::uint64_t seed = 57; seed <= 60; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    const ResultSet truth = brute_force_join(c.dataset, c.epsilon);
+    ServiceConfig scfg;
+    scfg.workers = 2;
+    JoinService svc(scfg);
+    const auto sd = svc.attach(c.dataset);
+    std::vector<JoinService::Ticket> tickets;
+    auto variants = all_variants(c.epsilon);
+    for (auto& [name, cfg] : variants) {
+      cfg.store_pairs = true;
+      JoinRequest req;
+      req.config = cfg;
+      tickets.push_back(svc.submit(sd, req));
+    }
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      JoinResponse r = tickets[i].get();
+      ASSERT_EQ(r.status, JoinStatus::Ok)
+          << variants[i].first << " " << c.describe() << ": " << r.error;
+      expect_pairs_match(r.output.results, truth, c,
+                         variants[i].first + "/submit");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Host-parallel execution over adversarial datasets (the simulator on
+// worker threads must not change results).
+
+TEST(Differential, HostParallelMatchesOracle) {
+  for (std::uint64_t seed = 61; seed <= 64; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    const ResultSet truth = brute_force_join(c.dataset, c.epsilon);
+    for (auto& [name, cfg] : all_variants(c.epsilon)) {
+      cfg.store_pairs = true;
+      cfg.device.host.num_threads = 4;
+      const SelfJoinOutput out = self_join(c.dataset, cfg);
+      expect_pairs_match(out.results, truth, c, name + "/mt4");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Related-work baselines (src/baselines/) against the same oracle.
+
+TEST(Differential, KdTreeJoinMatchesOracle) {
+  for (std::uint64_t seed = 65; seed <= 76; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    const ResultSet truth = brute_force_join(c.dataset, c.epsilon);
+    const auto out = kdtree_self_join(c.dataset, c.epsilon, /*nthreads=*/2,
+                                      /*store_pairs=*/true);
+    expect_pairs_match(out.results, truth, c, "kdtree");
+    EXPECT_EQ(out.stats.result_pairs, truth.pairs().size()) << c.describe();
+  }
+}
+
+TEST(Differential, RTreeJoinMatchesOracle) {
+  for (std::uint64_t seed = 77; seed <= 88; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    const ResultSet truth = brute_force_join(c.dataset, c.epsilon);
+    const auto out = rtree_self_join(c.dataset, c.epsilon, /*nthreads=*/2,
+                                     /*store_pairs=*/true);
+    expect_pairs_match(out.results, truth, c, "rtree");
+    EXPECT_EQ(out.stats.result_pairs, truth.pairs().size()) << c.describe();
+  }
+}
+
+TEST(Differential, MortonJoinMatchesOracle) {
+  for (std::uint64_t seed = 89; seed <= 100; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    const ResultSet truth = brute_force_join(c.dataset, c.epsilon);
+    const auto out = morton_self_join(c.dataset, c.epsilon, /*nthreads=*/2,
+                                      /*store_pairs=*/true);
+    expect_pairs_match(out.results, truth, c, "morton");
+    EXPECT_EQ(out.stats.result_pairs, truth.pairs().size()) << c.describe();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPU baselines: SUPER-EGO and the parallel CPU grid join share the
+// same ordered-pair semantics, so the same oracle applies.
+
+TEST(Differential, SuperEgoMatchesOracle) {
+  for (std::uint64_t seed = 101; seed <= 110; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    const ResultSet truth = brute_force_join(c.dataset, c.epsilon);
+    SuperEgoConfig cfg;
+    cfg.epsilon = c.epsilon;
+    cfg.nthreads = 2;
+    cfg.store_pairs = true;
+    const auto out = super_ego_join(c.dataset, cfg);
+    expect_pairs_match(out.results, truth, c, "superego");
+  }
+}
+
+TEST(Differential, CpuGridJoinParallelMatchesOracle) {
+  for (std::uint64_t seed = 111; seed <= 120; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    const ResultSet truth = brute_force_join(c.dataset, c.epsilon);
+    const GridIndex grid(c.dataset, c.epsilon, /*pool=*/nullptr);
+    const ResultSet out = cpu_grid_join_parallel(grid, /*nthreads=*/3,
+                                                 /*store_pairs=*/true);
+    expect_pairs_match(out, truth, c, "cpu_grid_parallel");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-path agreement: the one-shot wrapper, an explicit engine and a
+// service must be indistinguishable on the same request.
+
+TEST(Differential, OneShotEngineAndServiceAgree) {
+  for (std::uint64_t seed = 121; seed <= 126; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    SelfJoinConfig cfg = SelfJoinConfig::combined(c.epsilon);
+    cfg.store_pairs = true;
+    const SelfJoinOutput one_shot = self_join(c.dataset, cfg);
+    JoinEngine engine;
+    const SelfJoinOutput via_engine = engine.self_join(c.dataset, cfg);
+    JoinService svc;
+    const auto sd = svc.attach(c.dataset);
+    const SelfJoinOutput via_service = svc.run(*sd, cfg);
+    EXPECT_EQ(one_shot.results.pairs(), via_engine.results.pairs())
+        << c.describe();
+    EXPECT_EQ(one_shot.results.pairs(), via_service.results.pairs())
+        << c.describe();
+    EXPECT_EQ(one_shot.stats.kernel.busy_cycles,
+              via_service.stats.kernel.busy_cycles)
+        << c.describe();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directed edge cases the seed-driven families can't hit by
+// construction.
+
+TEST(Differential, DuplicatePilesCountExactly) {
+  // 5 piles of 20 exact duplicates, far apart: every pile contributes
+  // 20*20 ordered pairs (self included), nothing crosses piles.
+  Dataset ds(2);
+  const double eps = 0.1;
+  for (int site = 0; site < 5; ++site) {
+    const double p[] = {static_cast<double>(site) * 10.0, 0.0};
+    for (int i = 0; i < 20; ++i) ds.push_back(p);
+  }
+  const ResultSet truth = brute_force_join(ds, eps);
+  ASSERT_EQ(truth.pairs().size(), 5u * 20u * 20u);
+  for (auto& [name, cfg] : all_variants(eps)) {
+    cfg.store_pairs = true;
+    const SelfJoinOutput out = self_join(ds, cfg);
+    ASSERT_EQ(out.results.pairs().size(), truth.pairs().size()) << name;
+    EXPECT_EQ(out.results.pairs(), truth.pairs()) << name;
+  }
+}
+
+TEST(Differential, EpsilonLatticeMatchesBruteForce) {
+  // A 6x6 lattice with spacing exactly eps: every lateral neighbor sits
+  // at distance == eps and every point on a cell corner — the maximal
+  // boundary-condition stress for the grid.
+  Dataset ds(2);
+  const double eps = 0.25;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      const double p[] = {i * eps, j * eps};
+      ds.push_back(p);
+    }
+  }
+  const ResultSet truth = brute_force_join(ds, eps);
+  for (auto& [name, cfg] : all_variants(eps)) {
+    cfg.store_pairs = true;
+    const SelfJoinOutput out = self_join(ds, cfg);
+    ASSERT_EQ(out.results.pairs().size(), truth.pairs().size()) << name;
+    EXPECT_EQ(out.results.pairs(), truth.pairs()) << name;
+  }
+}
+
+TEST(Differential, EmptyDatasetThrowsEverywhere) {
+  const Dataset empty(2);
+  for (auto& [name, cfg] : all_variants(0.1)) {
+    EXPECT_THROW((void)self_join(empty, cfg), CheckError) << name;
+  }
+  JoinService svc;
+  const auto sd = svc.attach(empty);
+  EXPECT_THROW((void)svc.run(*sd, SelfJoinConfig::combined(0.1)), CheckError);
+}
+
+TEST(Differential, SinglePointYieldsOnlySelfPair) {
+  Dataset ds(3);
+  const double p[] = {1.0, 2.0, 3.0};
+  ds.push_back(p);
+  for (auto& [name, cfg] : all_variants(0.5)) {
+    cfg.store_pairs = true;
+    const SelfJoinOutput out = self_join(ds, cfg);
+    ASSERT_EQ(out.results.pairs().size(), 1u) << name;
+    EXPECT_EQ(out.results.pairs()[0], ResultPair(0, 0)) << name;
+  }
+}
+
+TEST(Differential, PairAtExactlyEpsilonIsIncluded) {
+  // dist == eps must be inside (<=, not <) for every variant.
+  Dataset ds(2);
+  const double a[] = {0.0, 0.0};
+  const double b[] = {0.25, 0.0};
+  ds.push_back(a);
+  ds.push_back(b);
+  for (auto& [name, cfg] : all_variants(0.25)) {
+    cfg.store_pairs = true;
+    const SelfJoinOutput out = self_join(ds, cfg);
+    EXPECT_EQ(out.results.pairs().size(), 4u) << name;  // 2 self + (0,1)+(1,0)
+  }
+}
+
+}  // namespace
+}  // namespace gsj

@@ -11,18 +11,29 @@
 //                   [--variants combined,workqueue] [--out sweep.json]
 //                   [--per-call-baseline]
 //                   (multi-epsilon x multi-variant grid through ONE
-//                   JoinEngine: grids/workloads/estimates are cached
-//                   across cells; the JSON reports per-run host_prep vs
-//                   kernel seconds and the engine's sj.cache.* counters)
+//                   shared JoinService: grids/workloads/estimates are
+//                   cached across cells; the JSON reports per-run
+//                   host_prep vs kernel seconds and the sj.cache.*
+//                   counters)
+//   sjtool serve    --input data.bin (--requests reqs.txt | --stress N)
+//                   [--workers W] [--verify] [--out serve.json]
+//                   (concurrent serving through one JoinService:
+//                   priority/deadline admission, cooperative
+//                   cancellation, svc.* metrics; --verify replays every
+//                   completed request serially on a cold engine and
+//                   checks bit-identical results)
 //
 // Variants: gpucalcglobal | unicomp | lidunicomp | sortbywl | workqueue
 //           | combined | superego (superego: join/profile only)
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
@@ -38,13 +49,15 @@
 #include "sj/dbscan.hpp"
 #include "sj/engine.hpp"
 #include "sj/selfjoin.hpp"
+#include "sj/service.hpp"
 #include "superego/super_ego.hpp"
 
 namespace {
 
 int usage() {
   std::cout <<
-      "usage: sjtool <generate|info|join|dbscan|profile|sweep> [--flags]\n"
+      "usage: sjtool <generate|info|join|dbscan|profile|sweep|serve>"
+      " [--flags]\n"
       "  generate --dataset <Table-I name> [--n N] [--seed S] --out F\n"
       "  info     --input F\n"
       "  join     --input F --epsilon E [--variant V] [--k K]\n"
@@ -60,11 +73,22 @@ int usage() {
       "           --epsilons E1,E2,... [--variants V1,V2,...] [--sms N]\n"
       "           [--host-threads T] [--out F.json] [--per-call-baseline]\n"
       "           runs the full epsilon x variant grid through one\n"
-      "           JoinEngine (plan artifacts cached across cells) and\n"
-      "           writes a JSON report: per-run host_prep/kernel seconds\n"
-      "           plus the engine's sj.cache.* hit/miss/evict counters;\n"
-      "           --per-call-baseline also times each cell through the\n"
-      "           one-shot path for comparison\n"
+      "           shared JoinService (plan artifacts cached across\n"
+      "           cells) and writes a JSON report: per-run\n"
+      "           host_prep/kernel seconds plus the sj.cache.*\n"
+      "           hit/miss/evict counters; --per-call-baseline also\n"
+      "           times each cell through the one-shot path\n"
+      "  serve    (--input F | --dataset <name> [--n N] [--seed S])\n"
+      "           (--requests F | --stress N) [--workers W]\n"
+      "           [--queue-depth Q] [--sms N] [--host-threads T]\n"
+      "           [--verify] [--out F.json]\n"
+      "           serves requests concurrently through one JoinService;\n"
+      "           a requests file has one request per line as key=value\n"
+      "           tokens (epsilon= variant= k= priority= deadline-ms=\n"
+      "           cancel-ms=; # starts a comment), --stress generates N\n"
+      "           seeded random requests with occasional cancellations;\n"
+      "           --verify replays every completed request serially on\n"
+      "           a cold engine and checks results are bit-identical\n"
       "--host-threads runs the simulator on T host worker threads\n"
       "(0 = sequential; results and traces are identical either way)\n"
       "variants: gpucalcglobal unicomp lidunicomp sortbywl workqueue\n"
@@ -371,15 +395,15 @@ int cmd_sweep(gsj::Cli& cli) {
       "also run every cell through the one-shot self_join for comparison");
   const std::string out_path = cli.get("out", "sweep.json", "JSON report path");
 
-  gsj::obs::Registry engine_metrics;
-  gsj::EngineConfig ecfg;
-  ecfg.metrics = &engine_metrics;
+  gsj::obs::Registry svc_metrics;
+  gsj::ServiceConfig scfg;
+  scfg.metrics = &svc_metrics;
   // Bound large enough for the whole grid so the sweep itself measures
   // reuse, not eviction; eviction behaviour has its own tests.
-  ecfg.max_cached_grids = std::max<std::size_t>(4, epsilons.size());
-  ecfg.max_cached_plans = std::max<std::size_t>(8, 3 * epsilons.size());
-  gsj::JoinEngine engine(ecfg);
-  gsj::PreparedDataset prep = engine.prepare(ds);
+  scfg.max_cached_grids = std::max<std::size_t>(4, epsilons.size());
+  scfg.max_cached_plans = std::max<std::size_t>(8, 3 * epsilons.size());
+  gsj::JoinService svc(scfg);
+  const auto sd = svc.attach(ds);
 
   struct Row {
     double eps = 0.0;
@@ -410,7 +434,7 @@ int cmd_sweep(gsj::Cli& cli) {
       row.variant = variant;
       row.name = cfg.name();
       gsj::Timer wall;
-      auto out = engine.run(prep, cfg);
+      auto out = svc.run(*sd, cfg);
       row.wall = wall.seconds();
       row.pairs = out.stats.result_pairs;
       row.batches = out.stats.num_batches;
@@ -418,7 +442,7 @@ int cmd_sweep(gsj::Cli& cli) {
       row.host_prep = out.stats.host_prep_seconds;
       row.kernel = out.stats.kernel_seconds;
       row.total = out.stats.total_seconds;
-      engine.recycle(std::move(out));
+      svc.recycle(std::move(out));
       eng_prep_total += row.host_prep;
       eng_kernel_total += row.kernel;
       eng_wall_total += row.wall;
@@ -444,7 +468,7 @@ int cmd_sweep(gsj::Cli& cli) {
   }
 
   const auto cache = [&](const char* name) {
-    return engine_metrics.counter(name).value();
+    return svc_metrics.counter(name).value();
   };
   std::ofstream f(out_path);
   GSJ_CHECK_MSG(f.good(), "cannot open " << out_path);
@@ -501,6 +525,256 @@ int cmd_sweep(gsj::Cli& cli) {
   return 0;
 }
 
+/// One serve-mode request: the service request plus tool-side driver
+/// knobs (when to fire the cooperative cancel).
+struct ServeRequest {
+  std::string variant = "combined";
+  double epsilon = 0.0;
+  int k = 0;  ///< 0 = the variant's default
+  gsj::JoinRequest jr;
+  double cancel_after_ms = -1.0;  ///< <0 = never cancelled
+};
+
+/// Parses "epsilon=0.02 variant=combined priority=1 deadline-ms=50
+/// cancel-ms=5" (any subset; unknown keys are errors).
+ServeRequest parse_request_line(const std::string& line) {
+  ServeRequest r;
+  std::stringstream ss(line);
+  std::string tok;
+  while (ss >> tok) {
+    const auto eq = tok.find('=');
+    GSJ_CHECK_MSG(eq != std::string::npos, "malformed token '" << tok
+                      << "' (want key=value)");
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    if (key == "epsilon") {
+      r.epsilon = std::stod(val);
+    } else if (key == "variant") {
+      r.variant = val;
+    } else if (key == "k") {
+      r.k = std::stoi(val);
+    } else if (key == "priority") {
+      r.jr.priority = std::stoi(val);
+    } else if (key == "deadline-ms") {
+      r.jr.deadline_seconds = std::stod(val) / 1e3;
+    } else if (key == "cancel-ms") {
+      r.cancel_after_ms = std::stod(val);
+    } else {
+      GSJ_CHECK_MSG(false, "unknown request key '" << key << "'");
+    }
+  }
+  GSJ_CHECK_MSG(r.epsilon > 0.0, "request needs epsilon=E > 0: " << line);
+  return r;
+}
+
+int cmd_serve(gsj::Cli& cli) {
+  // Dataset: an existing .bin, or generated in-process.
+  const std::string input = cli.get("input", "", "input dataset (.bin)");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1, ""));
+  gsj::Dataset ds = [&] {
+    if (!input.empty()) return gsj::load_binary(input);
+    const std::string name =
+        cli.get("dataset", "Expo2D2M", "Table I dataset to generate");
+    const auto n = static_cast<std::size_t>(
+        cli.get_int("n", 20000, "points (0 = spec default)"));
+    return gsj::make_dataset(name, n, seed);
+  }();
+
+  const std::string requests_path =
+      cli.get("requests", "", "requests file (key=value lines)");
+  const int stress = static_cast<int>(cli.get_int(
+      "stress", 0, "generate N seeded random requests instead of a file"));
+  GSJ_CHECK_MSG(!requests_path.empty() || stress > 0,
+                "--requests or --stress is required");
+  const auto workers = static_cast<std::size_t>(
+      cli.get_int("workers", 4, "service worker threads"));
+  const auto queue_depth = static_cast<std::size_t>(
+      cli.get_int("queue-depth", 256, "admission queue bound"));
+  const int sms = static_cast<int>(
+      cli.get_int("sms", 0, "modeled SMs (0 = default)"));
+  const int host_threads = static_cast<int>(
+      cli.get_int("host-threads", 0, "host worker threads (0 = sequential)"));
+  const bool verify = cli.get_bool(
+      "verify", false,
+      "replay completed requests serially on a cold engine and compare");
+  const std::string out_path = cli.get("out", "", "JSON report path");
+  gsj::BatchingConfig batching;
+  apply_batching_flags(cli, batching);
+
+  // --- assemble the request list ---
+  std::vector<ServeRequest> reqs;
+  if (!requests_path.empty()) {
+    std::ifstream f(requests_path);
+    GSJ_CHECK_MSG(f.good(), "cannot open " << requests_path);
+    std::string line;
+    while (std::getline(f, line)) {
+      const auto first = line.find_first_not_of(" \t");
+      if (first == std::string::npos || line[first] == '#') continue;
+      reqs.push_back(parse_request_line(line));
+    }
+  } else {
+    // Seeded random mix: every variant, a few epsilons, three priority
+    // classes, ~1/8 of requests cancelled shortly after submission.
+    const std::vector<std::string> kVariants = {
+        "gpucalcglobal", "unicomp", "lidunicomp",
+        "sortbywl",      "workqueue", "combined"};
+    const std::vector<double> kEpsilons = {0.01, 0.02, 0.04};
+    std::mt19937_64 rng(seed);
+    for (int i = 0; i < stress; ++i) {
+      ServeRequest r;
+      r.variant = kVariants[rng() % kVariants.size()];
+      r.epsilon = kEpsilons[rng() % kEpsilons.size()];
+      r.jr.priority = static_cast<int>(rng() % 3);
+      if (rng() % 8 == 0) {
+        r.cancel_after_ms = static_cast<double>(rng() % 20);
+      }
+      reqs.push_back(std::move(r));
+    }
+  }
+  GSJ_CHECK_MSG(!reqs.empty(), "no requests to serve");
+
+  // Resolve each request's join configuration.
+  std::vector<gsj::SelfJoinConfig> cfgs(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    ServeRequest& r = reqs[i];
+    GSJ_CHECK_MSG(make_gpu_config(r.variant, r.epsilon, cfgs[i]),
+                  "unknown variant: " << r.variant);
+    if (r.k > 0) cfgs[i].k = r.k;
+    if (sms > 0) cfgs[i].device.num_sms = sms;
+    cfgs[i].device.host.num_threads = host_threads;
+    cfgs[i].batching = batching;
+    cfgs[i].store_pairs = verify;  // pair-level comparison needs pairs
+    cfgs[i].collect_diagnostics = false;
+    r.jr.config = cfgs[i];
+  }
+
+  gsj::obs::Registry metrics;
+  gsj::ServiceConfig scfg;
+  scfg.workers = workers;
+  scfg.max_queue_depth = queue_depth;
+  scfg.metrics = &metrics;
+  gsj::JoinService svc(scfg);
+  const auto sd = svc.attach(ds);
+
+  gsj::Timer wall;
+  std::vector<gsj::JoinService::Ticket> tickets;
+  tickets.reserve(reqs.size());
+  for (auto& r : reqs) tickets.push_back(svc.submit(sd, r.jr));
+
+  // Fire the scheduled cancellations in time order.
+  std::vector<std::pair<double, std::size_t>> cancels;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i].cancel_after_ms >= 0.0) {
+      cancels.emplace_back(reqs[i].cancel_after_ms, i);
+    }
+  }
+  std::sort(cancels.begin(), cancels.end());
+  for (const auto& [ms, idx] : cancels) {
+    const double remaining = ms - wall.seconds() * 1e3;
+    if (remaining > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          remaining));
+    }
+    tickets[idx].cancel();
+  }
+
+  std::vector<gsj::JoinResponse> responses;
+  responses.reserve(tickets.size());
+  for (auto& t : tickets) responses.push_back(t.get());
+  const double total_wall = wall.seconds();
+
+  std::size_t n_ok = 0, n_rejected = 0, n_expired = 0, n_cancelled = 0,
+              n_failed = 0;
+  for (const auto& r : responses) {
+    switch (r.status) {
+      case gsj::JoinStatus::Ok: ++n_ok; break;
+      case gsj::JoinStatus::Rejected: ++n_rejected; break;
+      case gsj::JoinStatus::Expired: ++n_expired; break;
+      case gsj::JoinStatus::Cancelled: ++n_cancelled; break;
+      case gsj::JoinStatus::Failed: ++n_failed; break;
+    }
+  }
+
+  // --- serial cold-engine replay: the service's correctness bar ---
+  std::size_t verified = 0;
+  if (verify) {
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      if (responses[i].status != gsj::JoinStatus::Ok) continue;
+      gsj::JoinEngine cold;  // fresh caches per request: truly cold
+      const auto ref = cold.self_join(ds, cfgs[i]);
+      const auto& got = responses[i].output;
+      GSJ_CHECK_MSG(got.stats.result_pairs == ref.stats.result_pairs &&
+                        got.stats.num_batches == ref.stats.num_batches &&
+                        got.stats.kernel_seconds == ref.stats.kernel_seconds,
+                    "request " << i << " (" << reqs[i].variant << " eps="
+                               << reqs[i].epsilon
+                               << "): stats differ from cold replay");
+      const auto& gp = got.results.pairs();
+      const auto& rp = ref.results.pairs();
+      GSJ_CHECK_MSG(gp.size() == rp.size() &&
+                        std::equal(gp.begin(), gp.end(), rp.begin()),
+                    "request " << i << " (" << reqs[i].variant << " eps="
+                               << reqs[i].epsilon
+                               << "): pairs differ from cold replay");
+      ++verified;
+    }
+  }
+
+  const auto pct = [&](const char* name, double q) {
+    return metrics.cycle_histogram(name).percentile(q);
+  };
+  std::cout << "served " << responses.size() << " requests in " << total_wall
+            << " s on " << workers << " workers: " << n_ok << " ok, "
+            << n_rejected << " rejected, " << n_expired << " expired, "
+            << n_cancelled << " cancelled, " << n_failed << " failed\n"
+            << "queue wait p50/p95: " << pct("svc.wait_us", 50) << "/"
+            << pct("svc.wait_us", 95) << " us, service p50/p95: "
+            << pct("svc.service_us", 50) << "/" << pct("svc.service_us", 95)
+            << " us\n"
+            << "cache: " << metrics.counter("sj.cache.hits").value()
+            << " hits, " << metrics.counter("sj.cache.misses").value()
+            << " misses\n";
+  if (verify) {
+    std::cout << "verify: " << verified
+              << " completed request(s) bit-identical to serial cold-engine "
+                 "replay\n";
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    GSJ_CHECK_MSG(f.good(), "cannot open " << out_path);
+    f.precision(17);
+    f << "{\n  \"dataset\": {\"n\": " << ds.size()
+      << ", \"dims\": " << ds.dims() << "},\n  \"workers\": " << workers
+      << ",\n  \"host_threads\": " << host_threads
+      << ",\n  \"requests\": [\n";
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      const auto& r = responses[i];
+      f << "    {\"epsilon\": " << reqs[i].epsilon << ", \"variant\": \""
+        << reqs[i].variant << "\", \"priority\": " << reqs[i].jr.priority
+        << ", \"status\": \"" << gsj::to_string(r.status)
+        << "\", \"pairs\": " << r.output.stats.result_pairs
+        << ", \"wait_seconds\": " << r.wait_seconds
+        << ", \"service_seconds\": " << r.service_seconds << "}"
+        << (i + 1 < responses.size() ? "," : "") << "\n";
+    }
+    f << "  ],\n  \"summary\": {\"wall_seconds\": " << total_wall
+      << ", \"ok\": " << n_ok << ", \"rejected\": " << n_rejected
+      << ", \"expired\": " << n_expired << ", \"cancelled\": " << n_cancelled
+      << ", \"failed\": " << n_failed << ", \"verified\": " << verified
+      << ", \"wait_us_p50\": " << pct("svc.wait_us", 50)
+      << ", \"wait_us_p95\": " << pct("svc.wait_us", 95)
+      << ", \"service_us_p50\": " << pct("svc.service_us", 50)
+      << ", \"service_us_p95\": " << pct("svc.service_us", 95)
+      << "},\n  \"cache\": {\"hits\": "
+      << metrics.counter("sj.cache.hits").value() << ", \"misses\": "
+      << metrics.counter("sj.cache.misses").value() << ", \"evictions\": "
+      << metrics.counter("sj.cache.evictions").value() << "}\n}\n";
+    std::cout << "report: " << out_path << "\n";
+  }
+  return n_failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -514,6 +788,7 @@ int main(int argc, char** argv) {
     if (cmd == "dbscan") return cmd_dbscan(cli);
     if (cmd == "profile") return cmd_profile(cli);
     if (cmd == "sweep") return cmd_sweep(cli);
+    if (cmd == "serve") return cmd_serve(cli);
   } catch (const gsj::OverflowError& e) {
     // Recoverable-in-principle resource failure: the message already
     // names the knobs to raise (docs/ROBUSTNESS.md). Distinct exit code
