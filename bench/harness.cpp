@@ -152,7 +152,7 @@ EngineConfig bench_engine_config(obs::Registry* metrics) {
   EngineConfig ecfg;
   ecfg.max_cached_grids = 16;
   ecfg.max_cached_plans = 48;
-  ecfg.metrics = metrics;
+  ecfg.obs.metrics = metrics;
   return ecfg;
 }
 

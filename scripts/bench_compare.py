@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare two `sjtool serve` JSON reports and fail on regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.15]
+
+Gates (relative, against the baseline value):
+  * summary.kernel_seconds_p50  -- median per-request kernel seconds may
+    not grow by more than the tolerance (execution-model regression);
+  * summary.cache_hit_ratio     -- the shared-cache hit ratio may not
+    drop by more than the tolerance (plan-reuse regression).
+
+The tolerance (default 15%) deliberately absorbs run-to-run noise from
+cancellation timing: which requests of a --stress mix get cancelled
+mid-flight shifts both the Ok population and the hit ratio slightly.
+
+Reports produced before these summary keys existed (or baselines from a
+different tool version) are tolerated: a missing key on either side is
+reported as a note and skipped, never a failure — the gate only fires
+on a measured, comparable regression. Exit status: 0 = pass, 1 =
+regression, 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_summary(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        print(f"bench_compare: {path} has no summary object", file=sys.stderr)
+        sys.exit(2)
+    return summary
+
+
+def pick(summary, key, path):
+    v = summary.get(key)
+    if isinstance(v, (int, float)):
+        return float(v)
+    print(f"note: {path} lacks summary.{key}; skipping that gate")
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed relative regression (default 0.15)")
+    args = ap.parse_args()
+
+    base = load_summary(args.baseline)
+    cand = load_summary(args.candidate)
+    tol = args.tolerance
+    failures = []
+
+    # Median kernel seconds: higher is worse.
+    bk = pick(base, "kernel_seconds_p50", args.baseline)
+    ck = pick(cand, "kernel_seconds_p50", args.candidate)
+    if bk is not None and ck is not None:
+        if bk > 0 and ck > bk * (1.0 + tol):
+            failures.append(
+                f"kernel_seconds_p50 regressed: {bk:.6g} -> {ck:.6g} "
+                f"(+{(ck / bk - 1.0) * 100.0:.1f}%, tolerance "
+                f"{tol * 100.0:.0f}%)")
+        else:
+            print(f"kernel_seconds_p50: {bk:.6g} -> {ck:.6g} ok")
+
+    # Cache hit ratio: lower is worse.
+    bh = pick(base, "cache_hit_ratio", args.baseline)
+    ch = pick(cand, "cache_hit_ratio", args.candidate)
+    if bh is not None and ch is not None:
+        if bh > 0 and ch < bh * (1.0 - tol):
+            failures.append(
+                f"cache_hit_ratio regressed: {bh:.4f} -> {ch:.4f} "
+                f"(-{(1.0 - ch / bh) * 100.0:.1f}%, tolerance "
+                f"{tol * 100.0:.0f}%)")
+        else:
+            print(f"cache_hit_ratio: {bh:.4f} -> {ch:.4f} ok")
+
+    for f in failures:
+        print(f"REGRESSION: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -148,6 +148,15 @@ class GridIndex {
     return v;
   }
 
+  /// Approximate heap footprint of the index (cell array + the three
+  /// per-point vectors); feeds JoinService cache accounting.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return cells_.capacity() * sizeof(GridCell) +
+           point_ids_.capacity() * sizeof(PointId) +
+           point_cell_.capacity() * sizeof(std::uint32_t) +
+           point_rank_.capacity() * sizeof(std::uint32_t);
+  }
+
  private:
   const Dataset* ds_;
   double epsilon_;

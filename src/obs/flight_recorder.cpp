@@ -1,0 +1,69 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace gsj::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity_per_shard,
+                               std::size_t shards)
+    : capacity_(std::max<std::size_t>(1, capacity_per_shard)),
+      shards_(std::max<std::size_t>(1, shards)) {
+  for (auto& s : shards_) s.ring = std::make_unique<Slot[]>(capacity_);
+}
+
+FlightRecorder::Shard& FlightRecorder::shard_for_thread() noexcept {
+  // Each thread claims a shard index once (round-robin over the shard
+  // set) and keeps it; threads only ever contend on a shard when more
+  // threads than shards record concurrently.
+  thread_local std::uint64_t assigned = ~0ull;
+  if (assigned == ~0ull) {
+    assigned = next_shard_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return shards_[assigned % shards_.size()];
+}
+
+void FlightRecorder::record(const char* name, std::uint64_t request_id,
+                            std::uint64_t value) noexcept {
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Shard& sh = shard_for_thread();
+  const std::uint64_t idx =
+      sh.head.fetch_add(1, std::memory_order_relaxed) % capacity_;
+  Slot& slot = sh.ring[idx];
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.request.store(request_id, std::memory_order_relaxed);
+  slot.value.store(value, std::memory_order_relaxed);
+  // Publish last: a reader that sees this seq sees the fields above
+  // (exactly, once writers quiesce; best-effort under concurrency).
+  slot.seq.store(seq, std::memory_order_release);
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::snapshot() const {
+  std::vector<Event> out;
+  for (const Shard& sh : shards_) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      const Slot& s = sh.ring[i];
+      Event e;
+      e.seq = s.seq.load(std::memory_order_acquire);
+      if (e.seq == 0) continue;  // never written
+      e.request_id = s.request.load(std::memory_order_relaxed);
+      e.value = s.value.load(std::memory_order_relaxed);
+      e.name = s.name.load(std::memory_order_relaxed);
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& os, std::uint64_t request_id) const {
+  for (const Event& e : snapshot()) {
+    if (request_id != 0 && e.request_id != request_id) continue;
+    os << "req=" << e.request_id << ' '
+       << (e.name != nullptr ? e.name : "(null)") << " value=" << e.value
+       << '\n';
+  }
+}
+
+}  // namespace gsj::obs

@@ -10,6 +10,117 @@
 
 namespace gsj::obs {
 
+namespace {
+
+[[nodiscard]] bool base_char_ok(char c, bool first) noexcept {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == '.' || c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+[[nodiscard]] bool label_key_char_ok(char c, bool first) noexcept {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+[[nodiscard]] bool label_value_char_ok(char c) noexcept {
+  return c != '{' && c != '}' && c != ',' && c != '"' && c != '\\';
+}
+
+/// Lock-free accumulate for the FixedHistogram observation sum.
+void add_double(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool is_valid_metric_name(std::string_view name) noexcept {
+  const std::size_t brace = name.find('{');
+  const std::string_view base = name.substr(0, brace);
+  if (base.empty()) return false;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (!base_char_ok(base[i], i == 0)) return false;
+  }
+  if (brace == std::string_view::npos) return true;
+  std::string_view rest = name.substr(brace + 1);
+  if (rest.empty() || rest.back() != '}') return false;
+  rest.remove_suffix(1);
+  if (rest.find('{') != std::string_view::npos) return false;
+  // k=v pairs, comma separated.
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view pair = rest.substr(0, comma);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || eq == 0) return false;
+    const std::string_view key = pair.substr(0, eq);
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      if (!label_key_char_ok(key[i], i == 0)) return false;
+    }
+    for (const char c : pair.substr(eq + 1)) {
+      if (!label_value_char_ok(c)) return false;
+    }
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return true;
+}
+
+std::string sanitize_metric_name(std::string_view name) {
+  if (is_valid_metric_name(name)) return std::string(name);
+  std::string out;
+  out.reserve(name.size());
+  const std::size_t brace = name.find('{');
+  const std::string_view base = name.substr(0, brace);
+  if (base.empty()) {
+    out += '_';
+  } else {
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      out += base_char_ok(base[i], i == 0) ? base[i] : '_';
+    }
+  }
+  if (brace == std::string_view::npos) return out;
+  const std::string_view rest = name.substr(brace);
+  // Keep a well-formed {k=v,...} block (sanitizing each key/value
+  // character); anything structurally broken folds into the base.
+  if (rest.size() >= 2 && rest.back() == '}' &&
+      rest.find('{', 1) == std::string_view::npos) {
+    out += '{';
+    bool key = true;    // scanning a key (vs a value)
+    bool first = true;  // first char of the current key
+    for (const char c : rest.substr(1, rest.size() - 2)) {
+      if (key && c == '=') {
+        out += '=';
+        key = false;
+        continue;
+      }
+      if (!key && c == ',') {
+        out += ',';
+        key = true;
+        first = true;
+        continue;
+      }
+      if (key) {
+        out += label_key_char_ok(c, first) ? c : '_';
+        first = false;
+      } else {
+        out += label_value_char_ok(c) ? c : '_';
+      }
+    }
+    out += '}';
+    return out;
+  }
+  for (const char c : rest) {
+    out += base_char_ok(c, false) ? c : '_';
+  }
+  return out;
+}
+
 std::string labeled(
     std::string_view name,
     std::initializer_list<std::pair<std::string_view, std::string_view>>
@@ -40,6 +151,7 @@ FixedHistogram::FixedHistogram(double lo, double hi, std::size_t nbuckets)
 }
 
 void FixedHistogram::observe(double x) noexcept {
+  add_double(sum_, x);
   if (x < lo_) {
     underflow_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -84,6 +196,7 @@ void FixedHistogram::merge_from(const FixedHistogram& other) noexcept {
   }
   underflow_.fetch_add(other.underflow(), std::memory_order_relaxed);
   overflow_.fetch_add(other.overflow(), std::memory_order_relaxed);
+  add_double(sum_, other.sum());
 }
 
 // --- CycleHistogram ---------------------------------------------------------
@@ -179,33 +292,49 @@ void CycleHistogram::merge_from(const CycleHistogram& other) noexcept {
 
 // --- Registry ---------------------------------------------------------------
 
+namespace {
+
+/// Registration-time name hygiene: assert in debug, sanitize in
+/// release (a conforming name passes through unchanged either way).
+std::string normalize_name(std::string_view name) {
+#ifndef NDEBUG
+  GSJ_CHECK_MSG(is_valid_metric_name(name),
+                "metric name '" << name
+                                << "' violates the OpenMetrics charset");
+#endif
+  return sanitize_metric_name(name);
+}
+
+}  // namespace
+
 Counter& Registry::counter(std::string_view name) {
+  const std::string key = normalize_name(name);
   std::lock_guard lk(mu_);
-  auto it = counters_.find(name);
+  auto it = counters_.find(key);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
-             .first;
+    it = counters_.emplace(key, std::make_unique<Counter>()).first;
   }
   return *it->second;
 }
 
 Gauge& Registry::gauge(std::string_view name) {
+  const std::string key = normalize_name(name);
   std::lock_guard lk(mu_);
-  auto it = gauges_.find(name);
+  auto it = gauges_.find(key);
   if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    it = gauges_.emplace(key, std::make_unique<Gauge>()).first;
   }
   return *it->second;
 }
 
 FixedHistogram& Registry::histogram(std::string_view name, double lo,
                                     double hi, std::size_t nbuckets) {
+  const std::string key = normalize_name(name);
   std::lock_guard lk(mu_);
-  auto it = hists_.find(name);
+  auto it = hists_.find(key);
   if (it == hists_.end()) {
     it = hists_
-             .emplace(std::string(name),
-                      std::make_unique<FixedHistogram>(lo, hi, nbuckets))
+             .emplace(key, std::make_unique<FixedHistogram>(lo, hi, nbuckets))
              .first;
   } else {
     GSJ_CHECK_MSG(it->second->lo() == lo && it->second->hi() == hi &&
@@ -217,11 +346,21 @@ FixedHistogram& Registry::histogram(std::string_view name, double lo,
 }
 
 CycleHistogram& Registry::cycle_histogram(std::string_view name) {
+  const std::string key = normalize_name(name);
   std::lock_guard lk(mu_);
-  auto it = cycles_.find(name);
+  auto it = cycles_.find(key);
   if (it == cycles_.end()) {
-    it = cycles_.emplace(std::string(name), std::make_unique<CycleHistogram>())
-             .first;
+    it = cycles_.emplace(key, std::make_unique<CycleHistogram>()).first;
+  }
+  return *it->second;
+}
+
+TimeHistogram& Registry::time_histogram(std::string_view name) {
+  const std::string key = normalize_name(name);
+  std::lock_guard lk(mu_);
+  auto it = times_.find(key);
+  if (it == times_.end()) {
+    it = times_.emplace(key, std::make_unique<TimeHistogram>()).first;
   }
   return *it->second;
 }
@@ -233,6 +372,7 @@ void Registry::merge_from(const Registry& other) {
   std::vector<std::pair<std::string, std::pair<bool, double>>> gauges;
   std::vector<std::pair<std::string, const FixedHistogram*>> hists;
   std::vector<std::pair<std::string, const CycleHistogram*>> cycles;
+  std::vector<std::pair<std::string, const TimeHistogram*>> times;
   {
     std::lock_guard lk(other.mu_);
     for (const auto& [k, v] : other.counters_) counters.emplace_back(k, v->value());
@@ -241,6 +381,7 @@ void Registry::merge_from(const Registry& other) {
     }
     for (const auto& [k, v] : other.hists_) hists.emplace_back(k, v.get());
     for (const auto& [k, v] : other.cycles_) cycles.emplace_back(k, v.get());
+    for (const auto& [k, v] : other.times_) times.emplace_back(k, v.get());
   }
   for (const auto& [k, v] : counters) counter(k).add(v);
   for (const auto& [k, sv] : gauges) {
@@ -250,11 +391,13 @@ void Registry::merge_from(const Registry& other) {
     histogram(k, h->lo(), h->hi(), h->buckets()).merge_from(*h);
   }
   for (const auto& [k, h] : cycles) cycle_histogram(k).merge_from(*h);
+  for (const auto& [k, h] : times) time_histogram(k).merge_from(*h);
 }
 
 std::size_t Registry::size() const {
   std::lock_guard lk(mu_);
-  return counters_.size() + gauges_.size() + hists_.size() + cycles_.size();
+  return counters_.size() + gauges_.size() + hists_.size() + cycles_.size() +
+         times_.size();
 }
 
 void Registry::write_json(std::ostream& os) const {
@@ -287,6 +430,17 @@ void Registry::write_json(std::ostream& os) const {
     w.key("p50").value(h->percentile(50));
     w.key("p95").value(h->percentile(95));
     w.key("p99").value(h->percentile(99));
+    w.end_object();
+  }
+  for (const auto& [k, h] : times_) {
+    w.key(k).begin_object();
+    w.key("total").value(h->total());
+    w.key("min").value(h->min_seconds());
+    w.key("max").value(h->max_seconds());
+    w.key("mean").value(h->mean_seconds());
+    w.key("p50").value(h->percentile_seconds(50));
+    w.key("p95").value(h->percentile_seconds(95));
+    w.key("p99").value(h->percentile_seconds(99));
     w.end_object();
   }
   w.end_object();  // "histograms"
@@ -323,6 +477,156 @@ void Registry::write_csv(std::ostream& os) const {
     os << "cycle_histogram," << k << ",p95," << h->percentile(95) << '\n';
     os << "cycle_histogram," << k << ",p99," << h->percentile(99) << '\n';
   }
+  for (const auto& [k, h] : times_) {
+    os << "time_histogram," << k << ",total," << h->total() << '\n';
+    os << "time_histogram," << k << ",min,"
+       << json::format_double(h->min_seconds()) << '\n';
+    os << "time_histogram," << k << ",max,"
+       << json::format_double(h->max_seconds()) << '\n';
+    os << "time_histogram," << k << ",mean,"
+       << json::format_double(h->mean_seconds()) << '\n';
+    os << "time_histogram," << k << ",p50,"
+       << json::format_double(h->percentile_seconds(50)) << '\n';
+    os << "time_histogram," << k << ",p95,"
+       << json::format_double(h->percentile_seconds(95)) << '\n';
+    os << "time_histogram," << k << ",p99,"
+       << json::format_double(h->percentile_seconds(99)) << '\n';
+  }
+}
+
+// --- OpenMetrics exposition -------------------------------------------------
+
+namespace {
+
+/// Splits a registry key into its mangled family name (dots ->
+/// underscores) and its label block rendered with quoted values
+/// ('k=v,...' -> 'k="v",...'; empty for unlabeled keys).
+struct ExpoName {
+  std::string family;
+  std::string labels;  ///< rendered pairs, no braces
+};
+
+ExpoName expo_name(std::string_view key) {
+  ExpoName out;
+  const std::size_t brace = key.find('{');
+  const std::string_view base = key.substr(0, brace);
+  out.family.reserve(base.size());
+  for (const char c : base) out.family += c == '.' ? '_' : c;
+  if (brace == std::string_view::npos) return out;
+  std::string_view rest = key.substr(brace + 1);
+  if (!rest.empty() && rest.back() == '}') rest.remove_suffix(1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view pair = rest.substr(0, comma);
+    const std::size_t eq = pair.find('=');
+    if (!out.labels.empty()) out.labels += ',';
+    if (eq == std::string_view::npos) {
+      out.labels += pair;
+      out.labels += "=\"\"";
+    } else {
+      out.labels += pair.substr(0, eq);
+      out.labels += "=\"";
+      out.labels += pair.substr(eq + 1);
+      out.labels += '"';
+    }
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+/// "name{labels}" or "name{labels,extra}" — `extra` is a pre-rendered
+/// pair like quantile="0.5" appended after the key's own labels.
+std::string expo_series(const ExpoName& n, std::string_view suffix,
+                        std::string_view extra = {}) {
+  std::string out = n.family;
+  out += suffix;
+  if (n.labels.empty() && extra.empty()) return out;
+  out += '{';
+  out += n.labels;
+  if (!extra.empty()) {
+    if (!n.labels.empty()) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+/// Emits one "# TYPE <family> <type>" line when the family changes
+/// (map order keeps equal-base keys adjacent, so each family's samples
+/// stay grouped as the exposition format requires).
+void type_line(std::ostream& os, std::string& last, const std::string& family,
+               const char* type) {
+  if (family == last) return;
+  os << "# TYPE " << family << ' ' << type << '\n';
+  last = family;
+}
+
+}  // namespace
+
+void Registry::write_openmetrics(std::ostream& os) const {
+  std::lock_guard lk(mu_);
+  std::string last_family;
+  for (const auto& [k, v] : counters_) {
+    const ExpoName n = expo_name(k);
+    type_line(os, last_family, n.family, "counter");
+    os << expo_series(n, "_total") << ' ' << v->value() << '\n';
+  }
+  for (const auto& [k, v] : gauges_) {
+    const ExpoName n = expo_name(k);
+    type_line(os, last_family, n.family, "gauge");
+    os << expo_series(n, "") << ' ' << json::format_double(v->value())
+       << '\n';
+  }
+  for (const auto& [k, h] : hists_) {
+    const ExpoName n = expo_name(k);
+    type_line(os, last_family, n.family, "histogram");
+    // Cumulative le buckets. Underflow values are < lo, hence <= every
+    // finite upper bound, so they seed the running count.
+    std::uint64_t cum = h->underflow();
+    for (std::size_t b = 0; b < h->buckets(); ++b) {
+      cum += h->bucket_count(b);
+      const double upper =
+          h->lo() + (h->hi() - h->lo()) *
+                        (static_cast<double>(b + 1) /
+                         static_cast<double>(h->buckets()));
+      std::string le = "le=\"";
+      le += json::format_double(upper);
+      le += '"';
+      os << expo_series(n, "_bucket", le) << ' ' << cum << '\n';
+    }
+    os << expo_series(n, "_bucket", "le=\"+Inf\"") << ' ' << h->total()
+       << '\n';
+    os << expo_series(n, "_sum") << ' ' << json::format_double(h->sum())
+       << '\n';
+    os << expo_series(n, "_count") << ' ' << h->total() << '\n';
+  }
+  for (const auto& [k, h] : cycles_) {
+    const ExpoName n = expo_name(k);
+    type_line(os, last_family, n.family, "summary");
+    os << expo_series(n, "", "quantile=\"0.5\"") << ' ' << h->percentile(50)
+       << '\n';
+    os << expo_series(n, "", "quantile=\"0.95\"") << ' ' << h->percentile(95)
+       << '\n';
+    os << expo_series(n, "", "quantile=\"0.99\"") << ' ' << h->percentile(99)
+       << '\n';
+    os << expo_series(n, "_sum") << ' ' << h->sum() << '\n';
+    os << expo_series(n, "_count") << ' ' << h->total() << '\n';
+  }
+  for (const auto& [k, h] : times_) {
+    const ExpoName n = expo_name(k);
+    type_line(os, last_family, n.family, "summary");
+    os << expo_series(n, "", "quantile=\"0.5\"")
+       << ' ' << json::format_double(h->percentile_seconds(50)) << '\n';
+    os << expo_series(n, "", "quantile=\"0.95\"")
+       << ' ' << json::format_double(h->percentile_seconds(95)) << '\n';
+    os << expo_series(n, "", "quantile=\"0.99\"")
+       << ' ' << json::format_double(h->percentile_seconds(99)) << '\n';
+    os << expo_series(n, "_sum") << ' '
+       << json::format_double(h->sum_seconds()) << '\n';
+    os << expo_series(n, "_count") << ' ' << h->total() << '\n';
+  }
+  os << "# EOF\n";
 }
 
 }  // namespace gsj::obs

@@ -48,6 +48,19 @@ namespace gsj::obs {
     std::initializer_list<std::pair<std::string_view, std::string_view>>
         labels);
 
+/// True when `name` is a valid registry key: a dot-path base matching
+/// [a-zA-Z_.:][a-zA-Z0-9_.:]* (dots mangle to underscores in the
+/// OpenMetrics exposition) plus an optional well-formed {k=v,...}
+/// label suffix with keys matching [a-zA-Z_][a-zA-Z0-9_]* and values
+/// free of '{' '}' ',' '"' '\'.
+[[nodiscard]] bool is_valid_metric_name(std::string_view name) noexcept;
+
+/// Returns `name` with every charset violation replaced by '_' (label
+/// structure is preserved when well formed). Idempotent; the identity
+/// on valid names. Registration applies this in release builds and
+/// asserts validity in debug builds.
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
 /// Monotonic counter. add() is a relaxed atomic fetch-add.
 class Counter {
  public:
@@ -104,6 +117,11 @@ class FixedHistogram {
     return overflow_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t total() const noexcept;
+  /// Sum of every observed value (under/overflow included) — the
+  /// OpenMetrics `_sum` series.
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
 
   /// Linear-interpolated percentile (q in [0,100]) assuming in-bucket
   /// uniformity; underflow clamps to lo, overflow to hi.
@@ -116,6 +134,7 @@ class FixedHistogram {
   double lo_, hi_, width_;
   std::vector<std::atomic<std::uint64_t>> counts_;
   std::atomic<std::uint64_t> underflow_{0}, overflow_{0};
+  std::atomic<double> sum_{0.0};  ///< CAS-accumulated observation sum
 };
 
 /// HDR-style log-linear histogram over uint64 values (cycles, counts).
@@ -147,6 +166,7 @@ class CycleHistogram {
 
  private:
   friend class Registry;
+  friend class TimeHistogram;
   void merge_from(const CycleHistogram& other) noexcept;
 
   [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) noexcept;
@@ -157,6 +177,56 @@ class CycleHistogram {
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> min_{~0ull};
   std::atomic<std::uint64_t> max_{0};
+
+ public:
+  /// Sum of every recorded value — the OpenMetrics `_sum` series.
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+};
+
+/// Seconds-valued latency histogram: a CycleHistogram over nanoseconds
+/// behind a seconds API, so duration metrics carry the `_seconds` unit
+/// suffix the OpenMetrics naming rules want while keeping the HDR
+/// sketch's bounded relative error (~3.2%) across nine decades.
+class TimeHistogram {
+ public:
+  static constexpr double kMaxRelativeError =
+      CycleHistogram::kMaxRelativeError;
+
+  void observe(double seconds) noexcept {
+    h_.record(to_nanos(seconds));
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return h_.total(); }
+  [[nodiscard]] double min_seconds() const noexcept {
+    return static_cast<double>(h_.min()) * 1e-9;
+  }
+  [[nodiscard]] double max_seconds() const noexcept {
+    return static_cast<double>(h_.max()) * 1e-9;
+  }
+  [[nodiscard]] double mean_seconds() const noexcept {
+    return h_.mean() * 1e-9;
+  }
+  [[nodiscard]] double sum_seconds() const noexcept {
+    return static_cast<double>(h_.sum()) * 1e-9;
+  }
+  /// q in [0,100]; within kMaxRelativeError of the exact quantile.
+  [[nodiscard]] double percentile_seconds(double q) const noexcept {
+    return static_cast<double>(h_.percentile(q)) * 1e-9;
+  }
+
+ private:
+  friend class Registry;
+  void merge_from(const TimeHistogram& other) noexcept {
+    h_.merge_from(other.h_);
+  }
+  [[nodiscard]] static std::uint64_t to_nanos(double seconds) noexcept {
+    if (seconds <= 0.0) return 0;
+    return static_cast<std::uint64_t>(seconds * 1e9);
+  }
+
+  CycleHistogram h_;
 };
 
 /// Owns instruments by name. Lookup/registration is mutex-guarded;
@@ -167,11 +237,16 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
+  // Registration validates names against the OpenMetrics charset
+  // (is_valid_metric_name): debug builds throw CheckError on a
+  // violation, release builds sanitize the name and register under the
+  // sanitized key.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   FixedHistogram& histogram(std::string_view name, double lo, double hi,
                             std::size_t nbuckets);
   CycleHistogram& cycle_histogram(std::string_view name);
+  TimeHistogram& time_histogram(std::string_view name);
 
   /// Accumulates `other` into this registry: counters and histograms
   /// sum; a gauge is overwritten when `other`'s was ever set. Histogram
@@ -185,6 +260,15 @@ class Registry {
   /// CSV: kind,name,field,value — one row per scalar.
   void write_csv(std::ostream& os) const;
 
+  /// OpenMetrics/Prometheus text exposition (docs/OBSERVABILITY.md):
+  /// dot-path names mangled to underscores, counters as `_total`
+  /// samples, FixedHistograms as cumulative-`le` histogram families,
+  /// Cycle/TimeHistograms as summaries with p50/p95/p99 quantile
+  /// series, `# EOF` terminator. Deterministically ordered (the name
+  /// maps are sorted), so two exports of the same state are
+  /// byte-identical.
+  void write_openmetrics(std::ostream& os) const;
+
   [[nodiscard]] std::size_t size() const;
 
  private:
@@ -195,6 +279,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<FixedHistogram>, std::less<>> hists_;
   std::map<std::string, std::unique_ptr<CycleHistogram>, std::less<>> cycles_;
+  std::map<std::string, std::unique_ptr<TimeHistogram>, std::less<>> times_;
 };
 
 }  // namespace gsj::obs

@@ -21,6 +21,11 @@ Tracer::Span Tracer::span(std::string name) {
   return Span(this, std::move(name), start);
 }
 
+Tracer::Span Tracer::span(std::string name, SpanContext ctx) {
+  const std::uint64_t start = now();
+  return Span(this, std::move(name), start, next_span_id(), ctx);
+}
+
 void Tracer::Span::finish() {
   if (tracer_ == nullptr) return;
   Tracer* t = std::exchange(tracer_, nullptr);
@@ -30,8 +35,25 @@ void Tracer::Span::finish() {
   s.ts = start_;
   s.dur = end > start_ ? end - start_ : 0;
   s.tid = ThreadPool::current_worker() + 1;  // -1 (main) -> tid 0
+  s.id = id_;
+  s.parent = ctx_.parent_span;
+  s.request = ctx_.request_id;
   std::lock_guard lk(t->mu_);
   t->spans_.push_back(std::move(s));
+}
+
+void Tracer::record_span(std::string name, std::uint64_t ts, std::uint64_t dur,
+                         SpanContext ctx, std::uint64_t id) {
+  HostSpan s;
+  s.name = std::move(name);
+  s.ts = ts;
+  s.dur = dur;
+  s.tid = ThreadPool::current_worker() + 1;
+  s.id = id;
+  s.parent = ctx.parent_span;
+  s.request = ctx.request_id;
+  std::lock_guard lk(mu_);
+  spans_.push_back(std::move(s));
 }
 
 void Tracer::record_warp(const simt::WarpRecord& rec,
@@ -142,6 +164,15 @@ void Tracer::write_chrome_json(std::ostream& os) const {
     w.key("dur").value(s.dur);
     w.key("pid").value(kHostPid);
     w.key("tid").value(s.tid);
+    if (s.request != 0) {
+      // Request attribution is additive: spans without a request id
+      // (every pre-request-span producer) serialize exactly as before.
+      w.key("args").begin_object();
+      w.key("request").value(s.request);
+      w.key("id").value(s.id);
+      w.key("parent").value(s.parent);
+      w.end_object();
+    }
     w.end_object();
     w.newline();
   }
@@ -190,6 +221,11 @@ void Tracer::write_chrome_json(std::ostream& os) const {
 Tracer::Span span(Tracer* t, std::string name) {
   if (t == nullptr) return Tracer::Span(nullptr, std::string(), 0);
   return t->span(std::move(name));
+}
+
+Tracer::Span span(Tracer* t, std::string name, SpanContext ctx) {
+  if (t == nullptr) return Tracer::Span(nullptr, std::string(), 0);
+  return t->span(std::move(name), ctx);
 }
 
 }  // namespace gsj::obs

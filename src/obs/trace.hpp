@@ -30,6 +30,7 @@
 // path appends to a flat vector (no string formatting until export).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
@@ -47,12 +48,26 @@ enum class TimeMode {
   Logical,  ///< host spans in deterministic sequence ticks
 };
 
+/// Parent linkage for request-scoped spans (docs/OBSERVABILITY.md,
+/// "Request span trees"). request_id == 0 means "no request": such
+/// spans export exactly as before this struct existed, so every
+/// pre-existing byte-identity bar is untouched.
+struct SpanContext {
+  std::uint64_t request_id = 0;
+  std::uint64_t parent_span = 0;  ///< span id of the parent, 0 = root
+};
+
 /// A finished host-phase span (complete "X" event).
 struct HostSpan {
   std::string name;
   std::uint64_t ts = 0;   ///< microseconds or logical ticks
   std::uint64_t dur = 0;
   std::int64_t tid = 0;   ///< 0 = main thread, 1+N = pool worker N
+  // Request attribution (0/0/0 for plain per-stage spans). Exported in
+  // the Chrome "args" object only when request != 0.
+  std::uint64_t id = 0;       ///< this span's id (unique per tracer)
+  std::uint64_t parent = 0;   ///< parent span id, 0 = root
+  std::uint64_t request = 0;  ///< owning request id, 0 = none
 };
 
 /// One executed warp on the device timeline.
@@ -90,7 +105,7 @@ class Tracer {
    public:
     Span(Span&& other) noexcept
         : tracer_(other.tracer_), name_(std::move(other.name_)),
-          start_(other.start_) {
+          start_(other.start_), id_(other.id_), ctx_(other.ctx_) {
       other.tracer_ = nullptr;
     }
     Span& operator=(Span&&) = delete;
@@ -101,20 +116,54 @@ class Tracer {
     /// Closes the span early (idempotent).
     void finish();
 
+    /// This span's id (0 for an inert span or one without request
+    /// attribution) — pass inside a SpanContext to parent children.
+    [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+    /// Context for children of this span: same request, parent = us.
+    [[nodiscard]] SpanContext child_context() const noexcept {
+      return SpanContext{ctx_.request_id, id_};
+    }
+
    private:
     friend class Tracer;
     friend Span span(Tracer* t, std::string name);
-    Span(Tracer* t, std::string name, std::uint64_t start)
-        : tracer_(t), name_(std::move(name)), start_(start) {}
+    friend Span span(Tracer* t, std::string name, SpanContext ctx);
+    Span(Tracer* t, std::string name, std::uint64_t start,
+         std::uint64_t id = 0, SpanContext ctx = {})
+        : tracer_(t), name_(std::move(name)), start_(start), id_(id),
+          ctx_(ctx) {}
 
     Tracer* tracer_;  ///< nullptr when tracing disabled or finished
     std::string name_;
     std::uint64_t start_ = 0;
+    std::uint64_t id_ = 0;
+    SpanContext ctx_;
   };
 
   /// Opens a host-phase span attributed to the calling thread. Safe to
   /// call on a null tracer via the free helper `span(Tracer*, name)`.
   [[nodiscard]] Span span(std::string name);
+
+  /// Opens a request-attributed span: it records `ctx`'s request id and
+  /// parent, and is assigned a fresh span id (Span::id) so children can
+  /// parent under it.
+  [[nodiscard]] Span span(std::string name, SpanContext ctx);
+
+  /// Current host timestamp (microseconds or logical tick). Exposed so
+  /// callers can record synthetic spans that started elsewhere (e.g.
+  /// queue_wait measured from submit to dequeue).
+  [[nodiscard]] std::uint64_t now_ts() { return now(); }
+
+  /// Allocates a span id without opening a span — used for synthetic
+  /// spans recorded through record_span (e.g. the request root).
+  [[nodiscard]] std::uint64_t next_span_id() noexcept {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Records a fully formed span (synthetic: timing measured by the
+  /// caller). `id` should come from next_span_id().
+  void record_span(std::string name, std::uint64_t ts, std::uint64_t dur,
+                   SpanContext ctx, std::uint64_t id);
 
   /// Records one executed warp. `cycle_offset` is the absolute device
   /// cycle at which the warp's launch started (batches are sequential).
@@ -147,6 +196,7 @@ class Tracer {
   Timer wall_;
   mutable std::mutex mu_;
   std::uint64_t logical_ = 0;
+  std::atomic<std::uint64_t> next_id_{0};  ///< span-id allocator
   std::vector<HostSpan> spans_;
   std::vector<WarpEvent> warps_;
   std::vector<BatchEvent> batches_;
@@ -156,5 +206,8 @@ class Tracer {
 
 /// Null-safe span helper: returns an inert span when `t` is nullptr.
 [[nodiscard]] Tracer::Span span(Tracer* t, std::string name);
+
+/// Null-safe request-attributed span helper.
+[[nodiscard]] Tracer::Span span(Tracer* t, std::string name, SpanContext ctx);
 
 }  // namespace gsj::obs

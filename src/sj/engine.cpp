@@ -27,7 +27,7 @@ PreparedDataset JoinEngine::prepare(const Dataset& ds) {
   // Admission is deliberately lazy — caches fill on first use — so
   // prepare() performs no validation beyond what run() will do; the
   // one-shot wrapper must keep the monolith's exact error behaviour.
-  const auto sp = obs::span(cfg_.tracer, "prepare");
+  const auto sp = obs::span(cfg_.obs.tracer, "prepare");
   return PreparedDataset(ds);
 }
 
@@ -49,8 +49,8 @@ void JoinEngine::recycle(SelfJoinOutput&& out) {
 }
 
 void JoinEngine::count_cache(const char* artifact, bool hit) {
-  if (cfg_.metrics == nullptr) return;
-  obs::Registry& m = *cfg_.metrics;
+  if (cfg_.obs.metrics == nullptr) return;
+  obs::Registry& m = *cfg_.obs.metrics;
   m.counter(hit ? "sj.cache.hits" : "sj.cache.misses").add(1);
   m.counter(std::string("sj.cache.") + artifact + (hit ? ".hits" : ".misses"))
       .add(1);
@@ -60,8 +60,8 @@ void JoinEngine::sync_generation(PreparedDataset& prep) {
   const std::uint64_t g = prep.ds_->generation();
   if (g == prep.generation_) return;
   if (!prep.grids_.empty() || !prep.plans_.empty()) {
-    if (cfg_.metrics != nullptr) {
-      cfg_.metrics->counter("sj.cache.invalidations").add(1);
+    if (cfg_.obs.metrics != nullptr) {
+      cfg_.obs.metrics->counter("sj.cache.invalidations").add(1);
     }
   }
   prep.grids_.clear();
@@ -96,8 +96,8 @@ PreparedDataset::GridEntry& JoinEngine::grid_for(PreparedDataset& prep,
         prep.grids_.begin(), prep.grids_.end(),
         [](const auto& a, const auto& b) { return a.last_used < b.last_used; });
     prep.grids_.erase(victim);
-    if (cfg_.metrics != nullptr) {
-      cfg_.metrics->counter("sj.cache.evictions").add(1);
+    if (cfg_.obs.metrics != nullptr) {
+      cfg_.obs.metrics->counter("sj.cache.evictions").add(1);
     }
   }
   return prep.grids_.back();
@@ -124,8 +124,8 @@ PreparedDataset::PlanEntry& JoinEngine::plan_entry(PreparedDataset& prep,
         prep.plans_.begin(), prep.plans_.end(),
         [](const auto& a, const auto& b) { return a.last_used < b.last_used; });
     prep.plans_.erase(victim);
-    if (cfg_.metrics != nullptr) {
-      cfg_.metrics->counter("sj.cache.evictions").add(1);
+    if (cfg_.obs.metrics != nullptr) {
+      cfg_.obs.metrics->counter("sj.cache.evictions").add(1);
     }
   }
   return prep.plans_.back();
@@ -146,7 +146,10 @@ class EnginePlanSource {
 
   ThreadPool* pool(int n) { return engine_.pool(n); }
 
-  obs::Tracer* channel_tracer() { return engine_.config().tracer; }
+  obs::Tracer* channel_tracer() { return engine_.config().obs.tracer; }
+
+  // Engine runs are never requests: no request spans, no breakdown.
+  obs::RequestObs* request_obs() { return nullptr; }
 
   void resolve_grid(double eps, ThreadPool* p, bool* hit) {
     ge_ = &engine_.grid_for(prep_, eps, p, hit);

@@ -32,9 +32,9 @@
 // traces — for every variant, sequentially and at any host thread
 // count. The per-run observability channel (SelfJoinConfig::tracer /
 // ::metrics) sees the exact same span sequence and counters on a hit
-// as on a miss; the *engine's* own channel (EngineConfig::tracer /
-// ::metrics) carries the cache story: "prepare" / "plan_reuse" spans
-// and the sj.cache.* hit/miss/evict counters.
+// as on a miss; the *engine's* own channel (EngineConfig::obs) carries
+// the cache story: "prepare" / "plan_reuse" spans and the sj.cache.*
+// hit/miss/evict counters.
 //
 // The engine also owns the host ThreadPool(s) — configs that ask for
 // host threads without supplying a pool get a cached, engine-owned one
@@ -62,6 +62,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/context.hpp"
 #include "sj/selfjoin.hpp"
 
 namespace gsj {
@@ -83,14 +84,14 @@ struct EngineConfig {
 
   // --- the engine's own observability channel (optional, non-owning).
   // Deliberately separate from the per-run SelfJoinConfig sinks so that
-  // cache-dependent events never perturb per-run traces. ---
-  /// Receives "prepare" spans and a "plan_reuse" span per cache-served
-  /// run.
-  obs::Tracer* tracer = nullptr;
-  /// Receives the "sj.cache.*" counters: aggregate hits/misses plus
-  /// per-artifact grid/workload/order/estimate breakdowns, evictions,
-  /// invalidations.
-  obs::Registry* metrics = nullptr;
+  // cache-dependent events never perturb per-run traces. The same
+  // ObsContext value can be handed to a ServiceConfig, so an engine and
+  // a service share one registry by construction (obs/context.hpp). ---
+  /// obs.tracer receives "prepare" spans and a "plan_reuse" span per
+  /// cache-served run; obs.metrics receives the "sj.cache.*" counters:
+  /// aggregate hits/misses plus per-artifact grid/workload/order/
+  /// estimate breakdowns, evictions, invalidations.
+  obs::ObsContext obs;
 };
 
 class JoinEngine;

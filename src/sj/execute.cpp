@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simt/counter.hpp"
@@ -90,6 +91,16 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
     if (warp_cycle_hist != nullptr) warp_cycle_hist->record(r.cycles);
   };
 
+  // Request-scoped channel: spans for every launch land on the service
+  // tracer parented under the request's execute span, and breadcrumbs
+  // on the flight recorder. request_id == 0 (engine/direct runs)
+  // suppresses the spans; the recorder accepts id 0 (run()-path
+  // breadcrumbs are still useful in a failure dump).
+  obs::Tracer* req_tracer =
+      in.channel_ctx.request_id != 0 ? in.channel_tracer : nullptr;
+  const std::uint64_t req_id = in.channel_ctx.request_id;
+  obs::FlightRecorder* recorder = in.recorder;
+
   // Cooperative cancellation (JoinService): polled at batch boundaries
   // and folded into the launch abort hook. A cancelled run throws
   // CancelledError; the caller discards the partial output, so nothing
@@ -99,7 +110,12 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
     return cancel != nullptr && cancel->load(std::memory_order_relaxed);
   };
   auto throw_if_cancelled = [&] {
-    if (cancelled()) throw CancelledError(out.stats.batches.size());
+    if (cancelled()) {
+      if (recorder != nullptr) {
+        recorder->record("cancelled", req_id, out.stats.batches.size());
+      }
+      throw CancelledError(out.stats.batches.size());
+    }
   };
 
   // Executes one batch against the fixed-capacity buffer. On overflow
@@ -110,6 +126,11 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
   std::uint64_t overflow_pairs = 0;
   auto attempt_batch = [&](std::span<const PointId> points,
                            std::uint64_t queue_len) -> bool {
+    auto batch_span = obs::span(
+        req_tracer,
+        req_tracer != nullptr ? "batch " + std::to_string(batch_index)
+                              : std::string(),
+        in.channel_ctx);
     KernelParams params;
     params.grid = &grid;
     params.pattern = cfg.pattern;
@@ -165,6 +186,9 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
       kernel_secs.push_back(ks.seconds(device));
       xfer_secs.push_back(0.0);
       cycle_offset += ks.makespan_cycles;
+      if (recorder != nullptr) {
+        recorder->record("batch_overflow", req_id, overflow_pairs);
+      }
       return false;
     }
 
@@ -213,6 +237,9 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
     cycle_offset += ks.makespan_cycles;
     ++batch_index;
     out.stats.batches.push_back(bs);
+    if (recorder != nullptr) {
+      recorder->record("batch_commit", req_id, batch_pairs);
+    }
     return true;
   };
 
@@ -222,6 +249,10 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
   auto check_recoverable = [&](std::uint64_t batch_points) {
     if (batch_points <= 1 ||
         out.stats.overflow_retries > cfg.batching.max_overflow_retries) {
+      if (recorder != nullptr) {
+        recorder->record("overflow_exhausted", req_id,
+                         out.stats.overflow_retries);
+      }
       throw OverflowError(capacity, overflow_pairs, batch_points,
                           out.stats.overflow_retries);
     }
@@ -241,6 +272,7 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
       counter.reset(begin);
       if (attempt_batch({}, end - begin)) continue;
       const auto sp = obs::span(tracer, "overflow_retry");
+      const auto rsp = obs::span(req_tracer, "overflow_retry", in.channel_ctx);
       check_recoverable(end - begin);
       const std::uint64_t mid = begin + (end - begin) / 2;
       work.emplace_back(mid, end);
@@ -261,6 +293,7 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
       if (batch.empty()) continue;
       if (attempt_batch(batch, 0)) continue;
       const auto sp = obs::span(tracer, "overflow_retry");
+      const auto rsp = obs::span(req_tracer, "overflow_retry", in.channel_ctx);
       check_recoverable(batch.size());
       const std::size_t mid = batch.size() / 2;
       work.emplace_back(batch.begin() + static_cast<std::ptrdiff_t>(mid),

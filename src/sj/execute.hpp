@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/context.hpp"
 #include "simt/launch.hpp"
 #include "sj/selfjoin.hpp"
 
@@ -57,6 +58,17 @@ struct ExecutionInputs {
   /// launch); once observed true the run throws CancelledError and the
   /// partial output is discarded by the caller.
   const std::atomic<bool>* cancel = nullptr;
+
+  // --- request-scoped channel (JoinService::submit path) ---
+  /// Service-channel tracer for per-launch request spans ("batch N",
+  /// "overflow_retry") parented under `channel_ctx`. Only consulted
+  /// when channel_ctx.request_id != 0, so engine/direct runs never
+  /// emit request spans.
+  obs::Tracer* channel_tracer = nullptr;
+  obs::SpanContext channel_ctx;
+  /// Flight-recorder breadcrumbs (batch commits, overflow retries,
+  /// cancellation, overflow exhaustion). Null disables.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// Runs the batched kernel launches for a planned self-join and fills

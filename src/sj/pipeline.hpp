@@ -18,6 +18,8 @@
 //   void sync();                              // generation check/invalidate
 //   ThreadPool* pool(int n);                  // cached host pool
 //   obs::Tracer* channel_tracer();            // engine/service channel
+//   obs::RequestObs* request_obs();           // request attribution bundle
+//                                             // (nullptr = not a request)
 //   void resolve_grid(double eps, ThreadPool*, bool* hit);
 //   const GridIndex& grid();                  // valid after resolve_grid
 //   std::span<const std::uint64_t> resolve_workloads(CellPattern,
@@ -39,6 +41,7 @@
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 #include "sj/execute.hpp"
 
@@ -83,6 +86,18 @@ void plan_and_execute(const SelfJoinConfig& cfg, const Dataset& ds,
   obs::Tracer* tracer = cfg.tracer;
   if (tracer != nullptr) tracer->set_device_config(device);
   auto pipeline_span = obs::span(tracer, "self_join");
+
+  // Request attribution (JoinService::submit): "plan"/"execute" spans
+  // on the service channel parented under the request root, plus the
+  // RequestBreakdown totals. request_id == 0 (engine runs, run()/
+  // self_join()) emits nothing, keeping those channels' span sequences
+  // exactly as before.
+  obs::RequestObs* robs = src.request_obs();
+  const obs::SpanContext rctx =
+      robs != nullptr ? robs->ctx : obs::SpanContext{};
+  obs::Tracer* req_tracer =
+      (robs != nullptr && rctx.request_id != 0) ? robs->tracer : nullptr;
+  auto plan_span = obs::span(req_tracer, "plan", rctx);
 
   // --- plan stage: resolve every artifact from the cache, computing
   // and caching on miss. The per-run span sequence below is exactly the
@@ -137,15 +152,41 @@ void plan_and_execute(const SelfJoinConfig& cfg, const Dataset& ds,
   out.stats.num_batches = plan.num_batches;
   out.stats.estimated_total_pairs = plan.estimated_total_pairs;
   out.stats.host_prep_seconds = host.seconds();
+  plan_span.finish();
+  if (robs != nullptr) {
+    if (robs->breakdown != nullptr) {
+      robs->breakdown->plan_seconds = out.stats.host_prep_seconds;
+    }
+    if (robs->recorder != nullptr) {
+      robs->recorder->record("plan_done", rctx.request_id,
+                             plan.estimated_total_pairs);
+    }
+  }
 
   // --- execute stage (sj/execute.cpp) ---
+  Timer exec_timer;
+  auto exec_span = obs::span(req_tracer, "execute", rctx);
   ExecutionInputs in;
   in.grid = &grid;
   in.plan = &plan;
   in.queue_order = queue_order;
   in.device = device;
   in.cancel = cancel;
+  in.channel_tracer = req_tracer;
+  // Batch spans parent under this run's execute span. Built by hand
+  // (not exec_span.child_context()) so the request id survives even
+  // when no tracer is attached — the flight recorder still wants it.
+  in.channel_ctx = obs::SpanContext{rctx.request_id, exec_span.id()};
+  in.recorder = robs != nullptr ? robs->recorder : nullptr;
   execute_self_join(cfg, in, arena, out);
+  exec_span.finish();
+  if (robs != nullptr && robs->breakdown != nullptr) {
+    obs::RequestBreakdown& b = *robs->breakdown;
+    b.execute_seconds = exec_timer.seconds();
+    b.batches = out.stats.num_batches;
+    b.overflow_retries = out.stats.overflow_retries;
+    b.result_pairs = out.stats.result_pairs;
+  }
 }
 
 }  // namespace gsj::detail

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <exception>
+#include <iostream>
 #include <numeric>
 #include <optional>
 
@@ -12,6 +14,7 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "grid/workload.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sj/execute.hpp"
@@ -50,7 +53,9 @@ struct JoinService::QueueItem {
   JoinRequest req;
   std::shared_ptr<ServiceRequestState> state;
   std::uint64_t seq = 0;
-  Timer queued;  ///< measures admission-queue wait
+  std::uint64_t request_id = 0;  ///< stable id assigned at submit()
+  std::uint64_t submit_ts = 0;   ///< tracer timestamp at submit (0 = none)
+  Timer queued;                  ///< measures admission-queue wait
 };
 
 std::size_t SharedDataset::cached_grid_count() const {
@@ -61,6 +66,46 @@ std::size_t SharedDataset::cached_grid_count() const {
 std::size_t SharedDataset::cached_plan_count() const {
   std::shared_lock lk(mu_);
   return plans_.size();
+}
+
+std::size_t SharedDataset::cached_artifact_bytes() const {
+  std::shared_lock lk(mu_);
+  const auto ready = [](const auto& fut) {
+    return fut.valid() &&
+           fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  };
+  std::size_t bytes = 0;
+  // get() on a ready future can still rethrow a build failure in the
+  // narrow window before the builder rolls its slot back; such slots
+  // simply count 0.
+  for (const auto& g : grids_) {
+    if (!ready(g->grid)) continue;
+    try {
+      if (const GridPtr& p = g->grid.get(); p != nullptr) {
+        bytes += p->memory_bytes();
+      }
+    } catch (...) {
+    }
+  }
+  for (const auto& pl : plans_) {
+    if (ready(pl->workloads)) {
+      try {
+        if (const WorkloadsPtr& w = pl->workloads.get(); w != nullptr) {
+          bytes += w->capacity() * sizeof(std::uint64_t);
+        }
+      } catch (...) {
+      }
+    }
+    if (ready(pl->order)) {
+      try {
+        if (const OrderPtr& o = pl->order.get(); o != nullptr) {
+          bytes += o->capacity() * sizeof(PointId);
+        }
+      } catch (...) {
+      }
+    }
+  }
+  return bytes;
 }
 
 namespace detail {
@@ -85,8 +130,9 @@ namespace detail {
 /// hits (a waiter is served from the cache — it just arrives early).
 class ServicePlanSource {
  public:
-  ServicePlanSource(JoinService& svc, SharedDataset& sd)
-      : svc_(svc), sd_(sd) {}
+  ServicePlanSource(JoinService& svc, SharedDataset& sd,
+                    obs::RequestObs* robs = nullptr)
+      : svc_(svc), sd_(sd), robs_(robs) {}
 
   ~ServicePlanSource() {
     if (pool_ != nullptr) svc_.return_pool(pool_threads_, std::move(pool_));
@@ -114,7 +160,9 @@ class ServicePlanSource {
     return pool_.get();
   }
 
-  obs::Tracer* channel_tracer() { return svc_.config().tracer; }
+  obs::Tracer* channel_tracer() { return svc_.config().obs.tracer; }
+
+  obs::RequestObs* request_obs() { return robs_; }
 
   void resolve_grid(double eps, ThreadPool* p, bool* hit) {
     const std::uint64_t bits = std::bit_cast<std::uint64_t>(eps);
@@ -334,13 +382,17 @@ class ServicePlanSource {
   }
 
   void count(const char* event) {
-    if (svc_.config().metrics != nullptr) {
-      svc_.config().metrics->counter(std::string("sj.cache.") + event).add(1);
+    if (svc_.config().obs.metrics != nullptr) {
+      svc_.config().obs.metrics->counter(std::string("sj.cache.") + event)
+          .add(1);
     }
   }
 
   void cache_event(const char* artifact, bool hit) {
-    obs::Registry* m = svc_.config().metrics;
+    if (robs_ != nullptr && robs_->breakdown != nullptr) {
+      robs_->breakdown->count_cache(artifact, hit);
+    }
+    obs::Registry* m = svc_.config().obs.metrics;
     if (m == nullptr) return;
     m->counter(hit ? "sj.cache.hits" : "sj.cache.misses").add(1);
     m->counter(std::string("sj.cache.") + artifact +
@@ -350,6 +402,7 @@ class ServicePlanSource {
 
   JoinService& svc_;
   SharedDataset& sd_;
+  obs::RequestObs* robs_;             ///< request attribution (may be null)
   std::unique_ptr<ThreadPool> pool_;  ///< depot lease, returned in dtor
   int pool_threads_ = 0;
 
@@ -367,7 +420,13 @@ class ServicePlanSource {
 // JoinService
 // ---------------------------------------------------------------------------
 
-JoinService::JoinService(ServiceConfig cfg) : cfg_(cfg) {}
+JoinService::JoinService(ServiceConfig cfg) : cfg_(cfg) {
+  // The flight recorder is always on: cheap enough for serving mode,
+  // and a Failed/Expired response needs breadcrumbs to dump.
+  if (cfg_.obs.recorder == nullptr) {
+    own_recorder_ = std::make_unique<obs::FlightRecorder>();
+  }
+}
 
 JoinService::~JoinService() {
   {
@@ -383,15 +442,24 @@ JoinService& JoinService::shared() {
   return svc;
 }
 
+obs::FlightRecorder& JoinService::recorder() const noexcept {
+  return cfg_.obs.recorder != nullptr ? *cfg_.obs.recorder : *own_recorder_;
+}
+
 std::shared_ptr<SharedDataset> JoinService::attach(const Dataset& ds) {
-  const auto sp = obs::span(cfg_.tracer, "prepare");
-  return std::shared_ptr<SharedDataset>(new SharedDataset(
+  const auto sp = obs::span(cfg_.obs.tracer, "prepare");
+  auto sd = std::shared_ptr<SharedDataset>(new SharedDataset(
       ds, cfg_.max_cached_grids, cfg_.max_cached_plans));
+  std::lock_guard lk(attach_mu_);
+  std::erase_if(attached_, [](const auto& w) { return w.expired(); });
+  attached_.push_back(sd);
+  return sd;
 }
 
 SelfJoinOutput JoinService::execute(SharedDataset& sd,
                                     const SelfJoinConfig& cfg,
-                                    const std::atomic<bool>* cancel) {
+                                    const std::atomic<bool>* cancel,
+                                    obs::RequestObs* robs) {
   // Arena lease: returned to the depot on every exit path (including
   // OverflowError / CancelledError) so working memory stays bounded.
   struct ArenaLease {
@@ -399,7 +467,8 @@ SelfJoinOutput JoinService::execute(SharedDataset& sd,
     std::unique_ptr<detail::ScratchArena> arena;
     ~ArenaLease() { svc.return_arena(std::move(arena)); }
   } lease{*this, checkout_arena()};
-  detail::ServicePlanSource src(*this, sd);  // returns its pool lease in dtor
+  // Returns its pool lease in dtor.
+  detail::ServicePlanSource src(*this, sd, robs);
 
   SelfJoinOutput out;
   detail::plan_and_execute(cfg, sd.dataset(), src, *lease.arena, cancel, out);
@@ -407,7 +476,7 @@ SelfJoinOutput JoinService::execute(SharedDataset& sd,
 }
 
 SelfJoinOutput JoinService::run(SharedDataset& sd, const SelfJoinConfig& cfg) {
-  return execute(sd, cfg, /*cancel=*/nullptr);
+  return execute(sd, cfg, /*cancel=*/nullptr, /*robs=*/nullptr);
 }
 
 SelfJoinOutput JoinService::self_join(const Dataset& ds,
@@ -416,7 +485,7 @@ SelfJoinOutput JoinService::self_join(const Dataset& ds,
   // plan reuse across calls, no dataset lifetime entanglement) while
   // arenas and host pools still come from the bounded depots.
   SharedDataset sd(ds, cfg_.max_cached_grids, cfg_.max_cached_plans);
-  return execute(sd, cfg, /*cancel=*/nullptr);
+  return execute(sd, cfg, /*cancel=*/nullptr, /*robs=*/nullptr);
 }
 
 void JoinService::recycle(SelfJoinOutput&& out) {
@@ -434,7 +503,10 @@ JoinService::Ticket JoinService::submit(std::shared_ptr<SharedDataset> sd,
                                         JoinRequest req) {
   Ticket t;
   t.state_ = std::make_shared<ServiceRequestState>();
+  const std::uint64_t rid =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   count("svc.submitted");
+  recorder().record("submit", rid, 0);
 
   bool rejected = false;
   {
@@ -448,6 +520,10 @@ JoinService::Ticket JoinService::submit(std::shared_ptr<SharedDataset> sd,
       item.req = std::move(req);
       item.state = t.state_;
       item.seq = next_seq_++;
+      item.request_id = rid;
+      if (cfg_.obs.tracer != nullptr) {
+        item.submit_ts = cfg_.obs.tracer->now_ts();
+      }
       queue_.push_back(std::move(item));
       std::push_heap(queue_.begin(), queue_.end(),
                      [](const QueueItem& a, const QueueItem& b) {
@@ -461,8 +537,11 @@ JoinService::Ticket JoinService::submit(std::shared_ptr<SharedDataset> sd,
   }
   if (rejected) {
     count("svc.rejected");
+    recorder().record("rejected", rid, 0);
     JoinResponse r;
     r.status = JoinStatus::Rejected;
+    r.request_id = rid;
+    r.breakdown.request_id = rid;
     respond(*t.state_, std::move(r));
   } else {
     queue_cv_.notify_one();
@@ -500,26 +579,59 @@ void JoinService::worker_loop() {
     }
 
     ServiceRequestState& st = *item.state;
+    const std::uint64_t rid = item.request_id;
+    obs::Tracer* tracer = cfg_.obs.tracer;
+    obs::FlightRecorder& rec = recorder();
     JoinResponse r;
+    r.request_id = rid;
+    r.breakdown.request_id = rid;
     r.wait_seconds = item.queued.seconds();
-    if (cfg_.metrics != nullptr) {
-      cfg_.metrics->cycle_histogram("svc.wait_us")
-          .record(static_cast<std::uint64_t>(r.wait_seconds * 1e6));
+    r.breakdown.wait_seconds = r.wait_seconds;
+    if (cfg_.obs.metrics != nullptr) {
+      cfg_.obs.metrics->time_histogram("svc.queue_wait_seconds")
+          .observe(r.wait_seconds);
     }
+    // The request's root span id is allocated up-front so every child
+    // (queue_wait here; plan/execute and their launches down the
+    // pipeline) parents under it; the root span itself is recorded
+    // once the terminal status is known.
+    std::uint64_t root_id = 0;
+    if (tracer != nullptr) {
+      root_id = tracer->next_span_id();
+      const std::uint64_t now = tracer->now_ts();
+      const std::uint64_t dur =
+          now >= item.submit_ts ? now - item.submit_ts : 0;
+      tracer->record_span("queue_wait", item.submit_ts, dur,
+                          obs::SpanContext{rid, root_id},
+                          tracer->next_span_id());
+    }
+    rec.record("dequeue", rid, item.seq);
 
     if (st.cancel.load(std::memory_order_relaxed)) {
       r.status = JoinStatus::Cancelled;
       count("svc.cancelled");
+      rec.record("cancelled_queued", rid, 0);
     } else if (r.wait_seconds > item.req.deadline_seconds) {
       r.status = JoinStatus::Expired;
       count("svc.expired");
+      rec.record("expired", rid, 0);
     } else {
       st.started.store(true, std::memory_order_release);
+      {
+        std::lock_guard lk(inflight_mu_);
+        inflight_.emplace(rid, InFlight{item.req.priority, Timer{}});
+      }
       Timer service_timer;
+      obs::RequestObs robs;
+      robs.tracer = tracer;
+      robs.ctx = obs::SpanContext{rid, root_id};
+      robs.recorder = &rec;
+      robs.breakdown = &r.breakdown;
       try {
-        r.output = execute(*item.sd, item.req.config, &st.cancel);
+        r.output = execute(*item.sd, item.req.config, &st.cancel, &robs);
         r.status = JoinStatus::Ok;
         count("svc.completed");
+        rec.record("done", rid, r.breakdown.result_pairs);
       } catch (const CancelledError&) {
         // Partial output was discarded with the run's scratch state.
         r.status = JoinStatus::Cancelled;
@@ -528,15 +640,75 @@ void JoinService::worker_loop() {
         r.status = JoinStatus::Failed;
         r.error = e.what();
         count("svc.failed");
+        rec.record("failed", rid, 0);
       }
       r.service_seconds = service_timer.seconds();
-      if (cfg_.metrics != nullptr) {
-        cfg_.metrics->cycle_histogram("svc.service_us")
-            .record(static_cast<std::uint64_t>(r.service_seconds * 1e6));
+      if (cfg_.obs.metrics != nullptr) {
+        cfg_.obs.metrics->time_histogram("svc.service_seconds")
+            .observe(r.service_seconds);
       }
+      {
+        std::lock_guard lk(inflight_mu_);
+        inflight_.erase(rid);
+      }
+    }
+    if (tracer != nullptr) {
+      const std::uint64_t now = tracer->now_ts();
+      const std::uint64_t dur =
+          now >= item.submit_ts ? now - item.submit_ts : 0;
+      tracer->record_span("request", item.submit_ts, dur,
+                          obs::SpanContext{rid, 0}, root_id);
+    }
+    // Failed/Expired responses auto-dump the request's breadcrumbs —
+    // the flight recorder's reason to exist.
+    if (r.status == JoinStatus::Failed) {
+      dump_recorder(rid, "failed");
+    } else if (r.status == JoinStatus::Expired) {
+      dump_recorder(rid, "expired");
     }
     respond(st, std::move(r));
   }
+}
+
+void JoinService::dump_recorder(std::uint64_t request_id, const char* why) {
+  std::lock_guard lk(dump_mu_);
+  std::ostream& os =
+      cfg_.recorder_dump != nullptr ? *cfg_.recorder_dump : std::cerr;
+  os << "flight-recorder dump (request " << request_id << ", " << why
+     << "):\n";
+  recorder().dump(os, request_id);
+  os.flush();
+}
+
+ServiceSnapshot JoinService::snapshot() const {
+  ServiceSnapshot s;
+  {
+    std::lock_guard lk(queue_mu_);
+    s.queue_depth = queue_.size();
+    for (const QueueItem& q : queue_) ++s.queued_by_priority[q.req.priority];
+  }
+  {
+    std::lock_guard lk(inflight_mu_);
+    s.in_flight.reserve(inflight_.size());
+    for (const auto& [rid, f] : inflight_) {
+      s.in_flight.push_back({rid, f.priority, f.started.seconds()});
+    }
+  }
+  s.idle_arenas = resident_arenas();
+  s.idle_thread_pools = resident_thread_pools();
+  {
+    std::lock_guard lk(attach_mu_);
+    std::erase_if(attached_, [](const auto& w) { return w.expired(); });
+    for (const auto& w : attached_) {
+      const std::shared_ptr<SharedDataset> sd = w.lock();
+      if (sd == nullptr) continue;
+      ++s.attached_datasets;
+      s.cached_grids += sd->cached_grid_count();
+      s.cached_plans += sd->cached_plan_count();
+      s.cached_bytes += sd->cached_artifact_bytes();
+    }
+  }
+  return s;
 }
 
 void JoinService::respond(ServiceRequestState& st, JoinResponse&& r) {
@@ -549,12 +721,12 @@ void JoinService::respond(ServiceRequestState& st, JoinResponse&& r) {
 }
 
 void JoinService::count(const char* name, std::uint64_t n) {
-  if (cfg_.metrics != nullptr) cfg_.metrics->counter(name).add(n);
+  if (cfg_.obs.metrics != nullptr) cfg_.obs.metrics->counter(name).add(n);
 }
 
 void JoinService::set_queue_depth_locked(std::size_t depth) {
-  if (cfg_.metrics != nullptr) {
-    cfg_.metrics->gauge("svc.queue_depth").set(static_cast<double>(depth));
+  if (cfg_.obs.metrics != nullptr) {
+    cfg_.obs.metrics->gauge("svc.queue_depth").set(static_cast<double>(depth));
   }
 }
 

@@ -41,18 +41,24 @@
 // requests serially on a cold engine (tests/test_service.cpp pins this
 // under TSan).
 //
-// Observability: the service's own channel (ServiceConfig::metrics /
-// ::tracer) carries svc.* instruments — queue depth, wait/service time
+// Observability: the service's own channel (ServiceConfig::obs)
+// carries svc.* instruments — queue depth, wait/service time
 // histograms, per-status counters — plus the sj.cache.* family for the
 // shared artifact caches; per-run sinks (SelfJoinConfig::tracer /
 // ::metrics) are untouched and see exactly what a cold engine run
-// would emit.
+// would emit. Every submit()ted request additionally gets a stable
+// request id, a parented span tree on the service tracer (queue_wait /
+// plan / execute / batch N / overflow_retry under one "request" root),
+// a RequestBreakdown in its JoinResponse, and flight-recorder
+// breadcrumbs in the service's always-on recorder (docs/
+// OBSERVABILITY.md).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <iosfwd>
 #include <limits>
 #include <map>
 #include <memory>
@@ -64,6 +70,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/timer.hpp"
+#include "obs/context.hpp"
 #include "sj/selfjoin.hpp"
 
 namespace gsj {
@@ -92,12 +100,18 @@ struct ServiceConfig {
   std::size_t max_pooled_thread_pools = 4;
 
   // --- the service's own observability channel (optional, non-owning).
-  /// Receives "prepare" / "plan_reuse" spans, as EngineConfig::tracer.
-  obs::Tracer* tracer = nullptr;
-  /// Receives svc.* instruments (submitted/completed/rejected/expired/
-  /// cancelled/failed counters, svc.queue_depth gauge, svc.wait_us and
-  /// svc.service_us histograms) and the sj.cache.* family.
-  obs::Registry* metrics = nullptr;
+  /// obs.tracer receives "prepare" / "plan_reuse" spans (as
+  /// EngineConfig::obs) plus the per-request span tree; obs.metrics
+  /// receives svc.* instruments (submitted/completed/rejected/expired/
+  /// cancelled/failed counters, svc.queue_depth gauge,
+  /// svc.queue_wait_seconds and svc.service_seconds time histograms)
+  /// and the sj.cache.* family. obs.recorder, when set, replaces the
+  /// service-owned flight recorder; leave null for the always-on
+  /// default (JoinService::recorder()).
+  obs::ObsContext obs;
+  /// Where the flight recorder auto-dumps the failing request's
+  /// breadcrumbs on a Failed/Expired response. Null = std::cerr.
+  std::ostream* recorder_dump = nullptr;
 };
 
 /// Terminal state of a served request.
@@ -130,6 +144,38 @@ struct JoinResponse {
   std::string error;
   double wait_seconds = 0.0;     ///< admission-queue wait
   double service_seconds = 0.0;  ///< run wall time (0 unless started)
+  /// Stable id assigned at submit() (>= 1); keys this request's spans
+  /// on the service tracer and its flight-recorder breadcrumbs.
+  /// 0 for run()/self_join() responses, which are not requests.
+  std::uint64_t request_id = 0;
+  /// Per-stage attribution for this request (wait/plan/execute
+  /// seconds, per-artifact cache hits/misses, batches, retries,
+  /// pairs). Stage fields are filled only for requests that ran.
+  obs::RequestBreakdown breakdown;
+};
+
+/// Point-in-time view of a running service (JoinService::snapshot).
+struct ServiceSnapshot {
+  /// Queued-but-not-started requests, total and by priority.
+  std::size_t queue_depth = 0;
+  std::map<int, std::size_t> queued_by_priority;
+  struct InFlightRequest {
+    std::uint64_t request_id = 0;
+    int priority = 0;
+    double age_seconds = 0.0;  ///< since the worker started executing
+  };
+  /// Requests currently executing on workers, request-id ascending.
+  std::vector<InFlightRequest> in_flight;
+  /// Depot levels (idle, excludes checked-out leases).
+  std::size_t idle_arenas = 0;
+  std::size_t idle_thread_pools = 0;
+  /// Live attach()ed datasets and their aggregate cache population.
+  std::size_t attached_datasets = 0;
+  std::size_t cached_grids = 0;
+  std::size_t cached_plans = 0;
+  /// Approximate bytes held by ready cached artifacts (grids,
+  /// workloads, D' orders) across live attached datasets.
+  std::size_t cached_bytes = 0;
 };
 
 /// A dataset attached to the service, carrying the shared,
@@ -147,6 +193,9 @@ class SharedDataset {
   [[nodiscard]] const Dataset& dataset() const noexcept { return *ds_; }
   [[nodiscard]] std::size_t cached_grid_count() const;
   [[nodiscard]] std::size_t cached_plan_count() const;
+  /// Approximate bytes held by *ready* cached artifacts (built grids,
+  /// workload vectors, D' orders); artifacts still building count 0.
+  [[nodiscard]] std::size_t cached_artifact_bytes() const;
 
  private:
   friend class JoinService;
@@ -267,13 +316,21 @@ class JoinService {
 
   [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
 
-  // --- introspection (tests, docs/SERVICE.md) ---
+  // --- introspection (tests, sjtool top, docs/SERVICE.md) ---
   /// Queued-but-not-started requests.
   [[nodiscard]] std::size_t queue_depth() const;
   /// Idle pooled scratch arenas (excludes checked-out leases).
   [[nodiscard]] std::size_t resident_arenas() const;
   /// Idle pooled host thread pools (excludes checked-out leases).
   [[nodiscard]] std::size_t resident_thread_pools() const;
+  /// Point-in-time view: queue depth and per-priority occupancy,
+  /// in-flight requests with ages, depot levels, attached-dataset
+  /// cache population/bytes. Each section is internally consistent;
+  /// the whole is advisory (the service keeps running underneath).
+  [[nodiscard]] ServiceSnapshot snapshot() const;
+  /// The effective flight recorder: cfg.obs.recorder when set, else
+  /// the service-owned always-on one. Never null.
+  [[nodiscard]] obs::FlightRecorder& recorder() const noexcept;
 
   /// The process-wide service backing the free self_join wrapper.
   /// Default-configured; workers spawn only if submit() is ever used.
@@ -285,15 +342,21 @@ class JoinService {
 
   /// Core run path shared by run()/submit()/self_join(): leases
   /// working memory, resolves the plan through the shared caches and
-  /// executes. Throws as the engine does, plus CancelledError.
+  /// executes. Throws as the engine does, plus CancelledError. `robs`
+  /// carries the request attribution bundle for submit()ted requests
+  /// (null for run()/self_join(), which are not requests).
   SelfJoinOutput execute(SharedDataset& sd, const SelfJoinConfig& cfg,
-                         const std::atomic<bool>* cancel);
+                         const std::atomic<bool>* cancel,
+                         obs::RequestObs* robs);
 
   void spawn_workers_locked();
   void worker_loop();
   void respond(ServiceRequestState& st, JoinResponse&& r);
   void count(const char* name, std::uint64_t n = 1);
   void set_queue_depth_locked(std::size_t depth);
+  /// Dumps the request's recorder breadcrumbs to cfg_.recorder_dump
+  /// (std::cerr when null), serialized by a dump mutex.
+  void dump_recorder(std::uint64_t request_id, const char* why);
 
   // Depot checkout/return (bounded; see ServiceConfig).
   std::unique_ptr<detail::ScratchArena> checkout_arena();
@@ -302,6 +365,10 @@ class JoinService {
   void return_pool(int num_threads, std::unique_ptr<ThreadPool> pool);
 
   ServiceConfig cfg_;
+  /// Backs recorder() when cfg_.obs.recorder is null (always-on).
+  std::unique_ptr<obs::FlightRecorder> own_recorder_;
+  std::atomic<std::uint64_t> next_request_id_{0};
+  mutable std::mutex dump_mu_;  ///< serializes recorder dumps
 
   // --- admission queue ---
   mutable std::mutex queue_mu_;
@@ -310,6 +377,18 @@ class JoinService {
   std::uint64_t next_seq_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  // --- in-flight request tracking (snapshot) ---
+  struct InFlight {
+    int priority = 0;
+    Timer started;
+  };
+  mutable std::mutex inflight_mu_;
+  std::map<std::uint64_t, InFlight> inflight_;
+
+  // --- attached datasets (snapshot; pruned of expired entries) ---
+  mutable std::mutex attach_mu_;
+  mutable std::vector<std::weak_ptr<SharedDataset>> attached_;
 
   // --- pooled working memory ---
   mutable std::mutex arena_mu_;

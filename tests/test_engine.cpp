@@ -130,7 +130,7 @@ TEST_P(EngineCacheEquivalence, WarmRunBitIdenticalToCold) {
 
   obs::Registry metrics;
   EngineConfig ecfg;
-  ecfg.metrics = &metrics;
+  ecfg.obs.metrics = &metrics;
   JoinEngine engine(ecfg);
   PreparedDataset prep = engine.prepare(ds);
 
@@ -181,7 +181,7 @@ TEST(JoinEngineTest, MutationInvalidatesCaches) {
   Dataset ds = gen_exponential(2000, 2, 33);
   obs::Registry metrics;
   EngineConfig ecfg;
-  ecfg.metrics = &metrics;
+  ecfg.obs.metrics = &metrics;
   JoinEngine engine(ecfg);
   PreparedDataset prep = engine.prepare(ds);
 
@@ -213,7 +213,7 @@ TEST(JoinEngineTest, EvictionBoundsRespected) {
   EngineConfig ecfg;
   ecfg.max_cached_grids = 2;
   ecfg.max_cached_plans = 2;
-  ecfg.metrics = &metrics;
+  ecfg.obs.metrics = &metrics;
   JoinEngine engine(ecfg);
   PreparedDataset prep = engine.prepare(ds);
 
@@ -322,7 +322,7 @@ TEST(JoinEngineTest, CacheCountersTellTheReuseStory) {
   const Dataset ds = gen_exponential(2000, 2, 13);
   obs::Registry metrics;
   EngineConfig ecfg;
-  ecfg.metrics = &metrics;
+  ecfg.obs.metrics = &metrics;
   JoinEngine engine(ecfg);
   PreparedDataset prep = engine.prepare(ds);
 
@@ -354,7 +354,7 @@ TEST(JoinEngineTest, EngineTracerSeesPrepareAndReuseSpans) {
   const Dataset ds = gen_exponential(1500, 2, 8);
   obs::Tracer engine_tracer(obs::TimeMode::Logical);
   EngineConfig ecfg;
-  ecfg.tracer = &engine_tracer;
+  ecfg.obs.tracer = &engine_tracer;
   JoinEngine engine(ecfg);
   PreparedDataset prep = engine.prepare(ds);
 

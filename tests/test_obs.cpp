@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -130,6 +132,237 @@ TEST(Metrics, RegistryMergeAccumulatesShards) {
   EXPECT_EQ(merged.cycle_histogram("cycles").total(), 2u);
   EXPECT_EQ(merged.cycle_histogram("cycles").max(), 200u);
   EXPECT_EQ(merged.histogram("pct", 0.0, 100.0, 10).total(), 2u);
+}
+
+// ------------------------------------------------- metric-name hygiene
+
+TEST(Metrics, MetricNameValidation) {
+  // Valid: dot-path bases, optional labels, colon (OpenMetrics allows it).
+  EXPECT_TRUE(obs::is_valid_metric_name("sj.warps"));
+  EXPECT_TRUE(obs::is_valid_metric_name("svc.queue_wait_seconds"));
+  EXPECT_TRUE(obs::is_valid_metric_name("_private"));
+  EXPECT_TRUE(obs::is_valid_metric_name("ns:role"));
+  EXPECT_TRUE(obs::is_valid_metric_name("sj.warps{batch=3}"));
+  EXPECT_TRUE(obs::is_valid_metric_name("x{a=1,b=two}"));
+
+  // Invalid: bad leading char, charset violations, malformed labels.
+  EXPECT_FALSE(obs::is_valid_metric_name(""));
+  EXPECT_FALSE(obs::is_valid_metric_name("9lives"));
+  EXPECT_FALSE(obs::is_valid_metric_name("has space"));
+  EXPECT_FALSE(obs::is_valid_metric_name("dash-ed"));
+  EXPECT_FALSE(obs::is_valid_metric_name("x{unclosed=1"));
+  EXPECT_FALSE(obs::is_valid_metric_name("x{9key=1}"));
+  EXPECT_FALSE(obs::is_valid_metric_name("x{k=va\"lue}"));
+}
+
+TEST(Metrics, SanitizeMetricName) {
+  // Identity on valid names; idempotent on everything.
+  EXPECT_EQ(obs::sanitize_metric_name("sj.warps"), "sj.warps");
+  EXPECT_EQ(obs::sanitize_metric_name("sj.warps{batch=3}"),
+            "sj.warps{batch=3}");
+  const std::string fixed = obs::sanitize_metric_name("bad name-9");
+  EXPECT_TRUE(obs::is_valid_metric_name(fixed));
+  EXPECT_EQ(fixed, "bad_name_9");
+  EXPECT_EQ(obs::sanitize_metric_name(fixed), fixed);
+  EXPECT_TRUE(obs::is_valid_metric_name(obs::sanitize_metric_name("9lives")));
+}
+
+TEST(Metrics, RegistrationNormalizesNames) {
+#ifdef NDEBUG
+  // Release: charset violations are sanitized at registration, so the
+  // raw and sanitized spellings name the same instrument.
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("bad name");
+  c.add(7);
+  EXPECT_EQ(&reg.counter("bad_name"), &c);
+  EXPECT_EQ(reg.counter("bad_name").value(), 7u);
+#else
+  // Debug: violations are hard errors at the registration site.
+  obs::Registry reg;
+  EXPECT_THROW((void)reg.counter("bad name"), CheckError);
+#endif
+}
+
+// --------------------------------------------------------- TimeHistogram
+
+TEST(Metrics, TimeHistogramSecondsApi) {
+  obs::TimeHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  for (const double s : {0.001, 0.002, 0.004, 0.008, 1.0}) h.observe(s);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_NEAR(h.min_seconds(), 0.001, 0.001 * obs::TimeHistogram::kMaxRelativeError);
+  EXPECT_NEAR(h.max_seconds(), 1.0, 1.0 * obs::TimeHistogram::kMaxRelativeError);
+  EXPECT_NEAR(h.sum_seconds(), 1.015, 1.015 * obs::TimeHistogram::kMaxRelativeError);
+  // Quantiles honour the underlying HDR sketch's relative-error bound.
+  const double p50 = h.percentile_seconds(50.0);
+  EXPECT_GE(p50, 0.004 * (1.0 - obs::TimeHistogram::kMaxRelativeError));
+  EXPECT_LE(p50, 0.004 * (1.0 + obs::TimeHistogram::kMaxRelativeError));
+  // Non-positive durations clamp to zero instead of wrapping.
+  h.observe(-1.0);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.min_seconds(), 0.0);
+}
+
+TEST(Metrics, TimeHistogramRegistryMerge) {
+  obs::Registry a, b, merged;
+  a.time_histogram("svc.service_seconds").observe(0.5);
+  b.time_histogram("svc.service_seconds").observe(1.5);
+  merged.merge_from(a);
+  merged.merge_from(b);
+  obs::TimeHistogram& m = merged.time_histogram("svc.service_seconds");
+  EXPECT_EQ(m.total(), 2u);
+  EXPECT_NEAR(m.sum_seconds(), 2.0, 2.0 * obs::TimeHistogram::kMaxRelativeError);
+}
+
+// ----------------------------------------------------------- openmetrics
+
+TEST(Metrics, OpenMetricsGolden) {
+  // Small fixed registry -> exact, byte-for-byte exposition. Map order
+  // sorts families; dots mangle to underscores; counters gain _total.
+  obs::Registry reg;
+  reg.counter("svc.completed").add(3);
+  reg.counter(obs::labeled("sj.cache.hits", {{"artifact", "grid"}})).add(2);
+  reg.gauge("svc.queue_depth").set(2.5);
+  std::ostringstream os;
+  reg.write_openmetrics(os);
+  EXPECT_EQ(os.str(),
+            "# TYPE sj_cache_hits counter\n"
+            "sj_cache_hits_total{artifact=\"grid\"} 2\n"
+            "# TYPE svc_completed counter\n"
+            "svc_completed_total 3\n"
+            "# TYPE svc_queue_depth gauge\n"
+            "svc_queue_depth 2.5\n"
+            "# EOF\n");
+}
+
+/// Minimal conformant OpenMetrics text-format scraper: validates line
+/// grammar, family grouping (all samples of a family contiguous, TYPE
+/// first), metric-name charset, histogram bucket monotonicity and the
+/// mandatory `# EOF` terminator. Fills `families` with family->type
+/// (void return: ASSERT_* requires it).
+void scrape_openmetrics(const std::string& text,
+                        std::map<std::string, std::string>& families) {
+  std::istringstream in(text);
+  std::string line, current_family, current_type;
+  bool saw_eof = false;
+  std::uint64_t last_bucket_cum = 0;
+  bool in_buckets = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(saw_eof) << "content after # EOF: " << line;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream ls(line.substr(7));
+      std::string family, type;
+      ls >> family >> type;
+      ASSERT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram" || type == "summary")
+          << line;
+      ASSERT_EQ(families.count(family), 0u)
+          << "family declared twice: " << family;
+      families[family] = type;
+      current_family = family;
+      current_type = type;
+      in_buckets = false;
+      continue;
+    }
+    if (line == "# EOF") {
+      saw_eof = true;
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    std::string series = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    char* end = nullptr;
+    (void)std::strtod(value.c_str(), &end);
+    ASSERT_EQ(*end, '\0') << "unparseable value: " << line;
+
+    std::string labels;
+    const std::size_t brace = series.find('{');
+    if (brace != std::string::npos) {
+      ASSERT_EQ(series.back(), '}') << line;
+      labels = series.substr(brace + 1, series.size() - brace - 2);
+      series = series.substr(0, brace);
+    }
+    // Metric-name charset: [a-zA-Z_:][a-zA-Z0-9_:]*
+    ASSERT_FALSE(series.empty());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const char ch = series[i];
+      const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                      ch == '_' || ch == ':' ||
+                      (i > 0 && ch >= '0' && ch <= '9');
+      ASSERT_TRUE(ok) << "bad metric name char in: " << line;
+    }
+    // Label values must be quoted.
+    if (!labels.empty()) {
+      ASSERT_NE(labels.find('"'), std::string::npos) << line;
+    }
+    // Samples must belong to the declared family (contiguous grouping).
+    ASSERT_FALSE(current_family.empty()) << "sample before # TYPE: " << line;
+    ASSERT_EQ(series.rfind(current_family, 0), 0u)
+        << "sample " << series << " outside family " << current_family;
+    const std::string suffix = series.substr(current_family.size());
+    if (current_type == "counter") {
+      ASSERT_EQ(suffix, "_total") << line;
+    } else if (current_type == "gauge") {
+      ASSERT_EQ(suffix, "") << line;
+    } else if (current_type == "histogram") {
+      ASSERT_TRUE(suffix == "_bucket" || suffix == "_sum" ||
+                  suffix == "_count")
+          << line;
+      if (suffix == "_bucket") {
+        ASSERT_NE(labels.find("le=\""), std::string::npos) << line;
+        const auto cum = static_cast<std::uint64_t>(std::stod(value));
+        if (in_buckets) {
+          ASSERT_GE(cum, last_bucket_cum) << line;
+        }
+        last_bucket_cum = cum;
+        in_buckets = true;
+      } else {
+        in_buckets = false;
+      }
+    } else {  // summary
+      ASSERT_TRUE(suffix == "" || suffix == "_sum" || suffix == "_count")
+          << line;
+      if (suffix.empty()) {
+        ASSERT_NE(labels.find("quantile=\""), std::string::npos) << line;
+      }
+    }
+  }
+  ASSERT_TRUE(saw_eof) << "missing # EOF terminator";
+}
+
+TEST(Metrics, OpenMetricsScraperConformance) {
+  obs::Registry reg;
+  reg.counter("svc.submitted").add(10);
+  reg.counter(obs::labeled("svc.completed", {{"status", "ok"}})).add(9);
+  reg.gauge("svc.queue_depth").set(1.0);
+  obs::FixedHistogram& fh = reg.histogram("sj.wee_percent", 0.0, 100.0, 4);
+  fh.observe(12.0);
+  fh.observe(70.0);
+  fh.observe(250.0);  // overflow
+  obs::CycleHistogram& ch = reg.cycle_histogram("sj.warp_cycles");
+  ch.record(100);
+  ch.record(100000);
+  reg.time_histogram("svc.service_seconds").observe(0.25);
+
+  std::ostringstream os;
+  reg.write_openmetrics(os);
+  std::map<std::string, std::string> families;
+  ASSERT_NO_FATAL_FAILURE(scrape_openmetrics(os.str(), families));
+  EXPECT_EQ(families.at("svc_submitted"), "counter");
+  EXPECT_EQ(families.at("svc_completed"), "counter");
+  EXPECT_EQ(families.at("svc_queue_depth"), "gauge");
+  EXPECT_EQ(families.at("sj_wee_percent"), "histogram");
+  EXPECT_EQ(families.at("sj_warp_cycles"), "summary");
+  EXPECT_EQ(families.at("svc_service_seconds"), "summary");
+
+  // Deterministic ordering: two exports of the same state are
+  // byte-identical.
+  std::ostringstream os2;
+  reg.write_openmetrics(os2);
+  EXPECT_EQ(os.str(), os2.str());
 }
 
 TEST(Metrics, RegistryJsonExportParses) {
@@ -352,6 +585,36 @@ TEST(Trace, ChromeJsonRoundTrip) {
   EXPECT_EQ(warp_spans, out.stats.kernel.warps_launched);
   EXPECT_EQ(host_spans, tracer.host_span_count());
   EXPECT_GT(metas, 4u);  // process/thread names incl. slot rows
+}
+
+TEST(Trace, ChromeJsonEscapesSpanNames) {
+  // Span names flow verbatim into the exported JSON strings; every
+  // JSON-significant byte must round-trip through a strict parser.
+  const std::vector<std::string> names = {
+      "quote \" inside",
+      "back\\slash",
+      "new\nline and\ttab",
+      std::string("ctrl\x01\x1f bytes"),
+      "unicode \xc3\xa9 passthrough",
+  };
+  obs::Tracer tracer(obs::TimeMode::Logical);
+  for (const auto& n : names) tracer.span(n).finish();
+
+  std::ostringstream os;
+  tracer.write_chrome_json(os);
+  const json::JsonValue doc = json::json_parse(os.str());
+  const json::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::vector<std::string> parsed;
+  for (const json::JsonValue& ev : events->as_array()) {
+    if (ev.find("ph")->as_string() != "X") continue;
+    parsed.push_back(ev.find("name")->as_string());
+  }
+  ASSERT_EQ(parsed.size(), names.size());
+  for (const auto& n : names) {
+    EXPECT_NE(std::find(parsed.begin(), parsed.end(), n), parsed.end())
+        << "name lost in export: " << n;
+  }
 }
 
 TEST(Trace, LogicalModeTracesAreByteIdentical) {

@@ -158,7 +158,7 @@ TEST(Service, SingleFlightBuildsEachArtifactOnce) {
   const Dataset ds = gen_uniform(3000, 2, 7, 0.0, 1.0);
   obs::Registry metrics;
   ServiceConfig scfg;
-  scfg.metrics = &metrics;
+  scfg.obs.metrics = &metrics;
   JoinService svc(scfg);
   const auto sd = svc.attach(ds);
 
@@ -364,7 +364,7 @@ TEST(Service, ConcurrentDistinctEpsilonsBuildEachGridOnce) {
   const Dataset ds = gen_uniform(2000, 2, 19, 0.0, 1.0);
   obs::Registry metrics;
   ServiceConfig scfg;
-  scfg.metrics = &metrics;
+  scfg.obs.metrics = &metrics;
   JoinService svc(scfg);
   const auto sd = svc.attach(ds);
 
@@ -393,7 +393,7 @@ TEST(Service, CacheEvictionRespectsBounds) {
   ServiceConfig scfg;
   scfg.max_cached_grids = 2;
   scfg.max_cached_plans = 2;
-  scfg.metrics = &metrics;
+  scfg.obs.metrics = &metrics;
   JoinService svc(scfg);
   const auto sd = svc.attach(ds);
   for (const double eps : {0.01, 0.02, 0.03, 0.04, 0.05}) {
@@ -408,7 +408,7 @@ TEST(Service, MutationInvalidatesSharedCaches) {
   Dataset ds = gen_uniform(800, 2, 21, 0.0, 1.0);
   obs::Registry metrics;
   ServiceConfig scfg;
-  scfg.metrics = &metrics;
+  scfg.obs.metrics = &metrics;
   JoinService svc(scfg);
   const auto sd = svc.attach(ds);
   SelfJoinConfig cfg = SelfJoinConfig::combined(0.05);
@@ -498,7 +498,7 @@ TEST(Service, MixedPrioritySubmitStormAllReachTerminalStates) {
   obs::Registry metrics;
   ServiceConfig scfg;
   scfg.workers = 4;
-  scfg.metrics = &metrics;
+  scfg.obs.metrics = &metrics;
   JoinService svc(scfg);
   const auto sd = svc.attach(ds);
 
@@ -530,7 +530,7 @@ TEST(Service, QueueDepthReturnsToZeroAfterDraining) {
   obs::Registry metrics;
   ServiceConfig scfg;
   scfg.workers = 2;
-  scfg.metrics = &metrics;
+  scfg.obs.metrics = &metrics;
   JoinService svc(scfg);
   const auto sd = svc.attach(ds);
   std::vector<JoinService::Ticket> tickets;
@@ -550,7 +550,7 @@ TEST(Service, MetricsCountTerminalStates) {
   obs::Registry metrics;
   ServiceConfig scfg;
   scfg.workers = 2;
-  scfg.metrics = &metrics;
+  scfg.obs.metrics = &metrics;
   JoinService svc(scfg);
   const auto sd = svc.attach(ds);
 
@@ -566,8 +566,8 @@ TEST(Service, MetricsCountTerminalStates) {
   EXPECT_EQ(metrics.counter("svc.submitted").value(), 4u);
   EXPECT_EQ(metrics.counter("svc.completed").value(), 4u);
   EXPECT_EQ(metrics.counter("svc.cancelled").value(), 0u);
-  EXPECT_EQ(metrics.cycle_histogram("svc.wait_us").total(), 4u);
-  EXPECT_EQ(metrics.cycle_histogram("svc.service_us").total(), 4u);
+  EXPECT_EQ(metrics.time_histogram("svc.queue_wait_seconds").total(), 4u);
+  EXPECT_EQ(metrics.time_histogram("svc.service_seconds").total(), 4u);
   EXPECT_TRUE(metrics.gauge("svc.queue_depth").is_set());
 }
 

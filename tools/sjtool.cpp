@@ -26,10 +26,14 @@
 // Variants: gpucalcglobal | unicomp | lidunicomp | sortbywl | workqueue
 //           | combined | superego (superego: join/profile only)
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <map>
 #include <random>
 #include <sstream>
 #include <string>
@@ -44,6 +48,7 @@
 #include "data/generators.hpp"
 #include "data/io.hpp"
 #include "obs/diagnostics.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sj/dbscan.hpp"
@@ -56,8 +61,8 @@ namespace {
 
 int usage() {
   std::cout <<
-      "usage: sjtool <generate|info|join|dbscan|profile|sweep|serve>"
-      " [--flags]\n"
+      "usage: sjtool <generate|info|join|dbscan|profile|sweep|serve"
+      "|top|explain> [--flags]\n"
       "  generate --dataset <Table-I name> [--n N] [--seed S] --out F\n"
       "  info     --input F\n"
       "  join     --input F --epsilon E [--variant V] [--k K]\n"
@@ -89,6 +94,20 @@ int usage() {
       "           seeded random requests with occasional cancellations;\n"
       "           --verify replays every completed request serially on\n"
       "           a cold engine and checks results are bit-identical\n"
+      "  top      (--input F | --dataset <name> [--n N] [--seed S])\n"
+      "           [--stress N] [--workers W] [--interval-ms I]\n"
+      "           [--sms N] [--host-threads T]\n"
+      "           drives a seeded stress mix through one JoinService\n"
+      "           and prints interval snapshots (queue depth, in-flight\n"
+      "           requests, depot levels, cache population/bytes)\n"
+      "  explain  (--input F | --dataset <name> [--n N] [--seed S])\n"
+      "           --epsilon E [--variant V] [--k K] [--sms N]\n"
+      "           [--host-threads T] [--logical-time] [--json]\n"
+      "           runs ONE request through a 1-worker JoinService and\n"
+      "           prints its span tree (request root, queue_wait, plan,\n"
+      "           execute, per-batch launches) plus the RequestBreakdown\n"
+      "           (stage seconds, per-artifact cache hits, batches,\n"
+      "           retries, pairs) as aligned text or JSON\n"
       "--host-threads runs the simulator on T host worker threads\n"
       "(0 = sequential; results and traces are identical either way)\n"
       "variants: gpucalcglobal unicomp lidunicomp sortbywl workqueue\n"
@@ -335,6 +354,7 @@ int cmd_profile(gsj::Cli& cli) {
   std::filesystem::create_directories(out_dir);
   const std::string trace_path = out_dir + "/trace.json";
   const std::string metrics_path = out_dir + "/metrics.json";
+  const std::string om_path = out_dir + "/metrics.prom";
   {
     std::ofstream f(trace_path);
     GSJ_CHECK_MSG(f.good(), "cannot open " << trace_path);
@@ -345,11 +365,16 @@ int cmd_profile(gsj::Cli& cli) {
     GSJ_CHECK_MSG(f.good(), "cannot open " << metrics_path);
     metrics.write_json(f);
   }
+  {
+    std::ofstream f(om_path);
+    GSJ_CHECK_MSG(f.good(), "cannot open " << om_path);
+    metrics.write_openmetrics(f);
+  }
   std::cout << "trace: " << trace_path << " (" << tracer.host_span_count()
             << " host spans, " << tracer.batch_event_count() << " batches, "
             << tracer.warp_event_count() << " warp events)\n"
-            << "metrics: " << metrics_path << " (" << metrics.size()
-            << " instruments)\n";
+            << "metrics: " << metrics_path << " + " << om_path << " ("
+            << metrics.size() << " instruments)\n";
   return 0;
 }
 
@@ -397,7 +422,7 @@ int cmd_sweep(gsj::Cli& cli) {
 
   gsj::obs::Registry svc_metrics;
   gsj::ServiceConfig scfg;
-  scfg.metrics = &svc_metrics;
+  scfg.obs.metrics = &svc_metrics;
   // Bound large enough for the whole grid so the sweep itself measures
   // reuse, not eviction; eviction behaviour has its own tests.
   scfg.max_cached_grids = std::max<std::size_t>(4, epsilons.size());
@@ -652,7 +677,7 @@ int cmd_serve(gsj::Cli& cli) {
   gsj::ServiceConfig scfg;
   scfg.workers = workers;
   scfg.max_queue_depth = queue_depth;
-  scfg.metrics = &metrics;
+  scfg.obs.metrics = &metrics;
   gsj::JoinService svc(scfg);
   const auto sd = svc.attach(ds);
 
@@ -720,20 +745,53 @@ int cmd_serve(gsj::Cli& cli) {
     }
   }
 
-  const auto pct = [&](const char* name, double q) {
-    return metrics.cycle_histogram(name).percentile(q);
+  // Exact (offline-sorted) latency quantiles per status — unlike the
+  // registry's HDR sketches these carry no quantization error, so the
+  // JSON summary is stable input for scripts/bench_compare.py.
+  struct LatBucket {
+    std::vector<double> wait, service;
   };
+  std::map<std::string, LatBucket> by_status;
+  std::vector<double> wait_all, service_all, kernel_ok;
+  std::uint64_t ok_pairs = 0;
+  for (const auto& r : responses) {
+    LatBucket& b = by_status[gsj::to_string(r.status)];
+    b.wait.push_back(r.wait_seconds);
+    b.service.push_back(r.service_seconds);
+    wait_all.push_back(r.wait_seconds);
+    service_all.push_back(r.service_seconds);
+    if (r.status == gsj::JoinStatus::Ok) {
+      kernel_ok.push_back(r.output.stats.kernel_seconds);
+      ok_pairs += r.output.stats.result_pairs;
+    }
+  }
+  const auto quantile = [](std::vector<double> v, double q) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const double rank = q / 100.0 * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    return v[lo] + (v[hi] - v[lo]) * (rank - static_cast<double>(lo));
+  };
+  const std::uint64_t cache_hits = metrics.counter("sj.cache.hits").value();
+  const std::uint64_t cache_misses =
+      metrics.counter("sj.cache.misses").value();
+  const double hit_ratio =
+      cache_hits + cache_misses > 0
+          ? static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses)
+          : 0.0;
+
   std::cout << "served " << responses.size() << " requests in " << total_wall
             << " s on " << workers << " workers: " << n_ok << " ok, "
             << n_rejected << " rejected, " << n_expired << " expired, "
             << n_cancelled << " cancelled, " << n_failed << " failed\n"
-            << "queue wait p50/p95: " << pct("svc.wait_us", 50) << "/"
-            << pct("svc.wait_us", 95) << " us, service p50/p95: "
-            << pct("svc.service_us", 50) << "/" << pct("svc.service_us", 95)
-            << " us\n"
-            << "cache: " << metrics.counter("sj.cache.hits").value()
-            << " hits, " << metrics.counter("sj.cache.misses").value()
-            << " misses\n";
+            << "queue wait p50/p95: " << quantile(wait_all, 50) * 1e3 << "/"
+            << quantile(wait_all, 95) * 1e3 << " ms, service p50/p95: "
+            << quantile(service_all, 50) * 1e3 << "/"
+            << quantile(service_all, 95) * 1e3 << " ms\n"
+            << "cache: " << cache_hits << " hits, " << cache_misses
+            << " misses (ratio " << hit_ratio << ")\n";
   if (verify) {
     std::cout << "verify: " << verified
               << " completed request(s) bit-identical to serial cold-engine "
@@ -750,29 +808,319 @@ int cmd_serve(gsj::Cli& cli) {
       << ",\n  \"requests\": [\n";
     for (std::size_t i = 0; i < responses.size(); ++i) {
       const auto& r = responses[i];
-      f << "    {\"epsilon\": " << reqs[i].epsilon << ", \"variant\": \""
-        << reqs[i].variant << "\", \"priority\": " << reqs[i].jr.priority
+      f << "    {\"request_id\": " << r.request_id << ", \"epsilon\": "
+        << reqs[i].epsilon << ", \"variant\": \"" << reqs[i].variant
+        << "\", \"priority\": " << reqs[i].jr.priority
         << ", \"status\": \"" << gsj::to_string(r.status)
         << "\", \"pairs\": " << r.output.stats.result_pairs
         << ", \"wait_seconds\": " << r.wait_seconds
         << ", \"service_seconds\": " << r.service_seconds << "}"
         << (i + 1 < responses.size() ? "," : "") << "\n";
     }
+    const auto lat_fields = [&](std::ostream& os, const LatBucket& b) {
+      os << "\"count\": " << b.wait.size()
+         << ", \"wait_seconds_p50\": " << quantile(b.wait, 50)
+         << ", \"wait_seconds_p95\": " << quantile(b.wait, 95)
+         << ", \"wait_seconds_p99\": " << quantile(b.wait, 99)
+         << ", \"service_seconds_p50\": " << quantile(b.service, 50)
+         << ", \"service_seconds_p95\": " << quantile(b.service, 95)
+         << ", \"service_seconds_p99\": " << quantile(b.service, 99);
+    };
     f << "  ],\n  \"summary\": {\"wall_seconds\": " << total_wall
       << ", \"ok\": " << n_ok << ", \"rejected\": " << n_rejected
       << ", \"expired\": " << n_expired << ", \"cancelled\": " << n_cancelled
       << ", \"failed\": " << n_failed << ", \"verified\": " << verified
-      << ", \"wait_us_p50\": " << pct("svc.wait_us", 50)
-      << ", \"wait_us_p95\": " << pct("svc.wait_us", 95)
-      << ", \"service_us_p50\": " << pct("svc.service_us", 50)
-      << ", \"service_us_p95\": " << pct("svc.service_us", 95)
-      << "},\n  \"cache\": {\"hits\": "
-      << metrics.counter("sj.cache.hits").value() << ", \"misses\": "
-      << metrics.counter("sj.cache.misses").value() << ", \"evictions\": "
+      << ", \"pairs_per_second\": "
+      << (total_wall > 0.0 ? static_cast<double>(ok_pairs) / total_wall : 0.0)
+      << ", \"cache_hit_ratio\": " << hit_ratio
+      << ", \"kernel_seconds_p50\": " << quantile(kernel_ok, 50)
+      << ", \"wait_seconds_p50\": " << quantile(wait_all, 50)
+      << ", \"wait_seconds_p95\": " << quantile(wait_all, 95)
+      << ", \"wait_seconds_p99\": " << quantile(wait_all, 99)
+      << ", \"service_seconds_p50\": " << quantile(service_all, 50)
+      << ", \"service_seconds_p95\": " << quantile(service_all, 95)
+      << ", \"service_seconds_p99\": " << quantile(service_all, 99)
+      << "},\n  \"latency_by_status\": {";
+    bool first_status = true;
+    for (const auto& [status, bucket] : by_status) {
+      f << (first_status ? "\n" : ",\n") << "    \"" << status << "\": {";
+      lat_fields(f, bucket);
+      f << "}";
+      first_status = false;
+    }
+    f << "\n  },\n  \"cache\": {\"hits\": " << cache_hits << ", \"misses\": "
+      << cache_misses << ", \"hit_ratio\": " << hit_ratio
+      << ", \"evictions\": "
       << metrics.counter("sj.cache.evictions").value() << "}\n}\n";
     std::cout << "report: " << out_path << "\n";
   }
   return n_failed == 0 ? 0 : 1;
+}
+
+int cmd_top(gsj::Cli& cli) {
+  // Dataset: an existing .bin, or generated in-process.
+  const std::string input = cli.get("input", "", "input dataset (.bin)");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1, ""));
+  gsj::Dataset ds = [&] {
+    if (!input.empty()) return gsj::load_binary(input);
+    const std::string name =
+        cli.get("dataset", "Expo2D2M", "Table I dataset to generate");
+    const auto n = static_cast<std::size_t>(
+        cli.get_int("n", 20000, "points (0 = spec default)"));
+    return gsj::make_dataset(name, n, seed);
+  }();
+
+  const int stress = static_cast<int>(cli.get_int(
+      "stress", 48, "seeded random requests to drive the service with"));
+  GSJ_CHECK_MSG(stress > 0, "--stress must be > 0");
+  const auto workers = static_cast<std::size_t>(
+      cli.get_int("workers", 4, "service worker threads"));
+  const int interval_ms = static_cast<int>(
+      cli.get_int("interval-ms", 100, "snapshot interval"));
+  const int sms = static_cast<int>(
+      cli.get_int("sms", 0, "modeled SMs (0 = default)"));
+  const int host_threads = static_cast<int>(
+      cli.get_int("host-threads", 0, "host worker threads (0 = sequential)"));
+
+  // The serve --stress mix (without scheduled cancellations): every
+  // variant, a few epsilons, three priority classes.
+  const std::vector<std::string> kVariants = {
+      "gpucalcglobal", "unicomp", "lidunicomp",
+      "sortbywl",      "workqueue", "combined"};
+  const std::vector<double> kEpsilons = {0.01, 0.02, 0.04};
+  std::mt19937_64 rng(seed);
+  std::vector<gsj::JoinRequest> reqs;
+  reqs.reserve(static_cast<std::size_t>(stress));
+  for (int i = 0; i < stress; ++i) {
+    gsj::JoinRequest jr;
+    const std::string variant = kVariants[rng() % kVariants.size()];
+    GSJ_CHECK_MSG(
+        make_gpu_config(variant, kEpsilons[rng() % kEpsilons.size()],
+                        jr.config),
+        "unknown variant: " << variant);
+    jr.priority = static_cast<int>(rng() % 3);
+    if (sms > 0) jr.config.device.num_sms = sms;
+    jr.config.device.host.num_threads = host_threads;
+    jr.config.store_pairs = false;
+    jr.config.collect_diagnostics = false;
+    reqs.push_back(std::move(jr));
+  }
+
+  gsj::obs::Registry metrics;
+  gsj::ServiceConfig scfg;
+  scfg.workers = workers;
+  scfg.obs.metrics = &metrics;
+  gsj::JoinService svc(scfg);
+  const auto sd = svc.attach(ds);
+
+  gsj::Timer wall;
+  std::vector<gsj::JoinService::Ticket> tickets;
+  tickets.reserve(reqs.size());
+  for (auto& jr : reqs) tickets.push_back(svc.submit(sd, jr));
+
+  std::atomic<std::size_t> done{0};
+  std::thread waiter([&] {
+    for (auto& t : tickets) {
+      (void)t.get();
+      done.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::cout << "    t_ms  queue  inflight  oldest_ms  arenas  pools  grids"
+               "  plans  cache_kb     done\n";
+  const auto print_row = [&] {
+    const gsj::ServiceSnapshot s = svc.snapshot();
+    double oldest = 0.0;
+    for (const auto& f : s.in_flight) {
+      oldest = std::max(oldest, f.age_seconds);
+    }
+    std::printf("%8.0f  %5zu  %8zu  %9.1f  %6zu  %5zu  %5zu  %5zu  %8zu"
+                "  %3zu/%-3zu\n",
+                wall.seconds() * 1e3, s.queue_depth, s.in_flight.size(),
+                oldest * 1e3, s.idle_arenas, s.idle_thread_pools,
+                s.cached_grids, s.cached_plans, s.cached_bytes / 1024,
+                done.load(std::memory_order_relaxed), tickets.size());
+    std::fflush(stdout);
+  };
+  while (done.load(std::memory_order_relaxed) < tickets.size()) {
+    print_row();
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  waiter.join();
+  print_row();
+  std::cout << "served " << tickets.size() << " requests in "
+            << wall.seconds() << " s on " << workers << " workers; cache "
+            << metrics.counter("sj.cache.hits").value() << " hits / "
+            << metrics.counter("sj.cache.misses").value() << " misses\n";
+  return 0;
+}
+
+int cmd_explain(gsj::Cli& cli) {
+  // Dataset: an existing .bin, or generated in-process.
+  const std::string input = cli.get("input", "", "input dataset (.bin)");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1, ""));
+  gsj::Dataset ds = [&] {
+    if (!input.empty()) return gsj::load_binary(input);
+    const std::string name =
+        cli.get("dataset", "Expo2D2M", "Table I dataset to generate");
+    const auto n = static_cast<std::size_t>(
+        cli.get_int("n", 20000, "points (0 = spec default)"));
+    return gsj::make_dataset(name, n, seed);
+  }();
+
+  const double eps = cli.get_double("epsilon", 0.0, "join radius");
+  GSJ_CHECK_MSG(eps > 0.0, "--epsilon is required and must be > 0");
+  const std::string variant =
+      cli.get("variant", "combined", "join variant (see --help)");
+  const bool logical =
+      cli.get_bool("logical-time", false,
+                   "deterministic logical host timestamps");
+  const bool as_json = cli.get_bool("json", false, "emit JSON, not text");
+
+  gsj::SelfJoinConfig cfg;
+  if (!make_gpu_config(variant, eps, cfg)) {
+    std::cerr << "unknown variant: " << variant << "\n";
+    return usage();
+  }
+  cfg.k = static_cast<int>(cli.get_int("k", cfg.k, "threads per point"));
+  const int sms = static_cast<int>(
+      cli.get_int("sms", 0, "modeled SMs (0 = default)"));
+  if (sms > 0) cfg.device.num_sms = sms;
+  cfg.device.host.num_threads = static_cast<int>(
+      cli.get_int("host-threads", 0, "host worker threads (0 = sequential)"));
+  apply_batching_flags(cli, cfg.batching);
+  cfg.store_pairs = false;
+
+  gsj::obs::Tracer tracer(logical ? gsj::obs::TimeMode::Logical
+                                  : gsj::obs::TimeMode::Wall);
+  gsj::obs::Registry metrics;
+  gsj::obs::FlightRecorder recorder;
+  gsj::ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.obs.tracer = &tracer;
+  scfg.obs.metrics = &metrics;
+  scfg.obs.recorder = &recorder;
+  gsj::JoinService svc(scfg);
+  const auto sd = svc.attach(ds);
+
+  gsj::JoinRequest jr;
+  jr.config = cfg;
+  gsj::JoinResponse resp = svc.submit(sd, jr).get();
+
+  // Reassemble this request's span tree from the service tracer.
+  const std::vector<gsj::obs::HostSpan> spans = tracer.host_spans();
+  std::vector<const gsj::obs::HostSpan*> mine;
+  for (const auto& s : spans) {
+    if (s.request == resp.request_id) mine.push_back(&s);
+  }
+  std::map<std::uint64_t, std::vector<const gsj::obs::HostSpan*>> children;
+  const gsj::obs::HostSpan* root = nullptr;
+  for (const auto* s : mine) {
+    if (s->parent == 0) {
+      root = s;
+    } else {
+      children[s->parent].push_back(s);
+    }
+  }
+  for (auto& [parent, kids] : children) {
+    std::sort(kids.begin(), kids.end(), [](const auto* a, const auto* b) {
+      return a->ts != b->ts ? a->ts < b->ts : a->id < b->id;
+    });
+  }
+  const char* unit = logical ? "ticks" : "us";
+  const auto& b = resp.breakdown;
+
+  if (as_json) {
+    std::cout.precision(17);
+    const std::function<void(const gsj::obs::HostSpan*, int)> emit =
+        [&](const gsj::obs::HostSpan* s, int depth) {
+          const std::string pad(static_cast<std::size_t>(depth) * 2 + 2, ' ');
+          std::cout << pad << "{\"name\": \"" << s->name << "\", \"ts\": "
+                    << s->ts << ", \"dur\": " << s->dur
+                    << ", \"children\": [";
+          const auto it = children.find(s->id);
+          if (it != children.end()) {
+            for (std::size_t i = 0; i < it->second.size(); ++i) {
+              std::cout << (i > 0 ? ",\n" : "\n");
+              emit(it->second[i], depth + 1);
+            }
+            std::cout << "\n" << pad;
+          }
+          std::cout << "]}";
+        };
+    std::cout << "{\n\"request_id\": " << resp.request_id
+              << ",\n\"status\": \"" << gsj::to_string(resp.status)
+              << "\",\n\"time_unit\": \"" << unit
+              << "\",\n\"breakdown\": {\"wait_seconds\": " << b.wait_seconds
+              << ", \"plan_seconds\": " << b.plan_seconds
+              << ", \"execute_seconds\": " << b.execute_seconds
+              << ", \"grid_hits\": " << b.grid_hits
+              << ", \"grid_misses\": " << b.grid_misses
+              << ", \"workload_hits\": " << b.workload_hits
+              << ", \"workload_misses\": " << b.workload_misses
+              << ", \"order_hits\": " << b.order_hits
+              << ", \"order_misses\": " << b.order_misses
+              << ", \"estimate_hits\": " << b.estimate_hits
+              << ", \"estimate_misses\": " << b.estimate_misses
+              << ", \"batches\": " << b.batches
+              << ", \"overflow_retries\": " << b.overflow_retries
+              << ", \"result_pairs\": " << b.result_pairs
+              << "},\n\"span_tree\":\n";
+    if (root != nullptr) {
+      emit(root, 0);
+    } else {
+      std::cout << "  null";
+    }
+    std::cout << "\n}\n";
+  } else {
+    if (resp.status != gsj::JoinStatus::Ok) {
+      std::cout << "request " << resp.request_id << ": "
+                << gsj::to_string(resp.status)
+                << (resp.error.empty() ? "" : " — " + resp.error) << "\n";
+    }
+    const std::function<void(const gsj::obs::HostSpan*, int)> emit =
+        [&](const gsj::obs::HostSpan* s, int depth) {
+          std::cout << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+                    << s->name;
+          for (std::size_t n = s->name.size() +
+                               static_cast<std::size_t>(depth) * 2;
+               n < 24; ++n) {
+            std::cout << ' ';
+          }
+          std::cout << " ts=" << s->ts << " dur=" << s->dur << " " << unit
+                    << "\n";
+          const auto it = children.find(s->id);
+          if (it != children.end()) {
+            for (const auto* c : it->second) emit(c, depth + 1);
+          }
+        };
+    if (root != nullptr) {
+      std::cout << "request " << resp.request_id << " ("
+                << gsj::to_string(resp.status) << ") span tree:\n";
+      emit(root, 0);
+      std::uint64_t stage_dur = 0;
+      if (const auto it = children.find(root->id); it != children.end()) {
+        for (const auto* c : it->second) stage_dur += c->dur;
+      }
+      if (root->dur > 0) {
+        std::cout << "span coverage: "
+                  << 100.0 * static_cast<double>(stage_dur) /
+                         static_cast<double>(root->dur)
+                  << "% of the root covered by stage spans\n";
+      }
+    }
+    std::cout << "breakdown: wait " << b.wait_seconds * 1e3 << " ms, plan "
+              << b.plan_seconds * 1e3 << " ms, execute "
+              << b.execute_seconds * 1e3 << " ms\n"
+              << "cache: grid " << b.grid_hits << "h/" << b.grid_misses
+              << "m, workload " << b.workload_hits << "h/"
+              << b.workload_misses << "m, order " << b.order_hits << "h/"
+              << b.order_misses << "m, estimate " << b.estimate_hits << "h/"
+              << b.estimate_misses << "m\n"
+              << "batches " << b.batches << ", overflow retries "
+              << b.overflow_retries << ", pairs " << b.result_pairs << "\n";
+  }
+  return resp.status == gsj::JoinStatus::Ok ? 0 : 1;
 }
 
 }  // namespace
@@ -789,6 +1137,8 @@ int main(int argc, char** argv) {
     if (cmd == "profile") return cmd_profile(cli);
     if (cmd == "sweep") return cmd_sweep(cli);
     if (cmd == "serve") return cmd_serve(cli);
+    if (cmd == "top") return cmd_top(cli);
+    if (cmd == "explain") return cmd_explain(cli);
   } catch (const gsj::OverflowError& e) {
     // Recoverable-in-principle resource failure: the message already
     // names the knobs to raise (docs/ROBUSTNESS.md). Distinct exit code
