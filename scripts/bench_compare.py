@@ -8,7 +8,13 @@ Gates (relative, against the baseline value):
   * summary.kernel_seconds_p50  -- median per-request kernel seconds may
     not grow by more than the tolerance (execution-model regression);
   * summary.cache_hit_ratio     -- the shared-cache hit ratio may not
-    drop by more than the tolerance (plan-reuse regression).
+    drop by more than the tolerance (plan-reuse regression);
+  * summary.served_from_cache_ratio -- the fraction of Ok responses
+    answered by the result-serving layer (exact hit / coalesced /
+    subsumed) may not drop by more than the tolerance;
+  * summary.wait_seconds_p50    -- median admission-queue wait may not
+    grow by more than the tolerance (result serving exists to keep
+    duplicate requests from occupying workers).
 
 The tolerance (default 15%) deliberately absorbs run-to-run noise from
 cancellation timing: which requests of a --stress mix get cancelled
@@ -84,6 +90,30 @@ def main():
                 f"{tol * 100.0:.0f}%)")
         else:
             print(f"cache_hit_ratio: {bh:.4f} -> {ch:.4f} ok")
+
+    # Result-serving ratio: lower is worse.
+    bs = pick(base, "served_from_cache_ratio", args.baseline)
+    cs = pick(cand, "served_from_cache_ratio", args.candidate)
+    if bs is not None and cs is not None:
+        if bs > 0 and cs < bs * (1.0 - tol):
+            failures.append(
+                f"served_from_cache_ratio regressed: {bs:.4f} -> {cs:.4f} "
+                f"(-{(1.0 - cs / bs) * 100.0:.1f}%, tolerance "
+                f"{tol * 100.0:.0f}%)")
+        else:
+            print(f"served_from_cache_ratio: {bs:.4f} -> {cs:.4f} ok")
+
+    # Median queue wait: higher is worse.
+    bw = pick(base, "wait_seconds_p50", args.baseline)
+    cw = pick(cand, "wait_seconds_p50", args.candidate)
+    if bw is not None and cw is not None:
+        if bw > 0 and cw > bw * (1.0 + tol):
+            failures.append(
+                f"wait_seconds_p50 regressed: {bw:.6g} -> {cw:.6g} "
+                f"(+{(cw / bw - 1.0) * 100.0:.1f}%, tolerance "
+                f"{tol * 100.0:.0f}%)")
+        else:
+            print(f"wait_seconds_p50: {bw:.6g} -> {cw:.6g} ok")
 
     for f in failures:
         print(f"REGRESSION: {f}", file=sys.stderr)

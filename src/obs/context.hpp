@@ -37,10 +37,37 @@ struct ObsContext {
   FlightRecorder* recorder = nullptr;
 };
 
+/// How a submit()ted request's answer was produced (docs/SERVICE.md
+/// result-serving layer). Everything except Execution was served from
+/// the service's result cache without occupying a worker for a join.
+enum class ServedFrom : std::uint8_t {
+  Execution,    ///< ran the full plan+execute pipeline
+  ResultCache,  ///< exact ε hit on a cached result
+  Coalesced,    ///< attached to an identical in-flight execution
+  Subsumed,     ///< filtered from a cached ε' ≥ ε result
+};
+
+[[nodiscard]] constexpr const char* to_string(ServedFrom s) noexcept {
+  switch (s) {
+    case ServedFrom::Execution:
+      return "execute";
+    case ServedFrom::ResultCache:
+      return "result_cache";
+    case ServedFrom::Coalesced:
+      return "coalesced";
+    case ServedFrom::Subsumed:
+      return "subsumed";
+  }
+  return "unknown";
+}
+
 /// Per-request latency/attribution summary (JoinResponse::breakdown).
 /// All fields are totals for one request; seconds are wall time.
 struct RequestBreakdown {
   std::uint64_t request_id = 0;
+  /// How the response was produced; Execution unless the result-serving
+  /// layer answered from its cache or an in-flight duplicate.
+  ServedFrom served_from = ServedFrom::Execution;
   double wait_seconds = 0.0;     ///< admission-queue wait
   double plan_seconds = 0.0;     ///< plan stage (host_prep_seconds)
   double execute_seconds = 0.0;  ///< batched execution stage

@@ -78,4 +78,17 @@ struct ExecutionInputs {
 void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
                        ScratchArena& arena, SelfJoinOutput& out);
 
+/// ε-subsumption filter (docs/SERVICE.md result-serving layer): keeps
+/// the pairs of a cached ε-result whose dist² ≤ epsilon², for a
+/// requested epsilon ≤ the cached ε. `pairs` must be the *canonical*
+/// (lexicographically sorted) pair list of the superset result —
+/// filtering preserves order, so the output is exactly what a cold run
+/// at `epsilon` would canonicalize to. When `out` is non-null each kept
+/// pair is emitted into it (its storage mode decides pairs vs count);
+/// the kept count is returned either way. One linear pass, dimension-
+/// specialized so the hot loop vectorizes.
+std::uint64_t subsume_filter(const Dataset& ds,
+                             std::span<const ResultPair> pairs,
+                             double epsilon, ResultSet* out);
+
 }  // namespace gsj::detail

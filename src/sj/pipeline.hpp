@@ -52,6 +52,33 @@ namespace gsj::detail {
 /// fault-injection runs never collide with honest ones.
 using EstimateKey = std::pair<std::uint64_t, std::uint64_t>;
 
+/// Identity of a submitted request's *answer* for the service's
+/// result-serving layer (docs/SERVICE.md). Deliberately
+/// variant-agnostic: all six kernel variants compute the same pair set
+/// for (dataset, ε) — the invariant the paper's variant comparison
+/// rests on — so the key folds only the dataset generation, the exact
+/// ε bits, and a digest of the config knobs that change the observable
+/// result (today just the storage mode; k / cell pattern / batching /
+/// device knobs shape how the answer is computed, never what it is).
+struct ResultKey {
+  std::uint64_t generation = 0;
+  std::uint64_t eps_bits = 0;
+  std::uint64_t config_digest = 0;
+  friend bool operator==(const ResultKey&, const ResultKey&) = default;
+};
+
+[[nodiscard]] inline ResultKey make_result_key(std::uint64_t generation,
+                                               const SelfJoinConfig& cfg) {
+  // FNV-1a over the result-affecting knobs, one byte per knob.
+  std::uint64_t digest = 1469598103934665603ull;
+  const auto fold = [&digest](std::uint64_t byte) {
+    digest ^= byte & 0xffu;
+    digest *= 1099511628211ull;
+  };
+  fold(cfg.store_pairs ? 1u : 0u);
+  return {generation, std::bit_cast<std::uint64_t>(cfg.epsilon), digest};
+}
+
 template <typename Source>
 void plan_and_execute(const SelfJoinConfig& cfg, const Dataset& ds,
                       Source& src, ScratchArena& arena,

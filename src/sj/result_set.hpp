@@ -115,6 +115,13 @@ class ResultSet {
     return pairs_;
   }
 
+  /// Exact heap bytes held by pair storage (capacity, not size — the
+  /// allocation is what a byte budget has to account for). 0 in
+  /// count-only mode. Used by the service's result-cache accounting.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return pairs_.capacity() * sizeof(ResultPair);
+  }
+
   /// Sorts stored pairs lexicographically — the canonical form used to
   /// compare results across kernel variants (which emit in different
   /// orders but must produce the same set).

@@ -58,6 +58,65 @@ struct JoinService::QueueItem {
   Timer queued;                  ///< measures admission-queue wait
 };
 
+namespace detail {
+
+/// One single-flight slot of the result-coalescing layer: the primary
+/// request executing a result key, plus every identical request that
+/// attached while it ran. Lives in SharedDataset::result_flights_;
+/// `followers` is guarded by the owner's result_mu_. The primary
+/// detaches the flight (publish_result / abandon_flight) on every exit
+/// path, which also breaks the transient sd -> flight -> QueueItem ->
+/// sd ownership cycle.
+struct ResultFlight {
+  SharedDataset* sd = nullptr;
+  ResultKey key;
+  bool store_pairs = false;  ///< the primary's storage mode
+  std::uint64_t primary_rid = 0;
+  struct Follower {
+    JoinService::QueueItem item;
+    /// Response shell filled at the follower's own dequeue
+    /// (request id, wait_seconds) — completed at publish time.
+    JoinResponse partial;
+    std::uint64_t root_id = 0;
+    std::uint64_t attach_ts = 0;  ///< tracer ts at attach (0 = none)
+    Timer attached;               ///< wall time spent attached
+  };
+  std::vector<Follower> followers;
+};
+
+}  // namespace detail
+
+namespace {
+
+/// The producing run's stats reduced to an *answer* summary: per-batch
+/// and per-slot vectors describe one execution, not the result, so a
+/// cached payload drops them.
+SelfJoinStats scalar_stats(const SelfJoinStats& s) {
+  SelfJoinStats c = s;
+  c.batches.clear();
+  c.batches.shrink_to_fit();
+  c.slots.clear();
+  c.slots.shrink_to_fit();
+  return c;
+}
+
+/// Copies a cached result into a response's output honoring the
+/// request's storage mode. A pairs-bearing payload can answer a
+/// count-only request (the count rides along); the serving gate never
+/// pairs the reverse.
+void fill_served_output(SelfJoinOutput& out, const ResultSet& results,
+                        const SelfJoinStats& stats, bool store_pairs) {
+  out.stats = stats;
+  if (results.stores_pairs() == store_pairs) {
+    out.results = results;
+  } else {
+    out.results = ResultSet(false);
+    out.results.add_count(results.count());
+  }
+}
+
+}  // namespace
+
 std::size_t SharedDataset::cached_grid_count() const {
   std::shared_lock lk(mu_);
   return grids_.size();
@@ -106,6 +165,16 @@ std::size_t SharedDataset::cached_artifact_bytes() const {
     }
   }
   return bytes;
+}
+
+std::size_t SharedDataset::result_cache_entries() const {
+  std::lock_guard lk(result_mu_);
+  return results_.size();
+}
+
+std::size_t SharedDataset::result_cache_bytes() const {
+  std::lock_guard lk(result_mu_);
+  return result_bytes_;
 }
 
 namespace detail {
@@ -616,57 +685,429 @@ void JoinService::worker_loop() {
       count("svc.expired");
       rec.record("expired", rid, 0);
     } else {
-      st.started.store(true, std::memory_order_release);
-      {
-        std::lock_guard lk(inflight_mu_);
-        inflight_.emplace(rid, InFlight{item.req.priority, Timer{}});
-      }
-      Timer service_timer;
-      obs::RequestObs robs;
-      robs.tracer = tracer;
-      robs.ctx = obs::SpanContext{rid, root_id};
-      robs.recorder = &rec;
-      robs.breakdown = &r.breakdown;
-      try {
-        r.output = execute(*item.sd, item.req.config, &st.cancel, &robs);
-        r.status = JoinStatus::Ok;
+      // Result-serving gate (docs/SERVICE.md): serve an exact cached
+      // result, attach to an identical in-flight execution, or run the
+      // pipeline — possibly as the coalescing primary that duplicates
+      // attach to.
+      std::shared_ptr<detail::ResultFlight> flight;
+      const ResultGate gate = result_gate(item, r, root_id, &flight);
+      if (gate == ResultGate::Attached) continue;  // answered at publish
+      if (gate == ResultGate::Served) {
         count("svc.completed");
         rec.record("done", rid, r.breakdown.result_pairs);
-      } catch (const CancelledError&) {
-        // Partial output was discarded with the run's scratch state.
-        r.status = JoinStatus::Cancelled;
-        count("svc.cancelled");
-      } catch (const std::exception& e) {
-        r.status = JoinStatus::Failed;
-        r.error = e.what();
-        count("svc.failed");
-        rec.record("failed", rid, 0);
+      } else {
+        st.started.store(true, std::memory_order_release);
+        {
+          std::lock_guard lk(inflight_mu_);
+          inflight_.emplace(rid, InFlight{item.req.priority, Timer{}});
+        }
+        Timer service_timer;
+        obs::RequestObs robs;
+        robs.tracer = tracer;
+        robs.ctx = obs::SpanContext{rid, root_id};
+        robs.recorder = &rec;
+        robs.breakdown = &r.breakdown;
+        try {
+          r.output = execute(*item.sd, item.req.config, &st.cancel, &robs);
+          r.status = JoinStatus::Ok;
+          count("svc.completed");
+          rec.record("done", rid, r.breakdown.result_pairs);
+          if (flight != nullptr) publish_result(item, r.output, flight);
+        } catch (const CancelledError&) {
+          // Partial output was discarded with the run's scratch state.
+          r.status = JoinStatus::Cancelled;
+          count("svc.cancelled");
+          if (flight != nullptr) abandon_flight(flight);
+        } catch (const std::exception& e) {
+          r.status = JoinStatus::Failed;
+          r.error = e.what();
+          count("svc.failed");
+          rec.record("failed", rid, 0);
+          if (flight != nullptr) abandon_flight(flight);
+        }
+        r.service_seconds = service_timer.seconds();
+        if (cfg_.obs.metrics != nullptr) {
+          cfg_.obs.metrics->time_histogram("svc.service_seconds")
+              .observe(r.service_seconds);
+        }
+        {
+          std::lock_guard lk(inflight_mu_);
+          inflight_.erase(rid);
+        }
       }
-      r.service_seconds = service_timer.seconds();
+    }
+    finish_request(item, root_id, std::move(r));
+  }
+}
+
+void JoinService::finish_request(const QueueItem& item, std::uint64_t root_id,
+                                 JoinResponse&& r) {
+  obs::Tracer* tracer = cfg_.obs.tracer;
+  if (tracer != nullptr) {
+    const std::uint64_t now = tracer->now_ts();
+    const std::uint64_t dur = now >= item.submit_ts ? now - item.submit_ts : 0;
+    tracer->record_span("request", item.submit_ts, dur,
+                        obs::SpanContext{item.request_id, 0}, root_id);
+  }
+  // Failed/Expired responses auto-dump the request's breadcrumbs —
+  // the flight recorder's reason to exist.
+  if (r.status == JoinStatus::Failed) {
+    dump_recorder(item.request_id, "failed");
+  } else if (r.status == JoinStatus::Expired) {
+    dump_recorder(item.request_id, "expired");
+  }
+  respond(*item.state, std::move(r));
+}
+
+JoinService::ResultGate JoinService::result_gate(
+    QueueItem& item, JoinResponse& r, std::uint64_t root_id,
+    std::shared_ptr<detail::ResultFlight>* flight) {
+  SharedDataset& sd = *item.sd;
+  const SelfJoinConfig& cfg = item.req.config;
+  // A request the pipeline would reject must reach the pipeline so the
+  // cache never masks the canonical validation error (mirror of the
+  // plan_and_execute gate).
+  if (!(cfg.epsilon > 0.0) || sd.dataset().empty() || cfg.k < 1 ||
+      cfg.device.warp_size % cfg.k != 0) {
+    return ResultGate::Execute;
+  }
+  try {
+    cfg.batching.validate();
+  } catch (const std::exception&) {
+    return ResultGate::Execute;
+  }
+
+  const detail::ResultKey key =
+      detail::make_result_key(sd.dataset().generation(), cfg);
+  const bool needs_pairs = cfg.store_pairs;
+  const std::uint64_t rid = item.request_id;
+  obs::Tracer* tracer = cfg_.obs.tracer;
+  obs::FlightRecorder& rec = recorder();
+  Timer serve_timer;
+  const std::uint64_t serve_ts = tracer != nullptr ? tracer->now_ts() : 0;
+
+  // One critical section decides the request's path, so exactly one
+  // request can ever become the primary for a given key: check the
+  // cache, else attach to a flight, else register as primary.
+  ResultPtr exact;
+  ResultPtr super;
+  {
+    std::lock_guard lk(sd.result_mu_);
+    // Generation sweep: a mutated dataset invalidates every cached
+    // result as a unit (the artifact caches' discipline).
+    if (sd.result_generation_ != key.generation) {
+      if (!sd.results_.empty()) {
+        count("svc.result_cache.invalidations");
+        adjust_result_bytes(-static_cast<long long>(sd.result_bytes_));
+        sd.results_.clear();
+        sd.result_bytes_ = 0;
+      }
+      sd.result_generation_ = key.generation;
+    }
+    for (const auto& s : sd.results_) {
+      if (s->eps_bits == key.eps_bits && (!needs_pairs || s->has_pairs)) {
+        s->last_used = ++sd.result_tick_;
+        exact = s->payload;
+        break;
+      }
+    }
+    if (exact == nullptr) {
+      for (const auto& f : sd.result_flights_) {
+        if (f->key.generation == key.generation &&
+            f->key.eps_bits == key.eps_bits &&
+            (!needs_pairs || f->store_pairs)) {
+          count("svc.result_cache.coalesced");
+          rec.record("result_coalesce", rid, f->primary_rid);
+          detail::ResultFlight::Follower fo;
+          fo.item = std::move(item);
+          fo.partial = std::move(r);
+          fo.root_id = root_id;
+          fo.attach_ts = serve_ts;
+          f->followers.push_back(std::move(fo));
+          return ResultGate::Attached;
+        }
+      }
+      // ε-subsumption candidate: the smallest pairs-bearing superset
+      // (least filter work). A same-ε entry is unreachable here — it
+      // either hit above or lacks the pairs this request needs (in
+      // which case has_pairs is false and it is skipped too).
+      const SharedDataset::ResultSlot* cand = nullptr;
+      for (const auto& s : sd.results_) {
+        if (!s->has_pairs || s->payload->epsilon < cfg.epsilon) continue;
+        if (cand == nullptr ||
+            s->payload->results.count() < cand->payload->results.count()) {
+          cand = s.get();
+        }
+      }
+      if (cand != nullptr && subsume_worthwhile(sd, cfg, *cand->payload)) {
+        // Safe lock nesting: result_mu_ -> sd.mu_ (shared) -> est_mu;
+        // no path acquires result_mu_ while holding either.
+        super = cand->payload;
+      }
+      if (super == nullptr) {
+        // Miss: this request becomes the coalescing primary its
+        // duplicates attach to, registered in the same critical
+        // section as the lookup that missed.
+        auto f = std::make_shared<detail::ResultFlight>();
+        f->sd = &sd;
+        f->key = key;
+        f->store_pairs = needs_pairs;
+        f->primary_rid = rid;
+        sd.result_flights_.push_back(f);
+        *flight = std::move(f);
+      }
+    }
+  }
+  if (exact == nullptr && super == nullptr) {
+    count("svc.result_cache.misses");
+    return ResultGate::Execute;
+  }
+
+  if (exact != nullptr) {
+    fill_served_output(r.output, exact->results, exact->stats, needs_pairs);
+    r.breakdown.served_from = obs::ServedFrom::ResultCache;
+    count("svc.result_cache.hits");
+    rec.record("result_hit", rid, r.output.stats.result_pairs);
+  } else {
+    // Serve ε' from the cached ε ⊇ ε' result: one linear dist² pass
+    // over canonically ordered pairs. Filtering preserves order, so
+    // the output is bit-identical to a cold run's canonicalized
+    // result. `super` pins the payload — concurrent eviction of its
+    // slot cannot dangle this read.
+    ResultSet filtered(needs_pairs);
+    const std::uint64_t kept =
+        detail::subsume_filter(sd.dataset(), super->results.pairs(),
+                               cfg.epsilon, needs_pairs ? &filtered : nullptr);
+    if (!needs_pairs) filtered.add_count(kept);
+    SelfJoinStats stats;
+    stats.result_pairs = kept;
+    // Retain the derived ε' entry so repeats hit exactly; allocation
+    // failure only skips retention.
+    if (cfg_.max_result_cache_bytes > 0) {
+      try {
+        auto pay = std::make_shared<ResultPayload>();
+        pay->epsilon = cfg.epsilon;
+        pay->results = filtered;
+        pay->stats = stats;
+        pay->bytes = sizeof(ResultPayload) + pay->results.memory_bytes();
+        std::lock_guard lk(sd.result_mu_);
+        if (sd.result_generation_ == key.generation) {
+          insert_result_locked(sd, key.eps_bits, pay);
+        }
+      } catch (const std::bad_alloc&) {
+      }
+    }
+    r.output.results = std::move(filtered);
+    r.output.stats = stats;
+    r.breakdown.served_from = obs::ServedFrom::Subsumed;
+    count("svc.result_cache.subsumed");
+    rec.record("subsume_filter", rid, kept);
+  }
+  r.status = JoinStatus::Ok;
+  r.breakdown.result_pairs = r.output.stats.result_pairs;
+  r.service_seconds = serve_timer.seconds();
+  if (r.breakdown.served_from == obs::ServedFrom::Subsumed) {
+    // The filter pass is this request's whole execution stage.
+    r.breakdown.execute_seconds = r.service_seconds;
+  }
+  if (cfg_.obs.metrics != nullptr) {
+    cfg_.obs.metrics->time_histogram("svc.service_seconds")
+        .observe(r.service_seconds);
+  }
+  if (tracer != nullptr) {
+    const char* name = r.breakdown.served_from == obs::ServedFrom::Subsumed
+                           ? "subsume_filter"
+                           : "result_hit";
+    const std::uint64_t now = tracer->now_ts();
+    const std::uint64_t dur = now >= serve_ts ? now - serve_ts : 0;
+    tracer->record_span(name, serve_ts, dur, obs::SpanContext{rid, root_id},
+                        tracer->next_span_id());
+  }
+  return ResultGate::Served;
+}
+
+bool JoinService::subsume_worthwhile(SharedDataset& sd,
+                                     const SelfJoinConfig& cfg,
+                                     const ResultPayload& entry) {
+  // Cost model: the filter reads every cached pair once; a full join
+  // costs at least its own output. Compare the superset's size against
+  // the estimate cache's prediction for the requested ε (the grid-level
+  // strided estimate — present once any variant has planned this ε).
+  // No estimate on file means no grid exists for this ε either: the
+  // single linear pass wins by default against grid build + join.
+  std::optional<std::uint64_t> est;
+  {
+    std::shared_lock lk(sd.mu_);
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(cfg.epsilon);
+    const detail::EstimateKey key{
+        std::bit_cast<std::uint64_t>(cfg.batching.sample_fraction),
+        std::bit_cast<std::uint64_t>(cfg.batching.inject_estimator_skew)};
+    for (const auto& g : sd.grids_) {
+      if (g->eps_bits != bits) continue;
+      std::lock_guard el(g->est_mu);
+      if (const auto it = g->strided_estimates.find(key);
+          it != g->strided_estimates.end()) {
+        est = it->second;
+      }
+      break;
+    }
+  }
+  if (!est.has_value()) return true;
+  return static_cast<double>(entry.results.count()) <=
+         cfg_.subsume_cost_ratio * static_cast<double>(*est);
+}
+
+void JoinService::insert_result_locked(SharedDataset& sd,
+                                       std::uint64_t eps_bits,
+                                       const ResultPtr& payload) {
+  if (cfg_.max_result_cache_bytes == 0) return;
+  const bool has_pairs = payload->results.stores_pairs();
+  for (auto it = sd.results_.begin(); it != sd.results_.end();) {
+    if ((*it)->eps_bits != eps_bits) {
+      ++it;
+      continue;
+    }
+    // First-wins when the resident entry already satisfies at least as
+    // much as the new one; a pairs-bearing entry supersedes a
+    // count-only duplicate for the same ε.
+    if ((*it)->has_pairs || !has_pairs) return;
+    adjust_result_bytes(-static_cast<long long>((*it)->payload->bytes));
+    sd.result_bytes_ -= (*it)->payload->bytes;
+    it = sd.results_.erase(it);
+  }
+  auto slot = std::make_shared<SharedDataset::ResultSlot>();
+  slot->eps_bits = eps_bits;
+  slot->has_pairs = has_pairs;
+  slot->payload = payload;
+  slot->last_used = ++sd.result_tick_;
+  sd.results_.push_back(std::move(slot));
+  sd.result_bytes_ += payload->bytes;
+  adjust_result_bytes(static_cast<long long>(payload->bytes));
+  // Byte-budget LRU. The just-inserted entry holds the freshest tick,
+  // so it goes only when it alone exceeds the budget — a result larger
+  // than the whole budget is not worth holding the cache for.
+  while (sd.result_bytes_ > cfg_.max_result_cache_bytes &&
+         !sd.results_.empty()) {
+    const auto victim = std::min_element(
+        sd.results_.begin(), sd.results_.end(),
+        [](const auto& a, const auto& b) { return a->last_used < b->last_used; });
+    adjust_result_bytes(-static_cast<long long>((*victim)->payload->bytes));
+    sd.result_bytes_ -= (*victim)->payload->bytes;
+    sd.results_.erase(victim);
+    count("svc.result_cache.evictions");
+  }
+}
+
+void JoinService::publish_result(
+    const QueueItem& item, const SelfJoinOutput& out,
+    const std::shared_ptr<detail::ResultFlight>& flight) {
+  SharedDataset& sd = *item.sd;
+  // Build the immutable payload outside any lock. An allocation
+  // failure must not fail an Ok request: skip retention and serve the
+  // followers straight from the output.
+  ResultPtr payload;
+  if (cfg_.max_result_cache_bytes > 0) {
+    try {
+      auto pay = std::make_shared<ResultPayload>();
+      pay->epsilon = item.req.config.epsilon;
+      pay->results = out.results;
+      pay->stats = scalar_stats(out.stats);
+      pay->bytes = sizeof(ResultPayload) + pay->results.memory_bytes();
+      payload = std::move(pay);
+    } catch (const std::bad_alloc&) {
+    }
+  }
+  std::vector<detail::ResultFlight::Follower> followers;
+  {
+    std::lock_guard lk(sd.result_mu_);
+    followers = std::move(flight->followers);
+    flight->followers.clear();
+    std::erase(sd.result_flights_, flight);
+    if (payload != nullptr && sd.result_generation_ == flight->key.generation) {
+      insert_result_locked(sd, flight->key.eps_bits, payload);
+    }
+  }
+  if (followers.empty()) return;
+
+  const SelfJoinStats fallback_stats =
+      payload != nullptr ? SelfJoinStats{} : scalar_stats(out.stats);
+  obs::Tracer* tracer = cfg_.obs.tracer;
+  obs::FlightRecorder& rec = recorder();
+  for (auto& fo : followers) {
+    JoinResponse fr = std::move(fo.partial);
+    const std::uint64_t frid = fo.item.request_id;
+    if (fo.item.state->cancel.load(std::memory_order_relaxed)) {
+      fr.status = JoinStatus::Cancelled;
+      count("svc.cancelled");
+      rec.record("cancelled_coalesced", frid, 0);
+    } else {
+      const ResultSet& res = payload != nullptr ? payload->results : out.results;
+      const SelfJoinStats& stats =
+          payload != nullptr ? payload->stats : fallback_stats;
+      fill_served_output(fr.output, res, stats,
+                         fo.item.req.config.store_pairs);
+      fr.status = JoinStatus::Ok;
+      fr.breakdown.served_from = obs::ServedFrom::Coalesced;
+      fr.breakdown.result_pairs = fr.output.stats.result_pairs;
+      fr.service_seconds = fo.attached.seconds();
+      count("svc.completed");
+      rec.record("done", frid, fr.breakdown.result_pairs);
       if (cfg_.obs.metrics != nullptr) {
         cfg_.obs.metrics->time_histogram("svc.service_seconds")
-            .observe(r.service_seconds);
+            .observe(fr.service_seconds);
       }
-      {
-        std::lock_guard lk(inflight_mu_);
-        inflight_.erase(rid);
+      if (tracer != nullptr) {
+        const std::uint64_t now = tracer->now_ts();
+        const std::uint64_t dur = now >= fo.attach_ts ? now - fo.attach_ts : 0;
+        tracer->record_span("result_coalesce", fo.attach_ts, dur,
+                            obs::SpanContext{frid, fo.root_id},
+                            tracer->next_span_id());
       }
     }
-    if (tracer != nullptr) {
-      const std::uint64_t now = tracer->now_ts();
-      const std::uint64_t dur =
-          now >= item.submit_ts ? now - item.submit_ts : 0;
-      tracer->record_span("request", item.submit_ts, dur,
-                          obs::SpanContext{rid, 0}, root_id);
+    finish_request(fo.item, fo.root_id, std::move(fr));
+  }
+}
+
+void JoinService::abandon_flight(
+    const std::shared_ptr<detail::ResultFlight>& flight) {
+  SharedDataset& sd = *flight->sd;
+  std::vector<detail::ResultFlight::Follower> followers;
+  {
+    std::lock_guard lk(sd.result_mu_);
+    followers = std::move(flight->followers);
+    flight->followers.clear();
+    std::erase(sd.result_flights_, flight);
+  }
+  if (followers.empty()) return;
+  // The primary produced no result (failed or cancelled). Followers go
+  // back into the admission queue with their original seq, so priority
+  // order is preserved; each re-runs the gate on its next dequeue and
+  // one becomes the new primary. Their queue-wait clocks keep running
+  // and the queue_wait histogram sees a second observation on
+  // re-dequeue — accepted for this rare path.
+  {
+    std::lock_guard lk(queue_mu_);
+    for (auto& fo : followers) {
+      queue_.push_back(std::move(fo.item));
+      std::push_heap(queue_.begin(), queue_.end(),
+                     [](const QueueItem& a, const QueueItem& b) {
+                       if (a.req.priority != b.req.priority) {
+                         return a.req.priority < b.req.priority;
+                       }
+                       return a.seq > b.seq;
+                     });
     }
-    // Failed/Expired responses auto-dump the request's breadcrumbs —
-    // the flight recorder's reason to exist.
-    if (r.status == JoinStatus::Failed) {
-      dump_recorder(rid, "failed");
-    } else if (r.status == JoinStatus::Expired) {
-      dump_recorder(rid, "expired");
-    }
-    respond(st, std::move(r));
+    set_queue_depth_locked(queue_.size());
+  }
+  queue_cv_.notify_all();
+}
+
+void JoinService::adjust_result_bytes(long long delta) {
+  const long long now =
+      result_bytes_total_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (cfg_.obs.metrics != nullptr) {
+    cfg_.obs.metrics->gauge("svc.result_cache.bytes")
+        .set(static_cast<double>(std::max<long long>(0, now)));
   }
 }
 
@@ -706,8 +1147,11 @@ ServiceSnapshot JoinService::snapshot() const {
       s.cached_grids += sd->cached_grid_count();
       s.cached_plans += sd->cached_plan_count();
       s.cached_bytes += sd->cached_artifact_bytes();
+      s.result_entries += sd->result_cache_entries();
+      s.result_bytes += sd->result_cache_bytes();
     }
   }
+  s.result_budget_bytes = cfg_.max_result_cache_bytes;
   return s;
 }
 

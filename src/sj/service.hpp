@@ -35,6 +35,17 @@
 //    deadlines and cooperative cancellation routed through the
 //    LaunchAbort hook (a cancelled in-flight run aborts at the next
 //    warp-block boundary and reports JoinStatus::Cancelled).
+//  * submit() additionally passes a *result-serving* gate before a
+//    worker runs the pipeline: an exact cached result for the same
+//    (dataset generation, ε, storage mode) is served directly; an
+//    identical request already executing is joined as a follower
+//    (single-flight result coalescing — duplicates never occupy a
+//    worker); and a cached result for a larger ε answers a smaller ε'
+//    through a linear dist² filter when a cost model says the filter
+//    beats re-joining (ε-subsumption). Every served path is
+//    bit-identical to a cold run of the same request — cached pairs
+//    are stored in canonical order, the order every cold stored-pairs
+//    run ends in. See docs/SERVICE.md.
 //
 // Correctness bar, same as every prior layer: any interleaving of
 // concurrent clients yields results bit-identical to running those
@@ -81,6 +92,7 @@ class ThreadPool;
 namespace detail {
 struct ScratchArena;      // sj/execute.hpp
 class ServicePlanSource;  // sj/service.cpp (PlanSource over SharedDataset)
+struct ResultFlight;      // sj/service.cpp (result-coalescing flight slot)
 }  // namespace detail
 
 struct ServiceConfig {
@@ -98,14 +110,29 @@ struct ServiceConfig {
   /// reuse; leases beyond it are served fresh and destroyed on return.
   std::size_t max_pooled_arenas = 8;
   std::size_t max_pooled_thread_pools = 4;
+  /// Per-SharedDataset byte budget for the result cache: completed
+  /// submit() results (canonical pairs + scalar stats) retained for
+  /// exact-ε and ε-subsumption serving, LRU-evicted beyond the budget.
+  /// 0 disables retention entirely (in-flight duplicate coalescing
+  /// still applies — it needs no storage beyond the running request).
+  std::size_t max_result_cache_bytes = std::size_t{64} << 20;
+  /// ε-subsumption cost model: a cached ε-result answers a smaller ε'
+  /// via a linear dist² filter only when cached_pairs <= ratio ×
+  /// estimated_result_pairs(ε') (from the shared estimate cache). With
+  /// no estimate on file the filter is taken unconditionally — one
+  /// linear pass over an existing pair list is far cheaper than the
+  /// join that would have to produce it.
+  double subsume_cost_ratio = 8.0;
 
   // --- the service's own observability channel (optional, non-owning).
   /// obs.tracer receives "prepare" / "plan_reuse" spans (as
   /// EngineConfig::obs) plus the per-request span tree; obs.metrics
   /// receives svc.* instruments (submitted/completed/rejected/expired/
   /// cancelled/failed counters, svc.queue_depth gauge,
-  /// svc.queue_wait_seconds and svc.service_seconds time histograms)
-  /// and the sj.cache.* family. obs.recorder, when set, replaces the
+  /// svc.queue_wait_seconds and svc.service_seconds time histograms),
+  /// the sj.cache.* family, and the svc.result_cache.* family
+  /// (hits/misses/coalesced/subsumed/evictions/invalidations counters
+  /// plus a bytes gauge). obs.recorder, when set, replaces the
   /// service-owned flight recorder; leave null for the always-on
   /// default (JoinService::recorder()).
   obs::ObsContext obs;
@@ -176,6 +203,12 @@ struct ServiceSnapshot {
   /// Approximate bytes held by ready cached artifacts (grids,
   /// workloads, D' orders) across live attached datasets.
   std::size_t cached_bytes = 0;
+  /// Result-cache occupancy across live attached datasets
+  /// (docs/SERVICE.md result-serving layer), plus the per-dataset byte
+  /// budget it is bounded by (ServiceConfig::max_result_cache_bytes).
+  std::size_t result_entries = 0;
+  std::size_t result_bytes = 0;
+  std::size_t result_budget_bytes = 0;
 };
 
 /// A dataset attached to the service, carrying the shared,
@@ -196,10 +229,15 @@ class SharedDataset {
   /// Approximate bytes held by *ready* cached artifacts (built grids,
   /// workload vectors, D' orders); artifacts still building count 0.
   [[nodiscard]] std::size_t cached_artifact_bytes() const;
+  /// Result-cache occupancy: completed submit() results retained for
+  /// exact-ε and ε-subsumption serving (docs/SERVICE.md).
+  [[nodiscard]] std::size_t result_cache_entries() const;
+  [[nodiscard]] std::size_t result_cache_bytes() const;
 
  private:
   friend class JoinService;
   friend class detail::ServicePlanSource;
+  friend struct detail::ResultFlight;
 
   using EstimateMap =
       std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>;
@@ -233,12 +271,43 @@ class SharedDataset {
     std::atomic<std::uint64_t> last_used{0};
   };
 
+  // --- result-serving layer (docs/SERVICE.md) ---
+
+  /// One immutable cached result. `results` is a full ResultSet copy
+  /// of the producing run's output — stored pairs are already in
+  /// canonical (lexicographically sorted) order, since
+  /// execute_self_join canonicalizes every stored-pairs run — so
+  /// serving a copy reproduces a cold run's pair ordering bit for bit.
+  /// `stats` is the producing run's scalar summary with the per-batch /
+  /// per-slot vectors cleared (they describe an execution, not an
+  /// answer).
+  struct ResultPayload {
+    double epsilon = 0.0;
+    ResultSet results;
+    SelfJoinStats stats;
+    std::size_t bytes = 0;  ///< accounted against the byte budget
+  };
+  using ResultPtr = std::shared_ptr<const ResultPayload>;
+
+  /// One result-cache slot. Everything here is guarded by result_mu_;
+  /// lookups copy out the payload pointer and serve outside the lock,
+  /// so the critical sections stay tiny. Payloads are
+  /// shared_ptr-pinned: eviction only unlinks the slot — a server
+  /// still copying from the payload keeps it alive.
+  struct ResultSlot {
+    std::uint64_t eps_bits = 0;
+    bool has_pairs = false;
+    ResultPtr payload;
+    std::uint64_t last_used = 0;
+  };
+
   SharedDataset(const Dataset& ds, std::size_t max_grids,
                 std::size_t max_plans)
       : ds_(&ds),
         generation_(ds.generation()),
         max_grids_(max_grids),
-        max_plans_(max_plans) {}
+        max_plans_(max_plans),
+        result_generation_(ds.generation()) {}
 
   const Dataset* ds_;
   mutable std::shared_mutex mu_;
@@ -248,6 +317,17 @@ class SharedDataset {
   std::size_t max_plans_;
   std::vector<std::shared_ptr<GridSlot>> grids_;  ///< guarded by mu_
   std::vector<std::shared_ptr<PlanSlot>> plans_;  ///< guarded by mu_
+
+  // Result cache + in-flight coalescing slots, all guarded by
+  // result_mu_ as a unit: "serve from cache, else attach to a flight,
+  // else become the primary" is a single critical section, so exactly
+  // one worker can ever become the primary for a given result key.
+  mutable std::mutex result_mu_;
+  std::uint64_t result_generation_;  ///< guarded by result_mu_
+  std::uint64_t result_tick_ = 0;    ///< LRU clock, guarded by result_mu_
+  std::size_t result_bytes_ = 0;     ///< guarded by result_mu_
+  std::vector<std::shared_ptr<ResultSlot>> results_;
+  std::vector<std::shared_ptr<detail::ResultFlight>> result_flights_;
 };
 
 class JoinService {
@@ -338,7 +418,10 @@ class JoinService {
 
  private:
   friend class detail::ServicePlanSource;
+  friend struct detail::ResultFlight;
   struct QueueItem;
+  using ResultPayload = SharedDataset::ResultPayload;
+  using ResultPtr = SharedDataset::ResultPtr;
 
   /// Core run path shared by run()/submit()/self_join(): leases
   /// working memory, resolves the plan through the shared caches and
@@ -348,6 +431,48 @@ class JoinService {
   SelfJoinOutput execute(SharedDataset& sd, const SelfJoinConfig& cfg,
                          const std::atomic<bool>* cancel,
                          obs::RequestObs* robs);
+
+  // --- result-serving layer (docs/SERVICE.md) ---
+  /// Gate outcome for a dequeued request, decided in one critical
+  /// section of the dataset's result lock.
+  enum class ResultGate {
+    Execute,   ///< run the pipeline (item may be a coalescing primary)
+    Served,    ///< `r` fully answered from the result cache
+    Attached,  ///< item moved into an in-flight duplicate's flight
+  };
+  /// Runs the gate for a dequeued request. Served: `r` is complete
+  /// (status/output/breakdown/service_seconds). Attached: `item` was
+  /// moved into the flight's follower list — the primary answers it at
+  /// publish time; the worker must not respond. Execute: run the
+  /// pipeline; when `*flight` was set, this request is the coalescing
+  /// primary and must publish_result / abandon_flight when done.
+  ResultGate result_gate(QueueItem& item, JoinResponse& r,
+                         std::uint64_t root_id,
+                         std::shared_ptr<detail::ResultFlight>* flight);
+  /// Publishes a primary's Ok output: inserts the cache entry (byte
+  /// budget + LRU eviction), detaches the flight, and answers every
+  /// follower with a copy of the shared result.
+  void publish_result(const QueueItem& item, const SelfJoinOutput& out,
+                      const std::shared_ptr<detail::ResultFlight>& flight);
+  /// Detaches a flight whose primary did not finish Ok and re-enqueues
+  /// its followers (each executes or is served on a later dequeue).
+  void abandon_flight(const std::shared_ptr<detail::ResultFlight>& flight);
+  /// Inserts a completed result under sd.result_mu_ (held by the
+  /// caller) and evicts LRU entries past the byte budget.
+  void insert_result_locked(SharedDataset& sd, std::uint64_t eps_bits,
+                            const ResultPtr& payload);
+  /// The subsumption cost model (ServiceConfig::subsume_cost_ratio).
+  bool subsume_worthwhile(SharedDataset& sd, const SelfJoinConfig& cfg,
+                          const ResultPayload& entry);
+  /// Folds a result-cache byte delta into the service-wide total and
+  /// mirrors it to the svc.result_cache.bytes gauge. Called inside the
+  /// owning dataset's result_mu_ critical section, so the gauge can
+  /// never be observed ahead of (or behind) the accounting it reports.
+  void adjust_result_bytes(long long delta);
+  /// Records the root "request" span and the failure auto-dump, then
+  /// responds — the single exit path for every dequeued request.
+  void finish_request(const QueueItem& item, std::uint64_t root_id,
+                      JoinResponse&& r);
 
   void spawn_workers_locked();
   void worker_loop();
@@ -369,6 +494,11 @@ class JoinService {
   std::unique_ptr<obs::FlightRecorder> own_recorder_;
   std::atomic<std::uint64_t> next_request_id_{0};
   mutable std::mutex dump_mu_;  ///< serializes recorder dumps
+  /// Service-wide result-cache bytes (sum over attached datasets),
+  /// mirrored to the svc.result_cache.bytes gauge by
+  /// adjust_result_bytes. snapshot() recomputes exact totals from the
+  /// live datasets instead of reading this.
+  std::atomic<long long> result_bytes_total_{0};
 
   // --- admission queue ---
   mutable std::mutex queue_mu_;

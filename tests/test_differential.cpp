@@ -16,6 +16,7 @@
 #include "baselines/rtree.hpp"
 #include "common/check.hpp"
 #include "grid/grid_index.hpp"
+#include "obs/context.hpp"
 #include "sj/engine.hpp"
 #include "sj/selfjoin.hpp"
 #include "sj/service.hpp"
@@ -311,6 +312,60 @@ TEST(Differential, SinglePointYieldsOnlySelfPair) {
     const SelfJoinOutput out = self_join(ds, cfg);
     ASSERT_EQ(out.results.pairs().size(), 1u) << name;
     EXPECT_EQ(out.results.pairs()[0], ResultPair(0, 0)) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Result-cache ε-subsumption (docs/SERVICE.md): a cached ε answer with
+// stored pairs serves any ε' <= ε through the dist² <= ε'² filter. The
+// served pairs must match the cold brute-force oracle at ε' exactly —
+// across every adversarial dataset family, including the boundary
+// family whose points sit at exact ε distances.
+
+TEST(Differential, SubsumptionServesSmallerEpsilonAcrossFamilies) {
+  for (std::uint64_t seed = 127; seed <= 134; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    JoinService svc;
+    const auto sd = svc.attach(c.dataset);
+
+    // Warm the result cache with the full-ε answer (pairs stored).
+    JoinRequest warm;
+    warm.config = SelfJoinConfig::combined(c.epsilon);
+    warm.config.store_pairs = true;
+    const JoinResponse full = svc.submit(sd, warm).get();
+    ASSERT_EQ(full.status, JoinStatus::Ok) << c.describe() << " " << full.error;
+    ASSERT_EQ(full.breakdown.served_from, obs::ServedFrom::Execution)
+        << c.describe();
+
+    // A *different* variant at a smaller radius: the variant-agnostic
+    // key finds the ε entry and filters it instead of executing.
+    const double eps_lo = 0.6 * c.epsilon;
+    JoinRequest narrow;
+    narrow.config = SelfJoinConfig::unicomp(eps_lo);
+    narrow.config.store_pairs = true;
+    const JoinResponse sub = svc.submit(sd, narrow).get();
+    ASSERT_EQ(sub.status, JoinStatus::Ok) << c.describe() << " " << sub.error;
+    EXPECT_EQ(sub.breakdown.served_from, obs::ServedFrom::Subsumed)
+        << c.describe();
+    const ResultSet truth = brute_force_join(c.dataset, eps_lo);
+    expect_pairs_match(sub.output.results, truth, c, "subsume/pairs");
+    EXPECT_EQ(sub.output.stats.result_pairs, truth.pairs().size())
+        << c.describe();
+
+    // Count-only at a yet smaller radius rides a pairs-bearing entry
+    // (the retained ε' derivation or the original ε answer).
+    const double eps_tiny = 0.35 * c.epsilon;
+    JoinRequest count_only;
+    count_only.config = SelfJoinConfig::work_queue_cfg(eps_tiny);
+    count_only.config.store_pairs = false;
+    const JoinResponse cnt = svc.submit(sd, count_only).get();
+    ASSERT_EQ(cnt.status, JoinStatus::Ok) << c.describe() << " " << cnt.error;
+    EXPECT_EQ(cnt.breakdown.served_from, obs::ServedFrom::Subsumed)
+        << c.describe();
+    EXPECT_EQ(cnt.output.results.count(),
+              brute_force_join(c.dataset, eps_tiny).pairs().size())
+        << c.describe();
+    EXPECT_FALSE(cnt.output.results.stores_pairs()) << c.describe();
   }
 }
 

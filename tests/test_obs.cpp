@@ -235,6 +235,38 @@ TEST(Metrics, OpenMetricsGolden) {
             "# EOF\n");
 }
 
+TEST(Metrics, OpenMetricsResultCacheFamilyGolden) {
+  // The result-serving layer's instrument family exactly as the
+  // service emits it: five counters plus the byte gauge, name-sorted
+  // within each kind (counters first, then gauges).
+  obs::Registry reg;
+  reg.counter("svc.result_cache.hits").add(4);
+  reg.counter("svc.result_cache.misses").add(2);
+  reg.counter("svc.result_cache.coalesced").add(3);
+  reg.counter("svc.result_cache.subsumed").add(1);
+  reg.counter("svc.result_cache.evictions").add(5);
+  reg.counter("svc.result_cache.invalidations").add(1);
+  reg.gauge("svc.result_cache.bytes").set(65536.0);
+  std::ostringstream os;
+  reg.write_openmetrics(os);
+  EXPECT_EQ(os.str(),
+            "# TYPE svc_result_cache_coalesced counter\n"
+            "svc_result_cache_coalesced_total 3\n"
+            "# TYPE svc_result_cache_evictions counter\n"
+            "svc_result_cache_evictions_total 5\n"
+            "# TYPE svc_result_cache_hits counter\n"
+            "svc_result_cache_hits_total 4\n"
+            "# TYPE svc_result_cache_invalidations counter\n"
+            "svc_result_cache_invalidations_total 1\n"
+            "# TYPE svc_result_cache_misses counter\n"
+            "svc_result_cache_misses_total 2\n"
+            "# TYPE svc_result_cache_subsumed counter\n"
+            "svc_result_cache_subsumed_total 1\n"
+            "# TYPE svc_result_cache_bytes gauge\n"
+            "svc_result_cache_bytes 65536\n"
+            "# EOF\n");
+}
+
 /// Minimal conformant OpenMetrics text-format scraper: validates line
 /// grammar, family grouping (all samples of a family contiguous, TYPE
 /// first), metric-name charset, histogram bucket monotonicity and the

@@ -173,6 +173,8 @@ TEST(RequestSpans, FourWorkerStressYieldsOneTreePerRequest) {
     if (s.request != 0) by_request[s.request].push_back(s);
   }
 
+  std::size_t executed = 0;
+  std::size_t served = 0;
   for (const JoinResponse& r : responses) {
     ASSERT_EQ(r.status, JoinStatus::Ok);
     ASSERT_GE(r.request_id, 1u);
@@ -201,10 +203,37 @@ TEST(RequestSpans, FourWorkerStressYieldsOneTreePerRequest) {
     }
     EXPECT_EQ(roots, 1u);
     EXPECT_EQ(names["queue_wait"], 1u);
-    EXPECT_EQ(names["plan"], 1u);
-    EXPECT_EQ(names["execute"], 1u);
+    // The stress mix is duplicate-heavy (same ε across variants, and
+    // results are variant-agnostic), so most requests are served by the
+    // result layer instead of executing — each serving path has its own
+    // child span in place of plan/execute.
+    switch (r.breakdown.served_from) {
+      case obs::ServedFrom::Execution:
+        EXPECT_EQ(names["plan"], 1u);
+        EXPECT_EQ(names["execute"], 1u);
+        break;
+      case obs::ServedFrom::ResultCache:
+        EXPECT_EQ(names["result_hit"], 1u);
+        EXPECT_EQ(names["plan"], 0u);
+        EXPECT_EQ(names["execute"], 0u);
+        break;
+      case obs::ServedFrom::Coalesced:
+        EXPECT_EQ(names["result_coalesce"], 1u);
+        EXPECT_EQ(names["execute"], 0u);
+        break;
+      case obs::ServedFrom::Subsumed:
+        EXPECT_EQ(names["subsume_filter"], 1u);
+        EXPECT_EQ(names["execute"], 0u);
+        break;
+    }
+    if (r.breakdown.served_from == obs::ServedFrom::Execution) {
+      ++executed;
+    } else {
+      ++served;
+    }
     // One "batch N" span per committed batch plus one per overflow
-    // retry (a failed attempt re-runs as smaller batches).
+    // retry (a failed attempt re-runs as smaller batches); served
+    // requests launch no batches, so both sides are zero for them.
     std::size_t batch_spans = 0;
     for (const auto& [name, n] : names) {
       if (name.rfind("batch ", 0) == 0) batch_spans += n;
@@ -212,6 +241,10 @@ TEST(RequestSpans, FourWorkerStressYieldsOneTreePerRequest) {
     EXPECT_EQ(batch_spans,
               r.breakdown.batches + r.breakdown.overflow_retries);
   }
+  // Each ε executes at least once; with two rounds of four variants per
+  // ε the duplicates must have been served.
+  EXPECT_GE(executed, 2u);
+  EXPECT_GT(served, 0u);
 }
 
 TEST(RequestSpans, ChildSpansNestInsideRootAndExportWithArgs) {
@@ -280,6 +313,11 @@ TEST(RequestBreakdown, CacheAttributionColdThenWarm) {
   const Dataset ds = gen_exponential(2000, 2, /*seed=*/21);
   ServiceConfig scfg;
   scfg.workers = 1;
+  // This test pins *artifact*-cache attribution, so result retention is
+  // off — otherwise the warm submit would be served from the result
+  // cache and never touch the plan caches (that path has its own tests
+  // in test_service.cpp).
+  scfg.max_result_cache_bytes = 0;
   JoinService svc(scfg);
   const auto sd = svc.attach(ds);
 
@@ -289,6 +327,7 @@ TEST(RequestBreakdown, CacheAttributionColdThenWarm) {
 
   const JoinResponse cold = svc.submit(sd, req).get();
   ASSERT_EQ(cold.status, JoinStatus::Ok);
+  EXPECT_EQ(cold.breakdown.served_from, obs::ServedFrom::Execution);
   EXPECT_EQ(cold.breakdown.grid_misses, 1u);
   EXPECT_EQ(cold.breakdown.grid_hits, 0u);
   EXPECT_EQ(cold.breakdown.workload_misses, 1u);
@@ -302,6 +341,7 @@ TEST(RequestBreakdown, CacheAttributionColdThenWarm) {
 
   const JoinResponse warm = svc.submit(sd, req).get();
   ASSERT_EQ(warm.status, JoinStatus::Ok);
+  EXPECT_EQ(warm.breakdown.served_from, obs::ServedFrom::Execution);
   EXPECT_EQ(warm.breakdown.grid_hits, 1u);
   EXPECT_EQ(warm.breakdown.grid_misses, 0u);
   EXPECT_EQ(warm.breakdown.workload_hits, 1u);
@@ -406,6 +446,13 @@ TEST(ObsContext, SingleRegistryReceivesEveryFamilyAfterStress) {
   {
     JoinService svc(scfg);
     const auto sd = svc.attach(ds);
+    // Two synchronous runs of the same config: run() bypasses the
+    // result-serving gate, so the second run is guaranteed to hit the
+    // shared *artifact* caches and exercise the sj.cache.* family.
+    SelfJoinConfig warm_cfg = SelfJoinConfig::combined(0.03);
+    warm_cfg.store_pairs = false;
+    (void)svc.run(*sd, warm_cfg);
+    (void)svc.run(*sd, warm_cfg);
     const auto responses = stress_requests(svc, sd, /*rounds=*/1);
     total = responses.size();
     for (const auto& r : responses) EXPECT_EQ(r.status, JoinStatus::Ok);
@@ -417,12 +464,20 @@ TEST(ObsContext, SingleRegistryReceivesEveryFamilyAfterStress) {
   EXPECT_EQ(reg.time_histogram("svc.service_seconds").total(), total);
   EXPECT_GT(reg.counter("sj.cache.hits").value(), 0u);
   EXPECT_GT(reg.counter("sj.cache.misses").value(), 0u);
+  // The duplicate-heavy stress mix must have been served by the result
+  // layer: one execution per ε, the rest exact hits or coalesced.
+  EXPECT_GT(reg.counter("svc.result_cache.misses").value(), 0u);
+  EXPECT_GT(reg.counter("svc.result_cache.hits").value() +
+                reg.counter("svc.result_cache.coalesced").value(),
+            0u);
 
   // And the whole story is exportable from that one registry.
   std::ostringstream om;
   reg.write_openmetrics(om);
   EXPECT_NE(om.str().find("svc_completed_total"), std::string::npos);
   EXPECT_NE(om.str().find("sj_cache_hits_total"), std::string::npos);
+  EXPECT_NE(om.str().find("svc_result_cache_misses_total"), std::string::npos);
+  EXPECT_NE(om.str().find("svc_result_cache_bytes"), std::string::npos);
   EXPECT_NE(om.str().find("svc_service_seconds"), std::string::npos);
   EXPECT_NE(om.str().find("# EOF"), std::string::npos);
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "data/generators.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sj/engine.hpp"
@@ -569,6 +570,256 @@ TEST(Service, MetricsCountTerminalStates) {
   EXPECT_EQ(metrics.time_histogram("svc.queue_wait_seconds").total(), 4u);
   EXPECT_EQ(metrics.time_histogram("svc.service_seconds").total(), 4u);
   EXPECT_TRUE(metrics.gauge("svc.queue_depth").is_set());
+}
+
+// ---------------------------------------------------------------------------
+// Result-serving layer (docs/SERVICE.md): request coalescing, the
+// exact-hit result cache, byte-budget eviction and generation
+// invalidation. Differential subsumption coverage lives in
+// test_differential.cpp.
+
+TEST(Service, ResultCoalescingExecutesOnce) {
+  const Dataset ds = gen_uniform(2500, 2, 31, 0.0, 1.0);
+  obs::Registry metrics;
+  ServiceConfig scfg;
+  scfg.workers = 4;
+  scfg.obs.metrics = &metrics;
+  JoinService svc(scfg);
+  const auto sd = svc.attach(ds);
+
+  SelfJoinConfig cfg = SelfJoinConfig::combined(0.05);
+  cfg.store_pairs = true;
+  constexpr int kRequests = 8;
+  std::vector<JoinService::Ticket> tickets;
+  for (int i = 0; i < kRequests; ++i) {
+    JoinRequest req;
+    req.config = cfg;
+    tickets.push_back(svc.submit(sd, req));
+  }
+  JoinEngine engine;
+  const SelfJoinOutput want = engine.self_join(ds, cfg);
+
+  int executed = 0;
+  for (auto& t : tickets) {
+    const JoinResponse r = t.get();
+    ASSERT_EQ(r.status, JoinStatus::Ok) << r.error;
+    EXPECT_EQ(r.output.results.pairs(), want.results.pairs());
+    EXPECT_EQ(r.output.stats.result_pairs, want.stats.result_pairs);
+    if (r.breakdown.served_from == obs::ServedFrom::Execution) ++executed;
+  }
+  // The result gate decides exact-hit / attach / primary inside one
+  // critical section, and publish swaps flight -> cache entry
+  // atomically: however the 4 workers interleave, exactly one request
+  // executes and the other seven attach to its flight or hit the
+  // published entry.
+  EXPECT_EQ(executed, 1);
+  EXPECT_EQ(metrics.counter("svc.result_cache.misses").value(), 1u);
+  EXPECT_EQ(metrics.counter("svc.result_cache.hits").value() +
+                metrics.counter("svc.result_cache.coalesced").value(),
+            static_cast<std::uint64_t>(kRequests - 1));
+  // Served responses still count as completed requests.
+  EXPECT_EQ(metrics.counter("svc.completed").value(),
+            static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(metrics.time_histogram("svc.service_seconds").total(),
+            static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(Service, ResultCacheServesExactRepeatVariantAgnostic) {
+  const Dataset ds = gen_uniform(1000, 2, 32, 0.0, 1.0);
+  JoinService svc;
+  const auto sd = svc.attach(ds);
+
+  JoinRequest req;
+  req.config = SelfJoinConfig::unicomp(0.05);
+  req.config.store_pairs = true;
+  const JoinResponse cold = svc.submit(sd, req).get();
+  ASSERT_EQ(cold.status, JoinStatus::Ok) << cold.error;
+  EXPECT_EQ(cold.breakdown.served_from, obs::ServedFrom::Execution);
+
+  const JoinResponse warm = svc.submit(sd, req).get();
+  ASSERT_EQ(warm.status, JoinStatus::Ok) << warm.error;
+  EXPECT_EQ(warm.breakdown.served_from, obs::ServedFrom::ResultCache);
+  EXPECT_EQ(warm.output.results.pairs(), cold.output.results.pairs());
+
+  // The key is variant-agnostic: a different kernel variant at the same
+  // epsilon is the same answer, so it is served, not executed.
+  JoinRequest other_variant;
+  other_variant.config = SelfJoinConfig::work_queue_cfg(0.05);
+  other_variant.config.store_pairs = true;
+  const JoinResponse across = svc.submit(sd, other_variant).get();
+  ASSERT_EQ(across.status, JoinStatus::Ok) << across.error;
+  EXPECT_EQ(across.breakdown.served_from, obs::ServedFrom::ResultCache);
+  EXPECT_EQ(across.output.results.pairs(), cold.output.results.pairs());
+
+  // A count-only request is servable from a pairs-bearing entry.
+  JoinRequest count_only;
+  count_only.config = SelfJoinConfig::combined(0.05);
+  count_only.config.store_pairs = false;
+  const JoinResponse counted = svc.submit(sd, count_only).get();
+  ASSERT_EQ(counted.status, JoinStatus::Ok) << counted.error;
+  EXPECT_EQ(counted.breakdown.served_from, obs::ServedFrom::ResultCache);
+  EXPECT_FALSE(counted.output.results.stores_pairs());
+  EXPECT_EQ(counted.output.results.count(), cold.output.results.count());
+
+  // Occupancy surfaces through both the handle and the snapshot.
+  EXPECT_EQ(sd->result_cache_entries(), 1u);
+  EXPECT_GT(sd->result_cache_bytes(), 0u);
+  const ServiceSnapshot snap = svc.snapshot();
+  EXPECT_EQ(snap.result_entries, 1u);
+  EXPECT_EQ(snap.result_bytes, sd->result_cache_bytes());
+  EXPECT_EQ(snap.result_budget_bytes, svc.config().max_result_cache_bytes);
+}
+
+TEST(Service, ResultCacheEvictionUnderLoadStaysCorrect) {
+  const Dataset ds = gen_uniform(1200, 2, 33, 0.0, 1.0);
+  obs::Registry metrics;
+  ServiceConfig scfg;
+  scfg.workers = 4;
+  // A budget that holds only a couple of the five answers below, so
+  // concurrent serving and LRU eviction constantly interleave. Entries
+  // being served are pinned by shared_ptr: eviction only drops the
+  // cache's reference, never the bytes under an in-flight response.
+  scfg.max_result_cache_bytes = std::size_t{96} * 1024;
+  scfg.obs.metrics = &metrics;
+  JoinService svc(scfg);
+  const auto sd = svc.attach(ds);
+
+  const std::vector<double> epsilons = {0.01, 0.02, 0.03, 0.04, 0.05};
+  JoinEngine engine;
+  std::vector<std::vector<ResultPair>> want;
+  for (const double eps : epsilons) {
+    SelfJoinConfig cfg = SelfJoinConfig::combined(eps);
+    cfg.store_pairs = true;
+    want.push_back(engine.self_join(ds, cfg).results.pairs());
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 5;
+  std::vector<std::vector<JoinResponse>> responses(kThreads);
+  std::vector<std::vector<std::size_t>> eps_index(kThreads);
+  std::latch start(kThreads);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (int r = 0; r < kRounds; ++r) {
+        // Phase-shifted walk: distinct epsilons are in flight at once,
+        // so inserts evict entries other threads are serving from.
+        const std::size_t j =
+            (static_cast<std::size_t>(r) + static_cast<std::size_t>(t) * 2) %
+            epsilons.size();
+        JoinRequest req;
+        req.config = SelfJoinConfig::combined(epsilons[j]);
+        req.config.store_pairs = true;
+        responses[t].push_back(svc.submit(sd, req).get());
+        eps_index[t].push_back(j);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (int r = 0; r < kRounds; ++r) {
+      const JoinResponse& resp = responses[t][static_cast<std::size_t>(r)];
+      ASSERT_EQ(resp.status, JoinStatus::Ok)
+          << "client " << t << " round " << r << ": " << resp.error;
+      EXPECT_EQ(resp.output.results.pairs(),
+                want[eps_index[t][static_cast<std::size_t>(r)]])
+          << "client " << t << " round " << r;
+    }
+  }
+  EXPECT_GT(metrics.counter("svc.result_cache.evictions").value(), 0u);
+  // The byte budget held throughout: whatever survived fits under it.
+  EXPECT_LE(sd->result_cache_bytes(), scfg.max_result_cache_bytes);
+  EXPECT_EQ(svc.snapshot().result_bytes, sd->result_cache_bytes());
+}
+
+TEST(Service, ZeroResultBudgetDisablesRetentionNotCoalescing) {
+  const Dataset ds = gen_uniform(2500, 2, 34, 0.0, 1.0);
+  obs::Registry metrics;
+  ServiceConfig scfg;
+  scfg.workers = 4;
+  scfg.max_result_cache_bytes = 0;
+  scfg.obs.metrics = &metrics;
+  JoinService svc(scfg);
+  const auto sd = svc.attach(ds);
+
+  SelfJoinConfig cfg = SelfJoinConfig::sort_by_wl(0.05);
+  cfg.store_pairs = true;
+  constexpr int kRequests = 8;
+  std::vector<JoinService::Ticket> tickets;
+  for (int i = 0; i < kRequests; ++i) {
+    JoinRequest req;
+    req.config = cfg;
+    tickets.push_back(svc.submit(sd, req));
+  }
+  std::vector<JoinResponse> responses;
+  for (auto& t : tickets) responses.push_back(t.get());
+  for (const JoinResponse& r : responses) {
+    ASSERT_EQ(r.status, JoinStatus::Ok) << r.error;
+    EXPECT_EQ(r.output.results.pairs(), responses[0].output.results.pairs());
+  }
+  // No retention: nothing is ever an exact hit, and nothing is kept.
+  EXPECT_EQ(metrics.counter("svc.result_cache.hits").value(), 0u);
+  // Single-flight attachment still works — every request either misses
+  // (and executes) or rides an in-flight duplicate.
+  EXPECT_EQ(metrics.counter("svc.result_cache.misses").value() +
+                metrics.counter("svc.result_cache.coalesced").value(),
+            static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(sd->result_cache_entries(), 0u);
+  EXPECT_EQ(sd->result_cache_bytes(), 0u);
+
+  // A serial repeat with no duplicate in flight executes again.
+  JoinRequest again;
+  again.config = cfg;
+  const JoinResponse repeat = svc.submit(sd, again).get();
+  ASSERT_EQ(repeat.status, JoinStatus::Ok) << repeat.error;
+  EXPECT_EQ(repeat.breakdown.served_from, obs::ServedFrom::Execution);
+}
+
+TEST(Service, MutationInvalidatesResultCache) {
+  Dataset ds = gen_uniform(900, 2, 35, 0.0, 1.0);
+  obs::Registry metrics;
+  ServiceConfig scfg;
+  scfg.obs.metrics = &metrics;
+  JoinService svc(scfg);
+  const auto sd = svc.attach(ds);
+
+  JoinRequest req;
+  req.config = SelfJoinConfig::combined(0.05);
+  req.config.store_pairs = true;
+  const JoinResponse first = svc.submit(sd, req).get();
+  ASSERT_EQ(first.status, JoinStatus::Ok) << first.error;
+  EXPECT_EQ(first.breakdown.served_from, obs::ServedFrom::Execution);
+  const JoinResponse cached = svc.submit(sd, req).get();
+  ASSERT_EQ(cached.status, JoinStatus::Ok) << cached.error;
+  EXPECT_EQ(cached.breakdown.served_from, obs::ServedFrom::ResultCache);
+
+  ds.coord(0, 0) = ds.coord(0, 0);  // bumps the generation counter
+
+  // The stale-generation entry must never serve the new dataset state.
+  const JoinResponse fresh = svc.submit(sd, req).get();
+  ASSERT_EQ(fresh.status, JoinStatus::Ok) << fresh.error;
+  EXPECT_EQ(fresh.breakdown.served_from, obs::ServedFrom::Execution);
+  // The value-preserving write keeps the answer itself unchanged.
+  EXPECT_EQ(fresh.output.results.pairs(), first.output.results.pairs());
+  EXPECT_GE(metrics.counter("svc.result_cache.invalidations").value(), 1u);
+  // The fresh execution repopulated the cache under the new generation.
+  EXPECT_EQ(sd->result_cache_entries(), 1u);
+}
+
+TEST(Service, ResultSetMemoryBytesTracksCapacity) {
+  ResultSet rs(true);
+  EXPECT_EQ(rs.memory_bytes(), 0u);
+  rs.reserve(100);
+  EXPECT_GE(rs.memory_bytes(), 100u * sizeof(ResultPair));
+  rs.emit(1, 2);
+  EXPECT_EQ(rs.memory_bytes(), rs.pairs().capacity() * sizeof(ResultPair));
+  // Count-only mode holds no pair storage, whatever is reserved.
+  ResultSet counts(false);
+  counts.add_count(5);
+  counts.reserve(1000);
+  EXPECT_EQ(counts.memory_bytes(), 0u);
 }
 
 }  // namespace

@@ -86,20 +86,26 @@ int usage() {
       "  serve    (--input F | --dataset <name> [--n N] [--seed S])\n"
       "           (--requests F | --stress N) [--workers W]\n"
       "           [--queue-depth Q] [--sms N] [--host-threads T]\n"
-      "           [--verify] [--out F.json]\n"
+      "           [--duplicate-fraction F] [--verify] [--out F.json]\n"
       "           serves requests concurrently through one JoinService;\n"
       "           a requests file has one request per line as key=value\n"
       "           tokens (epsilon= variant= k= priority= deadline-ms=\n"
       "           cancel-ms=; # starts a comment), --stress generates N\n"
-      "           seeded random requests with occasional cancellations;\n"
-      "           --verify replays every completed request serially on\n"
-      "           a cold engine and checks results are bit-identical\n"
+      "           seeded random requests with occasional cancellations\n"
+      "           (--duplicate-fraction F derives that fraction of them\n"
+      "           from earlier requests — half exact duplicates, half\n"
+      "           subsumable smaller radii — to exercise the result\n"
+      "           cache); --verify replays every completed request\n"
+      "           serially on a cold engine and checks results are\n"
+      "           bit-identical, served (cache/coalesced/subsumed)\n"
+      "           responses included\n"
       "  top      (--input F | --dataset <name> [--n N] [--seed S])\n"
       "           [--stress N] [--workers W] [--interval-ms I]\n"
       "           [--sms N] [--host-threads T]\n"
       "           drives a seeded stress mix through one JoinService\n"
       "           and prints interval snapshots (queue depth, in-flight\n"
-      "           requests, depot levels, cache population/bytes)\n"
+      "           requests, depot levels, cache population/bytes,\n"
+      "           result-cache occupancy vs budget)\n"
       "  explain  (--input F | --dataset <name> [--n N] [--seed S])\n"
       "           --epsilon E [--variant V] [--k K] [--sms N]\n"
       "           [--host-threads T] [--logical-time] [--json]\n"
@@ -622,6 +628,12 @@ int cmd_serve(gsj::Cli& cli) {
   const bool verify = cli.get_bool(
       "verify", false,
       "replay completed requests serially on a cold engine and compare");
+  const double dup_fraction = cli.get_double(
+      "duplicate-fraction", 0.0,
+      "fraction of --stress requests derived from an earlier one (half "
+      "exact duplicates, half subsumable smaller radii)");
+  GSJ_CHECK_MSG(dup_fraction >= 0.0 && dup_fraction <= 1.0,
+                "--duplicate-fraction must be in [0, 1]");
   const std::string out_path = cli.get("out", "", "JSON report path");
   gsj::BatchingConfig batching;
   apply_batching_flags(cli, batching);
@@ -647,11 +659,24 @@ int cmd_serve(gsj::Cli& cli) {
     std::mt19937_64 rng(seed);
     for (int i = 0; i < stress; ++i) {
       ServeRequest r;
-      r.variant = kVariants[rng() % kVariants.size()];
-      r.epsilon = kEpsilons[rng() % kEpsilons.size()];
-      r.jr.priority = static_cast<int>(rng() % 3);
-      if (rng() % 8 == 0) {
-        r.cancel_after_ms = static_cast<double>(rng() % 20);
+      if (!reqs.empty() && dup_fraction > 0.0 &&
+          static_cast<double>(rng() % 1000) < dup_fraction * 1000.0) {
+        // Derived request: same answer as (or a subset of) an earlier
+        // one, under a fresh variant — the result-serving layer's key
+        // is variant-agnostic, so these are servable without running.
+        // Low priority so the base tends to execute (and publish)
+        // first; never cancelled, so served_from counts stay readable.
+        const ServeRequest& base = reqs[rng() % reqs.size()];
+        r.variant = kVariants[rng() % kVariants.size()];
+        r.epsilon = rng() % 2 == 0 ? base.epsilon : base.epsilon * 0.5;
+        r.jr.priority = 0;
+      } else {
+        r.variant = kVariants[rng() % kVariants.size()];
+        r.epsilon = kEpsilons[rng() % kEpsilons.size()];
+        r.jr.priority = static_cast<int>(rng() % 3);
+        if (rng() % 8 == 0) {
+          r.cancel_after_ms = static_cast<double>(rng() % 20);
+        }
       }
       reqs.push_back(std::move(r));
     }
@@ -710,6 +735,7 @@ int cmd_serve(gsj::Cli& cli) {
 
   std::size_t n_ok = 0, n_rejected = 0, n_expired = 0, n_cancelled = 0,
               n_failed = 0;
+  std::size_t n_result_hits = 0, n_coalesced = 0, n_subsumed = 0;
   for (const auto& r : responses) {
     switch (r.status) {
       case gsj::JoinStatus::Ok: ++n_ok; break;
@@ -718,9 +744,25 @@ int cmd_serve(gsj::Cli& cli) {
       case gsj::JoinStatus::Cancelled: ++n_cancelled; break;
       case gsj::JoinStatus::Failed: ++n_failed; break;
     }
+    if (r.status != gsj::JoinStatus::Ok) continue;
+    switch (r.breakdown.served_from) {
+      case gsj::obs::ServedFrom::Execution: break;
+      case gsj::obs::ServedFrom::ResultCache: ++n_result_hits; break;
+      case gsj::obs::ServedFrom::Coalesced: ++n_coalesced; break;
+      case gsj::obs::ServedFrom::Subsumed: ++n_subsumed; break;
+    }
   }
+  const std::size_t n_served = n_result_hits + n_coalesced + n_subsumed;
+  const double served_ratio =
+      n_ok > 0 ? static_cast<double>(n_served) / static_cast<double>(n_ok)
+               : 0.0;
 
-  // --- serial cold-engine replay: the service's correctness bar ---
+  // --- serial cold-engine replay: the service's correctness bar.
+  // Pairs must be bit-identical for EVERY Ok response, however it was
+  // served (execution, exact hit, coalesced, subsumed). Execution-shape
+  // stats only exist for responses that actually ran (a served answer
+  // carries the primary's stats, or filter-only stats for subsumption),
+  // so the stats clause applies to executed responses alone. ---
   std::size_t verified = 0;
   if (verify) {
     for (std::size_t i = 0; i < responses.size(); ++i) {
@@ -728,12 +770,18 @@ int cmd_serve(gsj::Cli& cli) {
       gsj::JoinEngine cold;  // fresh caches per request: truly cold
       const auto ref = cold.self_join(ds, cfgs[i]);
       const auto& got = responses[i].output;
-      GSJ_CHECK_MSG(got.stats.result_pairs == ref.stats.result_pairs &&
-                        got.stats.num_batches == ref.stats.num_batches &&
-                        got.stats.kernel_seconds == ref.stats.kernel_seconds,
+      GSJ_CHECK_MSG(got.stats.result_pairs == ref.stats.result_pairs,
                     "request " << i << " (" << reqs[i].variant << " eps="
                                << reqs[i].epsilon
-                               << "): stats differ from cold replay");
+                               << "): pair count differs from cold replay");
+      if (responses[i].breakdown.served_from ==
+          gsj::obs::ServedFrom::Execution) {
+        GSJ_CHECK_MSG(got.stats.num_batches == ref.stats.num_batches &&
+                          got.stats.kernel_seconds == ref.stats.kernel_seconds,
+                      "request " << i << " (" << reqs[i].variant << " eps="
+                                 << reqs[i].epsilon
+                                 << "): stats differ from cold replay");
+      }
       const auto& gp = got.results.pairs();
       const auto& rp = ref.results.pairs();
       GSJ_CHECK_MSG(gp.size() == rp.size() &&
@@ -761,7 +809,11 @@ int cmd_serve(gsj::Cli& cli) {
     wait_all.push_back(r.wait_seconds);
     service_all.push_back(r.service_seconds);
     if (r.status == gsj::JoinStatus::Ok) {
-      kernel_ok.push_back(r.output.stats.kernel_seconds);
+      // Kernel time is an execution property; served responses carry
+      // no kernel work of their own and would skew the quantile to 0.
+      if (r.breakdown.served_from == gsj::obs::ServedFrom::Execution) {
+        kernel_ok.push_back(r.output.stats.kernel_seconds);
+      }
       ok_pairs += r.output.stats.result_pairs;
     }
   }
@@ -791,7 +843,10 @@ int cmd_serve(gsj::Cli& cli) {
             << quantile(service_all, 50) * 1e3 << "/"
             << quantile(service_all, 95) * 1e3 << " ms\n"
             << "cache: " << cache_hits << " hits, " << cache_misses
-            << " misses (ratio " << hit_ratio << ")\n";
+            << " misses (ratio " << hit_ratio << ")\n"
+            << "result cache: " << n_result_hits << " hits, " << n_coalesced
+            << " coalesced, " << n_subsumed << " subsumed ("
+            << served_ratio * 100.0 << "% of ok served without executing)\n";
   if (verify) {
     std::cout << "verify: " << verified
               << " completed request(s) bit-identical to serial cold-engine "
@@ -812,6 +867,8 @@ int cmd_serve(gsj::Cli& cli) {
         << reqs[i].epsilon << ", \"variant\": \"" << reqs[i].variant
         << "\", \"priority\": " << reqs[i].jr.priority
         << ", \"status\": \"" << gsj::to_string(r.status)
+        << "\", \"served_from\": \""
+        << gsj::obs::to_string(r.breakdown.served_from)
         << "\", \"pairs\": " << r.output.stats.result_pairs
         << ", \"wait_seconds\": " << r.wait_seconds
         << ", \"service_seconds\": " << r.service_seconds << "}"
@@ -830,6 +887,10 @@ int cmd_serve(gsj::Cli& cli) {
       << ", \"ok\": " << n_ok << ", \"rejected\": " << n_rejected
       << ", \"expired\": " << n_expired << ", \"cancelled\": " << n_cancelled
       << ", \"failed\": " << n_failed << ", \"verified\": " << verified
+      << ", \"result_hits\": " << n_result_hits
+      << ", \"coalesced\": " << n_coalesced
+      << ", \"subsumed\": " << n_subsumed
+      << ", \"served_from_cache_ratio\": " << served_ratio
       << ", \"pairs_per_second\": "
       << (total_wall > 0.0 ? static_cast<double>(ok_pairs) / total_wall : 0.0)
       << ", \"cache_hit_ratio\": " << hit_ratio
@@ -851,7 +912,20 @@ int cmd_serve(gsj::Cli& cli) {
     f << "\n  },\n  \"cache\": {\"hits\": " << cache_hits << ", \"misses\": "
       << cache_misses << ", \"hit_ratio\": " << hit_ratio
       << ", \"evictions\": "
-      << metrics.counter("sj.cache.evictions").value() << "}\n}\n";
+      << metrics.counter("sj.cache.evictions").value()
+      << "},\n  \"result_cache\": {\"hits\": "
+      << metrics.counter("svc.result_cache.hits").value()
+      << ", \"misses\": " << metrics.counter("svc.result_cache.misses").value()
+      << ", \"coalesced\": "
+      << metrics.counter("svc.result_cache.coalesced").value()
+      << ", \"subsumed\": "
+      << metrics.counter("svc.result_cache.subsumed").value()
+      << ", \"evictions\": "
+      << metrics.counter("svc.result_cache.evictions").value()
+      << ", \"bytes\": "
+      << static_cast<std::uint64_t>(
+             metrics.gauge("svc.result_cache.bytes").value())
+      << "}\n}\n";
     std::cout << "report: " << out_path << "\n";
   }
   return n_failed == 0 ? 0 : 1;
@@ -927,7 +1001,7 @@ int cmd_top(gsj::Cli& cli) {
   });
 
   std::cout << "    t_ms  queue  inflight  oldest_ms  arenas  pools  grids"
-               "  plans  cache_kb     done\n";
+               "  plans  cache_kb  rc_ent  rc_kb/budget     done\n";
   const auto print_row = [&] {
     const gsj::ServiceSnapshot s = svc.snapshot();
     double oldest = 0.0;
@@ -935,10 +1009,12 @@ int cmd_top(gsj::Cli& cli) {
       oldest = std::max(oldest, f.age_seconds);
     }
     std::printf("%8.0f  %5zu  %8zu  %9.1f  %6zu  %5zu  %5zu  %5zu  %8zu"
-                "  %3zu/%-3zu\n",
+                "  %6zu  %5zu/%-6zu  %3zu/%-3zu\n",
                 wall.seconds() * 1e3, s.queue_depth, s.in_flight.size(),
                 oldest * 1e3, s.idle_arenas, s.idle_thread_pools,
                 s.cached_grids, s.cached_plans, s.cached_bytes / 1024,
+                s.result_entries, s.result_bytes / 1024,
+                s.result_budget_bytes / 1024,
                 done.load(std::memory_order_relaxed), tickets.size());
     std::fflush(stdout);
   };
@@ -951,7 +1027,15 @@ int cmd_top(gsj::Cli& cli) {
   std::cout << "served " << tickets.size() << " requests in "
             << wall.seconds() << " s on " << workers << " workers; cache "
             << metrics.counter("sj.cache.hits").value() << " hits / "
-            << metrics.counter("sj.cache.misses").value() << " misses\n";
+            << metrics.counter("sj.cache.misses").value() << " misses; "
+            << "result cache "
+            << metrics.counter("svc.result_cache.hits").value() << " hits / "
+            << metrics.counter("svc.result_cache.coalesced").value()
+            << " coalesced / "
+            << metrics.counter("svc.result_cache.subsumed").value()
+            << " subsumed / "
+            << metrics.counter("svc.result_cache.misses").value()
+            << " misses\n";
   return 0;
 }
 
@@ -1051,7 +1135,9 @@ int cmd_explain(gsj::Cli& cli) {
     std::cout << "{\n\"request_id\": " << resp.request_id
               << ",\n\"status\": \"" << gsj::to_string(resp.status)
               << "\",\n\"time_unit\": \"" << unit
-              << "\",\n\"breakdown\": {\"wait_seconds\": " << b.wait_seconds
+              << "\",\n\"breakdown\": {\"served_from\": \""
+              << gsj::obs::to_string(b.served_from)
+              << "\", \"wait_seconds\": " << b.wait_seconds
               << ", \"plan_seconds\": " << b.plan_seconds
               << ", \"execute_seconds\": " << b.execute_seconds
               << ", \"grid_hits\": " << b.grid_hits
@@ -1109,7 +1195,8 @@ int cmd_explain(gsj::Cli& cli) {
                   << "% of the root covered by stage spans\n";
       }
     }
-    std::cout << "breakdown: wait " << b.wait_seconds * 1e3 << " ms, plan "
+    std::cout << "breakdown: served from " << gsj::obs::to_string(b.served_from)
+              << ", wait " << b.wait_seconds * 1e3 << " ms, plan "
               << b.plan_seconds * 1e3 << " ms, execute "
               << b.execute_seconds * 1e3 << " ms\n"
               << "cache: grid " << b.grid_hits << "h/" << b.grid_misses
