@@ -14,7 +14,11 @@ Gates (relative, against the baseline value):
     subsumed) may not drop by more than the tolerance;
   * summary.wait_seconds_p50    -- median admission-queue wait may not
     grow by more than the tolerance (result serving exists to keep
-    duplicate requests from occupying workers).
+    duplicate requests from occupying workers);
+  * summary.device_makespan_imbalance -- the fleet's makespan/mean-busy
+    ratio (last fleet run; 1 = perfectly fair) may not grow by more
+    than the tolerance (load-balancer regression; only gated when the
+    run used --devices > 1).
 
 The tolerance (default 15%) deliberately absorbs run-to-run noise from
 cancellation timing: which requests of a --stress mix get cancelled
@@ -114,6 +118,23 @@ def main():
                 f"{tol * 100.0:.0f}%)")
         else:
             print(f"wait_seconds_p50: {bw:.6g} -> {cw:.6g} ok")
+
+    # Fleet makespan imbalance: higher is worse. A report from a run
+    # without --devices carries 0 (no fleet run) — skip the gate then,
+    # the ratio is only meaningful when the fleet actually balanced.
+    bi = pick(base, "device_makespan_imbalance", args.baseline)
+    ci = pick(cand, "device_makespan_imbalance", args.candidate)
+    if bi is not None and ci is not None:
+        if bi > 0 and ci > bi * (1.0 + tol):
+            failures.append(
+                f"device_makespan_imbalance regressed: {bi:.4f} -> {ci:.4f} "
+                f"(+{(ci / bi - 1.0) * 100.0:.1f}%, tolerance "
+                f"{tol * 100.0:.0f}%)")
+        elif bi > 0:
+            print(f"device_makespan_imbalance: {bi:.4f} -> {ci:.4f} ok")
+        else:
+            print("note: baseline has no fleet run "
+                  "(device_makespan_imbalance == 0); skipping that gate")
 
     for f in failures:
         print(f"REGRESSION: {f}", file=sys.stderr)

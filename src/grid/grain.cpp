@@ -1,0 +1,86 @@
+#include "grid/grain.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gsj {
+
+std::vector<std::uint64_t> grain_cell_weights(
+    const GridIndex& grid, std::span<const std::uint64_t> point_workloads) {
+  const std::span<const GridCell> cells = grid.cells();
+  const std::span<const PointId> pids = grid.point_ids();
+  std::vector<std::uint64_t> weights(cells.size(), 0);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    std::uint64_t w = 0;
+    for (std::uint32_t i = cells[c].begin; i < cells[c].end; ++i) {
+      w += point_workloads[pids[i]] + 1;
+    }
+    weights[c] = w;
+  }
+  return weights;
+}
+
+std::vector<WorkGrain> partition_grains(
+    const GridIndex& grid, std::span<const std::uint64_t> cell_weights,
+    std::size_t max_grains) {
+  const std::span<const GridCell> cells = grid.cells();
+  GSJ_CHECK_MSG(max_grains >= 1, "max_grains must be >= 1");
+  GSJ_CHECK_MSG(cell_weights.empty() || cell_weights.size() == cells.size(),
+                "cell_weights size " << cell_weights.size()
+                                     << " != cell count " << cells.size());
+  std::vector<WorkGrain> grains;
+  if (cells.empty()) return grains;
+
+  const std::size_t ngrains = std::min(max_grains, cells.size());
+  const auto weight = [&](std::size_t c) -> std::uint64_t {
+    return cell_weights.empty()
+               ? static_cast<std::uint64_t>(cells[c].size())
+               : cell_weights[c];
+  };
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < cells.size(); ++c) total += weight(c);
+
+  grains.reserve(ngrains);
+  std::uint64_t consumed = 0;
+  std::size_t c = 0;
+  for (std::size_t g = 0; g < ngrains && c < cells.size(); ++g) {
+    WorkGrain grain;
+    grain.cell_begin = c;
+    grain.point_begin = cells[c].begin;
+    // Ideal cumulative share after this grain; the remaining-weight /
+    // remaining-grains form keeps late grains from starving when early
+    // cells are heavy (a huge first cell eats most of the total).
+    const std::size_t grains_left = ngrains - g;
+    const std::uint64_t target =
+        consumed + (total - consumed + grains_left - 1) / grains_left;
+    // Every grain takes at least one cell; later grains must still get
+    // one cell each, so this grain may extend at most to
+    // cells.size() - (grains_left - 1).
+    const std::size_t hard_end = cells.size() - (grains_left - 1);
+    do {
+      consumed += weight(c);
+      ++c;
+    } while (c < hard_end && consumed < target);
+    grain.cell_end = c;
+    grain.point_end = cells[c - 1].end;
+    grain.workload = 0;
+    for (std::size_t i = grain.cell_begin; i < grain.cell_end; ++i) {
+      grain.workload += weight(i);
+    }
+    grains.push_back(grain);
+  }
+  // Tail cells left by the hard_end clamp fold into the last grain.
+  if (c < cells.size()) {
+    WorkGrain& last = grains.back();
+    while (c < cells.size()) {
+      last.workload += weight(c);
+      ++c;
+    }
+    last.cell_end = cells.size();
+    last.point_end = cells.back().end;
+  }
+  return grains;
+}
+
+}  // namespace gsj

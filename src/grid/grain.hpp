@@ -1,0 +1,72 @@
+// Work grains: contiguous cell-range shards of the ε-grid (the fleet's
+// unit of scheduling, docs/SIMULATOR.md §fleet).
+//
+// The grid stores non-empty cells sorted by linear id, each owning a
+// contiguous range of the grid-ordered point_ids() array — so a
+// contiguous *cell* range is also a contiguous *point* range. A grain
+// is such a range: every query point of the grain is evaluated on
+// whichever device the grain is scheduled to, while the kernel probes
+// the full (shared, read-only) grid for candidates. Because each point
+// is queried by exactly one grain and the pair-evaluating endpoint of
+// every unordered pair is chosen deterministically by the cell access
+// pattern — never by device placement — the union of all grains'
+// emissions is exactly the single-device result: boundary cells are
+// neither duplicated nor dropped, whatever the grain boundaries are.
+//
+// Partitioning never splits a cell (a cell's points share one workload
+// and one candidate set; splitting buys nothing and would complicate
+// the seam argument). Weights are per-cell workload sums, so the greedy
+// sweep equalizes *expected work*, not point counts — the paper's
+// workload quantification reused one level up.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grid/grid_index.hpp"
+
+namespace gsj {
+
+/// One work grain: cells [cell_begin, cell_end) of grid.cells(), owning
+/// points [point_begin, point_end) of grid.point_ids().
+struct WorkGrain {
+  std::size_t cell_begin = 0;
+  std::size_t cell_end = 0;
+  std::uint32_t point_begin = 0;
+  std::uint32_t point_end = 0;
+  /// Summed weight of the grain's cells (candidate evaluations when
+  /// built from workloads; point count under uniform weights). The
+  /// scheduler's size estimate for LPT ordering and rate feedback.
+  std::uint64_t workload = 0;
+
+  [[nodiscard]] std::uint32_t points() const noexcept {
+    return point_end - point_begin;
+  }
+  [[nodiscard]] std::size_t cells() const noexcept {
+    return cell_end - cell_begin;
+  }
+};
+
+/// Splits the grid's non-empty cells into at most `max_grains`
+/// contiguous, non-overlapping grains covering every cell exactly once.
+/// `cell_weights` (one entry per cells() element) drives the greedy
+/// sweep: cells accumulate into the current grain until it reaches the
+/// ideal share total_weight / max_grains, then a new grain starts —
+/// cells are never split, so a single huge cell becomes its own grain.
+/// An empty `cell_weights` span means uniform weighting by cell point
+/// count (the static-uniform sharding baseline). Deterministic; returns
+/// at least one grain for a non-empty grid and never more than
+/// min(max_grains, cells().size()).
+[[nodiscard]] std::vector<WorkGrain> partition_grains(
+    const GridIndex& grid, std::span<const std::uint64_t> cell_weights,
+    std::size_t max_grains);
+
+/// Per-cell weights for grain partitioning from per-*point* workloads
+/// (grid/workload.hpp point_workloads): weight(cell) = Σ over its
+/// points of (workload + 1) — the +1 keeps empty-candidate points from
+/// weighing nothing (they still cost a thread).
+[[nodiscard]] std::vector<std::uint64_t> grain_cell_weights(
+    const GridIndex& grid, std::span<const std::uint64_t> point_workloads);
+
+}  // namespace gsj

@@ -1,8 +1,27 @@
 #include "simt/device.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
+#include "common/check.hpp"
+
 namespace gsj::simt {
+
+void DeviceConfig::validate() const {
+  GSJ_CHECK_MSG(warp_size >= 1 && warp_size <= 32,
+                "warp_size=" << warp_size << " must be in [1, 32]");
+  GSJ_CHECK_MSG(num_sms >= 1, "num_sms=" << num_sms << " must be >= 1");
+  GSJ_CHECK_MSG(resident_warps_per_sm >= 1,
+                "resident_warps_per_sm=" << resident_warps_per_sm
+                                         << " must be >= 1");
+  GSJ_CHECK_MSG(issue_width >= 1,
+                "issue_width=" << issue_width << " must be >= 1");
+  GSJ_CHECK_MSG(dispatch_window >= 1,
+                "dispatch_window=" << dispatch_window << " must be >= 1");
+  GSJ_CHECK_MSG(std::isfinite(clock_ghz) && clock_ghz > 0.0,
+                "clock_ghz=" << clock_ghz << " must be finite and positive");
+}
 
 void KernelStats::merge(const KernelStats& other) noexcept {
   launches += other.launches;
@@ -15,6 +34,13 @@ void KernelStats::merge(const KernelStats& other) noexcept {
   tail_idle_cycles += other.tail_idle_cycles;
   atomics_executed += other.atomics_executed;
   results_emitted += other.results_emitted;
+}
+
+void KernelStats::merge_concurrent(const KernelStats& other) noexcept {
+  const std::uint64_t makespan = std::max(makespan_cycles,
+                                          other.makespan_cycles);
+  merge(other);
+  makespan_cycles = makespan;  // concurrent devices overlap in time
 }
 
 std::string KernelStats::summary(const DeviceConfig& cfg) const {

@@ -93,6 +93,23 @@ struct DeviceConfig {
   [[nodiscard]] std::uint32_t cost_dist(int dims) const noexcept {
     return cost_dist_base + cost_dist_per_dim * static_cast<std::uint32_t>(dims);
   }
+
+  /// Throws CheckError unless every field is in its documented domain:
+  /// warp_size in [1, 32], num_sms / resident_warps_per_sm /
+  /// issue_width / dispatch_window >= 1, clock_ghz > 0 and finite.
+  /// Out-of-domain values would otherwise produce NaN seconds
+  /// (clock_ghz <= 0), division by zero (issue_width == 0) or a
+  /// scheduler that never dispatches (dispatch_window == 0) — mirrors
+  /// BatchingConfig::validate(). Called at every launch entry.
+  void validate() const;
+
+  /// Static relative throughput in warp-instruction issue slots per
+  /// second: num_sms x issue_width x clock. The fleet scheduler's prior
+  /// for a device it has not measured yet (simt/fleet.hpp).
+  [[nodiscard]] double static_rate() const noexcept {
+    return static_cast<double>(num_sms) * static_cast<double>(issue_width) *
+           clock_ghz;
+  }
 };
 
 /// Execution metrics of one kernel launch (merged across batches for a
@@ -111,8 +128,11 @@ struct KernelStats {
   std::uint64_t atomics_executed = 0;
   std::uint64_t results_emitted = 0;
 
-  /// nvprof-style warp execution efficiency in [0, 1].
-  [[nodiscard]] double warp_execution_efficiency(int warp_size = 32) const noexcept {
+  /// nvprof-style warp execution efficiency in [0, 1]. Takes the
+  /// *configured* warp size (DeviceConfig::warp_size) — deliberately no
+  /// default: a hardcoded 32 silently mis-reports WEE on narrow-warp
+  /// configurations (the bug SelfJoinStats::wee_percent shipped with).
+  [[nodiscard]] double warp_execution_efficiency(int warp_size) const noexcept {
     if (warp_steps == 0) return 0.0;
     return static_cast<double>(active_lane_steps) /
            (static_cast<double>(warp_steps) * warp_size);
@@ -138,6 +158,14 @@ struct KernelStats {
   /// Accumulates another launch's stats (batches execute sequentially,
   /// so makespans add).
   void merge(const KernelStats& other) noexcept;
+
+  /// Accumulates stats from a launch that ran *concurrently* (another
+  /// device of a fleet): makespan is the max of the two, everything
+  /// else — busy cycles, tail idle, warps, results — sums. Using the
+  /// sequential merge() across devices silently over-reports the fleet
+  /// makespan by the sum of the per-device makespans; the fleet path
+  /// must use this instead (simt/fleet.hpp).
+  void merge_concurrent(const KernelStats& other) noexcept;
 
   [[nodiscard]] std::string summary(const DeviceConfig& cfg) const;
 };

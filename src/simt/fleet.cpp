@@ -1,0 +1,125 @@
+#include "simt/fleet.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace gsj::simt {
+
+void FleetConfig::validate(const DeviceConfig& base) const {
+  GSJ_CHECK_MSG(num_devices >= 1,
+                "fleet num_devices=" << num_devices << " must be >= 1");
+  GSJ_CHECK_MSG(grains_per_device >= 1,
+                "fleet grains_per_device=" << grains_per_device
+                                           << " must be >= 1");
+  GSJ_CHECK_MSG(devices.empty() ||
+                    devices.size() == static_cast<std::size_t>(num_devices),
+                "fleet device overrides: " << devices.size()
+                                           << " configs for " << num_devices
+                                           << " devices");
+  base.validate();
+  for (const DeviceConfig& d : devices) {
+    d.validate();
+    GSJ_CHECK_MSG(d.warp_size == base.warp_size,
+                  "fleet devices must share one warp_size (got "
+                      << d.warp_size << " vs base " << base.warp_size << ")");
+  }
+}
+
+std::vector<DeviceConfig> FleetConfig::resolve(const DeviceConfig& base) const {
+  std::vector<DeviceConfig> out;
+  out.reserve(static_cast<std::size_t>(num_devices));
+  for (int d = 0; d < num_devices; ++d) {
+    DeviceConfig c = devices.empty()
+                         ? base
+                         : devices[static_cast<std::size_t>(d)];
+    c.host = base.host;  // host replay strategy is fleet-wide
+    out.push_back(c);
+  }
+  return out;
+}
+
+DeviceFleet::DeviceFleet(std::vector<DeviceConfig> devices)
+    : devices_(std::move(devices)) {
+  GSJ_CHECK_MSG(!devices_.empty(), "fleet needs at least one device");
+  loads_.resize(devices_.size());
+  static_rate_.resize(devices_.size());
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    loads_[d].device = static_cast<int>(d);
+    static_rate_[d] = devices_[d].static_rate();
+  }
+}
+
+std::size_t DeviceFleet::pick(std::uint64_t workload) const noexcept {
+  // Calibrate the static prior into measured units: the mean ratio of
+  // measured throughput (workload units / modeled second) to the static
+  // rate over devices that have run. Before any measurement only the
+  // *relative* rates matter (all busy times are 0), so the uncalibrated
+  // prior is fine.
+  double ratio_sum = 0.0;
+  std::size_t measured = 0;
+  for (std::size_t d = 0; d < loads_.size(); ++d) {
+    if (loads_[d].busy_seconds > 0.0 && loads_[d].workload > 0) {
+      ratio_sum += (static_cast<double>(loads_[d].workload) /
+                    loads_[d].busy_seconds) /
+                   static_rate_[d];
+      ++measured;
+    }
+  }
+  const double calibration = measured > 0 ? ratio_sum /
+                                                static_cast<double>(measured)
+                                          : 1.0;
+  std::size_t best = 0;
+  double best_finish = 0.0;
+  for (std::size_t d = 0; d < loads_.size(); ++d) {
+    const DeviceLoad& l = loads_[d];
+    const double rate =
+        (l.busy_seconds > 0.0 && l.workload > 0)
+            ? static_cast<double>(l.workload) / l.busy_seconds
+            : static_rate_[d] * calibration;
+    const double finish =
+        l.busy_seconds + static_cast<double>(workload) / rate;
+    if (d == 0 || finish < best_finish) {
+      best = d;
+      best_finish = finish;
+    }
+  }
+  return best;
+}
+
+void DeviceFleet::record(std::size_t d, std::uint64_t workload, double seconds,
+                         const KernelStats& stats) {
+  DeviceLoad& l = loads_[d];
+  ++l.grains;
+  l.workload += workload;
+  l.busy_seconds += seconds;
+  l.kernel.merge(stats);  // grains on one device run sequentially
+}
+
+FleetStats DeviceFleet::finish(std::uint64_t num_grains,
+                               std::uint64_t rebalances) const {
+  FleetStats fs;
+  fs.devices = loads_;
+  fs.num_grains = num_grains;
+  fs.rebalances = rebalances;
+  double sum = 0.0;
+  for (const DeviceLoad& l : loads_) {
+    fs.makespan_seconds = std::max(fs.makespan_seconds, l.busy_seconds);
+    sum += l.busy_seconds;
+  }
+  const double mean = sum / static_cast<double>(loads_.size());
+  double var = 0.0;
+  for (DeviceLoad& l : fs.devices) {
+    l.tail_idle_seconds = fs.makespan_seconds - l.busy_seconds;
+    fs.tail_idle_seconds += l.tail_idle_seconds;
+    const double dev = l.busy_seconds - mean;
+    var += dev * dev;
+  }
+  if (mean > 0.0) {
+    fs.device_cov = std::sqrt(var / static_cast<double>(loads_.size())) / mean;
+    fs.imbalance = fs.makespan_seconds / mean;
+  }
+  return fs;
+}
+
+}  // namespace gsj::simt

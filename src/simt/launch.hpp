@@ -257,9 +257,7 @@ template <typename K>
 KernelStats launch(const DeviceConfig& cfg, std::uint64_t num_threads, K& k,
                    const WarpObserver& observer = {},
                    const LaunchAbort& should_abort = {}) {
-  GSJ_CHECK(cfg.warp_size >= 1 && cfg.warp_size <= 32);
-  GSJ_CHECK(cfg.total_slots() >= 1);
-  GSJ_CHECK(cfg.dispatch_window >= 1);
+  cfg.validate();
 
   KernelStats stats;
   stats.launches = 1;

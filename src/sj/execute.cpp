@@ -4,10 +4,12 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "grid/grain.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simt/counter.hpp"
+#include "simt/fleet.hpp"
 
 namespace gsj::detail {
 
@@ -19,6 +21,7 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
   obs::Tracer* tracer = cfg.tracer;
 
   out.stats.num_batches = plan.num_batches;
+  out.stats.warp_size = device.warp_size;
   // Pre-size pair storage from the batch estimator so stored-pair joins
   // don't pay realloc churn while the kernel emits. The estimate is
   // untrusted — clamped to one buffer's capacity so a wildly high value
@@ -339,6 +342,389 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
     m.gauge("sj.host_prep_seconds").set(out.stats.host_prep_seconds);
   }
 
+  if (cfg.store_pairs) out.results.canonicalize();
+}
+
+void execute_fleet(const SelfJoinConfig& cfg, ExecutionInputs& in,
+                   ScratchArena& arena, SelfJoinOutput& out) {
+  const GridIndex& grid = *in.grid;
+  const simt::FleetConfig& fc = cfg.fleet;
+  const std::vector<simt::DeviceConfig> devices = fc.resolve(in.device);
+  const std::size_t ndev = devices.size();
+  out.stats.warp_size = devices[0].warp_size;
+
+  if (cfg.store_pairs) {
+    out.results.reserve(
+        std::min(in.estimated_total_pairs, cfg.batching.buffer_pairs));
+  }
+  const std::uint64_t capacity =
+      cfg.batching.enabled ? cfg.batching.effective_capacity()
+      : cfg.batching.inject_capacity != 0 ? cfg.batching.inject_capacity
+                                          : ResultSet::kUnlimited;
+
+  // --- grain partition (grid/grain.hpp) ---
+  // Adaptive: workload-weighted grains, several per device, so the
+  // scheduler has something to rebalance. Static baseline: exactly one
+  // cell-count-uniform grain per device, grain i pinned to device i.
+  std::vector<WorkGrain> grains;
+  if (fc.adaptive) {
+    const std::vector<std::uint64_t> weights =
+        grain_cell_weights(grid, in.point_workloads);
+    grains = partition_grains(
+        grid, weights,
+        ndev * static_cast<std::size_t>(fc.grains_per_device));
+  } else {
+    grains = partition_grains(grid, {}, ndev);
+  }
+  const std::size_t num_grains = grains.size();
+  std::uint64_t total_weight = 0;
+  for (const WorkGrain& g : grains) total_weight += g.workload;
+
+  // Bucket D' into per-grain queues in one stable pass: each grain's
+  // queue preserves the global workload-sorted consumption order.
+  std::vector<std::vector<PointId>> grain_queues;
+  if (cfg.work_queue) {
+    std::vector<std::uint32_t> cell_grain(grid.cells().size(), 0);
+    for (std::size_t g = 0; g < num_grains; ++g) {
+      for (std::size_t c = grains[g].cell_begin; c < grains[g].cell_end; ++c) {
+        cell_grain[c] = static_cast<std::uint32_t>(g);
+      }
+    }
+    grain_queues.resize(num_grains);
+    for (std::size_t g = 0; g < num_grains; ++g) {
+      grain_queues[g].reserve(grains[g].points());
+    }
+    for (const PointId p : in.queue_order) {
+      grain_queues[cell_grain[grid.cell_of_point(p)]].push_back(p);
+    }
+  }
+
+  // --- per-warp collection (fleet-wide dispersion; per-slot vectors
+  // and tracer device events are superseded by device-level stats) ---
+  const bool collect = cfg.collect_diagnostics || cfg.metrics != nullptr;
+  auto& all_warp_cycles = arena.all_warp_cycles;
+  all_warp_cycles.clear();
+  obs::CycleHistogram* warp_cycle_hist =
+      cfg.metrics != nullptr
+          ? &cfg.metrics->cycle_histogram("sj.warp_cycles")
+          : nullptr;
+  auto& launch_records = arena.launch_records;
+  launch_records.clear();
+  simt::WarpObserver observer;
+  if (collect) {
+    observer = [&launch_records](const simt::WarpRecord& r) {
+      launch_records.push_back(r);
+    };
+  }
+  out.stats.batches = std::move(arena.spare_batch_stats);
+  arena.spare_batch_stats = {};
+  out.stats.batches.clear();
+
+  const std::atomic<bool>* cancel = in.cancel;
+  obs::FlightRecorder* recorder = in.recorder;
+  const std::uint64_t req_id = in.channel_ctx.request_id;
+  auto throw_if_cancelled = [&] {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      if (recorder != nullptr) {
+        recorder->record("cancelled", req_id, out.stats.batches.size());
+      }
+      throw CancelledError(out.stats.batches.size());
+    }
+  };
+
+  simt::DeviceCounter counter;
+  std::vector<std::vector<double>> dev_kernel_secs(ndev);
+  std::vector<std::vector<double>> dev_xfer_secs(ndev);
+
+  std::uint64_t overflow_pairs = 0;
+  // One batch on one fleet device: the single-device driver's
+  // capacity/rollback/commit discipline, minus per-slot and tracer
+  // bookkeeping. Committed stats and modeled seconds accumulate into
+  // the grain's running totals for the scheduler's feedback.
+  double grain_secs = 0.0;
+  simt::KernelStats grain_kernel;
+  std::size_t batch_first_warp = 0;
+  auto attempt_batch = [&](std::size_t dev, std::span<const PointId> points,
+                           std::span<const PointId> queue,
+                           std::uint64_t queue_len) -> bool {
+    const simt::DeviceConfig& device = devices[dev];
+    KernelParams params;
+    params.grid = &grid;
+    params.pattern = cfg.pattern;
+    params.assignment =
+        cfg.work_queue ? Assignment::WorkQueue : Assignment::Static;
+    params.k = cfg.k;
+    params.points = points;
+    params.queue = queue;
+    params.counter = &counter;
+    params.device = &device;
+    params.results = &out.results;
+
+    const std::uint64_t groups = cfg.work_queue ? queue_len : points.size();
+    const std::uint64_t nthreads = groups * static_cast<std::uint64_t>(cfg.k);
+
+    out.results.begin_batch(capacity);
+    SelfJoinKernel kernel(params);
+    launch_records.clear();
+    simt::LaunchAbort abort_hook;
+    if (capacity != ResultSet::kUnlimited && cancel != nullptr) {
+      abort_hook = [&results = out.results, cancel] {
+        return results.batch_overflowed() ||
+               cancel->load(std::memory_order_relaxed);
+      };
+    } else if (capacity != ResultSet::kUnlimited) {
+      abort_hook = [&results = out.results] {
+        return results.batch_overflowed();
+      };
+    } else if (cancel != nullptr) {
+      abort_hook = [cancel] {
+        return cancel->load(std::memory_order_relaxed);
+      };
+    }
+    simt::KernelStats ks =
+        simt::launch(device, nthreads, kernel, observer, abort_hook);
+    ks.atomics_executed = kernel.atomics_executed();
+    ks.results_emitted = kernel.results_emitted();
+    throw_if_cancelled();
+
+    if (out.results.batch_overflowed()) {
+      overflow_pairs = out.results.batch_count();
+      out.results.rollback_batch();
+      out.stats.buffer_overflowed = true;
+      ++out.stats.overflow_retries;
+      out.stats.wasted.merge(ks);
+      grain_secs += ks.seconds(device);
+      dev_kernel_secs[dev].push_back(ks.seconds(device));
+      dev_xfer_secs[dev].push_back(0.0);
+      if (recorder != nullptr) {
+        recorder->record("batch_overflow", req_id, overflow_pairs);
+      }
+      return false;
+    }
+
+    grain_kernel.merge(ks);
+    grain_secs += ks.seconds(device);
+    const std::uint64_t batch_pairs = out.results.batch_count();
+    out.stats.max_batch_pairs =
+        std::max(out.stats.max_batch_pairs, batch_pairs);
+    dev_kernel_secs[dev].push_back(ks.seconds(device));
+    dev_xfer_secs[dev].push_back(transfer_seconds(batch_pairs, cfg.batching));
+
+    BatchStats bs;
+    bs.device = static_cast<int>(dev);
+    bs.query_points = groups;
+    bs.result_pairs = batch_pairs;
+    bs.warps = ks.warps_launched;
+    bs.makespan_cycles = ks.makespan_cycles;
+    bs.kernel_seconds = dev_kernel_secs[dev].back();
+    bs.transfer_seconds = dev_xfer_secs[dev].back();
+    bs.wee_percent = ks.warp_execution_efficiency(device.warp_size) * 100.0;
+    if (collect) {
+      for (const auto& r : launch_records) {
+        all_warp_cycles.push_back(r.cycles);
+        if (warp_cycle_hist != nullptr) warp_cycle_hist->record(r.cycles);
+      }
+      const std::span<const std::uint64_t> batch_cycles{
+          all_warp_cycles.data() + batch_first_warp,
+          all_warp_cycles.size() - batch_first_warp};
+      bs.warp_cycle_cov = obs::analyze_warp_cycles(batch_cycles).cov;
+      batch_first_warp = all_warp_cycles.size();
+    }
+    out.stats.batches.push_back(bs);
+    if (recorder != nullptr) {
+      recorder->record("batch_commit", req_id, batch_pairs);
+    }
+    return true;
+  };
+
+  auto check_recoverable = [&](std::uint64_t batch_points) {
+    if (batch_points <= 1 ||
+        out.stats.overflow_retries > cfg.batching.max_overflow_retries) {
+      if (recorder != nullptr) {
+        recorder->record("overflow_exhausted", req_id,
+                         out.stats.overflow_retries);
+      }
+      throw OverflowError(capacity, overflow_pairs, batch_points,
+                          out.stats.overflow_retries);
+    }
+  };
+
+  // --- schedule + execute: LPT order, predicted-finish placement,
+  // measured-rate feedback after every grain ---
+  std::vector<std::size_t> order(num_grains);
+  for (std::size_t i = 0; i < num_grains; ++i) order[i] = i;
+  if (fc.adaptive) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&grains](std::size_t a, std::size_t b) {
+                       return grains[a].workload > grains[b].workload;
+                     });
+  }
+  simt::DeviceFleet fleet(devices);
+  std::uint64_t rebalances = 0;
+
+  for (const std::size_t gidx : order) {
+    const WorkGrain& grain = grains[gidx];
+    const std::size_t owner = gidx * ndev / num_grains;
+    const std::size_t dev = fc.adaptive ? fleet.pick(grain.workload) : owner;
+    if (dev != owner) ++rebalances;
+    grain_secs = 0.0;
+    grain_kernel = simt::KernelStats{};
+
+    if (cfg.work_queue) {
+      const std::vector<PointId>& q = grain_queues[gidx];
+      const std::span<const PointId> qs{q};
+      // Contiguous chunks over the grain's queue slice, cut by the
+      // same two budgets as plan_queue: the 2w+1 hard bound and the
+      // grain-scaled statistical estimate.
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+      if (!cfg.batching.enabled || q.empty()) {
+        if (!q.empty()) ranges.emplace_back(0, q.size());
+      } else {
+        const double budget = static_cast<double>(cfg.batching.buffer_pairs);
+        const std::uint64_t est_g =
+            total_weight == 0
+                ? 0
+                : static_cast<std::uint64_t>(
+                      static_cast<double>(in.estimated_total_pairs) *
+                      (static_cast<double>(grain.workload) /
+                       static_cast<double>(total_weight)));
+        const double est_per_point =
+            static_cast<double>(est_g) * cfg.batching.safety /
+            static_cast<double>(q.size());
+        std::size_t begin = 0;
+        while (begin < q.size()) {
+          std::uint64_t bound_sum = 0;
+          double est_sum = 0.0;
+          std::size_t end = begin;
+          while (end < q.size()) {
+            const std::uint64_t b =
+                2 * in.point_workloads[q[end]] + 1;
+            if (end > begin &&
+                (static_cast<double>(bound_sum + b) > budget ||
+                 est_sum + est_per_point > budget)) {
+              break;
+            }
+            bound_sum += b;
+            est_sum += est_per_point;
+            ++end;
+          }
+          ranges.emplace_back(begin, end);
+          begin = end;
+        }
+      }
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> work(
+          ranges.rbegin(), ranges.rend());
+      while (!work.empty()) {
+        throw_if_cancelled();
+        const auto [begin, end] = work.back();
+        work.pop_back();
+        if (begin == end) continue;
+        counter.reset(begin);
+        if (attempt_batch(dev, {}, qs, end - begin)) continue;
+        check_recoverable(end - begin);
+        const std::uint64_t mid = begin + (end - begin) / 2;
+        work.emplace_back(mid, end);
+        work.emplace_back(begin, mid);
+      }
+    } else {
+      const std::span<const PointId> gp =
+          grid.point_ids().subspan(grain.point_begin, grain.points());
+      // Strided chunks within the grain, count scaled from the grain's
+      // share of the whole-join estimate (plan_strided's scheme at
+      // grain granularity).
+      std::size_t nb = 1;
+      if (cfg.batching.enabled && total_weight != 0 && !gp.empty()) {
+        const double est_g =
+            static_cast<double>(in.estimated_total_pairs) *
+            (static_cast<double>(grain.workload) /
+             static_cast<double>(total_weight)) *
+            cfg.batching.safety;
+        nb = static_cast<std::size_t>(
+            est_g / static_cast<double>(cfg.batching.buffer_pairs)) + 1;
+        nb = std::min(nb, gp.size());
+      }
+      std::vector<std::vector<PointId>> batches(nb);
+      for (std::size_t i = 0; i < gp.size(); ++i) {
+        batches[i % nb].push_back(gp[i]);
+      }
+      if (cfg.sort_by_workload) {
+        for (auto& b : batches) {
+          std::stable_sort(b.begin(), b.end(),
+                           [&in](PointId a, PointId c) {
+                             return in.point_workloads[a] >
+                                    in.point_workloads[c];
+                           });
+        }
+      }
+      std::vector<std::vector<PointId>> work(
+          std::make_move_iterator(batches.rbegin()),
+          std::make_move_iterator(batches.rend()));
+      while (!work.empty()) {
+        throw_if_cancelled();
+        std::vector<PointId> batch = std::move(work.back());
+        work.pop_back();
+        if (batch.empty()) continue;
+        if (attempt_batch(dev, batch, {}, 0)) continue;
+        check_recoverable(batch.size());
+        const std::size_t mid = batch.size() / 2;
+        work.emplace_back(batch.begin() + static_cast<std::ptrdiff_t>(mid),
+                          batch.end());
+        batch.resize(mid);
+        work.push_back(std::move(batch));
+      }
+    }
+    fleet.record(dev, grain.workload, grain_secs, grain_kernel);
+  }
+
+  // --- finalize: device-level stats, concurrent composition ---
+  out.stats.fleet = fleet.finish(num_grains, rebalances);
+  out.stats.kernel = simt::KernelStats{};
+  for (const simt::DeviceLoad& l : out.stats.fleet.devices) {
+    out.stats.kernel.merge_concurrent(l.kernel);
+  }
+  out.stats.num_batches = out.stats.batches.size();
+  out.results.begin_batch(ResultSet::kUnlimited);
+  out.stats.result_pairs = out.results.count();
+  out.stats.kernel_seconds = out.stats.fleet.makespan_seconds;
+  out.stats.total_seconds = 0.0;
+  for (std::size_t d = 0; d < ndev; ++d) {
+    out.stats.total_seconds = std::max(
+        out.stats.total_seconds,
+        pipeline_seconds(dev_kernel_secs[d], dev_xfer_secs[d],
+                         cfg.batching.nstreams));
+  }
+  if (collect) {
+    out.stats.warp_imbalance = obs::analyze_warp_cycles(all_warp_cycles);
+  }
+  if (cfg.metrics != nullptr) {
+    obs::Registry& m = *cfg.metrics;
+    m.counter("sj.batches").add(out.stats.num_batches);
+    m.counter("sj.result_pairs").add(out.stats.result_pairs);
+    m.counter("sj.warps_launched").add(out.stats.kernel.warps_launched);
+    m.counter("sj.warp_steps").add(out.stats.kernel.warp_steps);
+    m.counter("sj.active_lane_steps").add(out.stats.kernel.active_lane_steps);
+    m.counter("sj.atomics").add(out.stats.kernel.atomics_executed);
+    m.counter("sj.overflow_retries").add(out.stats.overflow_retries);
+    m.counter("sj.aborted_launches").add(out.stats.wasted.aborted_launches);
+    m.counter("sj.wasted_pairs").add(out.stats.wasted.results_emitted);
+    m.counter("sj.wasted_cycles").add(out.stats.wasted.busy_cycles);
+    m.gauge("sj.wee_percent").set(out.stats.wee_percent());
+    m.gauge("sj.warp_cycle_cov").set(out.stats.warp_cycle_cov());
+    m.gauge("sj.warp_cycle_gini").set(out.stats.warp_cycle_gini());
+    m.gauge("sj.estimated_total_pairs")
+        .set(static_cast<double>(out.stats.estimated_total_pairs));
+    m.gauge("sj.kernel_seconds").set(out.stats.kernel_seconds);
+    m.gauge("sj.total_seconds").set(out.stats.total_seconds);
+    m.gauge("sj.host_prep_seconds").set(out.stats.host_prep_seconds);
+    const simt::FleetStats& fs = out.stats.fleet;
+    m.gauge("sj.fleet.devices").set(static_cast<double>(ndev));
+    m.counter("sj.fleet.grains").add(fs.num_grains);
+    m.counter("sj.fleet.rebalances").add(fs.rebalances);
+    m.gauge("sj.fleet.device_cov").set(fs.device_cov);
+    m.gauge("sj.fleet.makespan_seconds").set(fs.makespan_seconds);
+    m.gauge("sj.fleet.tail_idle_seconds").set(fs.tail_idle_seconds);
+    m.gauge("sj.fleet.imbalance").set(fs.imbalance);
+  }
   if (cfg.store_pairs) out.results.canonicalize();
 }
 

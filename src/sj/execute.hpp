@@ -59,6 +59,16 @@ struct ExecutionInputs {
   /// partial output is discarded by the caller.
   const std::atomic<bool>* cancel = nullptr;
 
+  // --- fleet path only (sj/pipeline.hpp fleet branch) ---
+  /// Per-point workloads under cfg.pattern (grid/workload.hpp): grain
+  /// weights for the partitioner and the 2w+1 chunk bounds of the
+  /// work-queue driver. Empty on the single-device path.
+  std::span<const std::uint64_t> point_workloads;
+  /// Whole-join result-size estimate (the shared estimate cache's
+  /// value); execute_fleet scales it by grain workload share to size
+  /// per-grain chunks.
+  std::uint64_t estimated_total_pairs = 0;
+
   // --- request-scoped channel (JoinService::submit path) ---
   /// Service-channel tracer for per-launch request spans ("batch N",
   /// "overflow_retry") parented under `channel_ctx`. Only consulted
@@ -77,6 +87,22 @@ struct ExecutionInputs {
 /// caller). Throws OverflowError exactly as the public API documents.
 void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
                        ScratchArena& arena, SelfJoinOutput& out);
+
+/// Fleet execution (docs/SIMULATOR.md §fleet): shards the grid into
+/// work grains (grid/grain.hpp), schedules them across
+/// cfg.fleet.num_devices modeled devices with the LPT/measured-rate
+/// rebalancer (simt/fleet.hpp), and runs each grain's batches with the
+/// same capacity/overflow/cancellation discipline as the single-device
+/// driver. The merged ResultSet is bit-identical to a single-device run
+/// (canonical order when store_pairs; counts add otherwise); per-device
+/// makespan/CoV/tail-idle land in out.stats.fleet and the sj.fleet.*
+/// metric family. Per-warp dispersion is still collected fleet-wide;
+/// per-slot vectors and tracer device events are not (device-level
+/// accounting supersedes them at this scale). Requires
+/// in.point_workloads and in.estimated_total_pairs from the fleet plan
+/// branch.
+void execute_fleet(const SelfJoinConfig& cfg, ExecutionInputs& in,
+                   ScratchArena& arena, SelfJoinOutput& out);
 
 /// ε-subsumption filter (docs/SERVICE.md result-serving layer): keeps
 /// the pairs of a cached ε-result whose dist² ≤ epsilon², for a

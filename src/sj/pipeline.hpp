@@ -89,6 +89,10 @@ void plan_and_execute(const SelfJoinConfig& cfg, const Dataset& ds,
                 "k=" << cfg.k << " must divide warp_size="
                      << cfg.device.warp_size);
   cfg.batching.validate();
+  // Fleet validation covers the base device config too; num_devices==1
+  // keeps the classic single-device path below byte-identical.
+  cfg.fleet.validate(cfg.device);
+  const bool fleet_active = cfg.fleet.active();
   src.sync();
 
   out.results = ResultSet(cfg.store_pairs);
@@ -146,8 +150,35 @@ void plan_and_execute(const SelfJoinConfig& cfg, const Dataset& ds,
       std::bit_cast<std::uint64_t>(cfg.batching.inject_estimator_skew)};
 
   std::span<const PointId> queue_order;
+  std::span<const std::uint64_t> fleet_workloads;
   BatchPlan plan;
-  if (cfg.work_queue) {
+  if (fleet_active) {
+    // Fleet plan stage: grain partitioning and the per-grain chunk
+    // budgets need per-point workloads regardless of variant, the
+    // work-queue variants need D', and the whole-join size estimate is
+    // resolved through the same shared cache the batch planners use —
+    // then execute_fleet does its own per-grain chunking, so no batch
+    // plan is built here.
+    {
+      const auto sp = obs::span(tracer, "workload_quantify");
+      fleet_workloads = src.resolve_workloads(cfg.pattern, p);
+    }
+    if (cfg.work_queue) {
+      const auto sp = obs::span(tracer, "sortbywl_sort");
+      queue_order = src.resolve_order(cfg.pattern, p);
+    }
+    const auto sp = obs::span(tracer, "batch_plan");
+    std::optional<std::uint64_t> est =
+        src.find_estimate(cfg.work_queue, est_key);
+    if (!est.has_value()) {
+      est = cfg.work_queue
+                ? estimate_queue_total(grid, cfg.batching, queue_order)
+                : estimate_strided_total(grid, cfg.batching);
+      src.put_estimate(cfg.work_queue, est_key, *est);
+    }
+    plan.estimated_total_pairs = *est;
+    plan.num_batches = 0;  // execute_fleet chunks per grain
+  } else if (cfg.work_queue) {
     std::span<const std::uint64_t> pw;
     {
       const auto sp = obs::span(tracer, "workload_quantify");
@@ -205,7 +236,13 @@ void plan_and_execute(const SelfJoinConfig& cfg, const Dataset& ds,
   // when no tracer is attached — the flight recorder still wants it.
   in.channel_ctx = obs::SpanContext{rctx.request_id, exec_span.id()};
   in.recorder = robs != nullptr ? robs->recorder : nullptr;
-  execute_self_join(cfg, in, arena, out);
+  if (fleet_active) {
+    in.point_workloads = fleet_workloads;
+    in.estimated_total_pairs = plan.estimated_total_pairs;
+    execute_fleet(cfg, in, arena, out);
+  } else {
+    execute_self_join(cfg, in, arena, out);
+  }
   exec_span.finish();
   if (robs != nullptr && robs->breakdown != nullptr) {
     obs::RequestBreakdown& b = *robs->breakdown;

@@ -27,6 +27,7 @@
 #include "grid/cell_access.hpp"
 #include "obs/diagnostics.hpp"
 #include "simt/device.hpp"
+#include "simt/fleet.hpp"
 #include "sj/batching.hpp"
 #include "sj/kernels.hpp"
 #include "sj/result_set.hpp"
@@ -56,6 +57,14 @@ struct SelfJoinConfig {
   /// worker threads — results, stats and traces are bit-identical to
   /// the sequential path (see docs/PERFORMANCE.md).
   simt::DeviceConfig device;
+  /// Multi-device fleet (docs/SIMULATOR.md §fleet). num_devices == 1
+  /// keeps the classic single-device path, byte-identical to before the
+  /// fleet existed. num_devices > 1 shards the ε-grid into work grains
+  /// and schedules them across N modeled devices (optionally
+  /// heterogeneous via fleet.devices overrides); merged results are
+  /// bit-identical to the single-device run in canonical order, and
+  /// stats.fleet reports the device-level load breakdown.
+  simt::FleetConfig fleet;
   /// Store result pairs (tests/examples) or count only (benchmarks).
   bool store_pairs = false;
 
@@ -84,6 +93,8 @@ struct SelfJoinConfig {
 
 /// Per-batch execution record (§II-C2's batching made observable).
 struct BatchStats {
+  /// Fleet device this batch ran on (0 on the single-device path).
+  int device = 0;
   std::uint64_t query_points = 0;
   std::uint64_t result_pairs = 0;
   std::uint64_t warps = 0;
@@ -97,6 +108,9 @@ struct BatchStats {
 
 struct SelfJoinStats {
   simt::KernelStats kernel;  ///< merged over all *committed* batches
+  /// Configured warp size of the run's device(s) — what wee_percent()
+  /// divides by (fleet devices are validated to share one warp size).
+  int warp_size = 32;
   std::vector<BatchStats> batches;
   /// Batches actually executed and committed; exceeds the planned count
   /// when overflow recovery split batches.
@@ -127,11 +141,18 @@ struct SelfJoinStats {
   obs::WarpImbalance warp_imbalance;
   /// Per resident-warp slot busy/tail-idle breakdown, merged over
   /// batches. Index = slot id (sm = slot / resident_warps_per_sm).
+  /// Empty on fleet runs (device-level accounting lives in `fleet`).
   std::vector<obs::SlotStats> slots;
 
-  /// Warp execution efficiency in percent (the paper's WEE metric).
+  /// Device-level load breakdown of a fleet run (per-device busy /
+  /// tail-idle seconds, makespan, CoV, rebalances). fleet.ran() is
+  /// false on the single-device path.
+  simt::FleetStats fleet;
+
+  /// Warp execution efficiency in percent (the paper's WEE metric),
+  /// against the *configured* warp size — not a hardcoded 32.
   [[nodiscard]] double wee_percent() const noexcept {
-    return kernel.warp_execution_efficiency() * 100.0;
+    return kernel.warp_execution_efficiency(warp_size) * 100.0;
   }
 
   /// Coefficient of variation of per-warp cycles (0 = perfectly even).

@@ -541,6 +541,7 @@ SelfJoinOutput JoinService::execute(SharedDataset& sd,
 
   SelfJoinOutput out;
   detail::plan_and_execute(cfg, sd.dataset(), src, *lease.arena, cancel, out);
+  if (out.stats.fleet.ran()) record_fleet(out.stats.fleet);
   return out;
 }
 
@@ -1111,6 +1112,43 @@ void JoinService::adjust_result_bytes(long long delta) {
   }
 }
 
+void JoinService::record_fleet(const simt::FleetStats& fs) {
+  {
+    std::lock_guard lk(fleet_mu_);
+    ++fleet_runs_;
+    fleet_rebalances_ += fs.rebalances;
+    fleet_last_cov_ = fs.device_cov;
+    fleet_last_imbalance_ = fs.imbalance;
+    if (fleet_devices_.size() < fs.devices.size()) {
+      fleet_devices_.resize(fs.devices.size());
+    }
+    for (const simt::DeviceLoad& d : fs.devices) {
+      const auto idx = static_cast<std::size_t>(d.device);
+      if (idx >= fleet_devices_.size()) continue;  // defensive
+      ServiceSnapshot::FleetDeviceRow& row = fleet_devices_[idx];
+      row.device = d.device;
+      row.grains += d.grains;
+      row.busy_seconds += d.busy_seconds;
+      row.tail_idle_seconds += d.tail_idle_seconds;
+    }
+  }
+  obs::Registry* m = cfg_.obs.metrics;
+  if (m == nullptr) return;
+  m->counter("svc.fleet.runs").add(1);
+  m->counter("svc.fleet.rebalances").add(fs.rebalances);
+  m->counter("svc.fleet.grains").add(fs.num_grains);
+  m->gauge("svc.fleet.devices").set(static_cast<double>(fs.devices.size()));
+  m->gauge("svc.fleet.device_cov").set(fs.device_cov);
+  m->gauge("svc.fleet.makespan_seconds").set(fs.makespan_seconds);
+  m->gauge("svc.fleet.tail_idle_seconds").set(fs.tail_idle_seconds);
+  m->gauge("svc.fleet.imbalance").set(fs.imbalance);
+  for (const simt::DeviceLoad& d : fs.devices) {
+    const std::string dev = std::to_string(d.device);
+    m->gauge(obs::labeled("svc.fleet.device_busy_seconds", {{"device", dev}}))
+        .set(d.busy_seconds);
+  }
+}
+
 void JoinService::dump_recorder(std::uint64_t request_id, const char* why) {
   std::lock_guard lk(dump_mu_);
   std::ostream& os =
@@ -1152,6 +1190,14 @@ ServiceSnapshot JoinService::snapshot() const {
     }
   }
   s.result_budget_bytes = cfg_.max_result_cache_bytes;
+  {
+    std::lock_guard lk(fleet_mu_);
+    s.fleet_runs = fleet_runs_;
+    s.fleet_rebalances = fleet_rebalances_;
+    s.fleet_device_cov = fleet_last_cov_;
+    s.fleet_imbalance = fleet_last_imbalance_;
+    s.fleet_devices = fleet_devices_;
+  }
   return s;
 }
 

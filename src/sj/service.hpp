@@ -209,6 +209,23 @@ struct ServiceSnapshot {
   std::size_t result_entries = 0;
   std::size_t result_bytes = 0;
   std::size_t result_budget_bytes = 0;
+  /// Fleet serving totals (docs/SIMULATOR.md §fleet): accumulated over
+  /// every run with fleet.num_devices > 1 since service construction.
+  /// Empty/zero when no fleet run has happened.
+  struct FleetDeviceRow {
+    int device = 0;
+    std::uint64_t grains = 0;          ///< grains scheduled onto it
+    double busy_seconds = 0.0;         ///< modeled busy (incl. wasted)
+    double tail_idle_seconds = 0.0;    ///< idle behind each makespan
+  };
+  std::uint64_t fleet_runs = 0;
+  std::uint64_t fleet_rebalances = 0;
+  /// Device-level busy-seconds CoV of the most recent fleet run.
+  double fleet_device_cov = 0.0;
+  /// Makespan imbalance (max/mean busy) of the most recent fleet run.
+  double fleet_imbalance = 0.0;
+  /// Per-device cumulative rows, device id ascending.
+  std::vector<FleetDeviceRow> fleet_devices;
 };
 
 /// A dataset attached to the service, carrying the shared,
@@ -474,6 +491,11 @@ class JoinService {
   void finish_request(const QueueItem& item, std::uint64_t root_id,
                       JoinResponse&& r);
 
+  /// Folds a fleet run's device-level stats into the service totals
+  /// (snapshot fleet section) and publishes the svc.fleet.* metric
+  /// family. Called by execute() whenever the run used the fleet path.
+  void record_fleet(const simt::FleetStats& fs);
+
   void spawn_workers_locked();
   void worker_loop();
   void respond(ServiceRequestState& st, JoinResponse&& r);
@@ -507,6 +529,14 @@ class JoinService {
   std::uint64_t next_seq_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  // --- fleet serving totals (snapshot + svc.fleet.* metrics) ---
+  mutable std::mutex fleet_mu_;
+  std::uint64_t fleet_runs_ = 0;
+  std::uint64_t fleet_rebalances_ = 0;
+  double fleet_last_cov_ = 0.0;
+  double fleet_last_imbalance_ = 0.0;
+  std::vector<ServiceSnapshot::FleetDeviceRow> fleet_devices_;
 
   // --- in-flight request tracking (snapshot) ---
   struct InFlight {

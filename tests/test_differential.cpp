@@ -8,7 +8,9 @@
 // `differential` label.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "baselines/kdtree.hpp"
@@ -366,6 +368,107 @@ TEST(Differential, SubsumptionServesSmallerEpsilonAcrossFamilies) {
               brute_force_join(c.dataset, eps_tiny).pairs().size())
         << c.describe();
     EXPECT_FALSE(cnt.output.results.stores_pairs()) << c.describe();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shard-seam family (docs/SIMULATOR.md §fleet): multi-device runs shard
+// the grid into work grains, so every grain boundary is a potential
+// duplicate-or-drop seam. Fleet results must be bit-identical to the
+// single-device canonical result — and to the oracle — for every
+// variant, device count and fleet shape, on datasets whose dense
+// clusters straddle cell (hence grain) boundaries by construction.
+
+void fleet_vs_oracle(int devices, bool hetero, bool adaptive,
+                     std::uint64_t seed_lo, std::uint64_t seed_hi) {
+  for (std::uint64_t seed = seed_lo; seed <= seed_hi; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    const ResultSet truth = brute_force_join(c.dataset, c.epsilon);
+    for (auto& [name, cfg] : all_variants(c.epsilon)) {
+      cfg.store_pairs = true;
+      cfg.fleet.num_devices = devices;
+      cfg.fleet.adaptive = adaptive;
+      if (hetero) {
+        cfg.fleet.devices.assign(static_cast<std::size_t>(devices),
+                                 cfg.device);
+        for (int d = 0; d < devices; ++d) {
+          cfg.fleet.devices[static_cast<std::size_t>(d)].num_sms =
+              std::max(1, 56 >> d);
+          cfg.fleet.devices[static_cast<std::size_t>(d)].clock_ghz =
+              1.3 - 0.2 * d;
+        }
+      }
+      const SelfJoinOutput out = self_join(c.dataset, cfg);
+      expect_pairs_match(out.results, truth, c,
+                         name + "/fleet" + std::to_string(devices) +
+                             (hetero ? "h" : "") + (adaptive ? "" : "s"));
+    }
+  }
+}
+
+TEST(Differential, FleetTwoDevicesMatchesOracle) {
+  fleet_vs_oracle(2, /*hetero=*/false, /*adaptive=*/true, 135, 144);
+}
+
+TEST(Differential, FleetFourDevicesMatchesOracle) {
+  fleet_vs_oracle(4, /*hetero=*/false, /*adaptive=*/true, 145, 154);
+}
+
+TEST(Differential, FleetHeterogeneousMatchesOracle) {
+  fleet_vs_oracle(4, /*hetero=*/true, /*adaptive=*/true, 155, 164);
+}
+
+TEST(Differential, FleetStaticShardingMatchesOracle) {
+  fleet_vs_oracle(4, /*hetero=*/false, /*adaptive=*/false, 165, 174);
+}
+
+TEST(Differential, DenseClusterStraddlingGrainBoundary) {
+  // Directed seam stress: dense piles placed exactly on cell corners
+  // (epsilon-multiples), so each pile's neighborhood spans up to four
+  // cells — and, for every device count, some pile straddles a grain
+  // boundary. The fleet must neither duplicate nor drop the seam pairs.
+  Dataset ds(2);
+  const double eps = 0.25;
+  std::vector<double> p(2);
+  for (int site = 0; site < 6; ++site) {
+    const double cx = eps * (1 + 2 * site);  // on a cell-corner lattice
+    for (int i = 0; i < 25; ++i) {
+      p[0] = cx + (i % 5 - 2) * (eps * 0.49);
+      p[1] = eps + (i / 5 - 2) * (eps * 0.49);
+      ds.push_back(p);
+    }
+  }
+  const ResultSet truth = brute_force_join(ds, eps);
+  for (const int devices : {2, 3, 4, 8}) {
+    for (auto& [name, cfg] : all_variants(eps)) {
+      cfg.store_pairs = true;
+      cfg.fleet.num_devices = devices;
+      const SelfJoinOutput out = self_join(ds, cfg);
+      ASSERT_EQ(out.results.pairs().size(), truth.pairs().size())
+          << name << " devices=" << devices;
+      EXPECT_EQ(out.results.pairs(), truth.pairs())
+          << name << " devices=" << devices;
+    }
+  }
+}
+
+TEST(Differential, FleetServiceSubmitMatchesOracle) {
+  // Fleet requests through the queued service path: the result cache,
+  // coalescing and verification layers must be fleet-transparent.
+  for (std::uint64_t seed = 175; seed <= 178; ++seed) {
+    const AdversarialCase c = make_adversarial_case(seed);
+    const ResultSet truth = brute_force_join(c.dataset, c.epsilon);
+    ServiceConfig scfg;
+    scfg.workers = 2;
+    JoinService svc(scfg);
+    const auto sd = svc.attach(c.dataset);
+    JoinRequest req;
+    req.config = SelfJoinConfig::combined(c.epsilon);
+    req.config.store_pairs = true;
+    req.config.fleet.num_devices = 4;
+    const JoinResponse r = svc.submit(sd, req).get();
+    ASSERT_EQ(r.status, JoinStatus::Ok) << c.describe() << ": " << r.error;
+    expect_pairs_match(r.output.results, truth, c, "fleet/submit");
   }
 }
 

@@ -147,7 +147,7 @@ TEST(SimtCorners, FinalStepCostCounted) {
   EXPECT_EQ(st.warp_steps, 1u);
   EXPECT_EQ(st.active_lane_steps, 32u);
   EXPECT_EQ(st.makespan_cycles, 5u);
-  EXPECT_DOUBLE_EQ(st.warp_execution_efficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(st.warp_execution_efficiency(32), 1.0);
 }
 
 // ---------------------------------------------------------------------------

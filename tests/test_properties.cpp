@@ -171,7 +171,7 @@ TEST_P(SchedulerProps, WeeMatchesManualAccounting) {
   }
   EXPECT_EQ(st.warp_steps, steps);
   EXPECT_EQ(st.active_lane_steps, active);
-  EXPECT_NEAR(st.warp_execution_efficiency(),
+  EXPECT_NEAR(st.warp_execution_efficiency(32),
               steps == 0 ? 0.0
                          : static_cast<double>(active) /
                                (static_cast<double>(steps) * 32.0),

@@ -43,7 +43,7 @@ TEST(Launch, UniformWorkHasPerfectWee) {
   FixedWorkKernel k{std::vector<std::uint32_t>(64, 10)};
   const KernelStats st = launch(tiny_device(), 64, k);
   EXPECT_EQ(st.warps_launched, 2u);
-  EXPECT_DOUBLE_EQ(st.warp_execution_efficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(st.warp_execution_efficiency(32), 1.0);
   EXPECT_EQ(st.warp_steps, 20u);           // 10 per warp
   EXPECT_EQ(st.active_lane_steps, 640u);   // 64 lanes x 10
 }
@@ -56,7 +56,7 @@ TEST(Launch, DivergentWorkLowersWee) {
   const KernelStats st = launch(tiny_device(), 32, k);
   EXPECT_EQ(st.warp_steps, 32u);
   EXPECT_EQ(st.active_lane_steps, 32u + 31u);
-  EXPECT_NEAR(st.warp_execution_efficiency(), 63.0 / (32.0 * 32.0), 1e-12);
+  EXPECT_NEAR(st.warp_execution_efficiency(32), 63.0 / (32.0 * 32.0), 1e-12);
 }
 
 TEST(Launch, MakespanIsMaxOverSlots) {
@@ -127,7 +127,7 @@ TEST(Launch, ZeroThreadsIsEmptyStats) {
   const KernelStats st = launch(tiny_device(), 0, k);
   EXPECT_EQ(st.warps_launched, 0u);
   EXPECT_EQ(st.makespan_cycles, 0u);
-  EXPECT_DOUBLE_EQ(st.warp_execution_efficiency(), 0.0);
+  EXPECT_DOUBLE_EQ(st.warp_execution_efficiency(32), 0.0);
 }
 
 TEST(Launch, PartialLastWarpMasksTailLanes) {
@@ -137,7 +137,7 @@ TEST(Launch, PartialLastWarpMasksTailLanes) {
   // Second warp: 8 active lanes over 4 steps.
   EXPECT_EQ(st.active_lane_steps, 40u * 4u);
   EXPECT_EQ(st.warp_steps, 8u);
-  EXPECT_LT(st.warp_execution_efficiency(), 1.0);
+  EXPECT_LT(st.warp_execution_efficiency(32), 1.0);
 }
 
 TEST(Launch, BusyCyclesEqualSumOfWarpCycles) {

@@ -67,6 +67,8 @@ int usage() {
       "  info     --input F\n"
       "  join     --input F --epsilon E [--variant V] [--k K]\n"
       "           [--sms N] [--host-threads T] [--pairs-out F.csv]\n"
+      "           [--devices D] [--device-sms S1,..] [--device-clock G1,..]\n"
+      "           [--grains-per-device G] [--fleet-static]\n"
       "  dbscan   --input F --epsilon E [--minpts M] [--host-threads T]\n"
       "           [--labels-out F.csv]\n"
       "  profile  (--input F | --dataset <name> [--n N] [--seed S])\n"
@@ -86,6 +88,8 @@ int usage() {
       "  serve    (--input F | --dataset <name> [--n N] [--seed S])\n"
       "           (--requests F | --stress N) [--workers W]\n"
       "           [--queue-depth Q] [--sms N] [--host-threads T]\n"
+      "           [--devices D] [--device-sms S1,..] [--device-clock G1,..]\n"
+      "           [--grains-per-device G] [--fleet-static]\n"
       "           [--duplicate-fraction F] [--verify] [--out F.json]\n"
       "           serves requests concurrently through one JoinService;\n"
       "           a requests file has one request per line as key=value\n"
@@ -101,7 +105,7 @@ int usage() {
       "           responses included\n"
       "  top      (--input F | --dataset <name> [--n N] [--seed S])\n"
       "           [--stress N] [--workers W] [--interval-ms I]\n"
-      "           [--sms N] [--host-threads T]\n"
+      "           [--sms N] [--host-threads T] [--devices D]\n"
       "           drives a seeded stress mix through one JoinService\n"
       "           and prints interval snapshots (queue depth, in-flight\n"
       "           requests, depot levels, cache population/bytes,\n"
@@ -116,6 +120,9 @@ int usage() {
       "           retries, pairs) as aligned text or JSON\n"
       "--host-threads runs the simulator on T host worker threads\n"
       "(0 = sequential; results and traces are identical either way)\n"
+      "--devices D > 1 shards the grid across D modeled devices with the\n"
+      "adaptive LPT rebalancer (docs/SIMULATOR.md); results are\n"
+      "bit-identical to the single-device run\n"
       "variants: gpucalcglobal unicomp lidunicomp sortbywl workqueue\n"
       "          combined superego (superego: join/profile only)\n";
   return 2;
@@ -139,6 +146,75 @@ void apply_batching_flags(gsj::Cli& cli, gsj::BatchingConfig& b) {
   b.inject_capacity = static_cast<std::uint64_t>(cli.get_int(
       "inject-capacity", static_cast<std::int64_t>(b.inject_capacity),
       "fault injection: override overflow-detection capacity (0 = off)"));
+}
+
+/// Splits a comma-separated flag value ("0.01,0.02" / "combined,workqueue").
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Fleet flags shared by join, serve and top (docs/SIMULATOR.md
+/// §fleet): --devices selects the device count, the optional
+/// --device-sms / --device-clock CSVs override per-device SM counts /
+/// clocks (a heterogeneous fleet; every other knob copies `base`),
+/// --grains-per-device sets the sharding granularity and
+/// --fleet-static pins grains to their static uniform owner instead of
+/// the adaptive LPT rebalancer.
+gsj::simt::FleetConfig parse_fleet_flags(gsj::Cli& cli,
+                                         const gsj::simt::DeviceConfig& base) {
+  gsj::simt::FleetConfig fc;
+  fc.num_devices = static_cast<int>(cli.get_int(
+      "devices", 1, "modeled devices (1 = classic single-device path)"));
+  fc.grains_per_device = static_cast<int>(
+      cli.get_int("grains-per-device", fc.grains_per_device,
+                  "work grains per device (adaptive sharding granularity)"));
+  fc.adaptive = !cli.get_bool(
+      "fleet-static", false,
+      "static uniform grain ownership instead of the LPT rebalancer");
+  const std::string sms_csv = cli.get(
+      "device-sms", "", "per-device SM counts, CSV (heterogeneous fleet)");
+  const std::string clock_csv =
+      cli.get("device-clock", "", "per-device clocks in GHz, CSV");
+  if (!sms_csv.empty() || !clock_csv.empty()) {
+    fc.devices.assign(static_cast<std::size_t>(std::max(fc.num_devices, 1)),
+                      base);
+    const auto apply = [&](const std::string& csv, auto&& set) {
+      if (csv.empty()) return;
+      const std::vector<std::string> vals = split_csv(csv);
+      GSJ_CHECK_MSG(vals.size() == fc.devices.size(),
+                    "per-device CSV needs exactly --devices values, got "
+                        << vals.size());
+      for (std::size_t i = 0; i < vals.size(); ++i) {
+        set(fc.devices[i], vals[i]);
+      }
+    };
+    apply(sms_csv, [](gsj::simt::DeviceConfig& d, const std::string& v) {
+      d.num_sms = std::stoi(v);
+    });
+    apply(clock_csv, [](gsj::simt::DeviceConfig& d, const std::string& v) {
+      d.clock_ghz = std::stod(v);
+    });
+  }
+  return fc;
+}
+
+/// Prints the device-level load breakdown of a fleet run.
+void print_fleet_stats(const gsj::simt::FleetStats& fs) {
+  std::cout << "fleet: " << fs.devices.size() << " devices, " << fs.num_grains
+            << " grains, " << fs.rebalances << " rebalanced, makespan "
+            << fs.makespan_seconds << " s, device CoV " << fs.device_cov
+            << ", imbalance " << fs.imbalance << "\n";
+  for (const auto& d : fs.devices) {
+    std::cout << "  device " << d.device << ": " << d.grains
+              << " grain(s), busy " << d.busy_seconds << " s, tail idle "
+              << d.tail_idle_seconds << " s\n";
+  }
 }
 
 gsj::Dataset load_input(gsj::Cli& cli) {
@@ -233,6 +309,7 @@ int cmd_join(gsj::Cli& cli) {
   cfg.device.host.num_threads = static_cast<int>(
       cli.get_int("host-threads", 0, "host worker threads (0 = sequential)"));
   apply_batching_flags(cli, cfg.batching);
+  cfg.fleet = parse_fleet_flags(cli, cfg.device);
   cfg.store_pairs = !pairs_out.empty();
 
   const auto out = gsj::self_join(ds, cfg);
@@ -241,6 +318,7 @@ int cmd_join(gsj::Cli& cli) {
             << out.stats.total_seconds << " s (kernel "
             << out.stats.kernel_seconds << " s), WEE "
             << out.stats.wee_percent() << "%\n";
+  if (out.stats.fleet.ran()) print_fleet_stats(out.stats.fleet);
   if (out.stats.overflow_retries > 0) {
     std::cout << "overflow recovery: " << out.stats.overflow_retries
               << " retried launch(es), " << out.stats.wasted.busy_cycles
@@ -382,17 +460,6 @@ int cmd_profile(gsj::Cli& cli) {
             << "metrics: " << metrics_path << " + " << om_path << " ("
             << metrics.size() << " instruments)\n";
   return 0;
-}
-
-/// Splits a comma-separated flag value ("0.01,0.02" / "combined,workqueue").
-std::vector<std::string> split_csv(const std::string& s) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
 }
 
 int cmd_sweep(gsj::Cli& cli) {
@@ -637,6 +704,10 @@ int cmd_serve(gsj::Cli& cli) {
   const std::string out_path = cli.get("out", "", "JSON report path");
   gsj::BatchingConfig batching;
   apply_batching_flags(cli, batching);
+  gsj::simt::DeviceConfig base_device;
+  if (sms > 0) base_device.num_sms = sms;
+  base_device.host.num_threads = host_threads;
+  const gsj::simt::FleetConfig fleet = parse_fleet_flags(cli, base_device);
 
   // --- assemble the request list ---
   std::vector<ServeRequest> reqs;
@@ -693,6 +764,7 @@ int cmd_serve(gsj::Cli& cli) {
     if (sms > 0) cfgs[i].device.num_sms = sms;
     cfgs[i].device.host.num_threads = host_threads;
     cfgs[i].batching = batching;
+    cfgs[i].fleet = fleet;
     cfgs[i].store_pairs = verify;  // pair-level comparison needs pairs
     cfgs[i].collect_diagnostics = false;
     r.jr.config = cfgs[i];
@@ -825,6 +897,7 @@ int cmd_serve(gsj::Cli& cli) {
     const std::size_t hi = std::min(lo + 1, v.size() - 1);
     return v[lo] + (v[hi] - v[lo]) * (rank - static_cast<double>(lo));
   };
+  const gsj::ServiceSnapshot snap = svc.snapshot();
   const std::uint64_t cache_hits = metrics.counter("sj.cache.hits").value();
   const std::uint64_t cache_misses =
       metrics.counter("sj.cache.misses").value();
@@ -847,6 +920,18 @@ int cmd_serve(gsj::Cli& cli) {
             << "result cache: " << n_result_hits << " hits, " << n_coalesced
             << " coalesced, " << n_subsumed << " subsumed ("
             << served_ratio * 100.0 << "% of ok served without executing)\n";
+  if (fleet.active()) {
+    std::cout << "fleet: " << snap.fleet_runs << " run(s) across "
+              << snap.fleet_devices.size() << " devices, "
+              << snap.fleet_rebalances << " rebalances, last device CoV "
+              << snap.fleet_device_cov << ", last imbalance "
+              << snap.fleet_imbalance << "\n";
+    for (const auto& d : snap.fleet_devices) {
+      std::cout << "  device " << d.device << ": " << d.grains
+                << " grain(s), busy " << d.busy_seconds << " s, tail idle "
+                << d.tail_idle_seconds << " s\n";
+    }
+  }
   if (verify) {
     std::cout << "verify: " << verified
               << " completed request(s) bit-identical to serial cold-engine "
@@ -894,6 +979,8 @@ int cmd_serve(gsj::Cli& cli) {
       << ", \"pairs_per_second\": "
       << (total_wall > 0.0 ? static_cast<double>(ok_pairs) / total_wall : 0.0)
       << ", \"cache_hit_ratio\": " << hit_ratio
+      << ", \"device_makespan_imbalance\": " << snap.fleet_imbalance
+      << ", \"fleet_rebalances\": " << snap.fleet_rebalances
       << ", \"kernel_seconds_p50\": " << quantile(kernel_ok, 50)
       << ", \"wait_seconds_p50\": " << quantile(wait_all, 50)
       << ", \"wait_seconds_p95\": " << quantile(wait_all, 95)
@@ -909,7 +996,20 @@ int cmd_serve(gsj::Cli& cli) {
       f << "}";
       first_status = false;
     }
-    f << "\n  },\n  \"cache\": {\"hits\": " << cache_hits << ", \"misses\": "
+    f << "\n  },\n  \"fleet\": {\"runs\": " << snap.fleet_runs
+      << ", \"devices\": " << snap.fleet_devices.size()
+      << ", \"rebalances\": " << snap.fleet_rebalances
+      << ", \"device_cov\": " << snap.fleet_device_cov
+      << ", \"imbalance\": " << snap.fleet_imbalance
+      << ", \"per_device\": [";
+    for (std::size_t i = 0; i < snap.fleet_devices.size(); ++i) {
+      const auto& d = snap.fleet_devices[i];
+      f << (i > 0 ? ", " : "") << "{\"device\": " << d.device
+        << ", \"grains\": " << d.grains
+        << ", \"busy_seconds\": " << d.busy_seconds
+        << ", \"tail_idle_seconds\": " << d.tail_idle_seconds << "}";
+    }
+    f << "]},\n  \"cache\": {\"hits\": " << cache_hits << ", \"misses\": "
       << cache_misses << ", \"hit_ratio\": " << hit_ratio
       << ", \"evictions\": "
       << metrics.counter("sj.cache.evictions").value()
@@ -955,6 +1055,10 @@ int cmd_top(gsj::Cli& cli) {
       cli.get_int("sms", 0, "modeled SMs (0 = default)"));
   const int host_threads = static_cast<int>(
       cli.get_int("host-threads", 0, "host worker threads (0 = sequential)"));
+  gsj::simt::DeviceConfig base_device;
+  if (sms > 0) base_device.num_sms = sms;
+  base_device.host.num_threads = host_threads;
+  const gsj::simt::FleetConfig fleet = parse_fleet_flags(cli, base_device);
 
   // The serve --stress mix (without scheduled cancellations): every
   // variant, a few epsilons, three priority classes.
@@ -975,6 +1079,7 @@ int cmd_top(gsj::Cli& cli) {
     jr.priority = static_cast<int>(rng() % 3);
     if (sms > 0) jr.config.device.num_sms = sms;
     jr.config.device.host.num_threads = host_threads;
+    jr.config.fleet = fleet;
     jr.config.store_pairs = false;
     jr.config.collect_diagnostics = false;
     reqs.push_back(std::move(jr));
@@ -1036,6 +1141,18 @@ int cmd_top(gsj::Cli& cli) {
             << " subsumed / "
             << metrics.counter("svc.result_cache.misses").value()
             << " misses\n";
+  if (fleet.active()) {
+    const gsj::ServiceSnapshot s = svc.snapshot();
+    std::cout << "fleet: " << s.fleet_runs << " run(s), "
+              << s.fleet_rebalances << " rebalances, last device CoV "
+              << s.fleet_device_cov << ", last imbalance "
+              << s.fleet_imbalance << "\n";
+    for (const auto& d : s.fleet_devices) {
+      std::cout << "  device " << d.device << ": " << d.grains
+                << " grain(s), busy " << d.busy_seconds << " s, tail idle "
+                << d.tail_idle_seconds << " s\n";
+    }
+  }
   return 0;
 }
 
