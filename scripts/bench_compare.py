@@ -18,7 +18,13 @@ Gates (relative, against the baseline value):
   * summary.device_makespan_imbalance -- the fleet's makespan/mean-busy
     ratio (last fleet run; 1 = perfectly fair) may not grow by more
     than the tolerance (load-balancer regression; only gated when the
-    run used --devices > 1).
+    run used --devices > 1);
+  * churn.repair_vs_rebuild_speedup -- for reports produced with
+    --churn-rate > 0: incremental repair+delta must stay strictly
+    faster than a cold rebuild+rejoin (> 1), and may not fall below
+    half the baseline ratio (ratios of two timings are noisy on shared
+    runners, so this gate uses --churn-tolerance, default 0.5). A
+    report with churn.digest_mismatches > 0 fails unconditionally.
 
 The tolerance (default 15%) deliberately absorbs run-to-run noise from
 cancellation timing: which requests of a --stress mix get cancelled
@@ -36,18 +42,17 @@ import json
 import sys
 
 
-def load_summary(path):
+def load_doc(path):
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    summary = doc.get("summary")
-    if not isinstance(summary, dict):
+    if not isinstance(doc.get("summary"), dict):
         print(f"bench_compare: {path} has no summary object", file=sys.stderr)
         sys.exit(2)
-    return summary
+    return doc
 
 
 def pick(summary, key, path):
@@ -64,10 +69,15 @@ def main():
     ap.add_argument("candidate")
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed relative regression (default 0.15)")
+    ap.add_argument("--churn-tolerance", type=float, default=0.5,
+                    help="allowed relative drop of the repair-vs-rebuild "
+                         "speedup ratio (default 0.5)")
     args = ap.parse_args()
 
-    base = load_summary(args.baseline)
-    cand = load_summary(args.candidate)
+    base_doc = load_doc(args.baseline)
+    cand_doc = load_doc(args.candidate)
+    base = base_doc["summary"]
+    cand = cand_doc["summary"]
     tol = args.tolerance
     failures = []
 
@@ -135,6 +145,36 @@ def main():
         else:
             print("note: baseline has no fleet run "
                   "(device_makespan_imbalance == 0); skipping that gate")
+
+    # Incremental-repair speedup: lower is worse, and a candidate at or
+    # below 1 means repair lost to a from-scratch rebuild outright.
+    # Gated only when both reports ran with --churn-rate > 0 (a static
+    # report carries speedup 0); skipped otherwise.
+    base_churn = base_doc.get("churn") or {}
+    cand_churn = cand_doc.get("churn") or {}
+    if float(cand_churn.get("digest_mismatches", 0) or 0) > 0:
+        failures.append(
+            f"churn.digest_mismatches = {cand_churn['digest_mismatches']}: "
+            "a repaired grid diverged from a from-scratch rebuild")
+    bsp = base_churn.get("repair_vs_rebuild_speedup")
+    csp = cand_churn.get("repair_vs_rebuild_speedup")
+    if isinstance(bsp, (int, float)) and isinstance(csp, (int, float)) \
+            and bsp > 0:
+        ctol = args.churn_tolerance
+        if csp <= 1.0:
+            failures.append(
+                f"repair_vs_rebuild_speedup is {csp:.3g}: incremental "
+                "repair no longer beats a full rebuild+rejoin")
+        elif csp < bsp * (1.0 - ctol):
+            failures.append(
+                f"repair_vs_rebuild_speedup regressed: {bsp:.4g} -> "
+                f"{csp:.4g} (-{(1.0 - csp / bsp) * 100.0:.1f}%, tolerance "
+                f"{ctol * 100.0:.0f}%)")
+        else:
+            print(f"repair_vs_rebuild_speedup: {bsp:.4g} -> {csp:.4g} ok")
+    else:
+        print("note: no comparable churn section (--churn-rate run); "
+              "skipping the repair-speedup gate")
 
     for f in failures:
         print(f"REGRESSION: {f}", file=sys.stderr)

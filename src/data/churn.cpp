@@ -1,0 +1,105 @@
+#include "data/churn.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gsj {
+
+ChurnSummary summarize_churn(const Dataset& ds,
+                             std::span<const Mutation> log) {
+  ChurnSummary out;
+  if (log.empty()) return out;
+
+  // Per-slot simulation state across the window. Slots are the live id
+  // space, which grows on Insert and shrinks on Erase exactly as the
+  // dataset's did.
+  struct Slot {
+    PointId pre_id = kInvalidPointId;  ///< id at base generation
+    bool existed_before = true;
+    bool touched = false;
+    bool have_old = false;
+    std::array<double, Mutation::kCoordCap> old_coords{};
+  };
+
+  // Reconstruct the size at the base generation from the net
+  // insert/erase balance.
+  std::ptrdiff_t net = 0;
+  for (const Mutation& m : log) {
+    if (m.kind == Mutation::Kind::Insert) ++net;
+    if (m.kind == Mutation::Kind::Erase) --net;
+  }
+  const auto n_before =
+      static_cast<std::size_t>(static_cast<std::ptrdiff_t>(ds.size()) - net);
+  std::vector<Slot> slots(n_before);
+  for (std::size_t i = 0; i < n_before; ++i) {
+    slots[i].pre_id = static_cast<PointId>(i);
+  }
+
+  for (const Mutation& m : log) {
+    switch (m.kind) {
+      case Mutation::Kind::Insert: {
+        out.pure_moves = false;
+        GSJ_CHECK(m.id == slots.size());
+        Slot s;
+        s.existed_before = false;
+        s.touched = true;
+        slots.push_back(s);
+        break;
+      }
+      case Mutation::Kind::Move: {
+        Slot& s = slots[m.id];
+        if (s.existed_before && !s.have_old) {
+          s.old_coords = m.old_coords;
+          s.have_old = true;
+        }
+        s.touched = true;
+        break;
+      }
+      case Mutation::Kind::Erase: {
+        out.pure_moves = false;
+        Slot& s = slots[m.id];
+        if (s.existed_before) {
+          ChurnSummary::Removed r;
+          r.pre_id = s.pre_id;
+          r.old_coords = s.have_old ? s.old_coords : m.old_coords;
+          out.removed.push_back(r);
+        }
+        if (m.renamed_from != kInvalidPointId) {
+          GSJ_CHECK(m.renamed_from == slots.size() - 1);
+          // The renamed point keeps its pre-window position but its id
+          // changes, so every pair naming it changes too: touched.
+          Slot moved = slots.back();
+          moved.touched = true;
+          slots[m.id] = moved;
+        }
+        slots.pop_back();
+        break;
+      }
+    }
+  }
+  GSJ_CHECK(slots.size() == ds.size());
+
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const Slot& s = slots[i];
+    if (!s.touched) continue;
+    ChurnSummary::Touched t;
+    t.id = static_cast<PointId>(i);
+    t.pre_id = s.pre_id;
+    t.existed_before = s.existed_before;
+    if (s.existed_before) {
+      if (s.have_old) {
+        t.old_coords = s.old_coords;
+      } else {
+        // Renamed but never moved: the old position is the current one.
+        for (int d = 0; d < ds.dims(); ++d) {
+          t.old_coords[static_cast<std::size_t>(d)] = ds.coord(i, d);
+        }
+      }
+    }
+    out.touched.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace gsj

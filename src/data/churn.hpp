@@ -1,0 +1,58 @@
+// Churn summaries: collapsing a Dataset mutation window into "which
+// points does the current id space disagree with the old one about".
+//
+// A consumer that cached join results at generation g and wants to
+// repair instead of rebuild needs two things from the window
+// mutations_since(g): the set of *current* point ids whose position or
+// identity differs from the old snapshot (touched points, with their
+// old coordinates when they had any), and the old coordinates of
+// points that no longer exist. summarize_churn() produces exactly
+// that by forward-simulating the log over the slot space, folding
+// rename chains (erase's swap-and-pop) and insert-then-erase churn
+// down to their net effect.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace gsj {
+
+/// Net effect of a mutation window on the point-id space.
+struct ChurnSummary {
+  /// A currently-live point whose position or id differs from the
+  /// snapshot at the window's base generation.
+  struct Touched {
+    PointId id = 0;            ///< current id
+    /// Id this point had at the base generation (tracked through
+    /// rename chains), or kInvalidPointId when inserted in-window.
+    PointId pre_id = kInvalidPointId;
+    bool existed_before = false;  ///< had a position at the base generation
+    /// Position at the base generation (meaningful only when
+    /// existed_before; first dims entries valid).
+    std::array<double, Mutation::kCoordCap> old_coords{};
+  };
+
+  /// A point that existed at the base generation and no longer does.
+  struct Removed {
+    PointId pre_id = 0;  ///< id at the base generation
+    std::array<double, Mutation::kCoordCap> old_coords{};
+  };
+
+  std::vector<Touched> touched;  ///< sorted by current id, unique
+  std::vector<Removed> removed;
+  /// True when the window contains only Move mutations — ids are
+  /// stable, size is unchanged, and per-point cache-survivor analysis
+  /// is sound (see JoinService's result-cache repair).
+  bool pure_moves = true;
+};
+
+/// Collapses `log` (a window obtained from ds.mutations_since()) into a
+/// ChurnSummary against `ds`'s current state. Touched points that were
+/// never moved — only renamed by swap-and-pop — report their current
+/// coordinates as old_coords (their position genuinely didn't change).
+[[nodiscard]] ChurnSummary summarize_churn(const Dataset& ds,
+                                           std::span<const Mutation> log);
+
+}  // namespace gsj

@@ -16,13 +16,176 @@ Dataset::Dataset(int dims, std::size_t n) : Dataset(dims) {
   for (auto& c : coords_) c.assign(n, 0.0);
 }
 
-void Dataset::push_back(std::span<const double> p) {
+void Dataset::log_mutation(Mutation m) {
+  if (!logging()) return;
+  log_.push_back(m);
+  // Amortized trim: keep at least the kLogWindow most recent entries,
+  // dropping the oldest half once the log doubles past the window.
+  if (log_.size() >= 2 * kLogWindow) {
+    const std::size_t drop = log_.size() - kLogWindow;
+    log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(drop));
+    log_base_gen_ += drop;
+  }
+}
+
+void Dataset::capture(std::size_t i,
+                      std::array<double, Mutation::kCoordCap>& out)
+    const noexcept {
+  for (int d = 0; d < dims_; ++d) {
+    out[static_cast<std::size_t>(d)] = coord(i, d);
+  }
+}
+
+std::optional<std::span<const Mutation>> Dataset::mutations_since(
+    std::uint64_t gen) const {
+  if (gen == generation_) return std::span<const Mutation>{};
+  if (!logging()) return std::nullopt;
+  if (gen < log_base_gen_ || gen > generation_) return std::nullopt;
+  const std::size_t first = static_cast<std::size_t>(gen - log_base_gen_);
+  // Entries beyond the log (a generation bump without a log record)
+  // cannot happen for in-window generations: every mutation logs.
+  if (first > log_.size()) return std::nullopt;
+  return std::span<const Mutation>(log_.data() + first, log_.size() - first);
+}
+
+void Dataset::refresh_bbox() {
+  if (!bbox_valid_) return;
+  for (int d = 0; d < dims_; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    const auto& col = coords_[sd];
+    if (bbox_min_dirty_[sd] != 0) {
+      bbox_min_[sd] = *std::min_element(col.begin(), col.end());
+      bbox_min_dirty_[sd] = 0;
+    }
+    if (bbox_max_dirty_[sd] != 0) {
+      bbox_max_[sd] = *std::max_element(col.begin(), col.end());
+      bbox_max_dirty_[sd] = 0;
+    }
+  }
+}
+
+void Dataset::bbox_extend(std::span<const double> p) {
+  if (!bbox_valid_) return;
+  for (int d = 0; d < dims_; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    // Dirty dims get rescanned anyway; extending them is harmless but
+    // pointless, and min/max over the full column is authoritative.
+    if (bbox_min_dirty_[sd] == 0) {
+      bbox_min_[sd] = std::min(bbox_min_[sd], p[sd]);
+    }
+    if (bbox_max_dirty_[sd] == 0) {
+      bbox_max_[sd] = std::max(bbox_max_[sd], p[sd]);
+    }
+  }
+}
+
+void Dataset::bbox_mark_removed(std::span<const double> old) {
+  if (!bbox_valid_) return;
+  for (int d = 0; d < dims_; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    // A coordinate sitting exactly on the cached boundary may have
+    // been the only point there — that dimension's extremum can only
+    // be recovered by a rescan.
+    if (old[sd] <= bbox_min_[sd]) bbox_min_dirty_[sd] = 1;
+    if (old[sd] >= bbox_max_[sd]) bbox_max_dirty_[sd] = 1;
+  }
+}
+
+PointId Dataset::insert(std::span<const double> p) {
   GSJ_CHECK(static_cast<int>(p.size()) == dims_);
+  refresh_bbox();
+  const PointId id = static_cast<PointId>(n_);
   for (int d = 0; d < dims_; ++d) {
     coords_[static_cast<std::size_t>(d)].push_back(p[static_cast<std::size_t>(d)]);
   }
   ++n_;
   ++generation_;
+  bbox_extend(p);
+  Mutation m;
+  m.kind = Mutation::Kind::Insert;
+  m.id = id;
+  if (logging()) {
+    for (int d = 0; d < dims_; ++d) {
+      m.new_coords[static_cast<std::size_t>(d)] = p[static_cast<std::size_t>(d)];
+    }
+  }
+  log_mutation(m);
+  return id;
+}
+
+void Dataset::erase(PointId i) {
+  GSJ_CHECK_MSG(i < n_, "erase(" << i << ") of " << n_ << " points");
+  refresh_bbox();
+  Mutation m;
+  m.kind = Mutation::Kind::Erase;
+  m.id = i;
+  if (logging()) capture(i, m.old_coords);
+  std::vector<double> old(static_cast<std::size_t>(dims_));
+  for (int d = 0; d < dims_; ++d) {
+    old[static_cast<std::size_t>(d)] = coord(i, d);
+  }
+  const PointId last = static_cast<PointId>(n_ - 1);
+  if (i != last) {
+    m.renamed_from = last;
+    for (int d = 0; d < dims_; ++d) {
+      auto& col = coords_[static_cast<std::size_t>(d)];
+      col[i] = col[last];
+    }
+  }
+  for (auto& col : coords_) col.pop_back();
+  --n_;
+  ++generation_;
+  if (n_ == 0) {
+    // Bounding box of an empty dataset is undefined; drop the cache so
+    // the first insert rebuilds it from scratch.
+    bbox_valid_ = false;
+  } else {
+    bbox_mark_removed(old);
+  }
+  log_mutation(m);
+}
+
+void Dataset::move_point(PointId i, std::span<const double> p) {
+  GSJ_CHECK_MSG(i < n_, "move_point(" << i << ") of " << n_ << " points");
+  GSJ_CHECK(static_cast<int>(p.size()) == dims_);
+  refresh_bbox();
+  Mutation m;
+  m.kind = Mutation::Kind::Move;
+  m.id = i;
+  if (logging()) capture(i, m.old_coords);
+  std::vector<double> old(static_cast<std::size_t>(dims_));
+  for (int d = 0; d < dims_; ++d) {
+    old[static_cast<std::size_t>(d)] = coord(i, d);
+    coords_[static_cast<std::size_t>(d)][i] = p[static_cast<std::size_t>(d)];
+  }
+  ++generation_;
+  bbox_mark_removed(old);
+  bbox_extend(p);
+  if (logging()) {
+    for (int d = 0; d < dims_; ++d) {
+      m.new_coords[static_cast<std::size_t>(d)] = p[static_cast<std::size_t>(d)];
+    }
+  }
+  log_mutation(m);
+}
+
+void Dataset::set_coord(PointId i, int d, double v) {
+  GSJ_CHECK_MSG(d >= 0 && d < dims_, "set_coord dim " << d);
+  std::vector<double> p(static_cast<std::size_t>(dims_));
+  for (int dd = 0; dd < dims_; ++dd) {
+    p[static_cast<std::size_t>(dd)] = coord(i, dd);
+  }
+  p[static_cast<std::size_t>(d)] = v;
+  move_point(i, p);
+}
+
+std::span<double> Dataset::fill_dim(int d) {
+  GSJ_CHECK_MSG(d >= 0 && d < dims_, "fill_dim dim " << d);
+  ++generation_;
+  log_.clear();
+  log_base_gen_ = generation_;
+  bbox_valid_ = false;
+  return coords_[static_cast<std::size_t>(d)];
 }
 
 void Dataset::reserve(std::size_t n) {
@@ -32,21 +195,50 @@ void Dataset::reserve(std::size_t n) {
 std::vector<double> Dataset::min_corner() const {
   GSJ_CHECK(!empty());
   std::vector<double> out(static_cast<std::size_t>(dims_));
+  if (!bbox_valid_) {
+    // First call: full scan. Caching here is a logical-const update;
+    // it is only safe because no mutation can be concurrent with a
+    // const read (the dataset's documented threading contract), and
+    // concurrent const readers race benignly only if we never publish
+    // a half-built cache — so build into locals first.
+    std::vector<double> mn(static_cast<std::size_t>(dims_));
+    std::vector<double> mx(static_cast<std::size_t>(dims_));
+    for (int d = 0; d < dims_; ++d) {
+      const auto sd = static_cast<std::size_t>(d);
+      const auto [lo, hi] =
+          std::minmax_element(coords_[sd].begin(), coords_[sd].end());
+      mn[sd] = *lo;
+      mx[sd] = *hi;
+    }
+    auto* self = const_cast<Dataset*>(this);
+    self->bbox_min_ = std::move(mn);
+    self->bbox_max_ = std::move(mx);
+    self->bbox_min_dirty_.assign(static_cast<std::size_t>(dims_), 0);
+    self->bbox_max_dirty_.assign(static_cast<std::size_t>(dims_), 0);
+    self->bbox_valid_ = true;
+    return bbox_min_;
+  }
   for (int d = 0; d < dims_; ++d) {
-    out[static_cast<std::size_t>(d)] =
-        *std::min_element(coords_[static_cast<std::size_t>(d)].begin(),
-                          coords_[static_cast<std::size_t>(d)].end());
+    const auto sd = static_cast<std::size_t>(d);
+    out[sd] = bbox_min_dirty_[sd] == 0
+                  ? bbox_min_[sd]
+                  : *std::min_element(coords_[sd].begin(), coords_[sd].end());
   }
   return out;
 }
 
 std::vector<double> Dataset::max_corner() const {
   GSJ_CHECK(!empty());
+  if (!bbox_valid_) {
+    (void)min_corner();  // builds both sides of the cache
+    return bbox_max_;
+  }
   std::vector<double> out(static_cast<std::size_t>(dims_));
   for (int d = 0; d < dims_; ++d) {
-    out[static_cast<std::size_t>(d)] =
-        *std::max_element(coords_[static_cast<std::size_t>(d)].begin(),
-                          coords_[static_cast<std::size_t>(d)].end());
+    const auto sd = static_cast<std::size_t>(d);
+    out[sd] = bbox_max_dirty_[sd] == 0
+                  ? bbox_max_[sd]
+                  : *std::max_element(coords_[sd].begin(), coords_[sd].end());
   }
   return out;
 }

@@ -14,7 +14,8 @@ Dataset gen_uniform(std::size_t n, int dims, std::uint64_t seed, double lo,
   Xoshiro256 rng(seed);
   Dataset ds(dims, n);
   for (int d = 0; d < dims; ++d) {
-    for (std::size_t i = 0; i < n; ++i) ds.coord(i, d) = rng.uniform(lo, hi);
+    auto col = ds.fill_dim(d);
+    for (std::size_t i = 0; i < n; ++i) col[i] = rng.uniform(lo, hi);
   }
   return ds;
 }
@@ -25,6 +26,7 @@ Dataset gen_exponential(std::size_t n, int dims, std::uint64_t seed,
   Xoshiro256 rng(seed);
   Dataset ds(dims, n);
   for (int d = 0; d < dims; ++d) {
+    auto col = ds.fill_dim(d);
     for (std::size_t i = 0; i < n; ++i) {
       // Inverse-CDF sampling with rejection of the (vanishing) tail
       // beyond `clip`, so the domain stays bounded like the paper's.
@@ -32,7 +34,7 @@ Dataset gen_exponential(std::size_t n, int dims, std::uint64_t seed,
       do {
         x = -std::log1p(-rng.uniform()) / lambda;
       } while (x >= clip);
-      ds.coord(i, d) = x;
+      col[i] = x;
     }
   }
   return ds;
@@ -89,6 +91,9 @@ Dataset gen_sw_like(std::size_t n, bool with_tec, std::uint64_t seed) {
 
   const int dims = with_tec ? 3 : 2;
   Dataset ds(dims, n);
+  auto lon_col = ds.fill_dim(0);
+  auto lat_col = ds.fill_dim(1);
+  auto tec_col = with_tec ? ds.fill_dim(2) : std::span<double>{};
   for (std::size_t i = 0; i < n; ++i) {
     double lon, lat;
     if (rng.uniform() < kBackgroundFrac) {
@@ -102,14 +107,14 @@ Dataset gen_sw_like(std::size_t n, bool with_tec, std::uint64_t seed) {
       lon = clamp(cl.lon + gaussian(rng) * cl.sigma, kLonLo, kLonHi);
       lat = clamp(cl.lat + gaussian(rng) * cl.sigma, kLatLo, kLatHi);
     }
-    ds.coord(i, 0) = lon;
-    ds.coord(i, 1) = lat;
+    lon_col[i] = lon;
+    lat_col[i] = lat;
     if (with_tec) {
       // Total electron content peaks near the (geomagnetic) equator;
       // model as latitude-dependent mean plus noise, scaled to ~[0,100].
       const double tec = 60.0 * std::exp(-(lat * lat) / (2.0 * 30.0 * 30.0)) +
                          10.0 + 8.0 * gaussian(rng);
-      ds.coord(i, 2) = clamp(tec, 0.0, 100.0);
+      tec_col[i] = clamp(tec, 0.0, 100.0);
     }
   }
   return ds;
@@ -121,14 +126,16 @@ Dataset gen_gaia_like(std::size_t n, std::uint64_t seed) {
   constexpr double kScale = 15.0;
   Xoshiro256 rng(seed);
   Dataset ds(2, n);
+  auto l_col = ds.fill_dim(0);
+  auto b_col = ds.fill_dim(1);
   for (std::size_t i = 0; i < n; ++i) {
-    ds.coord(i, 0) = rng.uniform(0.0, 360.0);
+    l_col[i] = rng.uniform(0.0, 360.0);
     double b;
     do {
       const double u = rng.uniform() - 0.5;
       b = -kScale * std::copysign(std::log1p(-2.0 * std::abs(u)), u);
     } while (b < -90.0 || b > 90.0);
-    ds.coord(i, 1) = b;
+    b_col[i] = b;
   }
   return ds;
 }

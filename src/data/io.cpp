@@ -55,14 +55,11 @@ Dataset load_binary(const std::string& path) {
   const auto n = read_pod<std::uint64_t>(f);
   GSJ_CHECK_MSG(dims >= 1 && dims <= 16, "bad dims " << dims);
   Dataset ds(static_cast<int>(dims), static_cast<std::size_t>(n));
-  std::vector<double> col(static_cast<std::size_t>(n));
   for (std::uint32_t d = 0; d < dims; ++d) {
+    auto col = ds.fill_dim(static_cast<int>(d));
     f.read(reinterpret_cast<char*>(col.data()),
            static_cast<std::streamsize>(col.size() * sizeof(double)));
     GSJ_CHECK_MSG(f.good(), "truncated dataset file " << path);
-    for (std::size_t i = 0; i < col.size(); ++i) {
-      ds.coord(i, static_cast<int>(d)) = col[i];
-    }
   }
   return ds;
 }

@@ -8,6 +8,7 @@
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/thread_pool.hpp"
+#include "data/churn.hpp"
 
 namespace gsj {
 
@@ -93,20 +94,160 @@ GridIndex::GridIndex(const Dataset& ds, double epsilon, ThreadPool* pool)
     point_cell_[p] = static_cast<std::uint32_t>(cells_.size() - 1);
   }
 
-  // Content digest (FNV-1a over the build inputs and grid shape).
+  generation_ = ds.generation();
+  recompute_content_key();
+}
+
+void GridIndex::recompute_content_key() {
+  // FNV-1a over the build inputs, the grid shape, and the full cell /
+  // point-order content. Folding the content (not just the shape)
+  // means digest equality between a repaired index and a from-scratch
+  // rebuild certifies the arrays are bit-identical.
   std::uint64_t h = 1469598103934665603ull;
   const auto mix = [&h](std::uint64_t v) {
     h = (h ^ v) * 1099511628211ull;
   };
-  mix(std::bit_cast<std::uint64_t>(epsilon));
-  mix(static_cast<std::uint64_t>(npts));
-  mix(static_cast<std::uint64_t>(n));
-  mix(ds.generation());
+  mix(std::bit_cast<std::uint64_t>(epsilon_));
+  mix(static_cast<std::uint64_t>(point_ids_.size()));
+  mix(static_cast<std::uint64_t>(dims()));
+  mix(generation_);
   mix(static_cast<std::uint64_t>(cells_.size()));
-  for (int d = 0; d < n; ++d) {
+  for (int d = 0; d < dims(); ++d) {
     mix(static_cast<std::uint64_t>(cells_per_dim_[static_cast<std::size_t>(d)]));
   }
+  for (const GridCell& c : cells_) {
+    mix(c.linear_id);
+    mix(c.begin);
+  }
+  for (const PointId p : point_ids_) mix(p);
   content_key_ = h;
+}
+
+std::uint64_t GridIndex::clamped_cell_id(std::span<const double> coords) const {
+  std::uint64_t id = 0;
+  for (int d = 0; d < dims(); ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    auto c = static_cast<std::int32_t>(
+        std::floor((coords[sd] - min_[sd]) / epsilon_));
+    c = std::clamp(c, std::int32_t{0}, cells_per_dim(d) - 1);
+    id += static_cast<std::uint64_t>(c) * stride_[sd];
+  }
+  return id;
+}
+
+GridRepairOutcome GridIndex::repair(ThreadPool* pool) {
+  GridRepairOutcome out;
+  const Dataset& ds = *ds_;
+  GSJ_CHECK_MSG(!ds.empty(), "cannot repair an index over an empty dataset");
+  if (generation_ == ds.generation()) {
+    out.repaired = true;
+    return out;
+  }
+
+  const auto window = ds.mutations_since(generation_);
+  bool can_patch = window.has_value();
+
+  // The patch keeps min_ / cells_per_dim_ / stride_ fixed; if churn
+  // changed the bounding box enough to alter the grid shape, linear
+  // ids are incomparable and only a rebuild is correct.
+  if (can_patch) {
+    const auto lo = ds.min_corner();
+    const auto hi = ds.max_corner();
+    for (int d = 0; d < dims(); ++d) {
+      const auto sd = static_cast<std::size_t>(d);
+      const auto cnt =
+          static_cast<std::int32_t>(std::floor((hi[sd] - lo[sd]) / epsilon_)) +
+          1;
+      if (lo[sd] != min_[sd] || cnt != cells_per_dim_[sd]) {
+        can_patch = false;
+        break;
+      }
+    }
+  }
+  if (!can_patch) {
+    *this = GridIndex(ds, epsilon_, pool);
+    return out;
+  }
+
+  const ChurnSummary churn = summarize_churn(ds, *window);
+  out.touched_points = churn.touched.size();
+  out.removed_points = churn.removed.size();
+  out.pure_moves = churn.pure_moves;
+
+  const std::size_t new_n = ds.size();
+  const auto sdims = static_cast<std::size_t>(dims());
+  std::vector<std::uint8_t> touched(new_n, 0);
+  for (const auto& t : churn.touched) touched[t.id] = 1;
+
+  // New (cell, id) entries for the touched points, plus the dirty-cell
+  // set: every cell a touched/removed point left or entered.
+  std::vector<std::pair<std::uint64_t, PointId>> fresh;
+  fresh.reserve(churn.touched.size());
+  std::vector<std::uint64_t> dirty;
+  dirty.reserve(2 * churn.touched.size() + churn.removed.size());
+  std::array<double, Mutation::kCoordCap> buf{};
+  for (const auto& t : churn.touched) {
+    for (int d = 0; d < dims(); ++d) {
+      buf[static_cast<std::size_t>(d)] = ds.coord(t.id, d);
+    }
+    const std::uint64_t nid = clamped_cell_id({buf.data(), sdims});
+    fresh.emplace_back(nid, t.id);
+    dirty.push_back(nid);
+    if (t.existed_before) {
+      dirty.push_back(clamped_cell_id({t.old_coords.data(), sdims}));
+    }
+  }
+  for (const auto& r : churn.removed) {
+    dirty.push_back(clamped_cell_id({r.old_coords.data(), sdims}));
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  std::sort(fresh.begin(), fresh.end());
+
+  // Untouched points kept the same id, the same coordinates (hence the
+  // same cell), and their relative (cell, id) order — harvest them from
+  // the current grid order in one pass.
+  std::vector<std::pair<std::uint64_t, PointId>> kept;
+  kept.reserve(new_n - fresh.size());
+  for (const GridCell& c : cells_) {
+    for (std::uint32_t pos = c.begin; pos < c.end; ++pos) {
+      const PointId p = point_ids_[pos];
+      if (p < new_n && touched[p] == 0) kept.emplace_back(c.linear_id, p);
+    }
+  }
+  GSJ_CHECK(kept.size() + fresh.size() == new_n);
+
+  // Merge the two sorted runs under the build's strict (cell, id)
+  // total order and re-materialize — the result cannot differ from a
+  // from-scratch sort of the same entries.
+  std::vector<GridCell> new_cells;
+  new_cells.reserve(cells_.size() + fresh.size());
+  std::vector<PointId> new_point_ids(new_n);
+  point_cell_.assign(new_n, 0);
+  point_rank_.assign(new_n, 0);
+  std::size_t a = 0;
+  std::size_t b = 0;
+  for (std::size_t pos = 0; pos < new_n; ++pos) {
+    const bool take_kept =
+        b >= fresh.size() || (a < kept.size() && kept[a] < fresh[b]);
+    const auto [cell_id, p] = take_kept ? kept[a++] : fresh[b++];
+    new_point_ids[pos] = p;
+    point_rank_[p] = static_cast<std::uint32_t>(pos);
+    if (new_cells.empty() || new_cells.back().linear_id != cell_id) {
+      new_cells.push_back({cell_id, static_cast<std::uint32_t>(pos),
+                           static_cast<std::uint32_t>(pos)});
+    }
+    new_cells.back().end = static_cast<std::uint32_t>(pos + 1);
+    point_cell_[p] = static_cast<std::uint32_t>(new_cells.size() - 1);
+  }
+  cells_ = std::move(new_cells);
+  point_ids_ = std::move(new_point_ids);
+  generation_ = ds.generation();
+  recompute_content_key();
+
+  out.repaired = true;
+  out.dirty_cell_ids = std::move(dirty);
+  return out;
 }
 
 std::span<const PointId> GridIndex::cell_points(std::size_t cell_idx) const {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -39,6 +40,23 @@ struct CellCoords {
   }
 };
 
+/// What GridIndex::repair did. When `repaired` is true the index was
+/// patched cell-granularly and `dirty_cell_ids` names every cell
+/// (by linear id) whose membership set changed — the exact set a
+/// workload-table consumer must re-derive (plus one adjacency shell).
+/// When false the repair fell back to a from-scratch rebuild (log
+/// window lost, grid shape changed, or the dataset is too wide to
+/// log); the index is still valid either way.
+struct GridRepairOutcome {
+  bool repaired = false;
+  std::vector<std::uint64_t> dirty_cell_ids;  ///< sorted, unique
+  std::size_t touched_points = 0;  ///< live points re-bucketed
+  std::size_t removed_points = 0;  ///< points that left the dataset
+  /// True when the window contained only Move mutations (see
+  /// ChurnSummary::pure_moves); meaningless on fallback.
+  bool pure_moves = false;
+};
+
 /// One non-empty grid cell: its linear id and the contiguous range of
 /// grid-ordered point ids it owns.
 struct GridCell {
@@ -63,13 +81,31 @@ class GridIndex {
   [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
   [[nodiscard]] int dims() const noexcept { return ds_->dims(); }
 
-  /// Cheap content digest of the built index: an FNV-1a fold of the
-  /// build inputs (epsilon bits, point count, dims, the dataset
-  /// generation at build time) and shape outputs (non-empty cell count,
-  /// cells per dimension). Two indexes over identical content produce
-  /// equal keys; a key mismatch proves the cached index is stale. Used
+  /// Dataset generation this index reflects (set at build, advanced by
+  /// repair). Equal to dataset().generation() iff the index is current.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+
+  /// Brings the index up to date with the dataset after mutations,
+  /// re-bucketing only the touched points: untouched points keep their
+  /// grid order (the strict (cell, id) total order makes the patched
+  /// arrays bit-identical to a from-scratch rebuild, which is what the
+  /// differential tests assert via content_key equality). Falls back
+  /// to a full rebuild when the mutation window is unavailable or the
+  /// grid shape (bounding box / cell counts) changed. No-op when
+  /// already current. The dataset must be non-empty.
+  GridRepairOutcome repair(ThreadPool* pool = nullptr);
+
+  /// Content digest of the built index: an FNV-1a fold of the build
+  /// inputs (epsilon bits, point count, dims, the generation the index
+  /// reflects), the grid shape (non-empty cell count, cells per
+  /// dimension) and the full cell / point-order arrays. Two indexes
+  /// over identical content produce equal keys, so digest equality
+  /// between a repaired index and a from-scratch rebuild certifies the
+  /// arrays are bit-identical (the churn tests' correctness bar). Used
   /// by the JoinEngine plan cache (sj/engine.hpp) to validate hits —
-  /// computed once at build, O(1) to read.
+  /// recomputed at build and after repair, O(1) to read.
   [[nodiscard]] std::uint64_t content_key() const noexcept {
     return content_key_;
   }
@@ -141,6 +177,17 @@ class GridIndex {
   template <typename Fn>
   void for_each_adjacent_to(const CellCoords& oc, Fn&& fn) const;
 
+  /// Invokes `fn(cell_index, cell_coords, linear_id)` for every
+  /// non-empty cell within `shells` cells of the location `coords`
+  /// (dims() entries) in every dimension — the cells a point at that
+  /// location can have ε-neighbors in when shells >= ceil(eps/epsilon()).
+  /// Unlike cell_coords_of, the location is NOT clamped to the grid:
+  /// out-of-bounds locations visit only the in-bounds part of their
+  /// shell (possibly nothing), never a spurious border cell.
+  template <typename Fn>
+  void for_each_within(std::span<const double> coords, int shells,
+                       Fn&& fn) const;
+
   /// Total number of adjacent-cell slots probed (3^dims).
   [[nodiscard]] std::uint64_t adjacency_volume() const noexcept {
     std::uint64_t v = 1;
@@ -158,8 +205,19 @@ class GridIndex {
   }
 
  private:
+  /// Digest of the full index content (epsilon, dims, generation, every
+  /// cell's (linear_id, begin) and every grid-ordered point id) —
+  /// shared by the constructor and repair() so digest equality between
+  /// a repaired index and a from-scratch rebuild proves bit-identity.
+  void recompute_content_key();
+  /// Linear cell id of a location (max-boundary coordinates fold into
+  /// the last cell, exactly as at build).
+  [[nodiscard]] std::uint64_t clamped_cell_id(
+      std::span<const double> coords) const;
+
   const Dataset* ds_;
   double epsilon_;
+  std::uint64_t generation_ = 0;
   std::uint64_t content_key_ = 0;
   std::array<double, kMaxDims> min_{};
   std::array<std::int32_t, kMaxDims> cells_per_dim_{};
@@ -213,6 +271,44 @@ void GridIndex::for_each_adjacent_to(const CellCoords& oc, Fn&& fn) const {
       auto& o = off[static_cast<std::size_t>(d)];
       if (++o <= 1) break;
       o = -1;
+      --d;
+    }
+    if (d < 0) break;
+  }
+}
+
+template <typename Fn>
+void GridIndex::for_each_within(std::span<const double> coords, int shells,
+                                Fn&& fn) const {
+  const int n = dims();
+  // Base cell deliberately unclamped (int64 absorbs far-out locations)
+  // so the [base±shells] window intersected with the grid bounds is
+  // exact for out-of-bbox query points too.
+  std::array<std::int64_t, kMaxDims> lo{};
+  std::array<std::int64_t, kMaxDims> hi{};
+  for (int d = 0; d < n; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    const auto base = static_cast<std::int64_t>(
+        std::floor((coords[sd] - min_[sd]) / epsilon_));
+    lo[sd] = std::max<std::int64_t>(base - shells, 0);
+    hi[sd] = std::min<std::int64_t>(base + shells,
+                                    std::int64_t{cells_per_dim(d)} - 1);
+    if (lo[sd] > hi[sd]) return;
+  }
+  std::array<std::int64_t, kMaxDims> cur = lo;
+  for (;;) {
+    CellCoords cc;
+    for (int d = 0; d < n; ++d) {
+      cc[d] = static_cast<std::int32_t>(cur[static_cast<std::size_t>(d)]);
+    }
+    const std::uint64_t id = encode(cc);
+    const std::size_t idx = find_cell(id);
+    if (idx != npos) fn(idx, cc, id);
+    int d = n - 1;
+    while (d >= 0) {
+      const auto sd = static_cast<std::size_t>(d);
+      if (++cur[sd] <= hi[sd]) break;
+      cur[sd] = lo[sd];
       --d;
     }
     if (d < 0) break;

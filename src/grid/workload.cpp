@@ -3,10 +3,27 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/thread_pool.hpp"
 
 namespace gsj {
+
+std::uint64_t cell_workload_at(const GridIndex& grid, CellPattern pattern,
+                               std::size_t cell_idx) {
+  const auto cells = grid.cells();
+  const CellCoords oc = grid.decode(cells[cell_idx].linear_id);
+  const std::uint64_t oid = cells[cell_idx].linear_id;
+  std::uint64_t w = cells[cell_idx].size();  // own cell candidates
+  grid.for_each_adjacent(
+      cell_idx, /*include_origin=*/false,
+      [&](std::size_t nidx, const CellCoords& nc, std::uint64_t nid) {
+        if (pattern_accepts(pattern, grid.dims(), oc, nc, oid, nid)) {
+          w += cells[nidx].size();
+        }
+      });
+  return w;
+}
 
 std::vector<std::uint64_t> cell_workloads(const GridIndex& grid,
                                           CellPattern pattern,
@@ -15,17 +32,7 @@ std::vector<std::uint64_t> cell_workloads(const GridIndex& grid,
   std::vector<std::uint64_t> wl(cells.size(), 0);
   const auto quantify = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t ci = lo; ci < hi; ++ci) {
-      const CellCoords oc = grid.decode(cells[ci].linear_id);
-      const std::uint64_t oid = cells[ci].linear_id;
-      std::uint64_t w = cells[ci].size();  // own cell candidates
-      grid.for_each_adjacent(
-          ci, /*include_origin=*/false,
-          [&](std::size_t nidx, const CellCoords& nc, std::uint64_t nid) {
-            if (pattern_accepts(pattern, grid.dims(), oc, nc, oid, nid)) {
-              w += grid.cells()[nidx].size();
-            }
-          });
-      wl[ci] = w;
+      wl[ci] = cell_workload_at(grid, pattern, ci);
     }
   };
   if (pool != nullptr && pool->size() > 1) {
@@ -62,6 +69,79 @@ std::vector<PointId> sort_by_workload(const GridIndex& grid,
   parallel_stable_sort(
       order, [&pw](PointId a, PointId b) { return pw[a] > pw[b]; }, pool);
   return order;
+}
+
+WorkloadPatchResult patch_workloads(const GridIndex& grid,
+                                    CellPattern pattern,
+                                    std::span<const std::uint64_t> dirty_cell_ids,
+                                    std::span<const std::uint64_t> old_point_workloads,
+                                    std::span<const PointId> old_order) {
+  const auto cells = grid.cells();
+  const std::size_t n = grid.dataset().size();
+  WorkloadPatchResult out;
+
+  // Cells whose workload can have changed: the dirty cells plus one
+  // adjacency shell (a dirty cell's size feeds its neighbors' sums).
+  std::vector<std::uint8_t> cell_affected(cells.size(), 0);
+  for (const std::uint64_t id : dirty_cell_ids) {
+    grid.for_each_adjacent_to(
+        grid.decode(id),
+        [&](std::size_t nidx, const CellCoords&, std::uint64_t) {
+          cell_affected[nidx] = 1;
+        });
+  }
+
+  // Per-cell workloads: re-quantify the affected, recover the rest
+  // from the old per-point table via any member (an unaffected cell's
+  // membership — and every member's id — is unchanged).
+  std::vector<std::uint64_t> cw(cells.size());
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    if (cell_affected[ci] != 0) {
+      cw[ci] = cell_workload_at(grid, pattern, ci);
+      ++out.recomputed_cells;
+    } else {
+      cw[ci] = old_point_workloads[grid.cell_points(ci).front()];
+    }
+  }
+
+  out.point_workloads.resize(n);
+  std::vector<std::uint8_t> point_affected(n, 0);
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    for (const PointId p : grid.cell_points(ci)) {
+      out.point_workloads[p] = cw[ci];
+      if (cell_affected[ci] != 0) point_affected[p] = 1;
+    }
+  }
+
+  if (!old_order.empty()) {
+    const auto& pw = out.point_workloads;
+    // sort_by_workload's order is the strict total order
+    // (workload desc, id asc) — stable sort over ascending ids. Both
+    // runs below are sorted under it, so the merge reproduces the
+    // from-scratch sort exactly.
+    const auto before = [&pw](PointId a, PointId b) {
+      return pw[a] != pw[b] ? pw[a] > pw[b] : a < b;
+    };
+    std::vector<PointId> changed;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (point_affected[p] != 0) changed.push_back(static_cast<PointId>(p));
+    }
+    std::sort(changed.begin(), changed.end(), before);
+    std::vector<PointId> keep;
+    keep.reserve(n - changed.size());
+    for (const PointId p : old_order) {
+      // Entries naming ids that shrank away or whose point/workload
+      // changed are re-inserted from `changed`; an id can only appear
+      // here with a stale identity if its cell is dirty, which marks
+      // it affected.
+      if (p < n && point_affected[p] == 0) keep.push_back(p);
+    }
+    GSJ_CHECK(keep.size() + changed.size() == n);
+    out.order.resize(n);
+    std::merge(keep.begin(), keep.end(), changed.begin(), changed.end(),
+               out.order.begin(), before);
+  }
+  return out;
 }
 
 std::uint64_t total_candidate_evaluations(const GridIndex& grid,

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -15,6 +16,40 @@
 namespace gsj {
 
 class ThreadPool;
+
+/// Workload of the single cell `cell_idx` (an index into grid.cells())
+/// — the value cell_workloads() computes for that slot.
+[[nodiscard]] std::uint64_t cell_workload_at(const GridIndex& grid,
+                                             CellPattern pattern,
+                                             std::size_t cell_idx);
+
+/// Plan artifacts re-aligned to a repaired grid (see patch_workloads).
+struct WorkloadPatchResult {
+  std::vector<std::uint64_t> point_workloads;
+  /// Patched D' order; empty iff the old order was empty (the order is
+  /// a lazily-built artifact, so an unbuilt one stays unbuilt).
+  std::vector<PointId> order;
+  std::size_t recomputed_cells = 0;  ///< cells re-quantified from scratch
+};
+
+/// Incrementally re-derives cached per-point workloads and the D'
+/// order after GridIndex::repair, re-quantifying only cells whose
+/// workload can have changed: the repair's dirty cells plus one
+/// adjacency shell (a cell's workload is a sum of pattern-accepted
+/// neighbor sizes, so it is insulated from any churn further away).
+/// Untouched cells recover their value from the old per-point table
+/// (their membership and every member's id are unchanged), and the
+/// patched order is a two-run merge under the exact (workload desc,
+/// id asc) total order sort_by_workload produces — the outputs are
+/// bit-identical to recomputing from scratch on the repaired grid.
+/// `old_point_workloads` / `old_order` are the artifacts cached
+/// against the pre-repair grid; `dirty_cell_ids` comes from the
+/// GridRepairOutcome.
+[[nodiscard]] WorkloadPatchResult patch_workloads(
+    const GridIndex& grid, CellPattern pattern,
+    std::span<const std::uint64_t> dirty_cell_ids,
+    std::span<const std::uint64_t> old_point_workloads,
+    std::span<const PointId> old_order);
 
 /// Per-cell workload: for each cell in grid.cells(), the number of
 /// candidate points a query point of that cell evaluates — the sizes of

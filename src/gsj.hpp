@@ -15,6 +15,7 @@
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "data/churn.hpp"
 #include "data/dataset.hpp"
 #include "data/generators.hpp"
 #include "data/io.hpp"
@@ -26,6 +27,7 @@
 #include "simt/launch.hpp"
 #include "sj/batching.hpp"
 #include "sj/dbscan.hpp"
+#include "sj/delta.hpp"
 #include "sj/engine.hpp"
 #include "sj/kernels.hpp"
 #include "sj/neighbor_table.hpp"

@@ -1,0 +1,143 @@
+#include "sj/delta.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.hpp"
+
+namespace gsj {
+
+namespace {
+
+double dist2_to_point(const Dataset& ds, const double* a, PointId q,
+                      int dims) {
+  double s = 0.0;
+  for (int d = 0; d < dims; ++d) {
+    const double diff = a[d] - ds.coord(q, d);
+    s += diff * diff;
+  }
+  return s;
+}
+
+double dist2_arrays(const double* a, const double* b, int dims) {
+  double s = 0.0;
+  for (int d = 0; d < dims; ++d) {
+    const double diff = a[d] - b[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+void emit_both(std::vector<ResultPair>& out, PointId a, PointId b) {
+  out.emplace_back(a, b);
+  out.emplace_back(b, a);
+}
+
+}  // namespace
+
+PairDelta compute_pair_delta(const GridIndex& grid, const ChurnSummary& churn,
+                             double epsilon) {
+  GSJ_CHECK_MSG(epsilon > 0.0, "delta join requires epsilon > 0");
+  GSJ_CHECK_MSG(epsilon <= grid.epsilon(),
+                "delta join needs a grid at least as coarse as the query"
+                " (epsilon "
+                    << epsilon << " > cell width " << grid.epsilon() << ")");
+  const Dataset& ds = grid.dataset();
+  GSJ_CHECK_MSG(grid.generation() == ds.generation(),
+                "delta join requires a repaired (current) grid");
+  const int dims = grid.dims();
+  const auto sdims = static_cast<std::size_t>(dims);
+  const double eps2 = epsilon * epsilon;
+
+  PairDelta out;
+  out.stats.touched_points = churn.touched.size();
+  out.stats.removed_points = churn.removed.size();
+  if (churn.touched.empty() && churn.removed.empty()) return out;
+
+  std::vector<std::uint8_t> is_touched(ds.size(), 0);
+  for (const auto& t : churn.touched) is_touched[t.id] = 1;
+
+  // Pairs involving churn that touched/untouched distances can produce
+  // on each side of the window. Untouched points sit at the same
+  // coordinates (and ids) in both snapshots, so untouched-untouched
+  // pairs cancel in the difference and are never enumerated.
+  std::vector<ResultPair> after;
+  std::vector<ResultPair> before;
+
+  // --- after side: current positions, current ids ---
+  std::array<double, Mutation::kCoordCap> cur{};
+  for (const auto& t : churn.touched) {
+    after.emplace_back(t.id, t.id);  // self pair
+    for (int d = 0; d < dims; ++d) {
+      cur[static_cast<std::size_t>(d)] = ds.coord(t.id, d);
+    }
+    grid.for_each_within(
+        {cur.data(), sdims}, 1,
+        [&](std::size_t ci, const CellCoords&, std::uint64_t) {
+          for (const PointId q : grid.cell_points(ci)) {
+            if (is_touched[q] != 0) continue;  // handled pairwise below
+            ++out.stats.candidates;
+            if (dist2_to_point(ds, cur.data(), q, dims) <= eps2) {
+              emit_both(after, t.id, q);
+            }
+          }
+        });
+  }
+  for (std::size_t i = 0; i < churn.touched.size(); ++i) {
+    for (std::size_t j = i + 1; j < churn.touched.size(); ++j) {
+      ++out.stats.candidates;
+      if (ds.dist2(churn.touched[i].id, churn.touched[j].id) <= eps2) {
+        emit_both(after, churn.touched[i].id, churn.touched[j].id);
+      }
+    }
+  }
+
+  // --- before side: base-generation positions and ids. The grid only
+  // holds current points, which for the untouched are also their
+  // base-generation positions; churned peers are joined pairwise from
+  // their recorded old coordinates. ---
+  struct PrePoint {
+    PointId pre_id;
+    const double* old;
+  };
+  std::vector<PrePoint> pre;
+  pre.reserve(churn.touched.size() + churn.removed.size());
+  for (const auto& t : churn.touched) {
+    if (t.existed_before) pre.push_back({t.pre_id, t.old_coords.data()});
+  }
+  for (const auto& r : churn.removed) {
+    pre.push_back({r.pre_id, r.old_coords.data()});
+  }
+  for (const auto& p : pre) {
+    before.emplace_back(p.pre_id, p.pre_id);  // self pair
+    grid.for_each_within(
+        {p.old, sdims}, 1,
+        [&](std::size_t ci, const CellCoords&, std::uint64_t) {
+          for (const PointId q : grid.cell_points(ci)) {
+            if (is_touched[q] != 0) continue;
+            ++out.stats.candidates;
+            if (dist2_to_point(ds, p.old, q, dims) <= eps2) {
+              emit_both(before, p.pre_id, q);
+            }
+          }
+        });
+  }
+  for (std::size_t i = 0; i < pre.size(); ++i) {
+    for (std::size_t j = i + 1; j < pre.size(); ++j) {
+      ++out.stats.candidates;
+      if (dist2_arrays(pre[i].old, pre[j].old, dims) <= eps2) {
+        emit_both(before, pre[i].pre_id, pre[j].pre_id);
+      }
+    }
+  }
+
+  std::sort(after.begin(), after.end());
+  std::sort(before.begin(), before.end());
+  std::set_difference(after.begin(), after.end(), before.begin(),
+                      before.end(), std::back_inserter(out.gained));
+  std::set_difference(before.begin(), before.end(), after.begin(),
+                      after.end(), std::back_inserter(out.lost));
+  return out;
+}
+
+}  // namespace gsj

@@ -1,0 +1,55 @@
+// Streaming delta joins (docs/STREAMING.md): given the churn summary
+// of a mutation window and a grid over the *current* dataset, compute
+// exactly how the self-join result changed — the pairs gained and the
+// pairs lost — without re-joining anything farther than one ε shell
+// from the churn.
+//
+// Pair semantics match the full join (sj/result_set.hpp): ordered
+// pairs, self pairs included, lexicographically sorted. Pairs on the
+// "lost" side are labeled with the ids points had at the window's base
+// generation (ChurnSummary tracks identity through swap-and-pop
+// renames), so gained/lost equal the literal set differences of
+// brute-force results computed after and before the window — the
+// invariant the differential churn tests assert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/churn.hpp"
+#include "grid/grid_index.hpp"
+#include "sj/result_set.hpp"
+
+namespace gsj {
+
+struct DeltaStats {
+  std::size_t touched_points = 0;  ///< live points whose position/id changed
+  std::size_t removed_points = 0;  ///< points that left the dataset
+  std::uint64_t candidates = 0;    ///< distance evaluations performed
+};
+
+/// The join-result difference across a mutation window.
+struct PairDelta {
+  /// Ordered pairs present now and absent at the base generation,
+  /// lexicographically sorted.
+  std::vector<ResultPair> gained;
+  /// Ordered pairs present at the base generation (labeled with
+  /// base-generation ids) and absent now, lexicographically sorted.
+  std::vector<ResultPair> lost;
+  DeltaStats stats;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return gained.empty() && lost.empty();
+  }
+};
+
+/// Computes the pair delta for query radius `epsilon` from `churn`.
+/// `grid` must be current (grid.generation() == dataset generation)
+/// and at least as coarse as the query: epsilon <= grid.epsilon().
+/// Cost is O(churn · ε-neighborhood) + O(touched²) — independent of
+/// dataset size.
+[[nodiscard]] PairDelta compute_pair_delta(const GridIndex& grid,
+                                           const ChurnSummary& churn,
+                                           double epsilon);
+
+}  // namespace gsj

@@ -10,6 +10,7 @@
 #include "common/parallel.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "data/churn.hpp"
 #include "grid/workload.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -59,13 +60,84 @@ void JoinEngine::count_cache(const char* artifact, bool hit) {
 void JoinEngine::sync_generation(PreparedDataset& prep) {
   const std::uint64_t g = prep.ds_->generation();
   if (g == prep.generation_) return;
-  if (!prep.grids_.empty() || !prep.plans_.empty()) {
-    if (cfg_.obs.metrics != nullptr) {
+  const bool had = !prep.grids_.empty() || !prep.plans_.empty();
+  if (prep.ds_->empty()) {
+    // Nothing to index; next run fails validation anyway.
+    prep.grids_.clear();
+    prep.plans_.clear();
+    if (had && cfg_.obs.metrics != nullptr) {
       cfg_.obs.metrics->counter("sj.cache.invalidations").add(1);
     }
+    prep.generation_ = g;
+    return;
   }
-  prep.grids_.clear();
-  prep.plans_.clear();
+
+  std::size_t repairs = 0;
+  std::size_t fallbacks = 0;
+  std::size_t plan_patches = 0;
+  std::uint64_t repaired_cells = 0;
+  std::vector<std::uint8_t> plan_alive(prep.plans_.size(), 0);
+  for (auto& ge : prep.grids_) {
+    const std::uint64_t old_key = ge.grid->content_key();
+    const GridRepairOutcome oc = ge.grid->repair();
+    // Estimates are derived from the data, not the grid shape: a cold
+    // run would recompute them, so a warm one must too (bit-identity).
+    ge.strided_estimates.clear();
+    if (!oc.repaired) {
+      // repair() rebuilt from scratch — the grid entry stays valid,
+      // but plans keyed to the old content cannot be patched.
+      ++fallbacks;
+      continue;
+    }
+    ++repairs;
+    repaired_cells += oc.dirty_cell_ids.size();
+    const std::uint64_t new_key = ge.grid->content_key();
+    for (std::size_t i = 0; i < prep.plans_.size(); ++i) {
+      auto& pe = prep.plans_[i];
+      if (pe.grid_key != old_key) continue;
+      WorkloadPatchResult patch =
+          patch_workloads(*ge.grid, pe.pattern, oc.dirty_cell_ids,
+                          pe.workloads, pe.queue_order);
+      pe.workloads = std::move(patch.point_workloads);
+      pe.queue_order = std::move(patch.order);
+      pe.queue_estimates.clear();
+      pe.grid_key = new_key;
+      plan_alive[i] = 1;
+      ++plan_patches;
+    }
+  }
+  // Plans that didn't follow a repaired grid (their grid was evicted,
+  // or its repair fell back to a rebuild) are unreachable under their
+  // old content key: drop them.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < prep.plans_.size(); ++i) {
+    if (plan_alive[i] != 0) {
+      if (w != i) prep.plans_[w] = std::move(prep.plans_[i]);
+      ++w;
+    }
+  }
+  const bool dropped_plans = w != prep.plans_.size();
+  prep.plans_.resize(w);
+
+  if (cfg_.obs.metrics != nullptr) {
+    obs::Registry& m = *cfg_.obs.metrics;
+    if (repairs > 0) {
+      m.counter("sj.incr.repairs").add(static_cast<std::uint64_t>(repairs));
+      m.counter("sj.incr.repaired_cells")
+          .add(repaired_cells);
+    }
+    if (plan_patches > 0) {
+      m.counter("sj.incr.plan_patches")
+          .add(static_cast<std::uint64_t>(plan_patches));
+    }
+    if (fallbacks > 0) {
+      m.counter("sj.incr.rebuild_fallbacks")
+          .add(static_cast<std::uint64_t>(fallbacks));
+    }
+    if (had && (fallbacks > 0 || dropped_plans)) {
+      m.counter("sj.cache.invalidations").add(1);
+    }
+  }
   prep.generation_ = g;
 }
 
@@ -229,6 +301,30 @@ SelfJoinOutput JoinEngine::self_join(const Dataset& ds,
                                      const SelfJoinConfig& cfg) {
   PreparedDataset prep = prepare(ds);
   return run(prep, cfg);
+}
+
+std::optional<PairDelta> JoinEngine::delta_join(PreparedDataset& prep,
+                                                double epsilon,
+                                                std::uint64_t from_generation) {
+  GSJ_CHECK_MSG(epsilon > 0.0, "delta_join requires epsilon > 0");
+  const Dataset& ds = prep.dataset();
+  if (ds.empty()) return std::nullopt;
+  // Capture the window before sync: sync advances the prepared
+  // generation, but the log itself is only bounded by further
+  // mutations, so the view stays valid across the repair below.
+  const auto window = ds.mutations_since(from_generation);
+  if (!window.has_value()) return std::nullopt;
+  const ChurnSummary churn = summarize_churn(ds, *window);
+  sync_generation(prep);
+  bool hit = false;
+  auto& ge = grid_for(prep, epsilon, /*pool=*/nullptr, &hit);
+  PairDelta delta = compute_pair_delta(*ge.grid, churn, epsilon);
+  if (cfg_.obs.metrics != nullptr) {
+    cfg_.obs.metrics->counter("sj.incr.delta_joins").add(1);
+    cfg_.obs.metrics->counter("sj.incr.delta_candidates")
+        .add(delta.stats.candidates);
+  }
+  return delta;
 }
 
 }  // namespace gsj

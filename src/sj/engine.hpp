@@ -21,11 +21,19 @@
 //   workloads + D' order keyed by (GridIndex::content_key, pattern)
 //   result-size estimate keyed on top by (sample_fraction, skew) bits
 //
-// All entries are invalidated as a unit when the Dataset's generation
-// counter (data/dataset.hpp) no longer matches the one captured at the
-// last sync — mutating the dataset can never serve stale plans. Grid
-// and plan caches are bounded (EngineConfig) with least-recently-used
-// eviction.
+// When the Dataset's generation counter (data/dataset.hpp) no longer
+// matches the one captured at the last sync, the caches are not
+// dropped wholesale: each cached GridIndex is repaired cell-granularly
+// from the dataset's mutation log (GridIndex::repair) and the
+// dependent workload/D' plans are patched for the affected cells only
+// (grid/workload.hpp patch_workloads) — both bit-identical to a
+// rebuild, which is what keeps warm runs equal to cold runs under
+// churn. Cached result-size estimates are always dropped on churn (a
+// cold run would re-derive them from the changed data). Only when the
+// mutation window is unavailable — too much churn, a bulk load, a
+// grid-shape change — do the caches fall back to the old drop-
+// everything behaviour. Grid and plan caches are bounded
+// (EngineConfig) with least-recently-used eviction.
 //
 // Correctness bar: a cache-served run is bit-identical to a cold run —
 // same result pairs, same SelfJoinStats, and byte-identical logical
@@ -59,10 +67,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "obs/context.hpp"
+#include "sj/delta.hpp"
 #include "sj/selfjoin.hpp"
 
 namespace gsj {
@@ -182,6 +192,17 @@ class JoinEngine {
   [[nodiscard]] SelfJoinOutput self_join(const Dataset& ds,
                                          const SelfJoinConfig& cfg);
 
+  /// Streaming delta join (docs/STREAMING.md): the exact gained/lost
+  /// ordered-pair sets of the `epsilon` self-join across the mutation
+  /// window [from_generation, now], computed by re-joining only the
+  /// churn's ε-neighborhood. Serves the grid from (and repairs) the
+  /// same cache run() uses. Returns nullopt when the window is not
+  /// available — the dataset's bounded log no longer covers
+  /// from_generation, a bulk load intervened, or the dataset is empty
+  /// — in which case the caller must fall back to a full join.
+  [[nodiscard]] std::optional<PairDelta> delta_join(
+      PreparedDataset& prep, double epsilon, std::uint64_t from_generation);
+
   /// Reclaims a consumed output's allocations (pair buffer, batch
   /// stats, slot vectors) into the scratch arena for the next run.
   void recycle(SelfJoinOutput&& out);
@@ -195,7 +216,9 @@ class JoinEngine {
 
  private:
   friend class detail::EnginePlanSource;
-  /// Drops every cache when the dataset generation moved.
+  /// Brings caches up to date when the dataset generation moved:
+  /// repairs grids and patches plans in place, dropping only what
+  /// cannot be repaired (see the invalidation notes above).
   void sync_generation(PreparedDataset& prep);
   [[nodiscard]] PreparedDataset::GridEntry& grid_for(PreparedDataset& prep,
                                                      double epsilon,

@@ -1,18 +1,23 @@
 #include "sj/service.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <iostream>
 #include <numeric>
 #include <optional>
+#include <span>
 
 #include "common/check.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "data/churn.hpp"
+#include "grid/grid_index.hpp"
 #include "grid/workload.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
@@ -88,6 +93,22 @@ struct ResultFlight {
 
 namespace {
 
+/// Ready-now test for a single-flight shared_future (no blocking).
+template <typename Fut>
+bool future_ready(const Fut& f) {
+  return f.valid() &&
+         f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+/// A ready shared_future wrapping an already-built artifact — how
+/// repaired/patched artifacts re-enter the single-flight slots.
+template <typename T>
+std::shared_future<T> ready_future(T value) {
+  std::promise<T> prom;
+  prom.set_value(std::move(value));
+  return prom.get_future().share();
+}
+
 /// The producing run's stats reduced to an *answer* summary: per-batch
 /// and per-slot vectors describe one execution, not the result, so a
 /// cached payload drops them.
@@ -113,6 +134,58 @@ void fill_served_output(SelfJoinOutput& out, const ResultSet& results,
     out.results = ResultSet(false);
     out.results.add_count(results.count());
   }
+}
+
+/// True when a pure-move churn provably leaves a cached ε-result's
+/// pair set unchanged: no touched point appears in a non-self cached
+/// pair (its old ε-neighborhood was empty) and none has an ε-neighbor
+/// at its new position (checked against the current grid). Cached
+/// pairs are canonical sorted ordered pairs including self-pairs, so
+/// both directions of any pair with a touched endpoint are caught by
+/// probing `first == id`.
+bool churn_misses_result(const Dataset& ds, const GridIndex& grid,
+                         const ChurnSummary& churn, double epsilon,
+                         const ResultSet& results) {
+  const std::span<const ResultPair> pairs = results.pairs();
+  const double eps2 = epsilon * epsilon;
+  const int dims = grid.dims();
+  const auto sdims = static_cast<std::size_t>(dims);
+  // Enough shells that anything within `epsilon` of the probe sits in
+  // a visited cell (cells are grid.epsilon() wide; floor+1 >= ceil).
+  const int shells =
+      static_cast<int>(std::floor(epsilon / grid.epsilon())) + 1;
+  std::array<double, kMaxDims> cur{};
+  for (const auto& t : churn.touched) {
+    const auto lo = std::lower_bound(pairs.begin(), pairs.end(),
+                                     ResultPair{t.id, PointId{0}});
+    for (auto it = lo; it != pairs.end() && it->first == t.id; ++it) {
+      if (it->second != t.id) return false;  // had an ε-neighbor before
+    }
+    for (int d = 0; d < dims; ++d) {
+      cur[static_cast<std::size_t>(d)] = ds.coord(t.id, d);
+    }
+    bool neighbor = false;
+    grid.for_each_within(
+        {cur.data(), sdims}, shells,
+        [&](std::size_t ci, const CellCoords&, std::uint64_t) {
+          if (neighbor) return;
+          for (const PointId q : grid.cell_points(ci)) {
+            if (q == t.id) continue;
+            double s = 0.0;
+            for (int d = 0; d < dims; ++d) {
+              const double diff =
+                  cur[static_cast<std::size_t>(d)] - ds.coord(q, d);
+              s += diff * diff;
+            }
+            if (s <= eps2) {
+              neighbor = true;
+              return;
+            }
+          }
+        });
+    if (neighbor) return false;  // has an ε-neighbor at the new spot
+  }
+  return true;
 }
 
 }  // namespace
@@ -167,6 +240,24 @@ std::size_t SharedDataset::cached_artifact_bytes() const {
   return bytes;
 }
 
+std::vector<SharedDataset::GridDigest> SharedDataset::cached_grid_digests()
+    const {
+  std::shared_lock lk(mu_);
+  std::vector<GridDigest> out;
+  out.reserve(grids_.size());
+  for (const auto& g : grids_) {
+    if (!future_ready(g->grid)) continue;
+    try {
+      if (const GridPtr& p = g->grid.get(); p != nullptr) {
+        out.push_back({std::bit_cast<double>(g->eps_bits), p->content_key(),
+                       p->generation()});
+      }
+    } catch (...) {
+    }
+  }
+  return out;
+}
+
 std::size_t SharedDataset::result_cache_entries() const {
   std::lock_guard lk(result_mu_);
   return results_.size();
@@ -207,19 +298,7 @@ class ServicePlanSource {
     if (pool_ != nullptr) svc_.return_pool(pool_threads_, std::move(pool_));
   }
 
-  void sync() {
-    {
-      std::shared_lock lk(sd_.mu_);
-      if (sd_.ds_->generation() == sd_.generation_) return;
-    }
-    std::unique_lock lk(sd_.mu_);
-    const std::uint64_t g = sd_.ds_->generation();
-    if (g == sd_.generation_) return;
-    if (!sd_.grids_.empty() || !sd_.plans_.empty()) count("invalidations");
-    sd_.grids_.clear();
-    sd_.plans_.clear();
-    sd_.generation_ = g;
-  }
+  void sync() { svc_.sync_shared(sd_); }
 
   ThreadPool* pool(int n) {
     if (pool_ == nullptr) {
@@ -549,6 +628,136 @@ SelfJoinOutput JoinService::run(SharedDataset& sd, const SelfJoinConfig& cfg) {
   return execute(sd, cfg, /*cancel=*/nullptr, /*robs=*/nullptr);
 }
 
+void JoinService::sync_shared(SharedDataset& sd) {
+  {
+    std::shared_lock lk(sd.mu_);
+    if (sd.ds_->generation() == sd.generation_) return;
+  }
+  std::unique_lock lk(sd.mu_);
+  const std::uint64_t g = sd.ds_->generation();
+  if (g == sd.generation_) return;
+  const bool had = !sd.grids_.empty() || !sd.plans_.empty();
+  if (sd.ds_->empty()) {
+    // Nothing to repair against; drop everything (old behaviour).
+    if (had) count("sj.cache.invalidations");
+    sd.grids_.clear();
+    sd.plans_.clear();
+    sd.generation_ = g;
+    return;
+  }
+
+  std::size_t repairs = 0;
+  std::size_t repaired_cells = 0;
+  std::size_t fallbacks = 0;
+  std::size_t patches = 0;
+  std::vector<std::shared_ptr<SharedDataset::GridSlot>> kept_grids;
+  kept_grids.reserve(sd.grids_.size());
+  std::vector<char> plan_alive(sd.plans_.size(), 0);
+  for (auto& gs : sd.grids_) {
+    SharedDataset::GridPtr old;
+    if (future_ready(gs->grid)) {
+      try {
+        old = gs->grid.get();
+      } catch (...) {
+      }
+    }
+    // Still building or failed: no artifact to repair — drop the slot
+    // (defensive; mutations are contracted to happen with no run in
+    // flight, so this path is not normally reachable).
+    if (old == nullptr) continue;
+
+    // Repair a private copy: in-flight runs pin the old immutable
+    // index through their shared_ptrs, so it must not change under
+    // them; the slot's future swings to the repaired clone.
+    const std::uint64_t old_key = old->content_key();
+    auto fresh = std::make_shared<GridIndex>(*old);
+    const GridRepairOutcome rep = fresh->repair();
+    {
+      // Estimates always re-derive under churn (a cold run would
+      // re-sample the changed data), keeping warm == cold.
+      std::lock_guard el(gs->est_mu);
+      gs->strided_estimates.clear();
+    }
+    gs->grid = ready_future(SharedDataset::GridPtr(fresh));
+    kept_grids.push_back(gs);
+    if (!rep.repaired) {
+      // Full rebuild inside repair(): the grid is current but there is
+      // no dirty set, so dependent plans cannot be patched.
+      ++fallbacks;
+      continue;
+    }
+    ++repairs;
+    repaired_cells += rep.dirty_cell_ids.size();
+
+    const std::uint64_t new_key = fresh->content_key();
+    for (std::size_t i = 0; i < sd.plans_.size(); ++i) {
+      auto& ps = sd.plans_[i];
+      if (ps->grid_key != old_key) continue;
+      SharedDataset::WorkloadsPtr w;
+      if (future_ready(ps->workloads)) {
+        try {
+          w = ps->workloads.get();
+        } catch (...) {
+        }
+      }
+      if (w == nullptr) continue;  // never built: nothing worth keeping
+      SharedDataset::OrderPtr o;
+      if (future_ready(ps->order)) {
+        try {
+          o = ps->order.get();
+        } catch (...) {
+        }
+      }
+      WorkloadPatchResult patch = patch_workloads(
+          *fresh, ps->pattern, rep.dirty_cell_ids, *w,
+          o != nullptr ? std::span<const PointId>(*o)
+                       : std::span<const PointId>{});
+      ps->workloads =
+          ready_future(SharedDataset::WorkloadsPtr(std::make_shared<
+              const std::vector<std::uint64_t>>(
+              std::move(patch.point_workloads))));
+      if (!patch.order.empty()) {
+        ps->order = ready_future(SharedDataset::OrderPtr(
+            std::make_shared<const std::vector<PointId>>(
+                std::move(patch.order))));
+      } else {
+        ps->order = {};
+      }
+      ps->grid_key = new_key;
+      {
+        std::lock_guard el(ps->est_mu);
+        ps->queue_estimates.clear();
+      }
+      plan_alive[i] = 1;
+      ++patches;
+    }
+  }
+  const std::size_t dropped_grids = sd.grids_.size() - kept_grids.size();
+  sd.grids_ = std::move(kept_grids);
+  std::size_t dropped_plans = 0;
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < sd.plans_.size(); ++i) {
+    if (plan_alive[i] != 0) {
+      if (live != i) sd.plans_[live] = std::move(sd.plans_[i]);
+      ++live;
+    } else {
+      ++dropped_plans;
+    }
+  }
+  sd.plans_.resize(live);
+  sd.generation_ = g;
+
+  if (repairs > 0) {
+    count("sj.incr.repairs", repairs);
+    count("sj.incr.repaired_cells", repaired_cells);
+  }
+  if (patches > 0) count("sj.incr.plan_patches", patches);
+  if (fallbacks > 0) count("sj.incr.rebuild_fallbacks", fallbacks);
+  if (had && (fallbacks > 0 || dropped_plans > 0 || dropped_grids > 0)) {
+    count("sj.cache.invalidations");
+  }
+}
+
 SelfJoinOutput JoinService::self_join(const Dataset& ds,
                                       const SelfJoinConfig& cfg) {
   // Ephemeral cache shell: exactly the free self_join's semantics (no
@@ -787,6 +996,11 @@ JoinService::ResultGate JoinService::result_gate(
   Timer serve_timer;
   const std::uint64_t serve_ts = tracer != nullptr ? tracer->now_ts() : 0;
 
+  // Generation repair: advance the result cache across the churn,
+  // keeping entries the mutation window provably did not affect
+  // (selective invalidation — see repair_result_cache).
+  repair_result_cache(sd, key.generation);
+
   // One critical section decides the request's path, so exactly one
   // request can ever become the primary for a given key: check the
   // cache, else attach to a flight, else register as primary.
@@ -794,8 +1008,9 @@ JoinService::ResultGate JoinService::result_gate(
   ResultPtr super;
   {
     std::lock_guard lk(sd.result_mu_);
-    // Generation sweep: a mutated dataset invalidates every cached
-    // result as a unit (the artifact caches' discipline).
+    // Wholesale sweep as a race backstop: a mutation that landed
+    // between the repair above and this lookup invalidates everything
+    // as a unit (the pre-repair discipline).
     if (sd.result_generation_ != key.generation) {
       if (!sd.results_.empty()) {
         count("svc.result_cache.invalidations");
@@ -958,6 +1173,76 @@ bool JoinService::subsume_worthwhile(SharedDataset& sd,
          cfg_.subsume_cost_ratio * static_cast<double>(*est);
 }
 
+void JoinService::repair_result_cache(SharedDataset& sd,
+                                      std::uint64_t to_generation) {
+  std::uint64_t from = 0;
+  {
+    std::lock_guard lk(sd.result_mu_);
+    if (sd.result_generation_ == to_generation) return;
+    from = sd.result_generation_;
+    if (sd.results_.empty()) {
+      sd.result_generation_ = to_generation;
+      return;
+    }
+  }
+  // Survivor checks run against a repaired current-generation grid, so
+  // bring the artifact caches current first (outside result_mu_; the
+  // documented order is result_mu_ -> mu_, never the reverse).
+  sync_shared(sd);
+
+  const Dataset& ds = sd.dataset();
+  std::optional<ChurnSummary> churn;
+  if (const auto window = ds.mutations_since(from); window.has_value()) {
+    churn = summarize_churn(ds, *window);
+  }
+  // Pure moves keep every point id stable, which is what makes the
+  // cached pair lists' labels comparable across the window; any
+  // insert/erase (or a lost window) falls back to dropping everything.
+  SharedDataset::GridPtr grid;
+  if (churn.has_value() && churn->pure_moves && !churn->touched.empty()) {
+    std::shared_lock lk(sd.mu_);
+    for (const auto& gs : sd.grids_) {
+      if (!future_ready(gs->grid)) continue;
+      try {
+        if (SharedDataset::GridPtr p = gs->grid.get();
+            p != nullptr && p->generation() == ds.generation()) {
+          grid = std::move(p);
+          break;
+        }
+      } catch (...) {
+      }
+    }
+  }
+  const bool can_check = churn.has_value() && churn->pure_moves &&
+                         (churn->touched.empty() || grid != nullptr);
+
+  std::lock_guard lk(sd.result_mu_);
+  // Another worker already advanced (or re-swept) the cache — its
+  // verdicts stand; re-checking against a different window is wrong.
+  if (sd.result_generation_ != from) return;
+  std::size_t kept = 0;
+  std::size_t dropped = 0;
+  std::erase_if(sd.results_, [&](const auto& s) {
+    const bool survive =
+        can_check &&
+        (churn->touched.empty() ||
+         (s->has_pairs && churn_misses_result(ds, *grid, *churn,
+                                              s->payload->epsilon,
+                                              s->payload->results)));
+    if (survive) {
+      ++kept;
+      return false;
+    }
+    adjust_result_bytes(-static_cast<long long>(s->payload->bytes));
+    sd.result_bytes_ -= s->payload->bytes;
+    ++dropped;
+    return true;
+  });
+  sd.result_generation_ = to_generation;
+  if (kept > 0) count("svc.result_cache.repair_kept", kept);
+  if (dropped > 0) count("svc.result_cache.invalidations");
+}
+
 void JoinService::insert_result_locked(SharedDataset& sd,
                                        std::uint64_t eps_bits,
                                        const ResultPtr& payload) {
@@ -1112,6 +1397,127 @@ void JoinService::adjust_result_bytes(long long delta) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Streaming delta subscriptions (docs/STREAMING.md)
+// ---------------------------------------------------------------------------
+
+JoinService::SubscriptionId JoinService::subscribe(
+    std::shared_ptr<SharedDataset> sd, double epsilon) {
+  GSJ_CHECK_MSG(sd != nullptr, "subscribe requires an attached dataset");
+  GSJ_CHECK_MSG(epsilon > 0.0, "subscribe requires epsilon > 0");
+  Subscription sub;
+  sub.epsilon = epsilon;
+  sub.generation = sd->dataset().generation();
+  if (!sd->dataset().empty()) {
+    // Seed the retained snapshot with one full stored-pairs join run
+    // through the shared caches (so its grid/plan work is reused by
+    // later requests). Stored pairs come out canonicalized — the order
+    // every delta set-op below relies on.
+    SelfJoinConfig cfg;
+    cfg.epsilon = epsilon;
+    cfg.store_pairs = true;
+    SelfJoinOutput out = run(*sd, cfg);
+    const auto pairs = out.results.pairs();
+    sub.retained.assign(pairs.begin(), pairs.end());
+    recycle(std::move(out));
+  }
+  sub.sd = std::move(sd);
+  count("svc.stream.subscribes");
+  std::lock_guard lk(sub_mu_);
+  const SubscriptionId id = ++next_sub_id_;
+  subs_.emplace(id, std::move(sub));
+  return id;
+}
+
+JoinService::DeltaPoll JoinService::poll(SubscriptionId id) {
+  std::lock_guard lk(sub_mu_);
+  const auto it = subs_.find(id);
+  GSJ_CHECK_MSG(it != subs_.end(), "poll on unknown subscription " << id);
+  Subscription& sub = it->second;
+  count("svc.stream.polls");
+  DeltaPoll out;
+  const Dataset& ds = sub.sd->dataset();
+  out.generation = ds.generation();
+  if (out.generation == sub.generation) return out;  // quiescent: no work
+
+  std::optional<PairDelta> delta = delta_for(sub);
+  if (delta.has_value()) {
+    count("svc.stream.deltas");
+  } else {
+    delta = full_diff(sub);
+    out.fallback = true;
+    count("svc.stream.fallbacks");
+  }
+  // Advance the retained snapshot by sorted set ops. Survivors of
+  // (retained \ lost) are untouched pairs whose ids are stable across
+  // the window (docs/STREAMING.md), and gained carries current ids, so
+  // the union is exactly the current canonical pair set.
+  std::vector<ResultPair> survivors;
+  survivors.reserve(sub.retained.size());
+  std::set_difference(sub.retained.begin(), sub.retained.end(),
+                      delta->lost.begin(), delta->lost.end(),
+                      std::back_inserter(survivors));
+  std::vector<ResultPair> next;
+  next.reserve(survivors.size() + delta->gained.size());
+  std::set_union(survivors.begin(), survivors.end(), delta->gained.begin(),
+                 delta->gained.end(), std::back_inserter(next));
+  sub.retained = std::move(next);
+  sub.generation = out.generation;
+  if (!delta->gained.empty()) {
+    count("svc.stream.gained_pairs", delta->gained.size());
+  }
+  if (!delta->lost.empty()) {
+    count("svc.stream.lost_pairs", delta->lost.size());
+  }
+  out.delta = std::move(*delta);
+  return out;
+}
+
+std::optional<PairDelta> JoinService::delta_for(Subscription& sub) {
+  SharedDataset& sd = *sub.sd;
+  const Dataset& ds = sd.dataset();
+  if (ds.empty()) return std::nullopt;
+  const auto window = ds.mutations_since(sub.generation);
+  if (!window.has_value()) return std::nullopt;
+  const ChurnSummary churn = summarize_churn(ds, *window);
+  // Resolve (and repair) the ε grid through the shared artifact cache —
+  // a poll warms the same grid later join requests hit.
+  detail::ServicePlanSource src(*this, sd, nullptr);
+  src.sync();
+  bool hit = false;
+  src.resolve_grid(sub.epsilon, nullptr, &hit);
+  return compute_pair_delta(src.grid(), churn, sub.epsilon);
+}
+
+PairDelta JoinService::full_diff(Subscription& sub) {
+  PairDelta d;
+  std::vector<ResultPair> now;
+  if (!sub.sd->dataset().empty()) {
+    SelfJoinConfig cfg;
+    cfg.epsilon = sub.epsilon;
+    cfg.store_pairs = true;
+    SelfJoinOutput out = run(*sub.sd, cfg);
+    const auto pairs = out.results.pairs();
+    now.assign(pairs.begin(), pairs.end());
+    recycle(std::move(out));
+  }
+  std::set_difference(now.begin(), now.end(), sub.retained.begin(),
+                      sub.retained.end(), std::back_inserter(d.gained));
+  std::set_difference(sub.retained.begin(), sub.retained.end(), now.begin(),
+                      now.end(), std::back_inserter(d.lost));
+  return d;
+}
+
+void JoinService::unsubscribe(SubscriptionId id) {
+  std::lock_guard lk(sub_mu_);
+  subs_.erase(id);
+}
+
+std::size_t JoinService::subscription_count() const {
+  std::lock_guard lk(sub_mu_);
+  return subs_.size();
+}
+
 void JoinService::record_fleet(const simt::FleetStats& fs) {
   {
     std::lock_guard lk(fleet_mu_);
@@ -1190,6 +1596,7 @@ ServiceSnapshot JoinService::snapshot() const {
     }
   }
   s.result_budget_bytes = cfg_.max_result_cache_bytes;
+  s.subscriptions = subscription_count();
   {
     std::lock_guard lk(fleet_mu_);
     s.fleet_runs = fleet_runs_;

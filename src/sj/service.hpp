@@ -74,6 +74,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <shared_mutex>
 #include <string>
@@ -83,6 +84,7 @@
 
 #include "common/timer.hpp"
 #include "obs/context.hpp"
+#include "sj/delta.hpp"
 #include "sj/selfjoin.hpp"
 
 namespace gsj {
@@ -130,9 +132,13 @@ struct ServiceConfig {
   /// receives svc.* instruments (submitted/completed/rejected/expired/
   /// cancelled/failed counters, svc.queue_depth gauge,
   /// svc.queue_wait_seconds and svc.service_seconds time histograms),
-  /// the sj.cache.* family, and the svc.result_cache.* family
-  /// (hits/misses/coalesced/subsumed/evictions/invalidations counters
-  /// plus a bytes gauge). obs.recorder, when set, replaces the
+  /// the sj.cache.* family, the sj.incr.* incremental-repair family
+  /// (repairs/repaired_cells/plan_patches/rebuild_fallbacks), the
+  /// svc.result_cache.* family (hits/misses/coalesced/subsumed/
+  /// evictions/invalidations/repair_kept counters plus a bytes gauge)
+  /// and the svc.stream.* subscription family (subscribes/polls/deltas/
+  /// fallbacks/gained_pairs/lost_pairs). obs.recorder, when set,
+  /// replaces the
   /// service-owned flight recorder; leave null for the always-on
   /// default (JoinService::recorder()).
   obs::ObsContext obs;
@@ -209,6 +215,8 @@ struct ServiceSnapshot {
   std::size_t result_entries = 0;
   std::size_t result_bytes = 0;
   std::size_t result_budget_bytes = 0;
+  /// Live streaming delta subscriptions (JoinService::subscribe).
+  std::size_t subscriptions = 0;
   /// Fleet serving totals (docs/SIMULATOR.md §fleet): accumulated over
   /// every run with fleet.num_devices > 1 since service construction.
   /// Empty/zero when no fleet run has happened.
@@ -233,8 +241,13 @@ struct ServiceSnapshot {
 /// JoinService::attach; the Dataset must outlive every run against it.
 /// Runs may be issued against one SharedDataset from any number of
 /// threads concurrently; mutating the *dataset* is only supported while
-/// no run is in flight (the generation counter then invalidates the
-/// caches as a unit, as the engine's do).
+/// no run is in flight. A generation change no longer drops the caches
+/// as a unit: each cached grid is clone-and-repaired cell-granularly
+/// from the dataset's mutation log (GridIndex::repair) and dependent
+/// workload/D' plans are patched for the affected cells only, exactly
+/// as the single-threaded engine does (docs/STREAMING.md); only an
+/// unrepairable window (bulk load, log overrun, grid-shape change)
+/// falls back to the old drop-everything behaviour.
 class SharedDataset {
  public:
   SharedDataset(const SharedDataset&) = delete;
@@ -250,6 +263,20 @@ class SharedDataset {
   /// exact-ε and ε-subsumption serving (docs/SERVICE.md).
   [[nodiscard]] std::size_t result_cache_entries() const;
   [[nodiscard]] std::size_t result_cache_bytes() const;
+
+  /// One ready cached grid's identity: the epsilon it was built for,
+  /// its content digest (GridIndex::content_key) and the dataset
+  /// generation it reflects. Used by churn harnesses (sjtool serve
+  /// --churn-rate) to assert repaired grids are digest-identical to
+  /// from-scratch rebuilds without reaching into the cache.
+  struct GridDigest {
+    double epsilon = 0.0;
+    std::uint64_t content_key = 0;
+    std::uint64_t generation = 0;
+  };
+  /// Digests of every *ready* cached grid (building/failed slots are
+  /// skipped), in cache order.
+  [[nodiscard]] std::vector<GridDigest> cached_grid_digests() const;
 
  private:
   friend class JoinService;
@@ -411,6 +438,45 @@ class JoinService {
   /// is idle.
   void recycle(SelfJoinOutput&& out);
 
+  // --- streaming delta subscriptions (docs/STREAMING.md) ---
+
+  /// Identifies one standing subscription; valid until unsubscribe().
+  using SubscriptionId = std::uint64_t;
+
+  /// One poll()'s answer: the exact ordered-pair delta of the ε
+  /// self-join between the subscriber's last-delivered snapshot and the
+  /// current dataset. `delta.gained` is labeled with current point ids,
+  /// `delta.lost` with the ids of the last-delivered snapshot (see
+  /// PairDelta). `fallback` is true when the dataset's mutation log no
+  /// longer covered the window and the service re-joined from scratch
+  /// and diffed — the delta is exact either way.
+  struct DeltaPoll {
+    bool fallback = false;
+    /// Dataset generation this poll advanced the subscription to.
+    std::uint64_t generation = 0;
+    PairDelta delta;
+  };
+
+  /// Opens a standing subscription on the ε self-join over `sd`: runs
+  /// one full join to seed the retained snapshot (through the shared
+  /// caches, so the work is reused by later requests) and returns the
+  /// handle polls are issued against. Requires epsilon > 0; an empty
+  /// dataset seeds an empty snapshot without running a join.
+  [[nodiscard]] SubscriptionId subscribe(std::shared_ptr<SharedDataset> sd,
+                                         double epsilon);
+  /// Delivers the delta accumulated since the last poll (or since
+  /// subscribe) and advances the subscription to the current dataset
+  /// generation. Quiescent datasets answer an empty delta without any
+  /// join work; churn within the mutation-log window is answered by
+  /// re-joining only the churn's ε-neighborhood (JoinEngine::delta_join
+  /// semantics). Polls are serialized per service; each poll runs on
+  /// the calling thread.
+  [[nodiscard]] DeltaPoll poll(SubscriptionId id);
+  /// Closes a subscription; unknown ids are a no-op.
+  void unsubscribe(SubscriptionId id);
+  /// Live subscriptions (tests, sjtool top).
+  [[nodiscard]] std::size_t subscription_count() const;
+
   [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
 
   // --- introspection (tests, sjtool top, docs/SERVICE.md) ---
@@ -449,6 +515,16 @@ class JoinService {
                          const std::atomic<bool>* cancel,
                          obs::RequestObs* robs);
 
+  /// Brings a SharedDataset's artifact caches up to date with its
+  /// dataset's generation: clone-and-repairs every ready cached grid
+  /// (slots hold immutable shared GridIndex instances pinned by
+  /// in-flight runs, so repair happens on a private copy that replaces
+  /// the slot's future) and patches dependent workload/D' plans for the
+  /// affected cells only. Unrepairable grids are rebuilt from scratch
+  /// and their plans dropped. No-op when already current. Called by
+  /// ServicePlanSource::sync and the result-cache repair sweep.
+  void sync_shared(SharedDataset& sd);
+
   // --- result-serving layer (docs/SERVICE.md) ---
   /// Gate outcome for a dequeued request, decided in one critical
   /// section of the dataset's result lock.
@@ -481,6 +557,17 @@ class JoinService {
   /// The subsumption cost model (ServiceConfig::subsume_cost_ratio).
   bool subsume_worthwhile(SharedDataset& sd, const SelfJoinConfig& cfg,
                           const ResultPayload& entry);
+  /// Advances the result cache across a dataset generation change,
+  /// keeping every cached entry the churn provably did not affect:
+  /// when the mutation window contains only moves (ids stable), a
+  /// pairs-bearing ε-entry survives iff no touched point appears in a
+  /// non-self cached pair (its old neighborhood was empty) and none has
+  /// an ε-neighbor at its new position (checked against a repaired
+  /// current-generation grid). Anything unprovable — count-only
+  /// entries, inserts/erases in the window, no log window, no ready
+  /// grid — is dropped, which is the old wholesale behaviour. Counts
+  /// svc.result_cache.repair_kept per survivor.
+  void repair_result_cache(SharedDataset& sd, std::uint64_t to_generation);
   /// Folds a result-cache byte delta into the service-wide total and
   /// mirrors it to the svc.result_cache.bytes gauge. Called inside the
   /// owning dataset's result_mu_ critical section, so the gauge can
@@ -549,6 +636,26 @@ class JoinService {
   // --- attached datasets (snapshot; pruned of expired entries) ---
   mutable std::mutex attach_mu_;
   mutable std::vector<std::weak_ptr<SharedDataset>> attached_;
+
+  // --- streaming delta subscriptions (docs/STREAMING.md) ---
+  /// One standing subscription: the retained canonical ordered-pair
+  /// set of the ε self-join at `generation`, advanced by sorted set
+  /// ops (retained \ lost ∪ gained) on every non-empty poll.
+  struct Subscription {
+    std::shared_ptr<SharedDataset> sd;
+    double epsilon = 0.0;
+    std::uint64_t generation = 0;
+    std::vector<ResultPair> retained;
+  };
+  /// Incremental path: delta from the mutation log + a shared-cache
+  /// grid. nullopt when the window is unavailable (caller falls back).
+  std::optional<PairDelta> delta_for(Subscription& sub);
+  /// Fallback path: full re-join diffed against the retained set.
+  PairDelta full_diff(Subscription& sub);
+  mutable std::mutex sub_mu_;  ///< guards subs_ / next_sub_id_; polls
+                               ///< hold it for their full duration
+  std::map<SubscriptionId, Subscription> subs_;
+  SubscriptionId next_sub_id_ = 0;
 
   // --- pooled working memory ---
   mutable std::mutex arena_mu_;

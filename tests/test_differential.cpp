@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,8 +18,11 @@
 #include "baselines/morton.hpp"
 #include "baselines/rtree.hpp"
 #include "common/check.hpp"
+#include "common/rng.hpp"
+#include "data/churn.hpp"
 #include "grid/grid_index.hpp"
 #include "obs/context.hpp"
+#include "sj/delta.hpp"
 #include "sj/engine.hpp"
 #include "sj/selfjoin.hpp"
 #include "sj/service.hpp"
@@ -469,6 +473,162 @@ TEST(Differential, FleetServiceSubmitMatchesOracle) {
     const JoinResponse r = svc.submit(sd, req).get();
     ASSERT_EQ(r.status, JoinStatus::Ok) << c.describe() << ": " << r.error;
     expect_pairs_match(r.output.results, truth, c, "fleet/submit");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Churn families (docs/STREAMING.md): seeded streams of insert / erase
+// / move batches applied to adversarial datasets. After every batch,
+// three invariants must hold simultaneously: (a) an incrementally
+// repaired grid is digest-identical to a from-scratch rebuild, (b) the
+// engine's delta join equals the literal set difference of brute-force
+// joins across the batch, and (c) warm cache-served runs match the
+// oracle on every kernel variant. A failure prints the (seed, family,
+// batch) tuple.
+
+/// One seeded mutation batch. Inserts and teleports land inside the
+/// dataset's initial bounding box most of the time (the repairable
+/// case); boundary erases and out-of-box moves occur naturally and
+/// exercise the rebuild fallback.
+void apply_churn_batch(Dataset& ds, Xoshiro256& rng, const std::string& family,
+                       const std::vector<double>& lo,
+                       const std::vector<double>& hi) {
+  const int dims = ds.dims();
+  std::vector<double> p(static_cast<std::size_t>(dims));
+  const std::size_t batch = 1 + rng.uniform_index(10);
+  static const char* const kMixed[] = {"insert", "erase", "move"};
+  for (std::size_t m = 0; m < batch; ++m) {
+    std::string op = family;
+    if (op == "mixed") op = kMixed[rng.uniform_index(3)];
+    if (op == "erase" && ds.size() <= 1) op = "insert";
+    if (op == "insert") {
+      for (int d = 0; d < dims; ++d) {
+        const auto s = static_cast<std::size_t>(d);
+        p[s] = rng.uniform(lo[s], hi[s]);
+      }
+      (void)ds.insert(p);
+    } else if (op == "erase") {
+      ds.erase(static_cast<PointId>(rng.uniform_index(ds.size())));
+    } else {
+      const auto i = static_cast<PointId>(rng.uniform_index(ds.size()));
+      if (rng.uniform() < 0.5) {
+        // Nudge: usually stays within the point's own cell or a direct
+        // neighbor, the cheapest repair.
+        for (int d = 0; d < dims; ++d) {
+          const auto s = static_cast<std::size_t>(d);
+          const double span = std::max(hi[s] - lo[s], 1e-6);
+          p[s] = ds.coord(i, d) + rng.uniform(-0.02, 0.02) * span;
+        }
+      } else {
+        for (int d = 0; d < dims; ++d) {
+          const auto s = static_cast<std::size_t>(d);
+          p[s] = rng.uniform(lo[s], hi[s]);
+        }
+      }
+      ds.move_point(i, p);
+    }
+  }
+}
+
+void churn_vs_oracle(const std::string& family, std::uint64_t seed_lo,
+                     std::uint64_t seed_hi) {
+  for (std::uint64_t seed = seed_lo; seed <= seed_hi; ++seed) {
+    AdversarialCase c = make_adversarial_case(seed);
+    Dataset& ds = c.dataset;
+    if (ds.empty()) continue;
+    const std::vector<double> lo = ds.min_corner();
+    const std::vector<double> hi = ds.max_corner();
+    Xoshiro256 rng(seed * 7919 + 13);
+
+    JoinEngine engine;
+    PreparedDataset prep = engine.prepare(ds);
+    SelfJoinConfig seeded = SelfJoinConfig::combined(c.epsilon);
+    seeded.store_pairs = true;
+    (void)engine.run(prep, seeded);  // caches warm at the base generation
+    GridIndex grid(ds, c.epsilon);
+
+    ResultSet before = brute_force_join(ds, c.epsilon);
+    for (int batch = 0; batch < 4; ++batch) {
+      const std::string tag =
+          family + "/batch" + std::to_string(batch) + " " + c.describe();
+      const std::uint64_t base = ds.generation();
+      apply_churn_batch(ds, rng, family, lo, hi);
+      ResultSet after = brute_force_join(ds, c.epsilon);
+
+      // (a) Repaired grid is digest-identical to a from-scratch build.
+      (void)grid.repair();
+      EXPECT_EQ(grid.content_key(), GridIndex(ds, c.epsilon).content_key())
+          << tag;
+
+      // (b) Delta join equals the oracle set difference.
+      const std::optional<PairDelta> delta =
+          engine.delta_join(prep, c.epsilon, base);
+      ASSERT_TRUE(delta.has_value()) << tag;
+      std::vector<ResultPair> want_gained;
+      std::set_difference(after.pairs().begin(), after.pairs().end(),
+                          before.pairs().begin(), before.pairs().end(),
+                          std::back_inserter(want_gained));
+      std::vector<ResultPair> want_lost;
+      std::set_difference(before.pairs().begin(), before.pairs().end(),
+                          after.pairs().begin(), after.pairs().end(),
+                          std::back_inserter(want_lost));
+      EXPECT_EQ(delta->gained, want_gained) << tag;
+      EXPECT_EQ(delta->lost, want_lost) << tag;
+
+      // (c) Warm runs across every kernel variant match the oracle.
+      for (auto& [name, cfg] : all_variants(c.epsilon)) {
+        cfg.store_pairs = true;
+        const SelfJoinOutput warm = engine.run(prep, cfg);
+        expect_pairs_match(warm.results, after, c, name + "/" + tag);
+      }
+      before = std::move(after);
+    }
+  }
+}
+
+TEST(Differential, ChurnInsertStreamStaysConsistent) {
+  churn_vs_oracle("insert", 179, 182);
+}
+TEST(Differential, ChurnEraseStreamStaysConsistent) {
+  churn_vs_oracle("erase", 183, 186);
+}
+TEST(Differential, ChurnMoveStreamStaysConsistent) {
+  churn_vs_oracle("move", 187, 190);
+}
+TEST(Differential, ChurnMixedStreamStaysConsistent) {
+  churn_vs_oracle("mixed", 191, 196);
+}
+
+TEST(Differential, ChurnedFleetSubmitMatchesOracle) {
+  // The same churn stream through the service's queued submit path on a
+  // 4-device fleet: warm sharded runs over a repaired data plane.
+  for (std::uint64_t seed = 197; seed <= 199; ++seed) {
+    AdversarialCase c = make_adversarial_case(seed);
+    Dataset& ds = c.dataset;
+    if (ds.empty()) continue;
+    const std::vector<double> lo = ds.min_corner();
+    const std::vector<double> hi = ds.max_corner();
+    Xoshiro256 rng(seed * 104729 + 7);
+
+    ServiceConfig scfg;
+    scfg.workers = 2;
+    JoinService svc(scfg);
+    const auto sd = svc.attach(ds);
+    JoinRequest req;
+    req.config = SelfJoinConfig::combined(c.epsilon);
+    req.config.store_pairs = true;
+    req.config.fleet.num_devices = 4;
+    const JoinResponse warmup = svc.submit(sd, req).get();
+    ASSERT_EQ(warmup.status, JoinStatus::Ok) << c.describe();
+
+    for (int batch = 0; batch < 3; ++batch) {
+      apply_churn_batch(ds, rng, "mixed", lo, hi);
+      const ResultSet truth = brute_force_join(ds, c.epsilon);
+      const JoinResponse r = svc.submit(sd, req).get();
+      ASSERT_EQ(r.status, JoinStatus::Ok) << c.describe() << ": " << r.error;
+      expect_pairs_match(r.output.results, truth, c,
+                         "fleet/churn batch" + std::to_string(batch));
+    }
   }
 }
 

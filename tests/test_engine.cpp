@@ -177,7 +177,7 @@ TEST(JoinEngineTest, FreeWrapperMatchesEngine) {
   EXPECT_EQ(via_wrapper.stats.num_batches, via_engine.stats.num_batches);
 }
 
-TEST(JoinEngineTest, MutationInvalidatesCaches) {
+TEST(JoinEngineTest, MutationRepairsCachesInPlace) {
   Dataset ds = gen_exponential(2000, 2, 33);
   obs::Registry metrics;
   EngineConfig ecfg;
@@ -190,13 +190,18 @@ TEST(JoinEngineTest, MutationInvalidatesCaches) {
   EXPECT_GE(prep.cached_grid_count(), 1u);
   EXPECT_GE(prep.cached_plan_count(), 1u);
 
-  // Any mutation bumps the generation; the next run must drop every
-  // cached artifact and produce the fresh-dataset answer.
+  // A logged mutation no longer drops the caches: the next run repairs
+  // the cached grid cell-granularly, patches the dependent plan, and
+  // still produces the fresh-dataset answer bit-identically.
   ds.push_back(std::vector<double>{0.01, 0.01});
   EXPECT_NE(prep.generation(), ds.generation());
 
   const JoinRun after = run_once(engine, prep, cfg);
-  EXPECT_EQ(metrics.counter("sj.cache.invalidations").value(), 1u);
+  EXPECT_EQ(metrics.counter("sj.cache.invalidations").value(), 0u);
+  EXPECT_GE(metrics.counter("sj.incr.repairs").value(), 1u);
+  EXPECT_GE(metrics.counter("sj.incr.plan_patches").value(), 1u);
+  // The repaired grid is served as a hit — no second build.
+  EXPECT_EQ(metrics.counter("sj.cache.grid.misses").value(), 1u);
   EXPECT_EQ(prep.generation(), ds.generation());
 
   JoinEngine fresh_engine;
@@ -205,6 +210,15 @@ TEST(JoinEngineTest, MutationInvalidatesCaches) {
   expect_identical(fresh, after, "post-mutation");
   // The mutated dataset genuinely differs from the original run.
   EXPECT_NE(before.out.stats.result_pairs, after.out.stats.result_pairs);
+
+  // A bulk load invalidates the mutation window: the grid rebuilds from
+  // scratch and unpatched plans are dropped — the old all-or-nothing
+  // invalidation, now the fallback instead of the rule.
+  { auto col = ds.fill_dim(0); (void)col; }
+  const JoinRun rebuilt = run_once(engine, prep, cfg);
+  EXPECT_GE(metrics.counter("sj.incr.rebuild_fallbacks").value(), 1u);
+  EXPECT_EQ(metrics.counter("sj.cache.invalidations").value(), 1u);
+  expect_identical(after, rebuilt, "post-bulk-load");
 }
 
 TEST(JoinEngineTest, EvictionBoundsRespected) {

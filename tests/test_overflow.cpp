@@ -37,17 +37,19 @@ Dataset make_estimator_adversary(std::size_t n) {
     x ^= x << 17;
     return static_cast<double>(x >> 11) * 0x1.0p-53;
   };
+  auto x_col = ds.fill_dim(0);
+  auto y_col = ds.fill_dim(1);
   for (std::size_t i = 0; i < n; ++i) {
     if (i % 100 == 0) {
       // Sparse arm: consecutive sampled points 10 apart, far beyond
       // any test epsilon.
       const double c = 100.0 + 10.0 * static_cast<double>(i);
-      ds.coord(i, 0) = c;
-      ds.coord(i, 1) = c;
+      x_col[i] = c;
+      y_col[i] = c;
     } else {
       // Dense clump in [0, 0.5]^2.
-      ds.coord(i, 0) = unit() * 0.5;
-      ds.coord(i, 1) = unit() * 0.5;
+      x_col[i] = unit() * 0.5;
+      y_col[i] = unit() * 0.5;
     }
   }
   return ds;

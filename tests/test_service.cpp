@@ -405,7 +405,7 @@ TEST(Service, CacheEvictionRespectsBounds) {
   EXPECT_GE(metrics.counter("sj.cache.evictions").value(), 3u);
 }
 
-TEST(Service, MutationInvalidatesSharedCaches) {
+TEST(Service, MutationRepairsSharedCachesInPlace) {
   Dataset ds = gen_uniform(800, 2, 21, 0.0, 1.0);
   obs::Registry metrics;
   ServiceConfig scfg;
@@ -415,11 +415,23 @@ TEST(Service, MutationInvalidatesSharedCaches) {
   SelfJoinConfig cfg = SelfJoinConfig::combined(0.05);
   cfg.store_pairs = true;
   const SelfJoinOutput before = svc.run(*sd, cfg);
-  ds.coord(0, 0) = ds.coord(0, 0);  // bumps the generation counter
+  ds.set_coord(0, 0, ds.coord(0, 0));  // a self-move still bumps the generation
   const SelfJoinOutput after = svc.run(*sd, cfg);
-  EXPECT_EQ(metrics.counter("sj.cache.invalidations").value(), 1u);
-  EXPECT_EQ(metrics.counter("sj.cache.grid.misses").value(), 2u);
+  // The logged move repairs the shared grid in place: the second run is
+  // a cache hit on the repaired artifact, nothing is dropped.
+  EXPECT_EQ(metrics.counter("sj.cache.invalidations").value(), 0u);
+  EXPECT_GE(metrics.counter("sj.incr.repairs").value(), 1u);
+  EXPECT_EQ(metrics.counter("sj.cache.grid.misses").value(), 1u);
+  EXPECT_GE(metrics.counter("sj.cache.grid.hits").value(), 1u);
   EXPECT_EQ(before.results.pairs(), after.results.pairs());
+
+  // A bulk load loses the mutation window: the shared grid rebuilds and
+  // dependent plans drop — full invalidation is now the fallback.
+  { auto col = ds.fill_dim(0); (void)col; }
+  const SelfJoinOutput rebuilt = svc.run(*sd, cfg);
+  EXPECT_GE(metrics.counter("sj.incr.rebuild_fallbacks").value(), 1u);
+  EXPECT_EQ(metrics.counter("sj.cache.invalidations").value(), 1u);
+  EXPECT_EQ(after.results.pairs(), rebuilt.results.pairs());
 }
 
 TEST(Service, AttachedDatasetsHaveIndependentCaches) {
@@ -795,7 +807,7 @@ TEST(Service, MutationInvalidatesResultCache) {
   ASSERT_EQ(cached.status, JoinStatus::Ok) << cached.error;
   EXPECT_EQ(cached.breakdown.served_from, obs::ServedFrom::ResultCache);
 
-  ds.coord(0, 0) = ds.coord(0, 0);  // bumps the generation counter
+  ds.set_coord(0, 0, ds.coord(0, 0));  // a self-move still bumps the generation
 
   // The stale-generation entry must never serve the new dataset state.
   const JoinResponse fresh = svc.submit(sd, req).get();

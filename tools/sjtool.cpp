@@ -43,10 +43,12 @@
 #include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
 #include "data/generators.hpp"
 #include "data/io.hpp"
+#include "grid/grid_index.hpp"
 #include "obs/diagnostics.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
@@ -91,6 +93,7 @@ int usage() {
       "           [--devices D] [--device-sms S1,..] [--device-clock G1,..]\n"
       "           [--grains-per-device G] [--fleet-static]\n"
       "           [--duplicate-fraction F] [--verify] [--out F.json]\n"
+      "           [--churn-rate R [--churn-epochs E]]\n"
       "           serves requests concurrently through one JoinService;\n"
       "           a requests file has one request per line as key=value\n"
       "           tokens (epsilon= variant= k= priority= deadline-ms=\n"
@@ -102,7 +105,13 @@ int usage() {
       "           cache); --verify replays every completed request\n"
       "           serially on a cold engine and checks results are\n"
       "           bit-identical, served (cache/coalesced/subsumed)\n"
-      "           responses included\n"
+      "           responses included; --churn-rate R > 0 switches to an\n"
+      "           epoch loop (docs/STREAMING.md): between request waves\n"
+      "           a seeded mutation mix touches ~R of the points\n"
+      "           (insert/erase/move), the incremental repair path is\n"
+      "           timed against a cold rebuild+rejoin, and every cached\n"
+      "           grid digest is checked against a from-scratch build\n"
+      "           (scheduled cancellations are skipped in churn mode)\n"
       "  top      (--input F | --dataset <name> [--n N] [--seed S])\n"
       "           [--stress N] [--workers W] [--interval-ms I]\n"
       "           [--sms N] [--host-threads T] [--devices D]\n"
@@ -701,6 +710,14 @@ int cmd_serve(gsj::Cli& cli) {
       "exact duplicates, half subsumable smaller radii)");
   GSJ_CHECK_MSG(dup_fraction >= 0.0 && dup_fraction <= 1.0,
                 "--duplicate-fraction must be in [0, 1]");
+  const double churn_rate = cli.get_double(
+      "churn-rate", 0.0,
+      "fraction of points mutated between request waves (0 = static)");
+  GSJ_CHECK_MSG(churn_rate >= 0.0 && churn_rate <= 1.0,
+                "--churn-rate must be in [0, 1]");
+  const int churn_epochs = static_cast<int>(cli.get_int(
+      "churn-epochs", 8, "request waves when --churn-rate > 0"));
+  GSJ_CHECK_MSG(churn_epochs > 0, "--churn-epochs must be > 0");
   const std::string out_path = cli.get("out", "", "JSON report path");
   gsj::BatchingConfig batching;
   apply_batching_flags(cli, batching);
@@ -778,31 +795,144 @@ int cmd_serve(gsj::Cli& cli) {
   gsj::JoinService svc(scfg);
   const auto sd = svc.attach(ds);
 
+  // Churn-mode bookkeeping, reported in the "churn" JSON section.
+  std::vector<double> repair_secs, rebuild_secs;
+  std::uint64_t churn_mutations = 0;
+  std::size_t digest_checks = 0, digest_mismatches = 0;
+  std::size_t churn_verified = 0;
+
   gsj::Timer wall;
-  std::vector<gsj::JoinService::Ticket> tickets;
-  tickets.reserve(reqs.size());
-  for (auto& r : reqs) tickets.push_back(svc.submit(sd, r.jr));
-
-  // Fire the scheduled cancellations in time order.
-  std::vector<std::pair<double, std::size_t>> cancels;
-  for (std::size_t i = 0; i < reqs.size(); ++i) {
-    if (reqs[i].cancel_after_ms >= 0.0) {
-      cancels.emplace_back(reqs[i].cancel_after_ms, i);
-    }
-  }
-  std::sort(cancels.begin(), cancels.end());
-  for (const auto& [ms, idx] : cancels) {
-    const double remaining = ms - wall.seconds() * 1e3;
-    if (remaining > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          remaining));
-    }
-    tickets[idx].cancel();
-  }
-
   std::vector<gsj::JoinResponse> responses;
-  responses.reserve(tickets.size());
-  for (auto& t : tickets) responses.push_back(t.get());
+  if (churn_rate > 0.0) {
+    // Responses land at their request's index so the per-request report
+    // below stays aligned with reqs/cfgs.
+    responses.resize(reqs.size());
+    // Epoch loop: the dataset mutates only while no request is in
+    // flight (the service's mutation contract), so each wave of
+    // requests is collected before the next seeded churn batch.
+    gsj::Xoshiro256 churn_rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    const std::vector<double> lo = ds.min_corner();
+    const std::vector<double> hi = ds.max_corner();
+    std::vector<double> p(static_cast<std::size_t>(ds.dims()));
+    const auto mutate_one = [&] {
+      const auto op = churn_rng.uniform_index(3);
+      if (op == 0) {
+        for (int d = 0; d < ds.dims(); ++d) {
+          const auto s = static_cast<std::size_t>(d);
+          p[s] = churn_rng.uniform(lo[s], hi[s]);
+        }
+        (void)ds.insert(p);
+      } else if (op == 1 && ds.size() > 1) {
+        ds.erase(
+            static_cast<gsj::PointId>(churn_rng.uniform_index(ds.size())));
+      } else {
+        const auto i =
+            static_cast<gsj::PointId>(churn_rng.uniform_index(ds.size()));
+        for (int d = 0; d < ds.dims(); ++d) {
+          const auto s = static_cast<std::size_t>(d);
+          p[s] = churn_rng.uniform(lo[s], hi[s]);
+        }
+        ds.move_point(i, p);
+      }
+    };
+    // The repair-vs-rebuild measurement rides a standing warm engine at
+    // the smallest requested radius (the densest grid, the worst case
+    // for a full rebuild).
+    double delta_eps = reqs[0].epsilon;
+    for (const auto& r : reqs) delta_eps = std::min(delta_eps, r.epsilon);
+    gsj::SelfJoinConfig delta_cfg = gsj::SelfJoinConfig::combined(delta_eps);
+    delta_cfg.store_pairs = true;
+    gsj::JoinEngine delta_engine;
+    gsj::PreparedDataset delta_prep = delta_engine.prepare(ds);
+    (void)delta_engine.run(delta_prep, delta_cfg);
+
+    for (int epoch = 0; epoch < churn_epochs; ++epoch) {
+      if (epoch > 0) {
+        const auto batch = std::max<std::size_t>(
+            1, static_cast<std::size_t>(churn_rate *
+                                        static_cast<double>(ds.size())));
+        const std::uint64_t base_gen = ds.generation();
+        for (std::size_t m = 0; m < batch; ++m) mutate_one();
+        churn_mutations += batch;
+        // Incremental path: repair the cached plan and compute the
+        // exact pair delta across the batch.
+        gsj::Timer repair_t;
+        const auto delta =
+            delta_engine.delta_join(delta_prep, delta_eps, base_gen);
+        if (delta.has_value()) repair_secs.push_back(repair_t.seconds());
+        // From-scratch path: cold engine, full grid build + full join.
+        gsj::Timer rebuild_t;
+        gsj::JoinEngine cold;
+        (void)cold.self_join(ds, delta_cfg);
+        rebuild_secs.push_back(rebuild_t.seconds());
+      }
+      // This epoch's request wave (round-robin split of the list).
+      std::vector<std::size_t> wave;
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (i % static_cast<std::size_t>(churn_epochs) ==
+            static_cast<std::size_t>(epoch)) {
+          wave.push_back(i);
+        }
+      }
+      std::vector<gsj::JoinService::Ticket> wave_tickets;
+      wave_tickets.reserve(wave.size());
+      for (const std::size_t i : wave) {
+        wave_tickets.push_back(svc.submit(sd, reqs[i].jr));
+      }
+      for (std::size_t w = 0; w < wave.size(); ++w) {
+        gsj::JoinResponse r = wave_tickets[w].get();
+        if (verify && r.status == gsj::JoinStatus::Ok) {
+          // The oracle must see the dataset state this wave ran
+          // against, so the replay happens before the next churn.
+          gsj::JoinEngine cold;
+          const auto ref = cold.self_join(ds, cfgs[wave[w]]);
+          GSJ_CHECK_MSG(
+              r.output.stats.result_pairs == ref.stats.result_pairs &&
+                  r.output.results.pairs() == ref.results.pairs(),
+              "epoch " << epoch << " request " << wave[w]
+                       << ": differs from cold replay after churn");
+          ++churn_verified;
+        }
+        responses[wave[w]] = std::move(r);
+      }
+      // Digest parity: every cached grid must be bit-identical to a
+      // from-scratch build over the current dataset.
+      for (const auto& g : sd->cached_grid_digests()) {
+        ++digest_checks;
+        if (g.content_key != gsj::GridIndex(ds, g.epsilon).content_key()) {
+          ++digest_mismatches;
+        }
+      }
+    }
+    GSJ_CHECK_MSG(digest_mismatches == 0,
+                  digest_mismatches
+                      << " cached grid digest(s) diverged from a "
+                         "from-scratch rebuild");
+  } else {
+    responses.reserve(reqs.size());
+    std::vector<gsj::JoinService::Ticket> tickets;
+    tickets.reserve(reqs.size());
+    for (auto& r : reqs) tickets.push_back(svc.submit(sd, r.jr));
+
+    // Fire the scheduled cancellations in time order.
+    std::vector<std::pair<double, std::size_t>> cancels;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].cancel_after_ms >= 0.0) {
+        cancels.emplace_back(reqs[i].cancel_after_ms, i);
+      }
+    }
+    std::sort(cancels.begin(), cancels.end());
+    for (const auto& [ms, idx] : cancels) {
+      const double remaining = ms - wall.seconds() * 1e3;
+      if (remaining > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            remaining));
+      }
+      tickets[idx].cancel();
+    }
+
+    for (auto& t : tickets) responses.push_back(t.get());
+  }
   const double total_wall = wall.seconds();
 
   std::size_t n_ok = 0, n_rejected = 0, n_expired = 0, n_cancelled = 0,
@@ -835,8 +965,8 @@ int cmd_serve(gsj::Cli& cli) {
   // stats only exist for responses that actually ran (a served answer
   // carries the primary's stats, or filter-only stats for subsumption),
   // so the stats clause applies to executed responses alone. ---
-  std::size_t verified = 0;
-  if (verify) {
+  std::size_t verified = churn_verified;
+  if (verify && churn_rate == 0.0) {
     for (std::size_t i = 0; i < responses.size(); ++i) {
       if (responses[i].status != gsj::JoinStatus::Ok) continue;
       gsj::JoinEngine cold;  // fresh caches per request: truly cold
@@ -920,6 +1050,27 @@ int cmd_serve(gsj::Cli& cli) {
             << "result cache: " << n_result_hits << " hits, " << n_coalesced
             << " coalesced, " << n_subsumed << " subsumed ("
             << served_ratio * 100.0 << "% of ok served without executing)\n";
+  const double repair_p50 = quantile(repair_secs, 50);
+  const double rebuild_p50 = quantile(rebuild_secs, 50);
+  const double repair_speedup =
+      repair_p50 > 0.0 ? rebuild_p50 / repair_p50 : 0.0;
+  if (churn_rate > 0.0) {
+    std::cout << "churn: " << churn_mutations << " mutations over "
+              << churn_epochs << " epochs (rate " << churn_rate << "), "
+              << metrics.counter("sj.incr.repairs").value()
+              << " incremental repairs ("
+              << metrics.counter("sj.incr.repaired_cells").value()
+              << " cells), "
+              << metrics.counter("sj.incr.plan_patches").value()
+              << " plan patches, "
+              << metrics.counter("sj.incr.rebuild_fallbacks").value()
+              << " rebuild fallbacks\n"
+              << "churn: digest parity " << digest_checks << "/"
+              << digest_checks << " cached grids, repair+delta p50 "
+              << repair_p50 * 1e3 << " ms vs rebuild+rejoin p50 "
+              << rebuild_p50 * 1e3 << " ms (speedup " << repair_speedup
+              << "x)\n";
+  }
   if (fleet.active()) {
     std::cout << "fleet: " << snap.fleet_runs << " run(s) across "
               << snap.fleet_devices.size() << " devices, "
@@ -1025,6 +1176,24 @@ int cmd_serve(gsj::Cli& cli) {
       << ", \"bytes\": "
       << static_cast<std::uint64_t>(
              metrics.gauge("svc.result_cache.bytes").value())
+      << "},\n  \"churn\": {\"rate\": " << churn_rate
+      << ", \"epochs\": " << (churn_rate > 0.0 ? churn_epochs : 0)
+      << ", \"mutations\": " << churn_mutations
+      << ", \"incr_repairs\": "
+      << metrics.counter("sj.incr.repairs").value()
+      << ", \"repaired_cells\": "
+      << metrics.counter("sj.incr.repaired_cells").value()
+      << ", \"plan_patches\": "
+      << metrics.counter("sj.incr.plan_patches").value()
+      << ", \"rebuild_fallbacks\": "
+      << metrics.counter("sj.incr.rebuild_fallbacks").value()
+      << ", \"result_repair_kept\": "
+      << metrics.counter("svc.result_cache.repair_kept").value()
+      << ", \"digest_checks\": " << digest_checks
+      << ", \"digest_mismatches\": " << digest_mismatches
+      << ", \"repair_seconds_p50\": " << repair_p50
+      << ", \"rebuild_seconds_p50\": " << rebuild_p50
+      << ", \"repair_vs_rebuild_speedup\": " << repair_speedup
       << "}\n}\n";
     std::cout << "report: " << out_path << "\n";
   }
