@@ -19,6 +19,10 @@ Gates (relative, against the baseline value):
     ratio (last fleet run; 1 = perfectly fair) may not grow by more
     than the tolerance (load-balancer regression; only gated when the
     run used --devices > 1);
+  * summary.knn_grid_cache_hit_ratio -- the grid-cache hit share over
+    all KNN widening rounds may not drop by more than the tolerance
+    (per-eps LRU reuse is what makes repeat widening schedules
+    affordable; only gated when the baseline run had KNN traffic);
   * churn.repair_vs_rebuild_speedup -- for reports produced with
     --churn-rate > 0: incremental repair+delta must stay strictly
     faster than a cold rebuild+rejoin (> 1), and may not fall below
@@ -146,6 +150,24 @@ def main():
             print("note: baseline has no fleet run "
                   "(device_makespan_imbalance == 0); skipping that gate")
 
+    # KNN widening grid-cache hit ratio: lower is worse. A report from
+    # a run without KNN traffic carries 0 (no widening rounds) — skip
+    # the gate then; older reports lack the key entirely and are
+    # likewise tolerated by pick().
+    bkg = pick(base, "knn_grid_cache_hit_ratio", args.baseline)
+    ckg = pick(cand, "knn_grid_cache_hit_ratio", args.candidate)
+    if bkg is not None and ckg is not None:
+        if bkg > 0 and ckg < bkg * (1.0 - tol):
+            failures.append(
+                f"knn_grid_cache_hit_ratio regressed: {bkg:.4f} -> "
+                f"{ckg:.4f} (-{(1.0 - ckg / bkg) * 100.0:.1f}%, tolerance "
+                f"{tol * 100.0:.0f}%)")
+        elif bkg > 0:
+            print(f"knn_grid_cache_hit_ratio: {bkg:.4f} -> {ckg:.4f} ok")
+        else:
+            print("note: baseline has no KNN traffic "
+                  "(knn_grid_cache_hit_ratio == 0); skipping that gate")
+
     # Incremental-repair speedup: lower is worse, and a candidate at or
     # below 1 means repair lost to a from-scratch rebuild outright.
     # Gated only when both reports ran with --churn-rate > 0 (a static
@@ -159,6 +181,13 @@ def main():
     bsp = base_churn.get("repair_vs_rebuild_speedup")
     csp = cand_churn.get("repair_vs_rebuild_speedup")
     if isinstance(bsp, (int, float)) and isinstance(csp, (int, float)) \
+            and bsp > 0 and float(cand_churn.get("rate", 0) or 0) <= 0.0:
+        # The docstring's "gated only when both reports ran with
+        # --churn-rate > 0": a static candidate carries speedup 0, which
+        # is not a repair loss.
+        print("note: candidate is not a churn run; skipping the "
+              "repair-speedup gate")
+    elif isinstance(bsp, (int, float)) and isinstance(csp, (int, float)) \
             and bsp > 0:
         ctol = args.churn_tolerance
         if csp <= 1.0:

@@ -1,11 +1,18 @@
 #include "data/dataset.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "common/check.hpp"
 
 namespace gsj {
+
+std::uint64_t Dataset::next_uid() noexcept {
+  // Starts at 1 so uid 0 can serve as "no dataset" in key schemes.
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 Dataset::Dataset(int dims) : dims_(dims), coords_(static_cast<std::size_t>(dims)) {
   GSJ_CHECK_MSG(dims >= 1 && dims <= 16, "dims=" << dims);
@@ -14,6 +21,38 @@ Dataset::Dataset(int dims) : dims_(dims), coords_(static_cast<std::size_t>(dims)
 Dataset::Dataset(int dims, std::size_t n) : Dataset(dims) {
   n_ = n;
   for (auto& c : coords_) c.assign(n, 0.0);
+}
+
+Dataset::Dataset(const Dataset& other)
+    : dims_(other.dims_),
+      n_(other.n_),
+      // uid_ keeps the fresh value from its initializer: the copy is a
+      // distinct dataset (see header).
+      generation_(other.generation_),
+      coords_(other.coords_),
+      log_(other.log_),
+      log_base_gen_(other.log_base_gen_),
+      bbox_valid_(other.bbox_valid_),
+      bbox_min_(other.bbox_min_),
+      bbox_max_(other.bbox_max_),
+      bbox_min_dirty_(other.bbox_min_dirty_),
+      bbox_max_dirty_(other.bbox_max_dirty_) {}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this == &other) return *this;
+  dims_ = other.dims_;
+  n_ = other.n_;
+  uid_ = next_uid();
+  generation_ = other.generation_;
+  coords_ = other.coords_;
+  log_ = other.log_;
+  log_base_gen_ = other.log_base_gen_;
+  bbox_valid_ = other.bbox_valid_;
+  bbox_min_ = other.bbox_min_;
+  bbox_max_ = other.bbox_max_;
+  bbox_min_dirty_ = other.bbox_min_dirty_;
+  bbox_max_dirty_ = other.bbox_max_dirty_;
+  return *this;
 }
 
 void Dataset::log_mutation(Mutation m) {

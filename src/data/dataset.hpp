@@ -79,6 +79,24 @@ class Dataset {
   /// Creates a dataset of `n` zero points in `dims` dimensions.
   Dataset(int dims, std::size_t n);
 
+  /// Copies take a fresh uid: a copy is a distinct dataset whose
+  /// content diverges independently, so cache keys built from
+  /// (uid, generation) must never alias it to the original. Moves keep
+  /// the uid — the moved-to object *is* the same dataset.
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&&) noexcept = default;
+  Dataset& operator=(Dataset&&) noexcept = default;
+  ~Dataset() = default;
+
+  /// Process-unique dataset identity, assigned at construction (and
+  /// refreshed on copy). Combined with generation() it identifies the
+  /// exact point-set content of this object — the pair the R×S/KNN
+  /// join caches fold into their keys for the *second* dataset, which
+  /// (unlike the attached one) carries no SharedDataset identity of
+  /// its own (sj/pipeline.hpp make_result_key).
+  [[nodiscard]] std::uint64_t uid() const noexcept { return uid_; }
+
   [[nodiscard]] int dims() const noexcept { return dims_; }
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
   [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
@@ -175,6 +193,7 @@ class Dataset {
   static constexpr std::size_t kLogWindow = 4096;
 
  private:
+  [[nodiscard]] static std::uint64_t next_uid() noexcept;
   void log_mutation(Mutation m);
   [[nodiscard]] bool logging() const noexcept {
     return dims_ <= Mutation::kCoordCap;
@@ -195,6 +214,7 @@ class Dataset {
 
   int dims_ = 0;
   std::size_t n_ = 0;
+  std::uint64_t uid_ = next_uid();
   std::uint64_t generation_ = 0;
   std::vector<std::vector<double>> coords_;  // [dim][point]
 

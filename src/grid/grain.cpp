@@ -83,4 +83,55 @@ std::vector<WorkGrain> partition_grains(
   return grains;
 }
 
+std::vector<WorkGrain> partition_probe_grains(
+    std::size_t n_probe, std::span<const std::uint64_t> point_workloads,
+    std::size_t max_grains) {
+  GSJ_CHECK_MSG(max_grains >= 1, "max_grains must be >= 1");
+  GSJ_CHECK_MSG(point_workloads.empty() || point_workloads.size() == n_probe,
+                "point_workloads size " << point_workloads.size()
+                                        << " != probe size " << n_probe);
+  std::vector<WorkGrain> grains;
+  if (n_probe == 0) return grains;
+
+  const std::size_t ngrains = std::min(max_grains, n_probe);
+  const auto weight = [&](std::size_t p) -> std::uint64_t {
+    return point_workloads.empty() ? 1 : point_workloads[p] + 1;
+  };
+  std::uint64_t total = 0;
+  for (std::size_t p = 0; p < n_probe; ++p) total += weight(p);
+
+  grains.reserve(ngrains);
+  std::uint64_t consumed = 0;
+  std::size_t p = 0;
+  for (std::size_t g = 0; g < ngrains && p < n_probe; ++g) {
+    WorkGrain grain;
+    grain.point_begin = static_cast<std::uint32_t>(p);
+    // Same remaining-weight / remaining-grains target as the cell
+    // partitioner, points playing the role of cells.
+    const std::size_t grains_left = ngrains - g;
+    const std::uint64_t target =
+        consumed + (total - consumed + grains_left - 1) / grains_left;
+    const std::size_t hard_end = n_probe - (grains_left - 1);
+    do {
+      consumed += weight(p);
+      ++p;
+    } while (p < hard_end && consumed < target);
+    grain.point_end = static_cast<std::uint32_t>(p);
+    grain.workload = 0;
+    for (std::uint32_t i = grain.point_begin; i < grain.point_end; ++i) {
+      grain.workload += weight(i);
+    }
+    grains.push_back(grain);
+  }
+  if (p < n_probe) {
+    WorkGrain& last = grains.back();
+    while (p < n_probe) {
+      last.workload += weight(p);
+      ++p;
+    }
+    last.point_end = static_cast<std::uint32_t>(n_probe);
+  }
+  return grains;
+}
+
 }  // namespace gsj

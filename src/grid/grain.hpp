@@ -62,6 +62,19 @@ struct WorkGrain {
     const GridIndex& grid, std::span<const std::uint64_t> cell_weights,
     std::size_t max_grains);
 
+/// R×S analogue (JoinMode::RxS): splits the probe dataset's ids
+/// [0, n_probe) into at most `max_grains` contiguous ranges. Probe
+/// points have no cells in the gridded index, so cell_begin/cell_end
+/// stay 0 and point_begin/point_end are probe-id bounds. A non-empty
+/// `point_workloads` (size n_probe, probe_point_workloads) drives the
+/// same greedy sweep with per-point weight workload + 1 (the +1 keeps
+/// empty-candidate points from weighing nothing); empty means uniform.
+/// Deterministic; at least one grain when n_probe > 0 and never more
+/// than min(max_grains, n_probe).
+[[nodiscard]] std::vector<WorkGrain> partition_probe_grains(
+    std::size_t n_probe, std::span<const std::uint64_t> point_workloads,
+    std::size_t max_grains);
+
 /// Per-cell weights for grain partitioning from per-*point* workloads
 /// (grid/workload.hpp point_workloads): weight(cell) = Σ over its
 /// points of (workload + 1) — the +1 keeps empty-candidate points from

@@ -162,6 +162,20 @@ class GridIndex {
   /// True when `cc` lies inside the grid bounds.
   [[nodiscard]] bool in_bounds(const CellCoords& cc) const noexcept;
 
+  /// Cell coordinate of location `x` in dimension `d` for *probe*
+  /// points of an R×S join: unclamped (out-of-bbox probes must not
+  /// alias border cells), but banded to [-2, cells_per_dim(d)+1] so the
+  /// value always fits an int32 regardless of how far out the probe
+  /// sits. A probe more than one cell outside the grid then gets a
+  /// 3-cell adjacency window that is entirely out of bounds — correctly
+  /// empty, since such a point cannot have ε-neighbors in the grid.
+  [[nodiscard]] std::int32_t probe_cell_coord(double x, int d) const noexcept {
+    const auto sd = static_cast<std::size_t>(d);
+    double c = std::floor((x - min_[sd]) / epsilon_);
+    c = std::max(-2.0, std::min(c, static_cast<double>(cells_per_dim(d)) + 1.0));
+    return static_cast<std::int32_t>(c);
+  }
+
   /// Invokes `fn(neighbor_cell_index, neighbor_coords, neighbor_linear_id)`
   /// for every *non-empty* cell adjacent to `origin` (all offsets in
   /// {-1,0,+1}^dims), including the origin cell itself when

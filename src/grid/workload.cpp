@@ -61,6 +61,34 @@ std::vector<std::uint64_t> point_workloads(const GridIndex& grid,
   return pw;
 }
 
+std::vector<std::uint64_t> probe_point_workloads(const GridIndex& grid,
+                                                 const Dataset& probe,
+                                                 ThreadPool* pool) {
+  GSJ_CHECK(probe.dims() == grid.dims());
+  const auto cells = grid.cells();
+  std::vector<std::uint64_t> pw(probe.size(), 0);
+  const auto quantify = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t q = lo; q < hi; ++q) {
+      CellCoords oc;
+      for (int d = 0; d < grid.dims(); ++d) {
+        oc[d] = grid.probe_cell_coord(probe.coord(q, d), d);
+      }
+      std::uint64_t w = 0;
+      grid.for_each_adjacent_to(
+          oc, [&](std::size_t nidx, const CellCoords&, std::uint64_t) {
+            w += cells[nidx].size();
+          });
+      pw[q] = w;
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for_chunks(pw.size(), quantify);
+  } else {
+    quantify(0, pw.size());
+  }
+  return pw;
+}
+
 std::vector<PointId> sort_by_workload(const GridIndex& grid,
                                       CellPattern pattern, ThreadPool* pool) {
   const auto pw = point_workloads(grid, pattern, pool);

@@ -64,6 +64,15 @@ struct WorkloadPatchResult {
 [[nodiscard]] std::vector<std::uint64_t> point_workloads(
     const GridIndex& grid, CellPattern pattern, ThreadPool* pool = nullptr);
 
+/// Per-probe-point workload for an R×S join: probe_point_workloads(
+/// grid, probe)[q] is the number of candidates probe point q evaluates
+/// — the total size of the non-empty in-bounds cells in q's 3^n
+/// adjacency window (anchored at its banded coordinates,
+/// GridIndex::probe_cell_coord). The R×S analogue of point_workloads;
+/// feeds SORTBYWL's D' ordering and WORKQUEUE chunking unchanged.
+[[nodiscard]] std::vector<std::uint64_t> probe_point_workloads(
+    const GridIndex& grid, const Dataset& probe, ThreadPool* pool = nullptr);
+
 /// Point ids ordered by non-increasing workload (the paper's D').
 /// Stable on ties (grid order) so runs are deterministic — also under a
 /// pool (the parallel sort reproduces std::stable_sort exactly).

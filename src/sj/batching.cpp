@@ -94,12 +94,57 @@ std::uint64_t estimate_queue_total(const GridIndex& grid,
   return std::max(first_pct_estimate, estimate_strided_total(grid, cfg));
 }
 
+std::uint64_t estimate_rxs_strided_total(const GridIndex& grid,
+                                         const Dataset& probe,
+                                         const BatchingConfig& cfg) {
+  const std::size_t n = probe.size();
+  const auto stride = static_cast<std::size_t>(
+      std::max(1.0, std::floor(1.0 / cfg.sample_fraction)));
+  std::vector<PointId> sample;
+  sample.reserve(n / stride + 1);
+  for (std::size_t i = 0; i < n; i += stride) {
+    sample.push_back(static_cast<PointId>(i));
+  }
+  const auto counts = probe_neighbor_counts(grid, probe, sample);
+  std::uint64_t sample_sum = 0;
+  for (auto c : counts) sample_sum += c;
+  return skewed(static_cast<std::uint64_t>(static_cast<double>(sample_sum) *
+                                           static_cast<double>(n) /
+                                           static_cast<double>(sample.size())),
+                cfg);
+}
+
+std::uint64_t estimate_rxs_queue_total(const GridIndex& grid,
+                                       const Dataset& probe,
+                                       const BatchingConfig& cfg,
+                                       std::span<const PointId> queue_order) {
+  const std::size_t n = probe.size();
+  GSJ_CHECK(queue_order.size() == n);
+  // Same first-1%-of-D' over-estimate as the self-join queue estimator,
+  // maxed with the strided one (same undershoot caveat — see
+  // estimate_queue_total).
+  const auto sample_n = static_cast<std::size_t>(
+      std::max(1.0, std::floor(static_cast<double>(n) * cfg.sample_fraction)));
+  const auto counts =
+      probe_neighbor_counts(grid, probe, queue_order.subspan(0, sample_n));
+  std::uint64_t sample_sum = 0;
+  for (auto c : counts) sample_sum += c;
+  const auto first_pct_estimate =
+      skewed(static_cast<std::uint64_t>(static_cast<double>(sample_sum) /
+                                        static_cast<double>(sample_n) *
+                                        static_cast<double>(n)),
+             cfg);
+  return std::max(first_pct_estimate,
+                  estimate_rxs_strided_total(grid, probe, cfg));
+}
+
 BatchPlan plan_strided(const GridIndex& grid, const BatchingConfig& cfg,
                        bool sort_batches_by_workload, CellPattern pattern,
                        obs::Tracer* tracer, ThreadPool* pool,
                        std::span<const std::uint64_t> workloads,
-                       std::optional<std::uint64_t> precomputed_estimate) {
-  const std::size_t n = grid.dataset().size();
+                       std::optional<std::uint64_t> precomputed_estimate,
+                       const Dataset* probe) {
+  const std::size_t n = probe != nullptr ? probe->size() : grid.dataset().size();
   GSJ_CHECK(n > 0);
   cfg.validate();
   BatchPlan plan;
@@ -108,9 +153,10 @@ BatchPlan plan_strided(const GridIndex& grid, const BatchingConfig& cfg,
     // must be byte-identical whether the estimate was sampled here or
     // fetched from the engine cache.
     const auto sp = obs::span(tracer, "estimation_sample");
-    plan.estimated_total_pairs = precomputed_estimate.has_value()
-                                     ? *precomputed_estimate
-                                     : estimate_strided_total(grid, cfg);
+    plan.estimated_total_pairs =
+        precomputed_estimate.has_value() ? *precomputed_estimate
+        : probe != nullptr ? estimate_rxs_strided_total(grid, *probe, cfg)
+                           : estimate_strided_total(grid, cfg);
   }
   plan.num_batches = batch_count(plan.estimated_total_pairs, cfg, n);
   plan.batches.resize(plan.num_batches);
@@ -125,7 +171,9 @@ BatchPlan plan_strided(const GridIndex& grid, const BatchingConfig& cfg,
     {
       const auto sp = obs::span(tracer, "workload_quantify");
       if (pw.empty()) {
-        pw_storage = point_workloads(grid, pattern, pool);
+        pw_storage = probe != nullptr
+                         ? probe_point_workloads(grid, *probe, pool)
+                         : point_workloads(grid, pattern, pool);
         pw = pw_storage;
       }
       GSJ_CHECK(pw.size() == n);
@@ -152,8 +200,9 @@ BatchPlan plan_queue(const GridIndex& grid, const BatchingConfig& cfg,
                      std::span<const PointId> queue_order,
                      std::span<const std::uint64_t> workloads,
                      obs::Tracer* tracer,
-                     std::optional<std::uint64_t> precomputed_estimate) {
-  const std::size_t n = grid.dataset().size();
+                     std::optional<std::uint64_t> precomputed_estimate,
+                     const Dataset* probe) {
+  const std::size_t n = probe != nullptr ? probe->size() : grid.dataset().size();
   GSJ_CHECK(queue_order.size() == n);
   GSJ_CHECK(workloads.size() == n);
   cfg.validate();
@@ -162,8 +211,9 @@ BatchPlan plan_queue(const GridIndex& grid, const BatchingConfig& cfg,
     // Opens even when the estimate is precomputed — see plan_strided.
     const auto sp = obs::span(tracer, "estimation_sample");
     plan.estimated_total_pairs =
-        precomputed_estimate.has_value()
-            ? *precomputed_estimate
+        precomputed_estimate.has_value() ? *precomputed_estimate
+        : probe != nullptr
+            ? estimate_rxs_queue_total(grid, *probe, cfg, queue_order)
             : estimate_queue_total(grid, cfg, queue_order);
   }
 

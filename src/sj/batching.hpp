@@ -112,6 +112,16 @@ struct BatchPlan {
     const GridIndex& grid, const BatchingConfig& cfg,
     std::span<const PointId> queue_order);
 
+/// R×S analogues (JoinMode::RxS): the sample is drawn from *probe*
+/// point ids and counted against the gridded dataset
+/// (probe_neighbor_counts), extrapolated to |probe|. Deterministic and
+/// cacheable per (grid, probe identity, knobs) like the self-join ones.
+[[nodiscard]] std::uint64_t estimate_rxs_strided_total(
+    const GridIndex& grid, const Dataset& probe, const BatchingConfig& cfg);
+[[nodiscard]] std::uint64_t estimate_rxs_queue_total(
+    const GridIndex& grid, const Dataset& probe, const BatchingConfig& cfg,
+    std::span<const PointId> queue_order);
+
 /// Plans strided batches over natural point order. When
 /// `sort_batches_by_workload`, each batch list is ordered by
 /// non-increasing workload under `pattern` (SORTBYWL). An optional
@@ -125,12 +135,19 @@ struct BatchPlan {
 /// quantification, and an engaged `precomputed_estimate` (a prior
 /// estimate_strided_total value) skips the sampling join. The emitted
 /// trace spans and the resulting plan are identical either way.
+///
+/// A non-null `probe` plans an R×S join instead: batches cover *probe*
+/// point ids (|probe| query points), `workloads` / the quantification
+/// fallback are per-probe-point (probe_point_workloads), and the
+/// estimate is the R×S strided one. Everything else — striding,
+/// SORTBYWL ordering, caching contract — is unchanged.
 [[nodiscard]] BatchPlan plan_strided(
     const GridIndex& grid, const BatchingConfig& cfg,
     bool sort_batches_by_workload, CellPattern pattern,
     obs::Tracer* tracer = nullptr, ThreadPool* pool = nullptr,
     std::span<const std::uint64_t> workloads = {},
-    std::optional<std::uint64_t> precomputed_estimate = std::nullopt);
+    std::optional<std::uint64_t> precomputed_estimate = std::nullopt,
+    const Dataset* probe = nullptr);
 
 /// Plans contiguous chunks over `queue_order` (D', workload-sorted).
 /// `workloads` are the per-point candidate counts (point_workloads);
@@ -141,11 +158,17 @@ struct BatchPlan {
 /// by the statistical estimate so sizes stay near the paper's scheme.
 /// An engaged `precomputed_estimate` (a prior estimate_queue_total
 /// value) skips the sampling joins; plan and spans are identical.
+///
+/// A non-null `probe` plans R×S chunks: `queue_order` / `workloads`
+/// index probe points. The 2*workload+1 per-point bound stays (R×S
+/// actually emits at most workload pairs per point, so the bound is
+/// merely more conservative — still a hard no-overflow guarantee).
 [[nodiscard]] BatchPlan plan_queue(
     const GridIndex& grid, const BatchingConfig& cfg,
     std::span<const PointId> queue_order,
     std::span<const std::uint64_t> workloads, obs::Tracer* tracer = nullptr,
-    std::optional<std::uint64_t> precomputed_estimate = std::nullopt);
+    std::optional<std::uint64_t> precomputed_estimate = std::nullopt,
+    const Dataset* probe = nullptr);
 
 /// Completion time of the batched pipeline: kernels serialize on the
 /// device; each batch's result transfer serializes on the PCIe engine

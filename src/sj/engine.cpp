@@ -95,6 +95,12 @@ void JoinEngine::sync_generation(PreparedDataset& prep) {
     for (std::size_t i = 0; i < prep.plans_.size(); ++i) {
       auto& pe = prep.plans_[i];
       if (pe.grid_key != old_key) continue;
+      // R×S plans depend on *probe* points; the gridded side's churn
+      // changes their candidate counts in ways the cell-granular patch
+      // cannot express from the gridded log. Drop, don't patch. (Probe
+      // churn needs no handling here: it changes probe_signature, so
+      // stale entries become unreachable and age out via LRU.)
+      if (pe.probe_sig != 0) continue;
       WorkloadPatchResult patch =
           patch_workloads(*ge.grid, pe.pattern, oc.dirty_cell_ids,
                           pe.workloads, pe.queue_order);
@@ -177,10 +183,12 @@ PreparedDataset::GridEntry& JoinEngine::grid_for(PreparedDataset& prep,
 
 PreparedDataset::PlanEntry& JoinEngine::plan_entry(PreparedDataset& prep,
                                                    const GridIndex& grid,
-                                                   CellPattern pattern) {
+                                                   CellPattern pattern,
+                                                   std::uint64_t probe_sig) {
   const std::uint64_t key = grid.content_key();
   for (auto& e : prep.plans_) {
-    if (e.grid_key == key && e.pattern == pattern) {
+    if (e.grid_key == key && e.pattern == pattern &&
+        e.probe_sig == probe_sig) {
       e.last_used = ++prep.tick_;
       return e;
     }
@@ -188,6 +196,7 @@ PreparedDataset::PlanEntry& JoinEngine::plan_entry(PreparedDataset& prep,
   PreparedDataset::PlanEntry entry;
   entry.grid_key = key;
   entry.pattern = pattern;
+  entry.probe_sig = probe_sig;
   entry.last_used = ++prep.tick_;
   prep.plans_.push_back(std::move(entry));
   const std::size_t bound = std::max<std::size_t>(1, cfg_.max_cached_plans);
@@ -208,11 +217,17 @@ namespace detail {
 /// PlanSource (sj/pipeline.hpp) over the engine's thread-private LRU
 /// caches: every resolution mutates the PreparedDataset in place, which
 /// is exactly why this backend is single-threaded (the service's
-/// locked backend lives in sj/service.cpp).
+/// locked backend lives in sj/service.cpp). Constructed per-run from
+/// the request's config so R×S runs resolve *probe* workloads/orders
+/// under probe_signature-keyed plan entries.
 class EnginePlanSource {
  public:
-  EnginePlanSource(JoinEngine& engine, PreparedDataset& prep)
-      : engine_(engine), prep_(prep) {}
+  EnginePlanSource(JoinEngine& engine, PreparedDataset& prep,
+                   const SelfJoinConfig& cfg)
+      : engine_(engine),
+        prep_(prep),
+        probe_(cfg.mode == JoinMode::RxS ? cfg.probe : nullptr),
+        probe_sig_(probe_signature(cfg)) {}
 
   void sync() { engine_.sync_generation(prep_); }
 
@@ -234,7 +249,9 @@ class EnginePlanSource {
     plan_entry(pattern);
     if (pe_->workloads.empty()) {
       engine_.count_cache("workload", false);
-      pe_->workloads = point_workloads(*ge_->grid, pattern, p);
+      pe_->workloads = probe_ != nullptr
+                           ? probe_point_workloads(*ge_->grid, *probe_, p)
+                           : point_workloads(*ge_->grid, pattern, p);
     } else {
       engine_.count_cache("workload", true);
     }
@@ -245,7 +262,8 @@ class EnginePlanSource {
     plan_entry(pattern);
     if (pe_->queue_order.empty()) {
       engine_.count_cache("order", false);
-      pe_->queue_order.resize(prep_.dataset().size());
+      pe_->queue_order.resize(probe_ != nullptr ? probe_->size()
+                                                : prep_.dataset().size());
       std::iota(pe_->queue_order.begin(), pe_->queue_order.end(), PointId{0});
       parallel_stable_sort(
           pe_->queue_order,
@@ -277,11 +295,15 @@ class EnginePlanSource {
 
  private:
   void plan_entry(CellPattern pattern) {
-    if (pe_ == nullptr) pe_ = &engine_.plan_entry(prep_, *ge_->grid, pattern);
+    if (pe_ == nullptr) {
+      pe_ = &engine_.plan_entry(prep_, *ge_->grid, pattern, probe_sig_);
+    }
   }
 
   JoinEngine& engine_;
   PreparedDataset& prep_;
+  const Dataset* probe_ = nullptr;  ///< R×S only; null for Self/KNN
+  std::uint64_t probe_sig_ = 0;
   PreparedDataset::GridEntry* ge_ = nullptr;
   PreparedDataset::PlanEntry* pe_ = nullptr;
 };
@@ -290,7 +312,7 @@ class EnginePlanSource {
 
 SelfJoinOutput JoinEngine::run(PreparedDataset& prep,
                                const SelfJoinConfig& cfg) {
-  detail::EnginePlanSource src(*this, prep);
+  detail::EnginePlanSource src(*this, prep, cfg);
   SelfJoinOutput out;
   detail::plan_and_execute(cfg, prep.dataset(), src, *scratch_,
                            /*cancel=*/nullptr, out);

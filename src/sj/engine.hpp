@@ -68,6 +68,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -137,10 +138,13 @@ class PreparedDataset {
       : ds_(&ds), generation_(ds.generation()) {}
 
   /// Estimates keyed by (sample_fraction bits, inject_estimator_skew
-  /// bits) — skew is part of the key so fault-injection runs never
-  /// collide with honest ones.
+  /// bits, probe signature) — detail::EstimateKey (sj/pipeline.hpp).
+  /// Skew is part of the key so fault-injection runs never collide
+  /// with honest ones; the probe signature (0 for Self) keeps R×S
+  /// estimates of different probe datasets/generations apart.
   using EstimateMap =
-      std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>;
+      std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+               std::uint64_t>;
 
   struct GridEntry {
     std::uint64_t eps_bits = 0;
@@ -154,6 +158,11 @@ class PreparedDataset {
   struct PlanEntry {
     std::uint64_t grid_key = 0;  ///< GridIndex::content_key()
     CellPattern pattern = CellPattern::Full;
+    /// detail::probe_signature of the request that built this entry:
+    /// 0 for Self plans (workloads index the gridded dataset), a
+    /// probe-identity hash for R×S plans (workloads/D' index the probe
+    /// dataset). Part of the match key so the two never alias.
+    std::uint64_t probe_sig = 0;
     std::vector<std::uint64_t> workloads;   ///< point_workloads
     std::vector<PointId> queue_order;       ///< D'; filled on first WQ use
     EstimateMap queue_estimates;            ///< first-1% (max strided)
@@ -226,7 +235,8 @@ class JoinEngine {
                                                      bool* hit);
   [[nodiscard]] PreparedDataset::PlanEntry& plan_entry(PreparedDataset& prep,
                                                        const GridIndex& grid,
-                                                       CellPattern pattern);
+                                                       CellPattern pattern,
+                                                       std::uint64_t probe_sig);
   /// Counts one cache event on the aggregate and per-artifact counters
   /// (no-op without an engine metrics registry).
   void count_cache(const char* artifact, bool hit);

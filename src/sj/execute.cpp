@@ -1,6 +1,7 @@
 #include "sj/execute.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <utility>
 
 #include "common/error.hpp"
@@ -137,6 +138,7 @@ void execute_self_join(const SelfJoinConfig& cfg, ExecutionInputs& in,
     KernelParams params;
     params.grid = &grid;
     params.pattern = cfg.pattern;
+    params.probe = in.probe;
     params.assignment =
         cfg.work_queue ? Assignment::WorkQueue : Assignment::Static;
     params.k = cfg.k;
@@ -366,8 +368,18 @@ void execute_fleet(const SelfJoinConfig& cfg, ExecutionInputs& in,
   // Adaptive: workload-weighted grains, several per device, so the
   // scheduler has something to rebalance. Static baseline: exactly one
   // cell-count-uniform grain per device, grain i pinned to device i.
+  // R×S (in.probe set): grains are contiguous *probe-id* ranges — the
+  // grid's cell ranges shard the gridded side, but the fleet partitions
+  // query points, which here live in the probe dataset.
+  const Dataset* probe = in.probe;
   std::vector<WorkGrain> grains;
-  if (fc.adaptive) {
+  if (probe != nullptr) {
+    grains = partition_probe_grains(
+        probe->size(),
+        fc.adaptive ? in.point_workloads : std::span<const std::uint64_t>{},
+        fc.adaptive ? ndev * static_cast<std::size_t>(fc.grains_per_device)
+                    : ndev);
+  } else if (fc.adaptive) {
     const std::vector<std::uint64_t> weights =
         grain_cell_weights(grid, in.point_workloads);
     grains = partition_grains(
@@ -381,13 +393,30 @@ void execute_fleet(const SelfJoinConfig& cfg, ExecutionInputs& in,
   for (const WorkGrain& g : grains) total_weight += g.workload;
 
   // Bucket D' into per-grain queues in one stable pass: each grain's
-  // queue preserves the global workload-sorted consumption order.
+  // queue preserves the global workload-sorted consumption order. For
+  // the self-join a point's grain is found through its cell; probe
+  // points have no cell in the gridded index, but probe grains are
+  // contiguous id ranges so the id→grain table is direct.
   std::vector<std::vector<PointId>> grain_queues;
   if (cfg.work_queue) {
-    std::vector<std::uint32_t> cell_grain(grid.cells().size(), 0);
-    for (std::size_t g = 0; g < num_grains; ++g) {
-      for (std::size_t c = grains[g].cell_begin; c < grains[g].cell_end; ++c) {
-        cell_grain[c] = static_cast<std::uint32_t>(g);
+    std::vector<std::uint32_t> point_grain;
+    if (probe != nullptr) {
+      point_grain.assign(probe->size(), 0);
+      for (std::size_t g = 0; g < num_grains; ++g) {
+        for (std::uint32_t p = grains[g].point_begin;
+             p < grains[g].point_end; ++p) {
+          point_grain[p] = static_cast<std::uint32_t>(g);
+        }
+      }
+    }
+    std::vector<std::uint32_t> cell_grain;
+    if (probe == nullptr) {
+      cell_grain.assign(grid.cells().size(), 0);
+      for (std::size_t g = 0; g < num_grains; ++g) {
+        for (std::size_t c = grains[g].cell_begin; c < grains[g].cell_end;
+             ++c) {
+          cell_grain[c] = static_cast<std::uint32_t>(g);
+        }
       }
     }
     grain_queues.resize(num_grains);
@@ -395,7 +424,10 @@ void execute_fleet(const SelfJoinConfig& cfg, ExecutionInputs& in,
       grain_queues[g].reserve(grains[g].points());
     }
     for (const PointId p : in.queue_order) {
-      grain_queues[cell_grain[grid.cell_of_point(p)]].push_back(p);
+      const std::uint32_t g = probe != nullptr
+                                  ? point_grain[p]
+                                  : cell_grain[grid.cell_of_point(p)];
+      grain_queues[g].push_back(p);
     }
   }
 
@@ -451,6 +483,7 @@ void execute_fleet(const SelfJoinConfig& cfg, ExecutionInputs& in,
     KernelParams params;
     params.grid = &grid;
     params.pattern = cfg.pattern;
+    params.probe = in.probe;
     params.assignment =
         cfg.work_queue ? Assignment::WorkQueue : Assignment::Static;
     params.k = cfg.k;
@@ -561,6 +594,7 @@ void execute_fleet(const SelfJoinConfig& cfg, ExecutionInputs& in,
   }
   simt::DeviceFleet fleet(devices);
   std::uint64_t rebalances = 0;
+  std::vector<PointId> probe_ids;
 
   for (const std::size_t gidx : order) {
     const WorkGrain& grain = grains[gidx];
@@ -627,8 +661,17 @@ void execute_fleet(const SelfJoinConfig& cfg, ExecutionInputs& in,
         work.emplace_back(begin, mid);
       }
     } else {
-      const std::span<const PointId> gp =
-          grid.point_ids().subspan(grain.point_begin, grain.points());
+      // Probe grains own an id *range*, not a slice of point_ids();
+      // materialize it (reused buffer, cleared per grain).
+      std::span<const PointId> gp;
+      if (probe != nullptr) {
+        probe_ids.resize(grain.points());
+        std::iota(probe_ids.begin(), probe_ids.end(),
+                  static_cast<PointId>(grain.point_begin));
+        gp = probe_ids;
+      } else {
+        gp = grid.point_ids().subspan(grain.point_begin, grain.points());
+      }
       // Strided chunks within the grain, count scaled from the grain's
       // share of the whole-join estimate (plan_strided's scheme at
       // grain granularity).

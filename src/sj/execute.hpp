@@ -47,6 +47,10 @@ struct ExecutionInputs {
   const GridIndex* grid = nullptr;
   /// Consumed: the strided driver moves the batch point lists out.
   BatchPlan* plan = nullptr;
+  /// R×S probe dataset (JoinMode::RxS): batch/queue point ids index it
+  /// instead of the gridded dataset, and the kernels run in probing
+  /// mode (sj/kernels.hpp). nullptr for the self-join.
+  const Dataset* probe = nullptr;
   /// D' (workload-sorted order) for the work-queue variants; empty
   /// otherwise. Must outlive the call.
   std::span<const PointId> queue_order;

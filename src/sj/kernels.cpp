@@ -24,10 +24,21 @@ SelfJoinKernel::SelfJoinKernel(const KernelParams& p) : p_(p) {
   for (int d = 0; d < dims_; ++d) {
     coords_[static_cast<std::size_t>(d)] = grid.dataset().dim(d).data();
   }
+  rxs_ = p.probe != nullptr;
+  if (rxs_) {
+    GSJ_CHECK_MSG(p.probe->dims() == dims_,
+                  "probe dims=" << p.probe->dims() << " vs grid dims="
+                                << dims_);
+    for (int d = 0; d < dims_; ++d) {
+      qcoords_[static_cast<std::size_t>(d)] = p.probe->dim(d).data();
+    }
+  } else {
+    qcoords_ = coords_;
+  }
   eps2_ = grid.epsilon() * grid.epsilon();
   adj_total_ = grid.adjacency_volume();
   adj_center_ = (adj_total_ - 1) / 2;  // all offsets zero
-  unidirectional_ = is_unidirectional(p.pattern);
+  unidirectional_ = !rxs_ && is_unidirectional(p.pattern);
   cost_dist_ = p.device->cost_dist(dims_);
 }
 
@@ -58,10 +69,20 @@ simt::InitResult SelfJoinKernel::init_lane(LaneState& s,
   }
 
   const GridIndex& grid = *p_.grid;
-  s.rank = grid.grid_rank(s.q);
-  s.origin_cell = grid.cell_of_point(s.q);
-  s.origin_id = cells_[s.origin_cell].linear_id;
-  s.oc = grid.decode(s.origin_id);
+  if (rxs_) {
+    // Probe points have no cell of their own in the grid: anchor the
+    // 3^n window at their banded coordinates (grid/grid_index.hpp).
+    // rank / origin_cell / origin_id stay at their defaults — the R×S
+    // scan never consults them.
+    for (int d = 0; d < dims_; ++d) {
+      s.oc[d] = grid.probe_cell_coord(p_.probe->coord(s.q, d), d);
+    }
+  } else {
+    s.rank = grid.grid_rank(s.q);
+    s.origin_cell = grid.cell_of_point(s.q);
+    s.origin_id = cells_[s.origin_cell].linear_id;
+    s.oc = grid.decode(s.origin_id);
+  }
   s.adj_cursor = 0;
   s.scanning = false;
   cost += 4;  // point load + cell decode
@@ -101,7 +122,7 @@ simt::StepResult SelfJoinKernel::next_cell(LaneState& s, ResultSet& out,
 
   const GridIndex& grid = *p_.grid;
 
-  if (cur == adj_center_) {
+  if (!rxs_ && cur == adj_center_) {
     // The origin cell itself.
     const GridCell& cell = cells_[s.origin_cell];
     std::uint32_t begin, end = cell.end;
@@ -140,7 +161,10 @@ simt::StepResult SelfJoinKernel::next_cell(LaneState& s, ResultSet& out,
   }
 
   const std::uint64_t nid = grid.encode(nc);
-  if (!pattern_accepts(p_.pattern, dims_, s.oc, nc, s.origin_id, nid)) {
+  // R×S scans every cell of the window — the unidirectional patterns'
+  // "evaluate each unordered pair once" trick has nothing to save when
+  // queries and candidates come from different datasets.
+  if (!rxs_ && !pattern_accepts(p_.pattern, dims_, s.oc, nc, s.origin_id, nid)) {
     return {true, cost};
   }
   const std::size_t nidx = grid.find_cell(nid);

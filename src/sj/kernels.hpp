@@ -66,6 +66,13 @@ struct KernelParams {
   const GridIndex* grid = nullptr;
   CellPattern pattern = CellPattern::Full;
   Assignment assignment = Assignment::Static;
+  /// R×S mode: query ids index this dataset instead of the gridded one
+  /// (candidate ids still index the grid's dataset). Each in-ε
+  /// candidate emits exactly one (probe_id, grid_id) pair — no mirror,
+  /// no self-pair, no own-cell rank rule, and `pattern` is ignored
+  /// (every cell of the probe's 3^n window must be scanned). nullptr
+  /// keeps the classic self-join semantics.
+  const Dataset* probe = nullptr;
   int k = 1;  ///< lanes per query point; must divide warp_size
   /// Static: this batch's query list. The launch must use
   /// points.size() * k threads.
@@ -149,10 +156,14 @@ class SelfJoinKernel {
   simt::StepResult scan(LaneState& s, ResultSet& out,
                         std::uint64_t& emitted) const;
 
+  /// Query `a` (probe dataset in R×S mode, gridded dataset otherwise)
+  /// against candidate `b` (always the gridded dataset). qcoords_
+  /// aliases coords_ for the self-join, so this is the one distance
+  /// routine for both modes.
   [[nodiscard]] double dist2(PointId a, PointId b) const noexcept {
     double sum = 0.0;
     for (int d = 0; d < dims_; ++d) {
-      const double diff = coords_[static_cast<std::size_t>(d)][a] -
+      const double diff = qcoords_[static_cast<std::size_t>(d)][a] -
                           coords_[static_cast<std::size_t>(d)][b];
       sum += diff * diff;
     }
@@ -166,7 +177,7 @@ class SelfJoinKernel {
     if (dims_ <= 2) return dist2(a, b) <= eps2_;
     double sum = 0.0;
     for (int d = 0; d < dims_; ++d) {
-      const double diff = coords_[static_cast<std::size_t>(d)][a] -
+      const double diff = qcoords_[static_cast<std::size_t>(d)][a] -
                           coords_[static_cast<std::size_t>(d)][b];
       sum += diff * diff;
       if (sum > eps2_) return false;
@@ -178,12 +189,14 @@ class SelfJoinKernel {
   // Cached hot fields.
   const GridCell* cells_ = nullptr;
   const PointId* point_ids_ = nullptr;
-  std::array<const double*, kMaxDims> coords_{};
+  std::array<const double*, kMaxDims> coords_{};   ///< gridded dataset
+  std::array<const double*, kMaxDims> qcoords_{};  ///< query side (== coords_ for Self)
   int dims_ = 0;
   double eps2_ = 0.0;
   std::uint64_t adj_total_ = 0;   ///< 3^dims
   std::uint64_t adj_center_ = 0;  ///< odometer slot of the origin cell
   bool unidirectional_ = false;
+  bool rxs_ = false;
   std::uint32_t cost_dist_ = 0;
   std::uint64_t atomics_ = 0;
   std::uint64_t emitted_ = 0;

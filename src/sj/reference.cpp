@@ -89,6 +89,37 @@ ResultSet cpu_grid_join_parallel(const GridIndex& grid, std::size_t nthreads,
   return rs;
 }
 
+std::vector<std::uint64_t> probe_neighbor_counts(
+    const GridIndex& grid, const Dataset& probe,
+    std::span<const PointId> queries) {
+  const Dataset& ds = grid.dataset();
+  const double eps2 = grid.epsilon() * grid.epsilon();
+  const int dims = grid.dims();
+  std::vector<double> qc(static_cast<std::size_t>(dims));
+  std::vector<std::uint64_t> out(queries.size(), 0);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const PointId q = queries[i];
+    for (int d = 0; d < dims; ++d) {
+      qc[static_cast<std::size_t>(d)] = probe.coord(q, d);
+    }
+    std::uint64_t cnt = 0;
+    grid.for_each_within(
+        qc, /*shells=*/1,
+        [&](std::size_t nidx, const CellCoords&, std::uint64_t) {
+          for (const PointId c : grid.cell_points(nidx)) {
+            double sum = 0.0;
+            for (int d = 0; d < dims; ++d) {
+              const double diff = qc[static_cast<std::size_t>(d)] - ds.coord(c, d);
+              sum += diff * diff;
+            }
+            if (sum <= eps2) ++cnt;
+          }
+        });
+    out[i] = cnt;
+  }
+  return out;
+}
+
 std::vector<std::uint64_t> neighbor_counts(const GridIndex& grid,
                                            std::span<const PointId> queries) {
   const Dataset& ds = grid.dataset();

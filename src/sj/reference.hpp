@@ -26,6 +26,13 @@ namespace gsj {
 [[nodiscard]] std::vector<std::uint64_t> neighbor_counts(
     const GridIndex& grid, std::span<const PointId> queries);
 
+/// R×S analogue of neighbor_counts: for each id in `queries` (indexing
+/// `probe`), the number of gridded-dataset points within epsilon of
+/// that probe point. The R×S batch estimator's probe.
+[[nodiscard]] std::vector<std::uint64_t> probe_neighbor_counts(
+    const GridIndex& grid, const Dataset& probe,
+    std::span<const PointId> queries);
+
 /// Multithreaded CPU grid join: the host-side analogue of
 /// GPUCALCGLOBAL (one task per cell range, thread-local buffers merged
 /// at the end). A second CPU baseline besides SUPER-EGO. `nthreads = 0`

@@ -22,6 +22,8 @@ std::string SelfJoinConfig::name() const {
   }
   if (pattern != CellPattern::Full) os << '+' << to_string(pattern);
   if (k != 1) os << "+k" << k;
+  if (mode == JoinMode::RxS) os << "+RXS";
+  if (mode == JoinMode::Knn) os << "+KNN" << knn_k;
   return os.str();
 }
 
@@ -70,6 +72,45 @@ SelfJoinOutput self_join(const Dataset& ds, const SelfJoinConfig& cfg) {
   // threads leak nothing). Each call still gets an ephemeral cache
   // shell, so one-shot behaviour (no plan caching across calls, no
   // dataset lifetime entanglement) is unchanged.
+  return JoinService::shared().self_join(ds, cfg);
+}
+
+SelfJoinOutput rxs_join(const Dataset& r, const Dataset& s,
+                        SelfJoinConfig cfg) {
+  cfg.mode = JoinMode::RxS;
+  if (r.empty() || s.empty()) {
+    // An empty side makes the cross-product empty; the pipeline treats
+    // an empty *gridded* dataset as a config error (matching Self), so
+    // answer here without gridding anything.
+    SelfJoinOutput out;
+    out.results = ResultSet(cfg.store_pairs);
+    return out;
+  }
+  // Grid the smaller side, probe with the larger: probe cost scales
+  // with |probe| × density while grid build scales with the gridded
+  // side, so the small-side grid minimizes both. Ties grid S so the
+  // emitted (probe, grid) pairs are already (r, s).
+  const bool grid_r = r.size() < s.size();
+  const Dataset& gridded = grid_r ? r : s;
+  const Dataset& probe = grid_r ? s : r;
+  cfg.probe = &probe;
+  SelfJoinOutput out = JoinService::shared().self_join(gridded, cfg);
+  if (grid_r && out.results.stores_pairs()) {
+    // Pairs came out as (probe=s, grid=r); the contract is (r, s).
+    ResultSet flipped(true);
+    flipped.reserve(out.results.count());
+    for (const auto& [a, b] : out.results.pairs()) flipped.emit(b, a);
+    flipped.canonicalize();
+    out.results = std::move(flipped);
+  }
+  return out;
+}
+
+SelfJoinOutput knn_join(const Dataset& ds, const Dataset& queries, int k,
+                        SelfJoinConfig cfg) {
+  cfg.mode = JoinMode::Knn;
+  cfg.probe = &queries;
+  cfg.knn_k = k;
   return JoinService::shared().self_join(ds, cfg);
 }
 

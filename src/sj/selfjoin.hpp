@@ -38,9 +38,48 @@ namespace obs {
 class Registry;  // metrics.hpp (Tracer comes in via diagnostics.hpp)
 }  // namespace obs
 
+/// Which join the pipeline answers (docs/JOINS.md).
+enum class JoinMode : std::uint8_t {
+  Self,  ///< ε-self-join of the attached dataset (the paper's workload)
+  RxS,   ///< two-dataset ε-join: grid the attached dataset, probe with
+         ///< `probe` — every cell-pattern optimization degenerates to
+         ///< plain neighbor probing (pattern is forced to Full)
+  Knn,   ///< exact k-NN join of `probe` against the attached dataset by
+         ///< per-query iterative ε-widening over the cached grids
+};
+
+[[nodiscard]] constexpr const char* to_string(JoinMode m) noexcept {
+  switch (m) {
+    case JoinMode::Self: return "self";
+    case JoinMode::RxS: return "rxs";
+    case JoinMode::Knn: return "knn";
+  }
+  return "?";
+}
+
 struct SelfJoinConfig {
   double epsilon = 1.0;
   CellPattern pattern = CellPattern::Full;
+
+  // --- join modality (docs/JOINS.md) ---
+  /// Self answers the classic self-join; RxS and Knn probe the gridded
+  /// (attached) dataset with `probe`. The probe dataset is non-owning
+  /// and must outlive the call; its identity (uid + generation) is
+  /// folded into every plan/estimate/result cache key, so mutating it
+  /// between calls is safe — stale entries simply never match.
+  JoinMode mode = JoinMode::Self;
+  /// Second dataset for RxS / Knn (queries). Must have the same dims()
+  /// as the attached dataset. Ignored for Self.
+  const Dataset* probe = nullptr;
+  /// Knn only: neighbors per query (k > size() returns all points;
+  /// self-matches count — a query identical to a data point has that
+  /// point as its nearest neighbor). Ties broken by (distance², id).
+  int knn_k = 0;
+  /// Knn only: geometric ε-widening factor per round (> 1).
+  double knn_growth = 2.0;
+  /// Knn only: round-0 ε. 0 seeds from the density estimate
+  /// 0.5 * (k · volume / n)^(1/dims) of the gridded dataset's bbox.
+  double knn_initial_epsilon = 0.0;
   /// SORTBYWL (§III-C): sort each strided batch's query list by
   /// non-increasing workload. Ignored when `work_queue` is set (the
   /// queue order is always workload-sorted).
@@ -135,6 +174,13 @@ struct SelfJoinStats {
   double total_seconds = 0.0;      ///< modeled pipeline incl. transfers
   double host_prep_seconds = 0.0;  ///< wall time: grid build, sorting, planning
 
+  // --- KNN-join accounting (JoinMode::Knn only) ---
+  /// ε-widening rounds executed (each resolves one grid through the
+  /// plan source — repeat requests hit the per-ε LRU grid cache).
+  std::uint64_t knn_rounds = 0;
+  /// ε of the last round (the widest grid touched).
+  double knn_final_epsilon = 0.0;
+
   // --- imbalance diagnostics (populated when collect_diagnostics) ---
   /// Per-warp cycle dispersion over all batches (CoV, Gini, tail
   /// percentiles — §IV's skew made queryable).
@@ -184,5 +230,24 @@ struct SelfJoinOutput {
 /// docs/ROBUSTNESS.md).
 [[nodiscard]] SelfJoinOutput self_join(const Dataset& ds,
                                        const SelfJoinConfig& cfg);
+
+/// Two-dataset ε-join: all ordered pairs (r, s) with r ∈ R, s ∈ S and
+/// dist(r, s) ≤ ε. Grids the smaller dataset and probes with the other
+/// (the cost-optimal orientation); result pairs are always
+/// (r_id, s_id) in canonical order regardless of which side was
+/// gridded. Either side empty returns an empty result. `cfg.mode` and
+/// `cfg.probe` are overwritten; other knobs (variant, batching, fleet,
+/// store_pairs, observability) apply as for self_join.
+[[nodiscard]] SelfJoinOutput rxs_join(const Dataset& r, const Dataset& s,
+                                      SelfJoinConfig cfg);
+
+/// Exact k-NN join: for each query q ∈ `queries`, the k nearest points
+/// of `ds` in canonical order (distance², then id — docs/JOINS.md).
+/// Pairs are (query_id, neighbor_id). k > |ds| returns all |ds|
+/// neighbors per query. `cfg.mode`, `cfg.probe`, and `cfg.knn_k` are
+/// overwritten.
+[[nodiscard]] SelfJoinOutput knn_join(const Dataset& ds,
+                                      const Dataset& queries, int k,
+                                      SelfJoinConfig cfg);
 
 }  // namespace gsj

@@ -290,9 +290,18 @@ namespace detail {
 /// hits (a waiter is served from the cache — it just arrives early).
 class ServicePlanSource {
  public:
+  /// `cfg` makes the source mode-aware: for R×S requests, workloads/D'
+  /// resolve against the probe dataset and plan slots are keyed by
+  /// probe_signature. Null `cfg` (delta polls) behaves as Self.
   ServicePlanSource(JoinService& svc, SharedDataset& sd,
+                    const SelfJoinConfig* cfg,
                     obs::RequestObs* robs = nullptr)
-      : svc_(svc), sd_(sd), robs_(robs) {}
+      : svc_(svc),
+        sd_(sd),
+        probe_(cfg != nullptr && cfg->mode == JoinMode::RxS ? cfg->probe
+                                                            : nullptr),
+        probe_sig_(cfg != nullptr ? probe_signature(*cfg) : 0),
+        robs_(robs) {}
 
   ~ServicePlanSource() {
     if (pool_ != nullptr) svc_.return_pool(pool_threads_, std::move(pool_));
@@ -365,7 +374,8 @@ class ServicePlanSource {
         "workload", [&](SharedDataset::PlanSlot& s) { return &s.workloads; },
         [&] {
           return std::make_shared<const std::vector<std::uint64_t>>(
-              point_workloads(*grid_, pattern, p));
+              probe_ != nullptr ? probe_point_workloads(*grid_, *probe_, p)
+                                : point_workloads(*grid_, pattern, p));
         });
     return *workloads_;
   }
@@ -376,8 +386,11 @@ class ServicePlanSource {
         "order", [&](SharedDataset::PlanSlot& s) { return &s.order; },
         [&] {
           // The pipeline resolves workloads before the order, so
-          // workloads_ is pinned by the time a builder runs.
-          std::vector<PointId> order(sd_.dataset().size());
+          // workloads_ is pinned by the time a builder runs. R×S
+          // orders rank probe ids (the workloads already index them).
+          std::vector<PointId> order(probe_ != nullptr
+                                         ? probe_->size()
+                                         : sd_.dataset().size());
           std::iota(order.begin(), order.end(), PointId{0});
           parallel_stable_sort(
               order,
@@ -429,7 +442,8 @@ class ServicePlanSource {
   SharedDataset::PlanSlot* find_plan_locked(std::uint64_t key,
                                             CellPattern pattern) {
     for (auto& s : sd_.plans_) {
-      if (s->grid_key == key && s->pattern == pattern) {
+      if (s->grid_key == key && s->pattern == pattern &&
+          s->probe_sig == probe_sig_) {
         s->last_used.store(next_tick(), std::memory_order_relaxed);
         return s.get();
       }
@@ -481,6 +495,7 @@ class ServicePlanSource {
     auto slot = std::make_shared<SharedDataset::PlanSlot>();
     slot->grid_key = key;
     slot->pattern = pattern;
+    slot->probe_sig = probe_sig_;
     slot->last_used.store(next_tick(), std::memory_order_relaxed);
     pslot_ = slot;
     sd_.plans_.push_back(std::move(slot));
@@ -550,6 +565,8 @@ class ServicePlanSource {
 
   JoinService& svc_;
   SharedDataset& sd_;
+  const Dataset* probe_ = nullptr;    ///< R×S only; null for Self/KNN
+  std::uint64_t probe_sig_ = 0;
   obs::RequestObs* robs_;             ///< request attribution (may be null)
   std::unique_ptr<ThreadPool> pool_;  ///< depot lease, returned in dtor
   int pool_threads_ = 0;
@@ -616,7 +633,7 @@ SelfJoinOutput JoinService::execute(SharedDataset& sd,
     ~ArenaLease() { svc.return_arena(std::move(arena)); }
   } lease{*this, checkout_arena()};
   // Returns its pool lease in dtor.
-  detail::ServicePlanSource src(*this, sd, robs);
+  detail::ServicePlanSource src(*this, sd, &cfg, robs);
 
   SelfJoinOutput out;
   detail::plan_and_execute(cfg, sd.dataset(), src, *lease.arena, cancel, out);
@@ -693,6 +710,11 @@ void JoinService::sync_shared(SharedDataset& sd) {
     for (std::size_t i = 0; i < sd.plans_.size(); ++i) {
       auto& ps = sd.plans_[i];
       if (ps->grid_key != old_key) continue;
+      // R×S plans depend on probe points; the gridded side's churn
+      // changes their candidate counts in ways the cell-granular patch
+      // cannot express. Drop, don't patch (probe churn needs nothing:
+      // it rotates probe_signature, so stale slots age out via LRU).
+      if (ps->probe_sig != 0) continue;
       SharedDataset::WorkloadsPtr w;
       if (future_ready(ps->workloads)) {
         try {
@@ -976,15 +998,28 @@ JoinService::ResultGate JoinService::result_gate(
   const SelfJoinConfig& cfg = item.req.config;
   // A request the pipeline would reject must reach the pipeline so the
   // cache never masks the canonical validation error (mirror of the
-  // plan_and_execute gate).
-  if (!(cfg.epsilon > 0.0) || sd.dataset().empty() || cfg.k < 1 ||
-      cfg.device.warp_size % cfg.k != 0) {
-    return ResultGate::Execute;
-  }
-  try {
-    cfg.batching.validate();
-  } catch (const std::exception&) {
-    return ResultGate::Execute;
+  // plan_and_execute / knn_execute gates, per mode).
+  if (cfg.mode == JoinMode::Knn) {
+    if (cfg.probe == nullptr || cfg.knn_k < 1 || !(cfg.knn_growth > 1.0) ||
+        !(cfg.knn_initial_epsilon >= 0.0) || sd.dataset().empty() ||
+        cfg.probe->dims() != sd.dataset().dims()) {
+      return ResultGate::Execute;
+    }
+  } else {
+    if (!(cfg.epsilon > 0.0) || sd.dataset().empty() || cfg.k < 1 ||
+        cfg.device.warp_size % cfg.k != 0) {
+      return ResultGate::Execute;
+    }
+    if (cfg.mode == JoinMode::RxS &&
+        (cfg.probe == nullptr ||
+         cfg.probe->dims() != sd.dataset().dims())) {
+      return ResultGate::Execute;
+    }
+    try {
+      cfg.batching.validate();
+    } catch (const std::exception&) {
+      return ResultGate::Execute;
+    }
   }
 
   const detail::ResultKey key =
@@ -1021,7 +1056,9 @@ JoinService::ResultGate JoinService::result_gate(
       sd.result_generation_ = key.generation;
     }
     for (const auto& s : sd.results_) {
-      if (s->eps_bits == key.eps_bits && (!needs_pairs || s->has_pairs)) {
+      if (s->eps_bits == key.eps_bits &&
+          s->class_digest == key.config_digest &&
+          (!needs_pairs || s->has_pairs)) {
         s->last_used = ++sd.result_tick_;
         exact = s->payload;
         break;
@@ -1029,9 +1066,7 @@ JoinService::ResultGate JoinService::result_gate(
     }
     if (exact == nullptr) {
       for (const auto& f : sd.result_flights_) {
-        if (f->key.generation == key.generation &&
-            f->key.eps_bits == key.eps_bits &&
-            (!needs_pairs || f->store_pairs)) {
+        if (f->key == key && (!needs_pairs || f->store_pairs)) {
           count("svc.result_cache.coalesced");
           rec.record("result_coalesce", rid, f->primary_rid);
           detail::ResultFlight::Follower fo;
@@ -1044,15 +1079,25 @@ JoinService::ResultGate JoinService::result_gate(
         }
       }
       // ε-subsumption candidate: the smallest pairs-bearing superset
-      // (least filter work). A same-ε entry is unreachable here — it
-      // either hit above or lacks the pairs this request needs (in
-      // which case has_pairs is false and it is skipped too).
+      // (least filter work). Self-only — an R×S/KNN payload's pairs
+      // are not a superset of any other request class, and the filter
+      // pass assumes self-join pair semantics. Candidates must share
+      // this request's config class (same digest) so that, e.g., an
+      // R×S cache entry never leaks into a Self request. A same-ε
+      // entry is unreachable here — it either hit above or lacks the
+      // pairs this request needs (in which case has_pairs is false and
+      // it is skipped too).
       const SharedDataset::ResultSlot* cand = nullptr;
-      for (const auto& s : sd.results_) {
-        if (!s->has_pairs || s->payload->epsilon < cfg.epsilon) continue;
-        if (cand == nullptr ||
-            s->payload->results.count() < cand->payload->results.count()) {
-          cand = s.get();
+      if (cfg.mode == JoinMode::Self) {
+        for (const auto& s : sd.results_) {
+          if (!s->has_pairs || s->class_digest != key.config_digest ||
+              s->payload->epsilon < cfg.epsilon) {
+            continue;
+          }
+          if (cand == nullptr ||
+              s->payload->results.count() < cand->payload->results.count()) {
+            cand = s.get();
+          }
         }
       }
       if (cand != nullptr && subsume_worthwhile(sd, cfg, *cand->payload)) {
@@ -1108,7 +1153,7 @@ JoinService::ResultGate JoinService::result_gate(
         pay->bytes = sizeof(ResultPayload) + pay->results.memory_bytes();
         std::lock_guard lk(sd.result_mu_);
         if (sd.result_generation_ == key.generation) {
-          insert_result_locked(sd, key.eps_bits, pay);
+          insert_result_locked(sd, key.eps_bits, key.config_digest, pay);
         }
       } catch (const std::bad_alloc&) {
       }
@@ -1155,9 +1200,10 @@ bool JoinService::subsume_worthwhile(SharedDataset& sd,
   {
     std::shared_lock lk(sd.mu_);
     const std::uint64_t bits = std::bit_cast<std::uint64_t>(cfg.epsilon);
+    // Subsumption is Self-only, so the probe-signature element is 0.
     const detail::EstimateKey key{
         std::bit_cast<std::uint64_t>(cfg.batching.sample_fraction),
-        std::bit_cast<std::uint64_t>(cfg.batching.inject_estimator_skew)};
+        std::bit_cast<std::uint64_t>(cfg.batching.inject_estimator_skew), 0};
     for (const auto& g : sd.grids_) {
       if (g->eps_bits != bits) continue;
       std::lock_guard el(g->est_mu);
@@ -1216,6 +1262,11 @@ void JoinService::repair_result_cache(SharedDataset& sd,
   const bool can_check = churn.has_value() && churn->pure_moves &&
                          (churn->touched.empty() || grid != nullptr);
 
+  // Survivor analysis is Self-only: churn_misses_result reads cached
+  // pair ids as gridded-dataset point ids, which R×S/KNN payloads'
+  // probe-side ids are not. Non-Self entries always drop on churn.
+  const std::uint64_t self_digest =
+      detail::make_result_key(0, SelfJoinConfig{}).config_digest;
   std::lock_guard lk(sd.result_mu_);
   // Another worker already advanced (or re-swept) the cache — its
   // verdicts stand; re-checking against a different window is wrong.
@@ -1224,7 +1275,7 @@ void JoinService::repair_result_cache(SharedDataset& sd,
   std::size_t dropped = 0;
   std::erase_if(sd.results_, [&](const auto& s) {
     const bool survive =
-        can_check &&
+        can_check && s->class_digest == self_digest &&
         (churn->touched.empty() ||
          (s->has_pairs && churn_misses_result(ds, *grid, *churn,
                                               s->payload->epsilon,
@@ -1245,11 +1296,12 @@ void JoinService::repair_result_cache(SharedDataset& sd,
 
 void JoinService::insert_result_locked(SharedDataset& sd,
                                        std::uint64_t eps_bits,
+                                       std::uint64_t class_digest,
                                        const ResultPtr& payload) {
   if (cfg_.max_result_cache_bytes == 0) return;
   const bool has_pairs = payload->results.stores_pairs();
   for (auto it = sd.results_.begin(); it != sd.results_.end();) {
-    if ((*it)->eps_bits != eps_bits) {
+    if ((*it)->eps_bits != eps_bits || (*it)->class_digest != class_digest) {
       ++it;
       continue;
     }
@@ -1263,6 +1315,7 @@ void JoinService::insert_result_locked(SharedDataset& sd,
   }
   auto slot = std::make_shared<SharedDataset::ResultSlot>();
   slot->eps_bits = eps_bits;
+  slot->class_digest = class_digest;
   slot->has_pairs = has_pairs;
   slot->payload = payload;
   slot->last_used = ++sd.result_tick_;
@@ -1310,7 +1363,8 @@ void JoinService::publish_result(
     flight->followers.clear();
     std::erase(sd.result_flights_, flight);
     if (payload != nullptr && sd.result_generation_ == flight->key.generation) {
-      insert_result_locked(sd, flight->key.eps_bits, payload);
+      insert_result_locked(sd, flight->key.eps_bits,
+                           flight->key.config_digest, payload);
     }
   }
   if (followers.empty()) return;
@@ -1482,7 +1536,7 @@ std::optional<PairDelta> JoinService::delta_for(Subscription& sub) {
   const ChurnSummary churn = summarize_churn(ds, *window);
   // Resolve (and repair) the ε grid through the shared artifact cache —
   // a poll warms the same grid later join requests hit.
-  detail::ServicePlanSource src(*this, sd, nullptr);
+  detail::ServicePlanSource src(*this, sd, /*cfg=*/nullptr, nullptr);
   src.sync();
   bool hit = false;
   src.resolve_grid(sub.epsilon, nullptr, &hit);

@@ -79,6 +79,7 @@
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -283,8 +284,11 @@ class SharedDataset {
   friend class detail::ServicePlanSource;
   friend struct detail::ResultFlight;
 
+  /// detail::EstimateKey (sj/pipeline.hpp): (sample_fraction bits,
+  /// skew bits, probe signature — 0 for Self).
   using EstimateMap =
-      std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>;
+      std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+               std::uint64_t>;
   using GridPtr = std::shared_ptr<const GridIndex>;
   using WorkloadsPtr = std::shared_ptr<const std::vector<std::uint64_t>>;
   using OrderPtr = std::shared_ptr<const std::vector<PointId>>;
@@ -302,10 +306,15 @@ class SharedDataset {
     std::atomic<std::uint64_t> last_used{0};
   };
 
-  /// One cached workload/order entry per (grid, pattern).
+  /// One cached workload/order entry per (grid, pattern, probe
+  /// signature). Self plans carry probe_sig 0 and index the gridded
+  /// dataset; R×S plans carry detail::probe_signature of their request
+  /// and index the probe dataset — the signature in the match key is
+  /// what keeps the two from ever aliasing.
   struct PlanSlot {
     std::uint64_t grid_key = 0;
     CellPattern pattern = CellPattern::Full;
+    std::uint64_t probe_sig = 0;
     /// Single-flight futures; !valid() until the first requester
     /// installs its promise. Guarded by SharedDataset::mu_.
     std::shared_future<WorkloadsPtr> workloads;
@@ -340,6 +349,11 @@ class SharedDataset {
   /// still copying from the payload keeps it alive.
   struct ResultSlot {
     std::uint64_t eps_bits = 0;
+    /// ResultKey::config_digest of the producing request: join mode,
+    /// probe identity and KNN parameters. Compared on every exact
+    /// lookup so a Self hit can never serve an R×S/KNN request (or
+    /// vice versa) even at equal ε bits.
+    std::uint64_t class_digest = 0;
     bool has_pairs = false;
     ResultPtr payload;
     std::uint64_t last_used = 0;
@@ -552,7 +566,10 @@ class JoinService {
   void abandon_flight(const std::shared_ptr<detail::ResultFlight>& flight);
   /// Inserts a completed result under sd.result_mu_ (held by the
   /// caller) and evicts LRU entries past the byte budget.
+  /// `class_digest` is the ResultKey::config_digest of the producing
+  /// request (mode / probe identity / KNN knobs).
   void insert_result_locked(SharedDataset& sd, std::uint64_t eps_bits,
+                            std::uint64_t class_digest,
                             const ResultPtr& payload);
   /// The subsumption cost model (ServiceConfig::subsume_cost_ratio).
   bool subsume_worthwhile(SharedDataset& sd, const SelfJoinConfig& cfg,

@@ -632,6 +632,232 @@ TEST(Differential, ChurnedFleetSubmitMatchesOracle) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// R×S families (docs/JOINS.md): two-dataset ε-joins over seeded
+// bbox-relationship / size-ratio / duplicate cases, against the
+// brute_force_rxs oracle. Seeds >= 200 (1–199 belong to the self-join
+// families above); seed % 6 selects the family, so each range below
+// covers all six.
+
+using testsupport::brute_force_knn;
+using testsupport::brute_force_rxs;
+using testsupport::make_rxs_case;
+using testsupport::RxsCase;
+
+void expect_rxs_match(const ResultSet& got, const ResultSet& want,
+                      const RxsCase& c, const std::string& path) {
+  ASSERT_EQ(got.pairs().size(), want.pairs().size())
+      << path << " " << c.describe();
+  EXPECT_EQ(got.pairs(), want.pairs()) << path << " " << c.describe();
+}
+
+void rxs_variant_vs_oracle(std::size_t variant_index, std::uint64_t seed_lo,
+                           std::uint64_t seed_hi) {
+  for (std::uint64_t seed = seed_lo; seed <= seed_hi; ++seed) {
+    const RxsCase c = make_rxs_case(seed);
+    const ResultSet truth = brute_force_rxs(c.r, c.s, c.epsilon);
+    auto variants = all_variants(c.epsilon);
+    auto& [name, cfg] = variants[variant_index];
+    cfg.store_pairs = true;
+    const SelfJoinOutput out = rxs_join(c.r, c.s, cfg);
+    expect_rxs_match(out.results, truth, c, name + "/rxs");
+    EXPECT_EQ(out.stats.result_pairs, truth.pairs().size())
+        << name << " " << c.describe();
+  }
+}
+
+TEST(Differential, RxsGpuCalcGlobalMatchesBruteForce) {
+  rxs_variant_vs_oracle(0, 200, 211);
+}
+TEST(Differential, RxsUnicompMatchesBruteForce) {
+  rxs_variant_vs_oracle(1, 200, 211);
+}
+TEST(Differential, RxsLidUnicompMatchesBruteForce) {
+  rxs_variant_vs_oracle(2, 200, 211);
+}
+TEST(Differential, RxsSortByWlMatchesBruteForce) {
+  rxs_variant_vs_oracle(3, 200, 211);
+}
+TEST(Differential, RxsWorkQueueMatchesBruteForce) {
+  rxs_variant_vs_oracle(4, 200, 211);
+}
+TEST(Differential, RxsCombinedMatchesBruteForce) {
+  rxs_variant_vs_oracle(5, 200, 211);
+}
+
+TEST(Differential, RxsEngineColdAndWarmRunsMatchOracle) {
+  // Engine path: the gridded side is prepared once; cold then warm
+  // (plan-cache-served) R×S runs must both match the oracle — a warm
+  // divergence is a probe-plan keying bug.
+  for (std::uint64_t seed = 212; seed <= 217; ++seed) {
+    const RxsCase c = make_rxs_case(seed);
+    const ResultSet truth = brute_force_rxs(c.r, c.s, c.epsilon);
+    // Run against the engine directly: grid `s`, probe with `r` (pairs
+    // come back (probe, gridded) = (r, s), matching the oracle).
+    JoinEngine engine;
+    PreparedDataset prep = engine.prepare(c.s);
+    if (c.s.empty() || c.r.empty()) continue;
+    for (auto& [name, cfg] : all_variants(c.epsilon)) {
+      cfg.store_pairs = true;
+      cfg.mode = JoinMode::RxS;
+      cfg.probe = &c.r;
+      const SelfJoinOutput cold = engine.run(prep, cfg);
+      expect_rxs_match(cold.results, truth, c, name + "/rxs-cold");
+      const SelfJoinOutput warm = engine.run(prep, cfg);
+      expect_rxs_match(warm.results, truth, c, name + "/rxs-warm");
+    }
+  }
+}
+
+TEST(Differential, RxsServiceSubmitMatchesOracle) {
+  for (std::uint64_t seed = 218; seed <= 223; ++seed) {
+    const RxsCase c = make_rxs_case(seed);
+    const ResultSet truth = brute_force_rxs(c.r, c.s, c.epsilon);
+    if (c.s.empty() || c.r.empty()) continue;
+    ServiceConfig scfg;
+    scfg.workers = 2;
+    JoinService svc(scfg);
+    const auto sd = svc.attach(c.s);
+    JoinRequest req;
+    req.config = SelfJoinConfig::combined(c.epsilon);
+    req.config.store_pairs = true;
+    req.config.mode = JoinMode::RxS;
+    req.config.probe = &c.r;
+    const JoinResponse r = svc.submit(sd, req).get();
+    ASSERT_EQ(r.status, JoinStatus::Ok) << c.describe() << ": " << r.error;
+    expect_rxs_match(r.output.results, truth, c, "rxs/submit");
+    // Repeat request: exact result-cache hit, same pairs.
+    const JoinResponse r2 = svc.submit(sd, req).get();
+    ASSERT_EQ(r2.status, JoinStatus::Ok) << c.describe();
+    EXPECT_EQ(r2.breakdown.served_from, obs::ServedFrom::ResultCache)
+        << c.describe();
+    expect_rxs_match(r2.output.results, truth, c, "rxs/submit-hit");
+  }
+}
+
+TEST(Differential, RxsHostParallelMatchesOracle) {
+  for (std::uint64_t seed = 224; seed <= 229; ++seed) {
+    const RxsCase c = make_rxs_case(seed);
+    const ResultSet truth = brute_force_rxs(c.r, c.s, c.epsilon);
+    for (auto& [name, cfg] : all_variants(c.epsilon)) {
+      cfg.store_pairs = true;
+      cfg.device.host.num_threads = 4;
+      const SelfJoinOutput out = rxs_join(c.r, c.s, cfg);
+      expect_rxs_match(out.results, truth, c, name + "/rxs-mt4");
+    }
+  }
+}
+
+TEST(Differential, RxsFleetMatchesOracle) {
+  // Fleet sharding partitions contiguous probe-id ranges for R×S; every
+  // grain boundary is a potential duplicate-or-drop seam, for every
+  // device count.
+  for (std::uint64_t seed = 230; seed <= 235; ++seed) {
+    const RxsCase c = make_rxs_case(seed);
+    const ResultSet truth = brute_force_rxs(c.r, c.s, c.epsilon);
+    for (const int devices : {1, 2, 4}) {
+      for (auto& [name, cfg] : all_variants(c.epsilon)) {
+        cfg.store_pairs = true;
+        cfg.fleet.num_devices = devices;
+        const SelfJoinOutput out = rxs_join(c.r, c.s, cfg);
+        expect_rxs_match(out.results, truth, c,
+                         name + "/rxs-fleet" + std::to_string(devices));
+      }
+    }
+  }
+}
+
+TEST(Differential, RxsPairAtExactlyEpsilonIsIncluded) {
+  // Cross-pair at dist == eps must be inside (<=, not <) in both
+  // orientations (R gridded and S gridded).
+  Dataset r(2);
+  Dataset s(2);
+  const double a[] = {0.0, 0.0};
+  const double b[] = {0.25, 0.0};
+  r.push_back(a);
+  s.push_back(b);
+  for (auto& [name, cfg] : all_variants(0.25)) {
+    cfg.store_pairs = true;
+    const SelfJoinOutput out = rxs_join(r, s, cfg);
+    ASSERT_EQ(out.results.pairs().size(), 1u) << name;
+    EXPECT_EQ(out.results.pairs()[0], ResultPair(0, 0)) << name;
+    // Flip the sides: same single pair, ids still (r_id, s_id).
+    const SelfJoinOutput flipped = rxs_join(s, r, cfg);
+    ASSERT_EQ(flipped.results.pairs().size(), 1u) << name;
+    EXPECT_EQ(flipped.results.pairs()[0], ResultPair(0, 0)) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KNN families: exact k-NN join against the brute-force oracle, with
+// the documented (distance², then id) selection tie-break. k spans
+// {1, 5, n} plus k > n (all-neighbors clamp).
+
+TEST(Differential, KnnMatchesBruteForceAcrossK) {
+  for (std::uint64_t seed = 236; seed <= 243; ++seed) {
+    const RxsCase c = make_rxs_case(seed);
+    if (c.s.empty() || c.r.empty()) continue;
+    const auto n = static_cast<int>(c.s.size());
+    for (const int k : {1, 5, n, n + 7}) {
+      if (k < 1) continue;
+      const ResultSet truth = brute_force_knn(c.s, c.r, k);
+      SelfJoinConfig cfg = SelfJoinConfig::combined(c.epsilon);
+      cfg.store_pairs = true;
+      const SelfJoinOutput out = knn_join(c.s, c.r, k, cfg);
+      expect_rxs_match(out.results, truth, c, "knn k=" + std::to_string(k));
+      EXPECT_EQ(out.stats.result_pairs, truth.pairs().size())
+          << "k=" << k << " " << c.describe();
+      EXPECT_GE(out.stats.knn_rounds, 1u) << c.describe();
+    }
+  }
+}
+
+TEST(Differential, KnnServiceSubmitMatchesOracle) {
+  for (std::uint64_t seed = 244; seed <= 247; ++seed) {
+    const RxsCase c = make_rxs_case(seed);
+    if (c.s.empty() || c.r.empty()) continue;
+    const ResultSet truth = brute_force_knn(c.s, c.r, 3);
+    ServiceConfig scfg;
+    scfg.workers = 2;
+    JoinService svc(scfg);
+    const auto sd = svc.attach(c.s);
+    JoinRequest req;
+    req.config.mode = JoinMode::Knn;
+    req.config.probe = &c.r;
+    req.config.knn_k = 3;
+    req.config.store_pairs = true;
+    const JoinResponse r = svc.submit(sd, req).get();
+    ASSERT_EQ(r.status, JoinStatus::Ok) << c.describe() << ": " << r.error;
+    expect_rxs_match(r.output.results, truth, c, "knn/submit");
+    // Repeat: exact result-cache hit keyed by (mode, probe identity, k).
+    const JoinResponse r2 = svc.submit(sd, req).get();
+    ASSERT_EQ(r2.status, JoinStatus::Ok) << c.describe();
+    EXPECT_EQ(r2.breakdown.served_from, obs::ServedFrom::ResultCache)
+        << c.describe();
+    expect_rxs_match(r2.output.results, truth, c, "knn/submit-hit");
+  }
+}
+
+TEST(Differential, KnnTiesAtExactlyEpsilonResolveById) {
+  // Four data points equidistant from the query (a cross at distance
+  // 0.5): k=2 must select ids {0, 1} by the (distance², id) tie-break,
+  // for any variant config riding the request.
+  Dataset ds(2);
+  const double pts[][2] = {{0.5, 0.0}, {-0.5, 0.0}, {0.0, 0.5}, {0.0, -0.5}};
+  for (const auto& q : pts) ds.push_back(q);
+  Dataset queries(2);
+  const double origin[] = {0.0, 0.0};
+  queries.push_back(origin);
+  const ResultSet truth = brute_force_knn(ds, queries, 2);
+  ASSERT_EQ(truth.pairs().size(), 2u);
+  EXPECT_EQ(truth.pairs()[0], ResultPair(0, 0));
+  EXPECT_EQ(truth.pairs()[1], ResultPair(0, 1));
+  SelfJoinConfig cfg;
+  cfg.store_pairs = true;
+  const SelfJoinOutput out = knn_join(ds, queries, 2, cfg);
+  EXPECT_EQ(out.results.pairs(), truth.pairs());
+}
+
 TEST(Differential, PairAtExactlyEpsilonIsIncluded) {
   // dist == eps must be inside (<=, not <) for every variant.
   Dataset ds(2);

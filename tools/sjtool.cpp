@@ -4,6 +4,9 @@
 //   sjtool info     --input data.bin
 //   sjtool join     --input data.bin --epsilon 0.02 --variant combined
 //                   [--pairs-out pairs.csv] [--k 8] [--sms 56]
+//                   [--mode rxs --other s.bin]   (R×S ε-join)
+//   sjtool knn      --input data.bin --k 8 [--queries q.bin]
+//                   (exact k-NN join by iterative ε-widening)
 //   sjtool dbscan   --input data.bin --epsilon 0.05 --minpts 8
 //   sjtool profile  --input data.bin --epsilon 0.02 --variant combined
 //                   [--out DIR] [--logical-time]   (trace.json + metrics.json)
@@ -63,14 +66,23 @@ namespace {
 
 int usage() {
   std::cout <<
-      "usage: sjtool <generate|info|join|dbscan|profile|sweep|serve"
+      "usage: sjtool <generate|info|join|knn|dbscan|profile|sweep|serve"
       "|top|explain> [--flags]\n"
       "  generate --dataset <Table-I name> [--n N] [--seed S] --out F\n"
       "  info     --input F\n"
       "  join     --input F --epsilon E [--variant V] [--k K]\n"
+      "           [--mode self|rxs] [--other F]\n"
       "           [--sms N] [--host-threads T] [--pairs-out F.csv]\n"
       "           [--devices D] [--device-sms S1,..] [--device-clock G1,..]\n"
       "           [--grains-per-device G] [--fleet-static]\n"
+      "           --mode rxs joins --input (R) against --other (S): all\n"
+      "           (r, s) pairs within E, the smaller side gridded\n"
+      "  knn      --input F --k N [--queries F] [--growth G]\n"
+      "           [--initial-epsilon E0] [--sms N] [--host-threads T]\n"
+      "           [--pairs-out F.csv]\n"
+      "           exact k-NN join (docs/JOINS.md): for each query point\n"
+      "           (--queries, default: the input itself) the N nearest\n"
+      "           input points, found by iterative eps-widening\n"
       "  dbscan   --input F --epsilon E [--minpts M] [--host-threads T]\n"
       "           [--labels-out F.csv]\n"
       "  profile  (--input F | --dataset <name> [--n N] [--seed S])\n"
@@ -93,19 +105,27 @@ int usage() {
       "           [--devices D] [--device-sms S1,..] [--device-clock G1,..]\n"
       "           [--grains-per-device G] [--fleet-static]\n"
       "           [--duplicate-fraction F] [--verify] [--out F.json]\n"
+      "           [--rxs-fraction F] [--knn-fraction F] [--probe-n N]\n"
+      "           [--max-cached-grids G]\n"
       "           [--churn-rate R [--churn-epochs E]]\n"
       "           serves requests concurrently through one JoinService;\n"
       "           a requests file has one request per line as key=value\n"
       "           tokens (epsilon= variant= k= priority= deadline-ms=\n"
-      "           cancel-ms=; # starts a comment), --stress generates N\n"
+      "           cancel-ms= mode= knn-k=; # starts a comment; mode=knn\n"
+      "           needs knn-k=K and no epsilon), --stress generates N\n"
       "           seeded random requests with occasional cancellations\n"
       "           (--duplicate-fraction F derives that fraction of them\n"
       "           from earlier requests — half exact duplicates, half\n"
       "           subsumable smaller radii — to exercise the result\n"
-      "           cache); --verify replays every completed request\n"
+      "           cache; --rxs-fraction / --knn-fraction run those\n"
+      "           fractions as R×S / KNN joins against a seeded probe\n"
+      "           dataset of --probe-n points, and the report gains a\n"
+      "           knn_grid_cache_hit_ratio over the widening rounds);\n"
+      "           --verify replays every completed request\n"
       "           serially on a cold engine and checks results are\n"
       "           bit-identical, served (cache/coalesced/subsumed)\n"
-      "           responses included; --churn-rate R > 0 switches to an\n"
+      "           responses included, R×S and KNN requests replayed in\n"
+      "           their own mode; --churn-rate R > 0 switches to an\n"
       "           epoch loop (docs/STREAMING.md): between request waves\n"
       "           a seeded mutation mix touches ~R of the points\n"
       "           (insert/erase/move), the incremental repair path is\n"
@@ -284,8 +304,18 @@ int cmd_join(gsj::Cli& cli) {
   GSJ_CHECK_MSG(eps > 0.0, "--epsilon is required and must be > 0");
   const std::string variant =
       cli.get("variant", "combined", "join variant (see --help)");
+  const std::string mode = cli.get("mode", "self", "join mode: self | rxs");
+  GSJ_CHECK_MSG(mode == "self" || mode == "rxs",
+                "unknown --mode '" << mode << "' (self | rxs)");
+  const std::string other_path = cli.get(
+      "other", "", "R×S: the S-side dataset (.bin); --input is the R side");
   const std::string pairs_out =
       cli.get("pairs-out", "", "write result pairs to CSV");
+  if (mode == "rxs") {
+    GSJ_CHECK_MSG(!other_path.empty(), "--mode rxs needs --other F");
+    GSJ_CHECK_MSG(variant != "superego",
+                  "superego supports --mode self only");
+  }
 
   if (variant == "superego") {
     gsj::SuperEgoConfig cfg;
@@ -321,8 +351,15 @@ int cmd_join(gsj::Cli& cli) {
   cfg.fleet = parse_fleet_flags(cli, cfg.device);
   cfg.store_pairs = !pairs_out.empty();
 
-  const auto out = gsj::self_join(ds, cfg);
-  std::cout << cfg.name() << ": " << out.stats.result_pairs << " pairs, "
+  const gsj::SelfJoinOutput out = [&] {
+    if (mode == "rxs") {
+      const gsj::Dataset other = gsj::load_binary(other_path);
+      return gsj::rxs_join(ds, other, cfg);
+    }
+    return gsj::self_join(ds, cfg);
+  }();
+  std::cout << cfg.name() << (mode == "rxs" ? " [rxs]" : "") << ": "
+            << out.stats.result_pairs << " pairs, "
             << out.stats.num_batches << " batches, modeled "
             << out.stats.total_seconds << " s (kernel "
             << out.stats.kernel_seconds << " s), WEE "
@@ -333,6 +370,52 @@ int cmd_join(gsj::Cli& cli) {
               << " retried launch(es), " << out.stats.wasted.busy_cycles
               << " wasted busy cycles\n";
   }
+  if (!pairs_out.empty()) {
+    std::ofstream f(pairs_out);
+    for (const auto& [a, b] : out.results.pairs()) f << a << ',' << b << '\n';
+    std::cout << "pairs written to " << pairs_out << "\n";
+  }
+  return 0;
+}
+
+int cmd_knn(gsj::Cli& cli) {
+  const gsj::Dataset ds = load_input(cli);
+  const int k = static_cast<int>(cli.get_int("k", 0, "neighbors per query"));
+  GSJ_CHECK_MSG(k > 0, "--k is required and must be > 0");
+  const std::string queries_path = cli.get(
+      "queries", "", "query dataset (.bin); default: the input itself");
+  const std::string pairs_out =
+      cli.get("pairs-out", "", "write (query,neighbor) pairs to CSV");
+
+  gsj::SelfJoinConfig cfg;
+  cfg.device.num_sms =
+      static_cast<int>(cli.get_int("sms", cfg.device.num_sms, "modeled SMs"));
+  cfg.device.host.num_threads = static_cast<int>(
+      cli.get_int("host-threads", 0, "host worker threads (0 = sequential)"));
+  apply_batching_flags(cli, cfg.batching);
+  cfg.knn_growth = cli.get_double("growth", cfg.knn_growth,
+                                  "eps-widening growth factor (> 1)");
+  cfg.knn_initial_epsilon = cli.get_double(
+      "initial-epsilon", 0.0, "explicit eps0 (0 = density-derived seed)");
+  cfg.store_pairs = !pairs_out.empty();
+
+  // Self-kNN (no --queries) probes the dataset with itself; each point
+  // then counts itself as its own nearest neighbor (distance 0) — the
+  // documented self-match semantics (docs/JOINS.md).
+  gsj::Dataset query_storage(ds.dims());
+  const gsj::Dataset* queries = &ds;
+  if (!queries_path.empty()) {
+    query_storage = gsj::load_binary(queries_path);
+    queries = &query_storage;
+  }
+
+  const gsj::SelfJoinOutput out = gsj::knn_join(ds, *queries, k, cfg);
+  std::cout << "knn k=" << k << ": " << out.stats.result_pairs
+            << " pairs over " << queries->size() << " queries, "
+            << out.stats.knn_rounds << " widening round(s) to eps "
+            << out.stats.knn_final_epsilon << ", modeled "
+            << out.stats.total_seconds << " s (kernel "
+            << out.stats.kernel_seconds << " s)\n";
   if (!pairs_out.empty()) {
     std::ofstream f(pairs_out);
     for (const auto& [a, b] : out.results.pairs()) f << a << ',' << b << '\n';
@@ -636,14 +719,18 @@ int cmd_sweep(gsj::Cli& cli) {
 /// knobs (when to fire the cooperative cancel).
 struct ServeRequest {
   std::string variant = "combined";
+  std::string mode = "self";  ///< self | rxs | knn
   double epsilon = 0.0;
-  int k = 0;  ///< 0 = the variant's default
+  int k = 0;      ///< 0 = the variant's default
+  int knn_k = 0;  ///< neighbors per query (mode == knn)
   gsj::JoinRequest jr;
   double cancel_after_ms = -1.0;  ///< <0 = never cancelled
 };
 
 /// Parses "epsilon=0.02 variant=combined priority=1 deadline-ms=50
-/// cancel-ms=5" (any subset; unknown keys are errors).
+/// cancel-ms=5 mode=rxs" (any subset; unknown keys are errors).
+/// mode=knn requires knn-k=K instead of an epsilon (the widening
+/// schedule replaces it — docs/JOINS.md).
 ServeRequest parse_request_line(const std::string& line) {
   ServeRequest r;
   std::stringstream ss(line);
@@ -666,11 +753,21 @@ ServeRequest parse_request_line(const std::string& line) {
       r.jr.deadline_seconds = std::stod(val) / 1e3;
     } else if (key == "cancel-ms") {
       r.cancel_after_ms = std::stod(val);
+    } else if (key == "mode") {
+      r.mode = val;
+    } else if (key == "knn-k") {
+      r.knn_k = std::stoi(val);
     } else {
       GSJ_CHECK_MSG(false, "unknown request key '" << key << "'");
     }
   }
-  GSJ_CHECK_MSG(r.epsilon > 0.0, "request needs epsilon=E > 0: " << line);
+  GSJ_CHECK_MSG(r.mode == "self" || r.mode == "rxs" || r.mode == "knn",
+                "unknown mode '" << r.mode << "': " << line);
+  if (r.mode == "knn") {
+    GSJ_CHECK_MSG(r.knn_k > 0, "knn request needs knn-k=K > 0: " << line);
+  } else {
+    GSJ_CHECK_MSG(r.epsilon > 0.0, "request needs epsilon=E > 0: " << line);
+  }
   return r;
 }
 
@@ -710,6 +807,23 @@ int cmd_serve(gsj::Cli& cli) {
       "exact duplicates, half subsumable smaller radii)");
   GSJ_CHECK_MSG(dup_fraction >= 0.0 && dup_fraction <= 1.0,
                 "--duplicate-fraction must be in [0, 1]");
+  const double rxs_fraction = cli.get_double(
+      "rxs-fraction", 0.0,
+      "fraction of --stress requests run as R×S joins against a seeded "
+      "probe dataset");
+  const double knn_fraction = cli.get_double(
+      "knn-fraction", 0.0,
+      "fraction of --stress requests run as KNN joins (eps-widening) "
+      "against the probe dataset");
+  GSJ_CHECK_MSG(rxs_fraction >= 0.0 && knn_fraction >= 0.0 &&
+                    rxs_fraction + knn_fraction <= 1.0,
+                "--rxs-fraction/--knn-fraction must be >= 0 and sum <= 1");
+  const auto probe_n = static_cast<std::size_t>(cli.get_int(
+      "probe-n", 0, "probe dataset size for rxs/knn requests (0 = n/8)"));
+  const auto max_cached_grids = static_cast<std::size_t>(cli.get_int(
+      "max-cached-grids", 64,
+      "per-dataset grid LRU bound; a KNN widening schedule only re-hits "
+      "the cache if the whole schedule stays resident"));
   const double churn_rate = cli.get_double(
       "churn-rate", 0.0,
       "fraction of points mutated between request waves (0 = static)");
@@ -754,14 +868,29 @@ int cmd_serve(gsj::Cli& cli) {
         // is variant-agnostic, so these are servable without running.
         // Low priority so the base tends to execute (and publish)
         // first; never cancelled, so served_from counts stay readable.
+        // The derived request inherits the base's mode: a KNN duplicate
+        // is always exact (its key carries no epsilon to shrink), an
+        // R×S half-radius one re-executes (subsumption is Self-only).
         const ServeRequest& base = reqs[rng() % reqs.size()];
         r.variant = kVariants[rng() % kVariants.size()];
-        r.epsilon = rng() % 2 == 0 ? base.epsilon : base.epsilon * 0.5;
+        r.mode = base.mode;
+        r.knn_k = base.knn_k;
+        r.epsilon = base.mode == "knn"           ? 0.0
+                    : rng() % 2 == 0             ? base.epsilon
+                                                 : base.epsilon * 0.5;
         r.jr.priority = 0;
       } else {
         r.variant = kVariants[rng() % kVariants.size()];
         r.epsilon = kEpsilons[rng() % kEpsilons.size()];
         r.jr.priority = static_cast<int>(rng() % 3);
+        const double roll = static_cast<double>(rng() % 1000) / 1000.0;
+        if (roll < rxs_fraction) {
+          r.mode = "rxs";
+        } else if (roll < rxs_fraction + knn_fraction) {
+          r.mode = "knn";
+          r.epsilon = 0.0;  // KNN derives its own widening schedule
+          r.knn_k = static_cast<int>(1 + rng() % 8);
+        }
         if (rng() % 8 == 0) {
           r.cancel_after_ms = static_cast<double>(rng() % 20);
         }
@@ -771,12 +900,45 @@ int cmd_serve(gsj::Cli& cli) {
   }
   GSJ_CHECK_MSG(!reqs.empty(), "no requests to serve");
 
+  // Probe dataset for R×S/KNN requests: seeded uniform points over the
+  // served dataset's bounding box (dims always match whatever --input
+  // was). cfg.probe points here, so it outlives the service below.
+  gsj::Dataset probe(ds.dims());
+  const bool needs_probe =
+      std::any_of(reqs.begin(), reqs.end(),
+                  [](const ServeRequest& r) { return r.mode != "self"; });
+  if (needs_probe) {
+    GSJ_CHECK_MSG(!ds.empty(), "rxs/knn requests need a non-empty dataset");
+    const std::size_t np =
+        probe_n > 0 ? probe_n : std::max<std::size_t>(1, ds.size() / 8);
+    gsj::Xoshiro256 prng(seed * 0x9e3779b97f4a7c15ULL + 2);
+    const std::vector<double> lo = ds.min_corner();
+    const std::vector<double> hi = ds.max_corner();
+    std::vector<double> p(static_cast<std::size_t>(ds.dims()));
+    probe.reserve(np);
+    for (std::size_t i = 0; i < np; ++i) {
+      for (int d = 0; d < ds.dims(); ++d) {
+        const auto s = static_cast<std::size_t>(d);
+        p[s] = prng.uniform(lo[s], hi[s]);
+      }
+      probe.push_back(p);
+    }
+  }
+
   // Resolve each request's join configuration.
   std::vector<gsj::SelfJoinConfig> cfgs(reqs.size());
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     ServeRequest& r = reqs[i];
     GSJ_CHECK_MSG(make_gpu_config(r.variant, r.epsilon, cfgs[i]),
                   "unknown variant: " << r.variant);
+    if (r.mode == "rxs") {
+      cfgs[i].mode = gsj::JoinMode::RxS;
+      cfgs[i].probe = &probe;
+    } else if (r.mode == "knn") {
+      cfgs[i].mode = gsj::JoinMode::Knn;
+      cfgs[i].probe = &probe;
+      cfgs[i].knn_k = r.knn_k;
+    }
     if (r.k > 0) cfgs[i].k = r.k;
     if (sms > 0) cfgs[i].device.num_sms = sms;
     cfgs[i].device.host.num_threads = host_threads;
@@ -791,6 +953,7 @@ int cmd_serve(gsj::Cli& cli) {
   gsj::ServiceConfig scfg;
   scfg.workers = workers;
   scfg.max_queue_depth = queue_depth;
+  scfg.max_cached_grids = max_cached_grids;
   scfg.obs.metrics = &metrics;
   gsj::JoinService svc(scfg);
   const auto sd = svc.attach(ds);
@@ -838,8 +1001,15 @@ int cmd_serve(gsj::Cli& cli) {
     // The repair-vs-rebuild measurement rides a standing warm engine at
     // the smallest requested radius (the densest grid, the worst case
     // for a full rebuild).
-    double delta_eps = reqs[0].epsilon;
-    for (const auto& r : reqs) delta_eps = std::min(delta_eps, r.epsilon);
+    // KNN requests carry no epsilon (the widening schedule replaces
+    // it); only epsilon-bearing requests can seed the delta radius.
+    double delta_eps = 0.0;
+    for (const auto& r : reqs) {
+      if (r.epsilon <= 0.0) continue;
+      delta_eps = delta_eps == 0.0 ? r.epsilon
+                                   : std::min(delta_eps, r.epsilon);
+    }
+    if (delta_eps == 0.0) delta_eps = 0.01;
     gsj::SelfJoinConfig delta_cfg = gsj::SelfJoinConfig::combined(delta_eps);
     delta_cfg.store_pairs = true;
     gsj::JoinEngine delta_engine;
@@ -938,7 +1108,9 @@ int cmd_serve(gsj::Cli& cli) {
   std::size_t n_ok = 0, n_rejected = 0, n_expired = 0, n_cancelled = 0,
               n_failed = 0;
   std::size_t n_result_hits = 0, n_coalesced = 0, n_subsumed = 0;
-  for (const auto& r : responses) {
+  std::uint64_t knn_grid_hits = 0, knn_grid_misses = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const auto& r = responses[i];
     switch (r.status) {
       case gsj::JoinStatus::Ok: ++n_ok; break;
       case gsj::JoinStatus::Rejected: ++n_rejected; break;
@@ -947,6 +1119,12 @@ int cmd_serve(gsj::Cli& cli) {
       case gsj::JoinStatus::Failed: ++n_failed; break;
     }
     if (r.status != gsj::JoinStatus::Ok) continue;
+    if (reqs[i].mode == "knn") {
+      // Grid-cache traffic of the widening rounds: the per-eps LRU is
+      // what makes repeat KNN schedules affordable (docs/JOINS.md).
+      knn_grid_hits += r.breakdown.grid_hits;
+      knn_grid_misses += r.breakdown.grid_misses;
+    }
     switch (r.breakdown.served_from) {
       case gsj::obs::ServedFrom::Execution: break;
       case gsj::obs::ServedFrom::ResultCache: ++n_result_hits; break;
@@ -954,6 +1132,11 @@ int cmd_serve(gsj::Cli& cli) {
       case gsj::obs::ServedFrom::Subsumed: ++n_subsumed; break;
     }
   }
+  const double knn_grid_hit_ratio =
+      knn_grid_hits + knn_grid_misses > 0
+          ? static_cast<double>(knn_grid_hits) /
+                static_cast<double>(knn_grid_hits + knn_grid_misses)
+          : 0.0;
   const std::size_t n_served = n_result_hits + n_coalesced + n_subsumed;
   const double served_ratio =
       n_ok > 0 ? static_cast<double>(n_served) / static_cast<double>(n_ok)
@@ -1050,6 +1233,11 @@ int cmd_serve(gsj::Cli& cli) {
             << "result cache: " << n_result_hits << " hits, " << n_coalesced
             << " coalesced, " << n_subsumed << " subsumed ("
             << served_ratio * 100.0 << "% of ok served without executing)\n";
+  if (knn_grid_hits + knn_grid_misses > 0) {
+    std::cout << "knn: grid cache " << knn_grid_hits << " hits / "
+              << knn_grid_misses << " misses over widening rounds (ratio "
+              << knn_grid_hit_ratio << ")\n";
+  }
   const double repair_p50 = quantile(repair_secs, 50);
   const double rebuild_p50 = quantile(rebuild_secs, 50);
   const double repair_speedup =
@@ -1099,7 +1287,8 @@ int cmd_serve(gsj::Cli& cli) {
       << ",\n  \"requests\": [\n";
     for (std::size_t i = 0; i < responses.size(); ++i) {
       const auto& r = responses[i];
-      f << "    {\"request_id\": " << r.request_id << ", \"epsilon\": "
+      f << "    {\"request_id\": " << r.request_id << ", \"mode\": \""
+        << reqs[i].mode << "\", \"epsilon\": "
         << reqs[i].epsilon << ", \"variant\": \"" << reqs[i].variant
         << "\", \"priority\": " << reqs[i].jr.priority
         << ", \"status\": \"" << gsj::to_string(r.status)
@@ -1130,6 +1319,9 @@ int cmd_serve(gsj::Cli& cli) {
       << ", \"pairs_per_second\": "
       << (total_wall > 0.0 ? static_cast<double>(ok_pairs) / total_wall : 0.0)
       << ", \"cache_hit_ratio\": " << hit_ratio
+      << ", \"knn_grid_cache_hit_ratio\": " << knn_grid_hit_ratio
+      << ", \"knn_grid_hits\": " << knn_grid_hits
+      << ", \"knn_grid_misses\": " << knn_grid_misses
       << ", \"device_makespan_imbalance\": " << snap.fleet_imbalance
       << ", \"fleet_rebalances\": " << snap.fleet_rebalances
       << ", \"kernel_seconds_p50\": " << quantile(kernel_ok, 50)
@@ -1506,6 +1698,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(cli);
     if (cmd == "info") return cmd_info(cli);
     if (cmd == "join") return cmd_join(cli);
+    if (cmd == "knn") return cmd_knn(cli);
     if (cmd == "dbscan") return cmd_dbscan(cli);
     if (cmd == "profile") return cmd_profile(cli);
     if (cmd == "sweep") return cmd_sweep(cli);
